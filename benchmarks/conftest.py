@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+(default) experiment scale, prints the resulting table to stdout (pytest
+shows it with ``-s``; it is also written to ``benchmarks/results/``),
+and reports the wall-clock cost through pytest-benchmark. Experiments
+are deterministic, so a single round is meaningful — we use
+``benchmark.pedantic(rounds=1)`` throughout.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(result) -> None:
+    """Print and persist an ExperimentResult."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = result.render()
+    print()
+    print(rendered)
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(rendered + "\n")

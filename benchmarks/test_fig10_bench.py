@@ -1,0 +1,12 @@
+"""Benchmark: regenerate fig10 (see repro.evaluation.experiments.fig10_sparsity)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig10_sparsity
+
+
+def test_fig10(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(fig10_sparsity.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

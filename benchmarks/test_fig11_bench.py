@@ -1,0 +1,12 @@
+"""Benchmark: regenerate fig11 (see repro.evaluation.experiments.fig11_scalability)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig11_scalability
+
+
+def test_fig11(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(fig11_scalability.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate fig1b (see repro.evaluation.experiments.fig1b_similarity_counts)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig1b_similarity_counts
+
+
+def test_fig1b(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(fig1b_similarity_counts.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

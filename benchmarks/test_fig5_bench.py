@@ -1,0 +1,12 @@
+"""Benchmark: regenerate fig5 (see repro.evaluation.experiments.fig5_temporal)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig5_temporal
+
+
+def test_fig5(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(fig5_temporal.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

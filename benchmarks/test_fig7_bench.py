@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (privacy-quality surface, user-based)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig6_7_privacy
+
+
+def test_fig7(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(
+        fig6_7_privacy.run, kwargs={"mode": "user"}, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate fig8 (see repro.evaluation.experiments.fig8_topk)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig8_topk
+
+
+def test_fig8(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(fig8_topk.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

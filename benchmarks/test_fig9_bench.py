@@ -1,0 +1,12 @@
+"""Benchmark: regenerate fig9 (see repro.evaluation.experiments.fig9_overlap)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import fig9_overlap
+
+
+def test_fig9(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(fig9_overlap.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

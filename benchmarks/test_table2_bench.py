@@ -1,0 +1,12 @@
+"""Benchmark: regenerate table2 (see repro.evaluation.experiments.table2_genres)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import table2_genres
+
+
+def test_table2(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(table2_genres.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

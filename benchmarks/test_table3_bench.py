@@ -1,0 +1,12 @@
+"""Benchmark: regenerate table3 (see repro.evaluation.experiments.table3_homogeneous)."""
+
+from conftest import record
+
+from repro.evaluation.experiments import table3_homogeneous
+
+
+def test_table3(benchmark):
+    """Regenerate the paper artifact at full experiment scale."""
+    result = benchmark.pedantic(table3_homogeneous.run, rounds=1, iterations=1)
+    record(result)
+    assert result.rows

@@ -1,0 +1,62 @@
+"""Cold-start onboarding for a bookstore, powered by movie taste.
+
+The scenario the paper's introduction motivates: a book application
+wants to serve users on day one, before they have rated a single book,
+by leveraging the ratings they left on a movie application. This example
+
+1. generates an Amazon-style two-domain trace,
+2. hides a set of test users' entire book profiles (cold-start protocol),
+3. fits NX-Map and recommends books to those users,
+4. scores the predictions against the hidden ground truth, next to the
+   unpersonalised ItemAverage baseline.
+
+Run with::
+
+    python examples/cold_start_bookstore.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ItemAverageRecommender,
+    NXMapRecommender,
+    XMapConfig,
+    amazon_like,
+    cold_start_split,
+)
+from repro.data.stats import summarize_cross_domain
+from repro.evaluation.harness import evaluate
+
+
+def main() -> None:
+    data = amazon_like()
+    print("Synthetic Amazon-style trace:")
+    print(summarize_cross_domain(data).describe())
+
+    split = cold_start_split(data, test_fraction=0.2, seed=7)
+    print(f"\nHid the full book profiles of {len(split.test_users)} test "
+          f"users ({split.n_hidden} ratings to predict).")
+
+    recommender = NXMapRecommender(
+        XMapConfig(prune_k=20, cf_k=50, mode="user"))
+    recommender.fit(split.train, users=split.test_users)
+
+    baseline = ItemAverageRecommender(split.train.target.ratings)
+    ours = evaluate("NX-Map-ub", recommender, split)
+    theirs = evaluate("ItemAverage", baseline, split)
+    print(f"\n{ours.describe()}")
+    print(theirs.describe())
+    improvement = (theirs.mae - ours.mae) / theirs.mae
+    print(f"NX-Map improves MAE by {improvement:.1%} over ItemAverage "
+          f"for users with zero book history.")
+
+    user = split.test_users[0]
+    print(f"\nDay-one book recommendations for {user} "
+          f"(rated {len(split.train.source.ratings.user_items(user))} movies, "
+          f"0 books):")
+    for book, score in recommender.recommend(user, n=5):
+        print(f"  {book}: predicted {score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

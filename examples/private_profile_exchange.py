@@ -1,0 +1,64 @@
+"""Exchanging AlterEgo profiles between two companies, privately.
+
+The paper's deployment story for X-Map (§4.3): a movie service and a
+book service owned by *different* companies want to share cross-domain
+signal without exposing their straddlers — the users who rate on both
+sides and whose co-ratings are exactly what a curious user could mine.
+
+This example contrasts:
+
+* the **non-private** AlterEgo exchange, where an adversary holding the
+  X-Sim map re-identifies the replacement mapping deterministically,
+* the **ε-DP** exchange via PRS (Algorithm 3), where the adversary's
+  re-identification rate degrades toward chance as ε shrinks — while the
+  recommendation MAE degrades only moderately (the Figure 6/7 trade-off).
+
+Run with::
+
+    python examples/private_profile_exchange.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import XMapConfig, XMapRecommender, amazon_like, cold_start_split
+from repro.evaluation.experiments.common import XMapLab
+from repro.evaluation.harness import evaluate
+from repro.privacy.attack import reidentification_rate
+
+
+def main() -> None:
+    data = amazon_like()
+    split = cold_start_split(data, seed=7)
+
+    print("Fitting the offline phases once (baseline graph + X-Sim map)...")
+    lab = XMapLab(split, prune_k=20, seed=7)
+    mappable = sum(1 for targets in lab.xsim_map.values() if targets)
+    print(f"X-Sim map covers {mappable} source items.\n")
+
+    print(f"{'epsilon':>8}  {'attacker re-id rate':>20}  {'MAE (X-Map-ub)':>15}")
+    rng = np.random.default_rng(0)
+    # The re-identification trend needs a wide epsilon range: with
+    # hundreds of candidate books per movie, small epsilons all sit near
+    # chance level (that is the protection!), and only an absurdly large
+    # budget exposes the deterministic argmax mapping again.
+    for epsilon in (0.1, 1.0, 10.0, 100.0):
+        attack = reidentification_rate(
+            lab.xsim_map, epsilon, trials=3, rng=rng)
+        recommender = lab.x_recommender(
+            epsilon=epsilon, epsilon_prime=0.3, mode="user", k=50)
+        quality = evaluate("X-Map-ub", recommender, split)
+        print(f"{epsilon:>8g}  {attack:>20.3f}  {quality.mae:>15.4f}")
+
+    print("\nLower epsilon -> the exchanged AlterEgos reveal less about the"
+          "\nstraddlers (re-identification approaches chance), at a modest"
+          "\naccuracy cost. The full ledger for one private pipeline:")
+    recommender = XMapRecommender(XMapConfig(
+        prune_k=20, cf_k=50, mode="user", epsilon=0.6, epsilon_prime=0.3))
+    recommender.fit(split.train, users=split.test_users)
+    print(recommender.accountant.describe())
+
+
+if __name__ == "__main__":
+    main()

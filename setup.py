@@ -1,0 +1,8 @@
+"""Legacy setuptools entry point.
+
+Kept alongside pyproject.toml because offline environments without the
+``wheel`` package need the --no-use-pep517 editable-install path.
+"""
+from setuptools import setup
+
+setup()

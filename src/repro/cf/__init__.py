@@ -1,0 +1,35 @@
+"""Collaborative-filtering substrate.
+
+Implements the paper's §2.1 background machinery — the algorithms X-Map
+plugs its AlterEgo profiles into, and the baselines it is compared with:
+
+* :class:`~repro.cf.user_knn.UserKNNRecommender` — Algorithm 1,
+* :class:`~repro.cf.item_knn.ItemKNNRecommender` — Algorithm 2,
+* :class:`~repro.cf.temporal.TemporalItemKNNRecommender` — Eq 7's
+  time-decayed item-based CF,
+* :class:`~repro.cf.item_average.ItemAverageRecommender` — the
+  ItemAverage baseline [5],
+* :class:`~repro.cf.user_average.UserAverageRecommender` — user-mean
+  baseline [22],
+* :class:`~repro.cf.slope_one.SlopeOneRecommender` — Slope One [22],
+  an extra classical baseline for ablations.
+"""
+
+from repro.cf.item_average import ItemAverageRecommender
+from repro.cf.item_knn import ItemKNNRecommender
+from repro.cf.predictor import BaseRecommender, Recommender
+from repro.cf.slope_one import SlopeOneRecommender
+from repro.cf.temporal import TemporalItemKNNRecommender
+from repro.cf.user_average import UserAverageRecommender
+from repro.cf.user_knn import UserKNNRecommender
+
+__all__ = [
+    "BaseRecommender",
+    "ItemAverageRecommender",
+    "ItemKNNRecommender",
+    "Recommender",
+    "SlopeOneRecommender",
+    "TemporalItemKNNRecommender",
+    "UserAverageRecommender",
+    "UserKNNRecommender",
+]

@@ -1,0 +1,85 @@
+"""Recommender interface shared by every prediction scheme in the library.
+
+A recommender is trained on a :class:`~repro.data.ratings.RatingTable`
+and answers two questions:
+
+* ``predict(user, item)`` — the estimated rating ``Pred[i]`` for a
+  (user, item) pair; always a finite value inside the rating scale, with
+  sensible fallbacks when the model has no signal (the paper's footnote 3
+  completes missing data with item averages, and we follow suit).
+* ``recommend(user, n)`` — the Top-N phase of Algorithms 1/2: the n
+  highest-predicted items the user has not rated yet.
+
+X-Map itself satisfies this same interface (over a cross-domain dataset),
+so the evaluation harness scores every system through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.data.ratings import RatingTable
+
+
+@runtime_checkable
+class Recommender(Protocol):
+    """Structural interface for anything the harness can evaluate."""
+
+    def predict(self, user: str, item: str) -> float:
+        """Predicted rating for (user, item), clipped to the scale."""
+        ...
+
+    def recommend(self, user: str, n: int = 10) -> list[tuple[str, float]]:
+        """Top-n not-yet-rated items as (item, predicted rating)."""
+        ...
+
+
+class BaseRecommender:
+    """Common machinery: scale clipping, fallbacks and Top-N.
+
+    Subclasses implement :meth:`_predict_raw`, returning either a raw
+    (unclipped) estimate or ``None`` when they have no signal for the
+    pair; this class handles the fallback chain
+    item mean → user mean → global mean and clips into the rating scale.
+    """
+
+    def __init__(self, table: RatingTable) -> None:
+        self.table = table
+
+    # -- to be provided by subclasses ----------------------------------
+
+    def _predict_raw(self, user: str, item: str) -> float | None:
+        raise NotImplementedError
+
+    # -- shared behaviour ----------------------------------------------
+
+    def fallback(self, user: str, item: str) -> float:
+        """Prediction when the model has no signal for (user, item)."""
+        if item in self.table.items:
+            return self.table.item_mean(item)
+        if user in self.table.users:
+            return self.table.user_mean(user)
+        return self.table.global_mean()
+
+    def predict(self, user: str, item: str) -> float:
+        """Estimated rating, always finite and inside the scale."""
+        raw = self._predict_raw(user, item)
+        if raw is None:
+            raw = self.fallback(user, item)
+        return self.table.clip(raw)
+
+    def candidate_items(self, user: str) -> Iterable[str]:
+        """Items eligible for recommendation: catalogue minus ``X_u``."""
+        seen = self.table.user_items(user)
+        return (item for item in self.table.items if item not in seen)
+
+    def recommend(self, user: str, n: int = 10) -> list[tuple[str, float]]:
+        """Top-N recommendation (Phase 2 of Algorithms 1/2).
+
+        Items the user already rated are excluded ("not-yet-seen", §5.4);
+        ties break lexicographically for determinism.
+        """
+        scored = [(item, self.predict(user, item))
+                  for item in self.candidate_items(user)]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:n]

@@ -1,0 +1,68 @@
+"""Slope One predictor (Lemire & Maclachlan [22], cited in §6.1).
+
+An extra classical memory-based baseline for ablations: for each item
+pair (i, j) it learns the average rating deviation
+``dev(i,j) = mean over co-raters of (r_{u,i} − r_{u,j})`` and predicts
+
+    Pred[A, i] = Σ_{j∈X_A} (dev(i,j) + r_{A,j}) · n_{ij} / Σ_{j∈X_A} n_{ij}
+
+weighted by the co-rater counts ``n_{ij}``. Deviations are computed
+lazily per pair and cached, mirroring the other memory-based schemes.
+"""
+
+from __future__ import annotations
+
+from repro.cf.predictor import BaseRecommender
+from repro.data.ratings import RatingTable
+
+
+class SlopeOneRecommender(BaseRecommender):
+    """Weighted Slope One over a single-domain rating table."""
+
+    def __init__(self, table: RatingTable) -> None:
+        super().__init__(table)
+        self._dev_cache: dict[tuple[str, str], tuple[float, int]] = {}
+
+    def deviation(self, item_i: str, item_j: str) -> tuple[float, int]:
+        """``(dev(i, j), co-rater count)``; (0.0, 0) without co-raters.
+
+        Antisymmetric: ``dev(i, j) = -dev(j, i)``, cached once per
+        unordered pair.
+        """
+        if item_i == item_j:
+            return 0.0, 0
+        flipped = item_j < item_i
+        key = (item_j, item_i) if flipped else (item_i, item_j)
+        cached = self._dev_cache.get(key)
+        if cached is None:
+            first, second = key
+            profile_i = self.table.item_profile(first)
+            profile_j = self.table.item_profile(second)
+            if len(profile_j) < len(profile_i):
+                common = [u for u in profile_j if u in profile_i]
+            else:
+                common = [u for u in profile_i if u in profile_j]
+            if not common:
+                cached = (0.0, 0)
+            else:
+                total = sum(profile_i[u].value - profile_j[u].value
+                            for u in common)
+                cached = (total / len(common), len(common))
+            self._dev_cache[key] = cached
+        dev, count = cached
+        return (-dev, count) if flipped else (dev, count)
+
+    def _predict_raw(self, user: str, item: str) -> float | None:
+        numerator = 0.0
+        weight = 0
+        for rated, rating in self.table.user_profile(user).items():
+            if rated == item:
+                continue
+            dev, count = self.deviation(item, rated)
+            if count == 0:
+                continue
+            numerator += (dev + rating.value) * count
+            weight += count
+        if weight == 0:
+            return None
+        return numerator / weight

@@ -1,0 +1,19 @@
+"""User-average baseline (§6.1 cites user-based average ratings [22]).
+
+Predicts every item at the user's own mean rating — the complementary
+unpersonalised-in-items baseline to
+:class:`~repro.cf.item_average.ItemAverageRecommender`.
+"""
+
+from __future__ import annotations
+
+from repro.cf.predictor import BaseRecommender
+
+
+class UserAverageRecommender(BaseRecommender):
+    """Predict ``r̄_u`` for every (user, item)."""
+
+    def _predict_raw(self, user: str, item: str) -> float | None:
+        if user not in self.table.users:
+            return None
+        return self.table.user_mean(user)

@@ -1,0 +1,33 @@
+"""The systems X-Map is evaluated against (§6.1 "Competitors").
+
+* :class:`~repro.competitors.linked_domain.LinkedDomainItemKNN` — the
+  Item-based-kNN linked-domain approach [11, 29]: aggregate both domains'
+  ratings into one matrix and run plain item-based CF (the paper's
+  "KNN-cd" in Figure 10; "KNN-sd" is the same recommender restricted to
+  the target domain).
+* :class:`~repro.competitors.remote_user.RemoteUserRecommender` — the
+  cross-domain mediation of Berkovsky et al. [6]: source-domain user
+  similarities pick the neighbors, user-based CF in the target domain
+  makes the predictions.
+* :class:`~repro.competitors.als.ALSRecommender` — alternating least
+  squares matrix factorisation, our from-scratch substitute for
+  Spark MLlib-ALS (Tables 3, Figure 11).
+
+The ItemAverage baseline lives with the other CF baselines in
+:mod:`repro.cf.item_average`.
+"""
+
+from repro.competitors.als import ALSConfig, ALSRecommender
+from repro.competitors.linked_domain import (
+    LinkedDomainItemKNN,
+    SingleDomainItemKNN,
+)
+from repro.competitors.remote_user import RemoteUserRecommender
+
+__all__ = [
+    "ALSConfig",
+    "ALSRecommender",
+    "LinkedDomainItemKNN",
+    "RemoteUserRecommender",
+    "SingleDomainItemKNN",
+]

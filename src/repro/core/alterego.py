@@ -1,0 +1,246 @@
+"""AlterEgo generation — the Generator component (§4.3, §5.3, Figure 3).
+
+An **AlterEgo** is an artificial profile for a user in a domain where she
+has little or no activity: every item she rated in the source domain is
+replaced by target-domain items, carrying the rating value and timestep
+along. Following the paper's footnote 10 ("we could also choose a set of
+replacements for any item, using X-Sim, in the target domain to have
+more diversity"), each source item maps to its top ``n_replacements``
+X-Sim candidates; the diversity is not cosmetic — richer AlterEgos give
+the downstream CF far more anchor points, and the accuracy experiments
+(Figure 8) measurably depend on it.
+
+Replacement policies:
+
+* **non-private (NX-Map)** — the top-R target items by X-Sim,
+  deterministically; mapped ratings are merged weighted by X-Sim (a
+  stronger link transfers the rating with more force);
+* **private (X-Map)** — R draws without replacement from the PRS
+  exponential mechanism (Algorithm 3), each spending ε/R so the whole
+  selection stays ε-DP per Theorem 1 + sequential composition; merged
+  unweighted, because the exact X-Sim values must not leak into the
+  published profile.
+
+When several source items map to the same target item the mapped ratings
+merge (weighted mean, latest timestep). If the user already has real
+target-domain ratings they take precedence over mapped ones (footnote 6:
+the mapped profile is *appended to* the original profile).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.extender import XSimMap
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import ConfigError
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.mechanisms import exponential_sample_without_replacement
+from repro.privacy.sensitivity import XSIM_GLOBAL_SENSITIVITY
+from repro.similarity.knn import top_k
+
+#: Default replacement-set size (footnote 10 diversity).
+DEFAULT_N_REPLACEMENTS = 12
+
+
+class ReplacementPolicy(enum.Enum):
+    """How the Generator picks each item's replacement set."""
+
+    NON_PRIVATE = "non-private"
+    PRIVATE = "private"
+
+
+class AlterEgoGenerator:
+    """Maps source items to target replacement sets and builds AlterEgos.
+
+    Args:
+        xsim_map: the Extender's output (source item → target candidates
+            with X-Sim values).
+        policy: deterministic top-R (NX-Map) or PRS draws (X-Map).
+        epsilon: the PRS privacy parameter; required iff private. The
+            budget covers the whole replacement set (ε/R per draw).
+        seed: generator seed for the private draws.
+        accountant: optional ledger; the private policy records its ε
+            there once (the per-item draws protect the same profiles in
+            parallel, so one entry documents the guarantee).
+        n_replacements: replacement-set size R (1 recovers the basic
+            single-replacement scheme of §4.3).
+    """
+
+    def __init__(self, xsim_map: XSimMap,
+                 policy: ReplacementPolicy = ReplacementPolicy.NON_PRIVATE,
+                 epsilon: float | None = None, seed: int = 0,
+                 accountant: PrivacyAccountant | None = None,
+                 n_replacements: int = DEFAULT_N_REPLACEMENTS) -> None:
+        if policy is ReplacementPolicy.PRIVATE:
+            if epsilon is None or epsilon <= 0:
+                raise ConfigError(
+                    f"private policy requires epsilon > 0, got {epsilon}")
+        elif epsilon is not None:
+            raise ConfigError("epsilon is only meaningful for the private policy")
+        if n_replacements <= 0:
+            raise ConfigError(
+                f"n_replacements must be positive, got {n_replacements}")
+        self.xsim_map = xsim_map
+        self.policy = policy
+        self.epsilon = epsilon
+        self.n_replacements = n_replacements
+        self._rng = np.random.default_rng(seed)
+        self._replacements: dict[str, list[tuple[str, float]]] = {}
+        if policy is ReplacementPolicy.PRIVATE and accountant is not None:
+            accountant.spend("PRS (AlterEgo generation)", float(epsilon))
+
+    def replacements_for(self, source_item: str) -> list[tuple[str, float]]:
+        """The (replacement, merge weight) set for one source item.
+
+        Non-private: top-R candidates by X-Sim, restricted to positive
+        values (a negatively-similar item would transfer the rating to
+        something the user probably feels the opposite about), weighted
+        by their X-Sim. Private: R unweighted PRS draws over the full
+        candidate set. Memoised — the Generator's "item mapping" step
+        assigns each item one replacement set (§5.3).
+        """
+        cached = self._replacements.get(source_item)
+        if cached is not None:
+            return cached
+        candidates = self.xsim_map.get(source_item)
+        if not candidates:
+            return []
+        if self.policy is ReplacementPolicy.NON_PRIVATE:
+            chosen = top_k(candidates, self.n_replacements, minimum=1e-12)
+        else:
+            epsilon_per_draw = float(self.epsilon) / self.n_replacements
+            drawn = exponential_sample_without_replacement(
+                candidates, rounds=self.n_replacements,
+                epsilon_per_round=epsilon_per_draw,
+                sensitivity=XSIM_GLOBAL_SENSITIVITY, rng=self._rng)
+            chosen = [(item, 1.0) for item in drawn]
+        self._replacements[source_item] = chosen
+        return chosen
+
+    def replacement_for(self, source_item: str) -> str | None:
+        """The single primary replacement (head of the set), or ``None``
+        when the source item has no usable X-Sim candidate."""
+        chosen = self.replacements_for(source_item)
+        return chosen[0][0] if chosen else None
+
+    def item_mapping(self, items: Iterable[str] | None = None) -> dict[str, str]:
+        """Materialise the source → primary-replacement mapping.
+
+        Args:
+            items: restrict to these source items (default: every item in
+                the X-Sim map).
+        """
+        targets = sorted(items) if items is not None else sorted(self.xsim_map)
+        mapping = {}
+        for item in targets:
+            replacement = self.replacement_for(item)
+            if replacement is not None:
+                mapping[item] = replacement
+        return mapping
+
+    def alterego_profile(self, user: str,
+                         source_profile: Mapping[str, Rating]) -> list[Rating]:
+        """Build one user's AlterEgo ratings from her source profile.
+
+        Each source rating fans out to its replacement set; collisions
+        merge by weighted mean with the latest timestep, deterministically
+        over sorted items.
+        """
+        builder = self.incremental(user)
+        for source_item in sorted(source_profile):
+            builder.add(source_profile[source_item])
+        return builder.profile()
+
+    def incremental(self, user: str) -> "IncrementalAlterEgo":
+        """An incremental builder for *user* (§4.3: "AlterEgo profiles
+        could be incrementally updated to avoid re-computations").
+
+        Fold new source ratings in one at a time as they arrive; the
+        merge state is O(profile) and each update touches only the new
+        rating's replacement set. Folding a whole profile reproduces
+        :meth:`alterego_profile` exactly (order-independent)."""
+        return IncrementalAlterEgo(self, user)
+
+    def _fold(self, state: dict[str, tuple[float, float, int]],
+              rating: Rating) -> None:
+        """Fold one source rating into a merge-state dict
+        (target item → (Σ w·value, Σ w, max timestep))."""
+        for replacement, weight in self.replacements_for(rating.item):
+            if weight <= 0.0:
+                continue
+            total, weight_sum, timestep = state.get(
+                replacement, (0.0, 0.0, 0))
+            state[replacement] = (
+                total + weight * rating.value,
+                weight_sum + weight,
+                max(timestep, rating.timestep))
+
+    def alterego_table(self, users: Iterable[str], source_table: RatingTable,
+                       target_table: RatingTable) -> RatingTable:
+        """The augmented target table: real target ratings plus the
+        AlterEgos of *users* (real ratings win on conflicts, footnote 6).
+
+        Mapped values are clipped into the target scale (no re-rounding —
+        the weighted mean is a legitimate estimate).
+        """
+        additions: list[Rating] = []
+        for user in sorted(set(users)):
+            existing = target_table.user_items(user)
+            for rating in self.alterego_profile(
+                    user, source_table.user_profile(user)):
+                if rating.item in existing:
+                    continue
+                clipped = target_table.clip(rating.value)
+                if clipped != rating.value:
+                    rating = Rating(rating.user, rating.item, clipped,
+                                    rating.timestep)
+                additions.append(rating)
+        return target_table.with_ratings(additions)
+
+
+class IncrementalAlterEgo:
+    """Streaming AlterEgo builder (one user).
+
+    Keeps the weighted-merge state so that a newly arrived source rating
+    updates the AlterEgo in O(R) instead of re-walking the whole source
+    profile — the paper's §4.3 incremental-update remark made concrete.
+    The produced profile is identical to the batch
+    :meth:`AlterEgoGenerator.alterego_profile`, whatever the arrival
+    order.
+    """
+
+    def __init__(self, generator: AlterEgoGenerator, user: str) -> None:
+        self._generator = generator
+        self.user = user
+        self._state: dict[str, tuple[float, float, int]] = {}
+        self._seen: set[str] = set()
+
+    def add(self, rating: Rating) -> None:
+        """Fold one new source rating into the AlterEgo.
+
+        Re-adding the same source item raises
+        :class:`~repro.errors.ConfigError` — a user rates an item once,
+        and silently double-counting a replacement would corrupt the
+        weighted means.
+        """
+        if rating.item in self._seen:
+            raise ConfigError(
+                f"source item {rating.item!r} already folded into "
+                f"{self.user!r}'s AlterEgo")
+        self._seen.add(rating.item)
+        self._generator._fold(self._state, rating)
+
+    def profile(self) -> list[Rating]:
+        """The current AlterEgo ratings (sorted by target item)."""
+        return [
+            Rating(self.user, item, total / weight_sum, timestep)
+            for item, (total, weight_sum, timestep)
+            in sorted(self._state.items())
+            if weight_sum > 0.0]
+
+    def __len__(self) -> int:
+        return len(self._state)

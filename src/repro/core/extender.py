@@ -1,0 +1,129 @@
+"""The Extender component (§5.2, Figure 4).
+
+Takes the baseline graph, partitions it into the six layers, prunes each
+item's connections to the top-k per adjacent layer, enumerates meta-paths
+and aggregates them with Definition 6 into the cross-domain **X-Sim map**:
+for every item ``t_i`` in the source domain, the set ``I(t_i)`` of target
+items with a quantified (positive or negative) X-Sim value. That map is
+what the Generator consumes to build AlterEgos, and its size is the
+"meta-path-based" bar of Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.layers import LayerPartition
+from repro.core.metapaths import build_pruned_adjacency, enumerate_meta_paths
+from repro.core.xsim import SignificanceCache, path_certainty, path_similarity
+from repro.data.ratings import RatingTable
+from repro.errors import ConfigError, SimilarityError
+from repro.similarity.graph import ItemGraph
+
+#: source item → (target item → X-Sim value)
+XSimMap = dict[str, dict[str, float]]
+
+
+@dataclass(frozen=True)
+class ExtenderConfig:
+    """Knobs of the layer-based pruning (§3.2).
+
+    Attributes:
+        k: per-item, per-adjacent-layer edge budget. The paper's "each
+            item in layer l is connected to the top-k items from every
+            neighboring layer".
+        max_paths_per_item: cap on enumerated meta-paths per source item;
+            exploration is strongest-edge-first, so the cap keeps the
+            best paths. ``None`` removes the cap.
+        weight_by_certainty: aggregate paths weighted by path certainty
+            (Definition 5). Disabling gives every path equal weight —
+            the ablation showing what the certainty factor buys.
+        weight_by_significance: combine a path's edge similarities
+            weighted by their significances (Definition 2's role in
+            s_p). Disabling uses a plain mean over the hops.
+    """
+
+    k: int = 10
+    max_paths_per_item: int | None = 5000
+    weight_by_certainty: bool = True
+    weight_by_significance: bool = True
+
+    def validated(self) -> "ExtenderConfig":
+        """Raise :class:`~repro.errors.ConfigError` on bad values."""
+        if self.k <= 0:
+            raise ConfigError(f"k must be positive, got {self.k}")
+        if self.max_paths_per_item is not None and self.max_paths_per_item <= 0:
+            raise ConfigError(
+                f"max_paths_per_item must be positive or None, "
+                f"got {self.max_paths_per_item}")
+        return self
+
+
+class Extender:
+    """Computes the cross-domain X-Sim map from the baseline graph."""
+
+    def __init__(self, config: ExtenderConfig | None = None) -> None:
+        self.config = (config or ExtenderConfig()).validated()
+
+    def extend(self, graph: ItemGraph, partition: LayerPartition,
+               table: RatingTable, source_domain: str) -> XSimMap:
+        """Aggregate meta-path similarities for every source item.
+
+        Args:
+            graph: baseline graph ``G_ac`` from the Baseliner.
+            partition: its six-layer partition.
+            table: the aggregated rating table (significance lookups).
+            source_domain: which of the partition's two domains is the
+                mapping's source (the Generator maps source → target).
+
+        Returns:
+            The X-Sim map. Source items with no meta-path into the target
+            domain are simply absent.
+        """
+        significance = SignificanceCache(table)
+        adjacency = build_pruned_adjacency(graph, partition, self.config.k)
+        xsim_map: XSimMap = {}
+        source_items = sorted(
+            item for item in graph.items
+            if partition.domain_of(item) == source_domain)
+        for item in source_items:
+            # terminal target item → (Σ c_p, Σ c_p · s_p)
+            accumulator: dict[str, tuple[float, float]] = {}
+            paths = enumerate_meta_paths(
+                item, partition, adjacency,
+                significance_of=significance.significance,
+                max_paths=self.config.max_paths_per_item)
+            for path in paths:
+                if self.config.weight_by_significance:
+                    try:
+                        similarity = path_similarity(path.edges)
+                    except SimilarityError:
+                        continue  # zero-significance path: no evidence
+                else:
+                    similarity = (sum(sim for sim, _ in path.edges)
+                                  / len(path.edges))
+                if self.config.weight_by_certainty:
+                    hops = zip(path.items, path.items[1:])
+                    certainty = path_certainty(
+                        [significance.normalized(a, b) for a, b in hops])
+                    if certainty <= 0.0:
+                        continue
+                else:
+                    certainty = 1.0
+                total_c, weighted = accumulator.get(path.terminal, (0.0, 0.0))
+                accumulator[path.terminal] = (
+                    total_c + certainty, weighted + certainty * similarity)
+            values = {
+                target: weighted / total_c
+                for target, (total_c, weighted) in accumulator.items()
+                if total_c > 0.0}
+            if values:
+                xsim_map[item] = values
+        return xsim_map
+
+
+def count_heterogeneous_pairs(xsim_map: Mapping[str, Mapping[str, float]]) -> int:
+    """Number of (source, target) pairs with a quantified X-Sim — the
+    "meta-path-based" bar of Figure 1(b)."""
+    return sum(len(targets) for targets in xsim_map.values())

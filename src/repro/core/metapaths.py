@@ -1,0 +1,148 @@
+"""Meta-path enumeration over the pruned layer chain (Definition 3).
+
+A meta-path takes *at most one item from each of the six layers* and only
+crosses between adjacent layers:
+
+    NN_S — NB_S — BB_S — BB_T — NB_T — NN_T
+
+so a path starts at the query item's layer on the source side, climbs to
+the source BB layer, crosses the single inter-domain hop, and descends on
+the target side; every target-side vertex it reaches closes one meta-path.
+The adjacency between consecutive layers is the *pruned* one — the top-k
+baseline-similarity edges per item per neighboring layer (§3.2, §5.2) —
+which is what keeps enumeration tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.core.layers import LAYER_CHAIN, Layer, LayerPartition
+from repro.errors import GraphError
+from repro.similarity.graph import ItemGraph
+
+#: adjacency key: (domain, layer) of the *neighboring* layer an edge
+#: list points into.
+LayerKey = tuple[str, Layer]
+
+#: item → (neighboring layer key → [(neighbor, baseline sim), …])
+PrunedAdjacency = Mapping[str, Mapping[LayerKey, list[tuple[str, float]]]]
+
+
+@dataclass(frozen=True)
+class MetaPath:
+    """One enumerated meta-path with its constituent hops.
+
+    Attributes:
+        items: the vertex sequence, source item first.
+        edges: per-hop (baseline similarity, significance) pairs, aligned
+            with consecutive item pairs.
+    """
+
+    items: tuple[str, ...]
+    edges: tuple[tuple[float, int], ...]
+
+    @property
+    def source(self) -> str:
+        """First vertex (the source-domain item)."""
+        return self.items[0]
+
+    @property
+    def terminal(self) -> str:
+        """Last vertex (a target-domain item)."""
+        return self.items[-1]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def layer_sequence(start_layer: Layer, source_domain: str,
+                   target_domain: str) -> list[LayerKey]:
+    """The layer keys a path visits after leaving *start_layer*.
+
+    E.g. starting at NB_S: [BB_S, BB_T, NB_T, NN_T]. Starting at BB_S:
+    [BB_T, NB_T, NN_T].
+    """
+    climb_from = LAYER_CHAIN.index(start_layer)
+    climbing = [(source_domain, layer)
+                for layer in LAYER_CHAIN[climb_from + 1:]]
+    descending = [(target_domain, layer) for layer in reversed(LAYER_CHAIN)]
+    return climbing + descending
+
+
+def build_pruned_adjacency(graph: ItemGraph, partition: LayerPartition,
+                           k: int) -> dict[str, dict[LayerKey, list[tuple[str, float]]]]:
+    """Top-k edges per item into each *adjacent* layer (§3.2).
+
+    Adjacent layer pairs: (NN, NB) and (NB, BB) within a domain, plus
+    (BB, BB) across domains. Edges inside one layer are never kept —
+    Definition 3 admits at most one item per layer.
+    """
+    if k <= 0:
+        raise GraphError(f"pruning k must be positive, got {k}")
+    adjacency: dict[str, dict[LayerKey, list[tuple[str, float]]]] = {}
+    for item in graph.items:
+        domain = partition.domain_of(item)
+        layer = partition.layer_of(item)
+        other = partition.other_domain(domain)
+        if layer is Layer.NN:
+            neighbor_keys = [(domain, Layer.NB)]
+        elif layer is Layer.NB:
+            neighbor_keys = [(domain, Layer.NN), (domain, Layer.BB)]
+        else:  # BB
+            neighbor_keys = [(domain, Layer.NB), (other, Layer.BB)]
+        per_layer: dict[LayerKey, list[tuple[str, float]]] = {}
+        for key in neighbor_keys:
+            members = partition.members(*key)
+            ranked = graph.top_neighbors(item, k, among=members)
+            if ranked:
+                per_layer[key] = ranked
+        adjacency[item] = per_layer
+    return adjacency
+
+
+def enumerate_meta_paths(
+        item: str,
+        partition: LayerPartition,
+        adjacency: PrunedAdjacency,
+        significance_of: Callable[[str, str], int],
+        max_paths: int | None = None,
+) -> Iterator[MetaPath]:
+    """Yield every meta-path from *item* into the other domain.
+
+    A path is emitted each time the walk reaches a target-side vertex
+    (so one DFS yields paths of every terminal layer). *significance_of*
+    supplies ``S`` for each hop — normally a
+    :class:`~repro.core.xsim.SignificanceCache` method.
+
+    Args:
+        max_paths: stop after yielding this many paths (a safety valve
+            for dense graphs; ``None`` = unbounded). Paths are explored
+            best-neighbor-first, so truncation keeps the strongest ones.
+    """
+    source_domain = partition.domain_of(item)
+    target_domain = partition.other_domain(source_domain)
+    sequence = layer_sequence(
+        partition.layer_of(item), source_domain, target_domain)
+    emitted = 0
+
+    def walk(current: str, depth: int,
+             items: tuple[str, ...],
+             edges: tuple[tuple[float, int], ...]) -> Iterator[MetaPath]:
+        nonlocal emitted
+        if depth == len(sequence):
+            return
+        key = sequence[depth]
+        for neighbor, sim in adjacency.get(current, {}).get(key, []):
+            if max_paths is not None and emitted >= max_paths:
+                return
+            hop = (sim, significance_of(current, neighbor))
+            new_items = items + (neighbor,)
+            new_edges = edges + (hop,)
+            if key[0] == target_domain:
+                emitted += 1
+                yield MetaPath(new_items, new_edges)
+            yield from walk(neighbor, depth + 1, new_items, new_edges)
+
+    yield from walk(item, 0, (item,), ())

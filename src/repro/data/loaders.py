@@ -1,0 +1,112 @@
+"""CSV persistence for datasets.
+
+The synthetic generators make the library self-contained, but anyone
+holding a real Amazon/MovieLens dump can load it through these functions:
+the on-disk format is a plain ``user,item,rating,timestep`` CSV per
+domain plus optional ``item,title`` and ``item,genres`` side files
+(genres ``|``-separated, matching the MovieLens convention).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.dataset import CrossDomainDataset, Dataset
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import DataError
+
+_RATINGS_HEADER = ("user", "item", "rating", "timestep")
+
+
+def write_ratings_csv(table: RatingTable, path: str | Path) -> None:
+    """Write *table* to *path* as a ``user,item,rating,timestep`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RATINGS_HEADER)
+        for rating in sorted(table, key=lambda r: (r.user, r.timestep, r.item)):
+            writer.writerow([rating.user, rating.item,
+                             f"{rating.value:g}", rating.timestep])
+
+
+def read_ratings_csv(path: str | Path,
+                     scale: tuple[float, float] = (1.0, 5.0)) -> RatingTable:
+    """Read a ratings CSV written by :func:`write_ratings_csv` (or any CSV
+    with the same ``user,item,rating[,timestep]`` header)."""
+    path = Path(path)
+    ratings: list[Rating] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not {"user", "item", "rating"} <= set(
+                reader.fieldnames):
+            raise DataError(
+                f"{path}: expected header with user,item,rating columns, "
+                f"got {reader.fieldnames}")
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                ratings.append(Rating(
+                    user=row["user"], item=row["item"],
+                    value=float(row["rating"]),
+                    timestep=int(row.get("timestep") or 0)))
+            except (TypeError, ValueError) as exc:
+                raise DataError(f"{path}:{row_number}: bad row {row!r}") from exc
+    return RatingTable(ratings, scale=scale)
+
+
+def write_dataset(dataset: Dataset, directory: str | Path) -> None:
+    """Write a dataset to *directory* (created if missing): ``ratings.csv``
+    plus ``titles.csv`` / ``genres.csv`` when metadata is present."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_ratings_csv(dataset.ratings, directory / "ratings.csv")
+    if dataset.item_titles:
+        with (directory / "titles.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("item", "title"))
+            for item, title in sorted(dataset.item_titles.items()):
+                writer.writerow([item, title])
+    if dataset.item_genres:
+        with (directory / "genres.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("item", "genres"))
+            for item, genres in sorted(dataset.item_genres.items()):
+                writer.writerow([item, "|".join(genres)])
+
+
+def read_dataset(directory: str | Path, name: str,
+                 scale: tuple[float, float] = (1.0, 5.0)) -> Dataset:
+    """Read a dataset written by :func:`write_dataset`."""
+    directory = Path(directory)
+    ratings = read_ratings_csv(directory / "ratings.csv", scale=scale)
+    titles: dict[str, str] = {}
+    genres: dict[str, tuple[str, ...]] = {}
+    titles_path = directory / "titles.csv"
+    if titles_path.exists():
+        with titles_path.open(newline="") as handle:
+            for row in csv.DictReader(handle):
+                titles[row["item"]] = row["title"]
+    genres_path = directory / "genres.csv"
+    if genres_path.exists():
+        with genres_path.open(newline="") as handle:
+            for row in csv.DictReader(handle):
+                genres[row["item"]] = tuple(
+                    g for g in row["genres"].split("|") if g)
+    return Dataset(name, ratings, item_titles=titles, item_genres=genres)
+
+
+def write_cross_domain(data: CrossDomainDataset, directory: str | Path) -> None:
+    """Write both domains under ``directory/<domain name>/``."""
+    directory = Path(directory)
+    write_dataset(data.source, directory / data.source.name)
+    write_dataset(data.target, directory / data.target.name)
+
+
+def read_cross_domain(directory: str | Path, source_name: str,
+                      target_name: str,
+                      scale: tuple[float, float] = (1.0, 5.0)) -> CrossDomainDataset:
+    """Read a pair of domains written by :func:`write_cross_domain`."""
+    directory = Path(directory)
+    return CrossDomainDataset(
+        read_dataset(directory / source_name, source_name, scale=scale),
+        read_dataset(directory / target_name, target_name, scale=scale))

@@ -1,0 +1,277 @@
+"""Rating records and the indexed rating store.
+
+The whole library works on explicit feedback: a user assigned a numeric
+value to an item at a logical timestep (§2.1, Table 1 of the paper). The
+:class:`RatingTable` is the single source of truth for that data. It keeps
+two redundant indexes — by user (``X_u``, the user profile) and by item
+(``Y_i``, the item profile) — because the paper's algorithms constantly
+switch between the two views: user-based CF iterates over ``X_u``,
+item-based CF and the similarity graph iterate over ``Y_i``.
+
+Tables are immutable after construction. Derived tables (filtering users,
+merging domains, hiding test ratings) are produced by the ``with_*`` /
+``without_*`` methods, which return new tables. This keeps the evaluation
+protocols side-effect free: hiding a test user's ratings can never corrupt
+the training data another experiment is using.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import DataError
+
+#: Default rating scale used by the Amazon and MovieLens traces (§6.1).
+DEFAULT_SCALE = (1.0, 5.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Rating:
+    """A single explicit-feedback event.
+
+    Attributes:
+        user: user identifier (``u`` in the paper's notation).
+        item: item identifier (``i``).
+        value: the rating ``r_{u,i}``.
+        timestep: logical time of the event (footnote 7 of the paper); used
+            by the temporal weighting of Eq. 7. Defaults to 0 for data
+            without timestamps.
+    """
+
+    user: str
+    item: str
+    value: float
+    timestep: int = 0
+
+    def moved_to(self, item: str) -> "Rating":
+        """Return the same rating attached to a different item.
+
+        This is the primitive behind AlterEgo construction (§4.3): the
+        rating and its timestep travel, only the item id changes.
+        """
+        return Rating(self.user, item, self.value, self.timestep)
+
+
+class RatingTable:
+    """Immutable, doubly-indexed store of ratings.
+
+    Args:
+        ratings: the rating events. A (user, item) pair may appear at most
+            once; duplicates raise :class:`~repro.errors.DataError`.
+        scale: inclusive ``(min, max)`` rating bounds; out-of-range values
+            raise :class:`~repro.errors.DataError`.
+    """
+
+    __slots__ = ("_by_user", "_by_item", "_scale", "_n", "_user_mean_cache",
+                 "_item_mean_cache", "_global_mean_cache")
+
+    def __init__(self, ratings: Iterable[Rating] = (),
+                 scale: tuple[float, float] = DEFAULT_SCALE) -> None:
+        lo, hi = scale
+        if not lo < hi:
+            raise DataError(f"invalid rating scale {scale!r}: min must be < max")
+        by_user: dict[str, dict[str, Rating]] = {}
+        by_item: dict[str, dict[str, Rating]] = {}
+        n = 0
+        for r in ratings:
+            if not lo <= r.value <= hi:
+                raise DataError(
+                    f"rating {r.value} by {r.user!r} for {r.item!r} "
+                    f"outside scale [{lo}, {hi}]")
+            profile = by_user.setdefault(r.user, {})
+            if r.item in profile:
+                raise DataError(
+                    f"duplicate rating for (user={r.user!r}, item={r.item!r})")
+            profile[r.item] = r
+            by_item.setdefault(r.item, {})[r.user] = r
+            n += 1
+        self._by_user = by_user
+        self._by_item = by_item
+        self._scale = (float(lo), float(hi))
+        self._n = n
+        self._user_mean_cache: dict[str, float] = {}
+        self._item_mean_cache: dict[str, float] = {}
+        self._global_mean_cache: float | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def scale(self) -> tuple[float, float]:
+        """Inclusive (min, max) rating bounds."""
+        return self._scale
+
+    @property
+    def users(self) -> frozenset[str]:
+        """The set ``U`` of users with at least one rating."""
+        return frozenset(self._by_user)
+
+    @property
+    def items(self) -> frozenset[str]:
+        """The set ``I`` of items with at least one rating."""
+        return frozenset(self._by_item)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[Rating]:
+        for profile in self._by_user.values():
+            yield from profile.values()
+
+    def __contains__(self, user_item: tuple[str, str]) -> bool:
+        user, item = user_item
+        return item in self._by_user.get(user, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RatingTable(users={len(self._by_user)}, "
+                f"items={len(self._by_item)}, ratings={self._n})")
+
+    def get(self, user: str, item: str) -> Rating | None:
+        """Return the rating of *item* by *user*, or None."""
+        return self._by_user.get(user, {}).get(item)
+
+    def value(self, user: str, item: str) -> float:
+        """Return ``r_{u,i}``; raises DataError if absent."""
+        rating = self.get(user, item)
+        if rating is None:
+            raise DataError(f"no rating for (user={user!r}, item={item!r})")
+        return rating.value
+
+    def user_profile(self, user: str) -> Mapping[str, Rating]:
+        """``X_u``: items rated by *user*, as an item → Rating mapping.
+
+        Unknown users yield an empty mapping (a user the recommender has
+        never seen simply has no history).
+        """
+        return self._by_user.get(user, {})
+
+    def item_profile(self, item: str) -> Mapping[str, Rating]:
+        """``Y_i``: users who rated *item*, as a user → Rating mapping."""
+        return self._by_item.get(item, {})
+
+    def user_items(self, user: str) -> frozenset[str]:
+        """The item ids in ``X_u``."""
+        return frozenset(self._by_user.get(user, ()))
+
+    def item_users(self, item: str) -> frozenset[str]:
+        """The user ids in ``Y_i``."""
+        return frozenset(self._by_item.get(item, ()))
+
+    # ------------------------------------------------------------------
+    # Means (cached — they are read inside similarity inner loops)
+    # ------------------------------------------------------------------
+
+    def user_mean(self, user: str) -> float:
+        """``r̄_u``: mean rating of *user* (global mean if unknown user)."""
+        cached = self._user_mean_cache.get(user)
+        if cached is not None:
+            return cached
+        profile = self._by_user.get(user)
+        if not profile:
+            return self.global_mean()
+        mean = math.fsum(r.value for r in profile.values()) / len(profile)
+        self._user_mean_cache[user] = mean
+        return mean
+
+    def item_mean(self, item: str) -> float:
+        """``r̄_i``: mean rating of *item* (global mean if unknown item).
+
+        Footnote 3 of the paper completes the sparse matrix with item
+        averages, which is why the unknown-item fallback is the global
+        mean rather than an error.
+        """
+        cached = self._item_mean_cache.get(item)
+        if cached is not None:
+            return cached
+        profile = self._by_item.get(item)
+        if not profile:
+            return self.global_mean()
+        mean = math.fsum(r.value for r in profile.values()) / len(profile)
+        self._item_mean_cache[item] = mean
+        return mean
+
+    def global_mean(self) -> float:
+        """Mean over all ratings (midpoint of the scale if empty)."""
+        if self._global_mean_cache is None:
+            if self._n == 0:
+                lo, hi = self._scale
+                self._global_mean_cache = (lo + hi) / 2.0
+            else:
+                total = math.fsum(r.value for r in self)
+                self._global_mean_cache = total / self._n
+        return self._global_mean_cache
+
+    # ------------------------------------------------------------------
+    # Derivation (immutable-style updates)
+    # ------------------------------------------------------------------
+
+    def with_ratings(self, ratings: Iterable[Rating]) -> "RatingTable":
+        """Return a new table with *ratings* added (or overriding existing
+        (user, item) entries — used when appending an AlterEgo to a real
+        target profile, footnote 6)."""
+        merged: dict[tuple[str, str], Rating] = {
+            (r.user, r.item): r for r in self}
+        for r in ratings:
+            merged[(r.user, r.item)] = r
+        return RatingTable(merged.values(), scale=self._scale)
+
+    def without_users(self, users: Iterable[str]) -> "RatingTable":
+        """Return a new table with every rating by *users* removed."""
+        gone = set(users)
+        return RatingTable(
+            (r for r in self if r.user not in gone), scale=self._scale)
+
+    def without_items(self, items: Iterable[str]) -> "RatingTable":
+        """Return a new table with every rating of *items* removed."""
+        gone = set(items)
+        return RatingTable(
+            (r for r in self if r.item not in gone), scale=self._scale)
+
+    def without_pairs(self, pairs: Iterable[tuple[str, str]]) -> "RatingTable":
+        """Return a new table with the given (user, item) ratings removed.
+
+        This is the primitive behind the evaluation protocol of §6.1:
+        hiding (part of) a test user's target-domain profile.
+        """
+        gone = set(pairs)
+        return RatingTable(
+            (r for r in self if (r.user, r.item) not in gone),
+            scale=self._scale)
+
+    def filter(self, predicate: Callable[[Rating], bool]) -> "RatingTable":
+        """Return a new table with only the ratings matching *predicate*."""
+        return RatingTable((r for r in self if predicate(r)), scale=self._scale)
+
+    def restricted_to_items(self, items: Iterable[str]) -> "RatingTable":
+        """Return a new table keeping only ratings of *items*."""
+        keep = set(items)
+        return RatingTable(
+            (r for r in self if r.item in keep), scale=self._scale)
+
+    def merged_with(self, other: "RatingTable") -> "RatingTable":
+        """Union of two tables (used by the Baseliner, §5.1, to treat the
+        source and target domains as a single aggregated domain).
+
+        The tables must not disagree on any (user, item) pair.
+        """
+        if other.scale != self._scale:
+            raise DataError(
+                f"cannot merge tables with scales {self._scale} and {other.scale}")
+        combined: dict[tuple[str, str], Rating] = {
+            (r.user, r.item): r for r in self}
+        for r in other:
+            key = (r.user, r.item)
+            existing = combined.get(key)
+            if existing is not None and existing != r:
+                raise DataError(
+                    f"conflicting ratings for {key!r}: {existing} vs {r}")
+            combined[key] = r
+        return RatingTable(combined.values(), scale=self._scale)
+
+    def clip(self, value: float) -> float:
+        """Clamp *value* into the rating scale (used on predictions)."""
+        lo, hi = self._scale
+        return min(hi, max(lo, value))

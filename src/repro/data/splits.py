@@ -1,0 +1,167 @@
+"""Evaluation split protocols from §6.1 of the paper.
+
+The paper's scheme: partition the *overlapping* users (those who rated in
+both domains) into training and test sets; for each test user, hide their
+target-domain profile and predict it from their source-domain profile.
+
+* Hiding the whole target profile evaluates **cold-start** (the user has
+  never rated in the target domain) — :func:`cold_start_split`.
+* Hiding all but a few target ratings evaluates **sparsity**
+  (Figure 10) — :func:`sparsity_split`.
+* Shrinking the set of training straddlers evaluates the **impact of
+  overlap** (Figure 9) — :func:`overlap_fraction_split`.
+
+All protocols are deterministic given their seed and never mutate the
+input dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.dataset import CrossDomainDataset
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A training dataset plus the ground truth that was hidden from it.
+
+    Attributes:
+        train: the cross-domain dataset the recommender may see.
+        test_users: users whose target-domain ratings were (partly) hidden.
+        hidden: the hidden target-domain ratings — the ground truth that
+            predictions are scored against.
+    """
+
+    train: CrossDomainDataset
+    test_users: tuple[str, ...]
+    hidden: RatingTable
+
+    @property
+    def n_hidden(self) -> int:
+        """Number of hidden (user, item) ground-truth ratings."""
+        return len(self.hidden)
+
+    def hidden_pairs(self) -> list[tuple[str, str, float]]:
+        """The ground truth as (user, item, true rating) triples."""
+        return [(r.user, r.item, r.value) for r in self.hidden]
+
+
+def _eligible_users(data: CrossDomainDataset, min_source: int,
+                    min_target: int) -> list[str]:
+    """Overlap users with enough history on both sides, in sorted order
+    (sorted so the seeded sampling is reproducible across runs)."""
+    eligible = [
+        user for user in sorted(data.overlap_users)
+        if len(data.source.ratings.user_profile(user)) >= min_source
+        and len(data.target.ratings.user_profile(user)) >= min_target
+    ]
+    if not eligible:
+        raise EvaluationError(
+            "no overlap users satisfy the eligibility thresholds "
+            f"(min_source={min_source}, min_target={min_target})")
+    return eligible
+
+
+def _select_test_users(data: CrossDomainDataset, test_fraction: float,
+                       min_source: int, min_target: int,
+                       seed: int) -> list[str]:
+    if not 0.0 < test_fraction < 1.0:
+        raise EvaluationError(
+            f"test_fraction must be in (0, 1), got {test_fraction}")
+    eligible = _eligible_users(data, min_source, min_target)
+    n_test = max(1, int(round(len(eligible) * test_fraction)))
+    if n_test >= len(eligible):
+        raise EvaluationError(
+            f"test_fraction={test_fraction} leaves no training straddlers")
+    rng = random.Random(seed)
+    return sorted(rng.sample(eligible, n_test))
+
+
+def cold_start_split(data: CrossDomainDataset, test_fraction: float = 0.2,
+                     min_source: int = 3, min_target: int = 3,
+                     seed: int = 0) -> TrainTestSplit:
+    """Hide the *entire* target-domain profile of each test user.
+
+    This is the paper's primary protocol: "for the test users, we hide
+    their profile in the target domain and use their profile in the source
+    domain to predict" (§6.1).
+    """
+    test_users = _select_test_users(
+        data, test_fraction, min_source, min_target, seed)
+    test_set = set(test_users)
+    hidden = [r for r in data.target.ratings if r.user in test_set]
+    train_target = data.target.ratings.without_users(test_set)
+    return TrainTestSplit(
+        train=data.with_target_ratings(train_target),
+        test_users=tuple(test_users),
+        hidden=RatingTable(hidden, scale=data.target.ratings.scale),
+    )
+
+
+def sparsity_split(data: CrossDomainDataset, auxiliary_size: int,
+                   test_fraction: float = 0.2, min_source: int = 10,
+                   min_target: int = 10, seed: int = 0) -> TrainTestSplit:
+    """Keep *auxiliary_size* target ratings per test user, hide the rest.
+
+    Figure 10 varies ``auxiliary_size`` from 0 (cold-start) to 6 (low
+    sparsity). Following footnote 13, only users with at least
+    ``min_source``/``min_target`` = 10 ratings per domain are eligible.
+    The kept ratings are the user's *earliest* ones — the realistic
+    scenario of a user who recently joined the target application.
+    """
+    if auxiliary_size < 0:
+        raise EvaluationError(
+            f"auxiliary_size must be >= 0, got {auxiliary_size}")
+    test_users = _select_test_users(
+        data, test_fraction, min_source, min_target, seed)
+    hidden: list[Rating] = []
+    kept: list[Rating] = []
+    for user in test_users:
+        profile = sorted(data.target.ratings.user_profile(user).values(),
+                         key=lambda r: (r.timestep, r.item))
+        kept.extend(profile[:auxiliary_size])
+        hidden.extend(profile[auxiliary_size:])
+    if not hidden:
+        raise EvaluationError(
+            "auxiliary_size leaves nothing hidden for any test user")
+    hidden_pairs = {(r.user, r.item) for r in hidden}
+    train_target = data.target.ratings.without_pairs(hidden_pairs)
+    return TrainTestSplit(
+        train=data.with_target_ratings(train_target),
+        test_users=tuple(test_users),
+        hidden=RatingTable(hidden, scale=data.target.ratings.scale),
+    )
+
+
+def overlap_fraction_split(data: CrossDomainDataset, fraction: float,
+                           test_fraction: float = 0.2, min_source: int = 3,
+                           min_target: int = 3, seed: int = 0) -> TrainTestSplit:
+    """Cold-start split that keeps only a *fraction* of training straddlers.
+
+    Figure 9 ("training set size denotes overlap size") measures accuracy
+    as the number of users connecting the domains grows. The test set is
+    chosen exactly as in :func:`cold_start_split` (same seed → same test
+    users for every fraction, so the curves are comparable); then a
+    ``fraction`` of the remaining straddlers keep their target ratings
+    while the rest have them dropped, severing their bridge.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise EvaluationError(f"fraction must be in (0, 1], got {fraction}")
+    base = cold_start_split(data, test_fraction=test_fraction,
+                            min_source=min_source, min_target=min_target,
+                            seed=seed)
+    straddlers = sorted(base.train.overlap_users)
+    n_keep = max(1, int(round(len(straddlers) * fraction)))
+    rng = random.Random(seed + 1)
+    keep = set(rng.sample(straddlers, n_keep))
+    drop = [u for u in straddlers if u not in keep]
+    train_target = base.train.target.ratings.without_users(drop)
+    return TrainTestSplit(
+        train=base.train.with_target_ratings(train_target),
+        test_users=base.test_users,
+        hidden=base.hidden,
+    )

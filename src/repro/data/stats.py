@@ -1,0 +1,76 @@
+"""Descriptive statistics for rating tables and cross-domain datasets.
+
+Used by the experiment reports to print the §6.1-style dataset overview
+(number of ratings/users/items, overlap size, density) alongside every
+result table, so a reader can judge what scale a number was measured at.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.data.dataset import CrossDomainDataset
+from repro.data.ratings import RatingTable
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Summary of one rating table."""
+
+    n_users: int
+    n_items: int
+    n_ratings: int
+    density: float
+    mean_rating: float
+    mean_ratings_per_user: float
+    mean_ratings_per_item: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.n_ratings} ratings, {self.n_users} users, "
+                f"{self.n_items} items, density {self.density:.4%}, "
+                f"mean rating {self.mean_rating:.2f}")
+
+
+def summarize(table: RatingTable) -> TableStats:
+    """Compute :class:`TableStats` for *table*."""
+    n_users = len(table.users)
+    n_items = len(table.items)
+    n_ratings = len(table)
+    cells = n_users * n_items
+    return TableStats(
+        n_users=n_users,
+        n_items=n_items,
+        n_ratings=n_ratings,
+        density=(n_ratings / cells) if cells else 0.0,
+        mean_rating=table.global_mean() if n_ratings else math.nan,
+        mean_ratings_per_user=(n_ratings / n_users) if n_users else 0.0,
+        mean_ratings_per_item=(n_ratings / n_items) if n_items else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class CrossDomainStats:
+    """Summary of a two-domain dataset, §6.1-style."""
+
+    source: TableStats
+    target: TableStats
+    n_overlap_users: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join([
+            f"source: {self.source.describe()}",
+            f"target: {self.target.describe()}",
+            f"overlapping users: {self.n_overlap_users}",
+        ])
+
+
+def summarize_cross_domain(data: CrossDomainDataset) -> CrossDomainStats:
+    """Compute :class:`CrossDomainStats` for *data*."""
+    return CrossDomainStats(
+        source=summarize(data.source.ratings),
+        target=summarize(data.target.ratings),
+        n_overlap_users=len(data.overlap_users),
+    )

@@ -1,0 +1,93 @@
+"""The simulated cluster and its cost model.
+
+The engine executes every task for real (results are exact); the cluster
+only decides how long each task *would have taken* and on which machine
+it runs. The model mirrors the first-order costs of a Spark deployment
+on the paper's testbed (20 × Xeon E5520, 2×GigE):
+
+* per-record compute time inside a task,
+* per-task scheduling/launch overhead (the term that caps speedup when
+  tasks get small),
+* shuffle write + read time per record crossing a stage boundary,
+* per-stage barrier synchronisation,
+* broadcast time proportional to (payload × machines), modelling the
+  all-to-all factor shipping that makes ALS scale sublinearly.
+
+Absolute values are arbitrary simulated seconds; only ratios matter for
+the speedup curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation simulated costs (seconds).
+
+    Attributes:
+        compute_per_record: charge per input+output record of a fused task.
+        task_overhead: fixed charge per task (launch + scheduling).
+        shuffle_per_record: charge per record written to or read from a
+            shuffle.
+        stage_barrier: fixed charge per stage (driver synchronisation).
+        broadcast_per_record_machine: charge per broadcast record per
+            machine (all-to-all distribution).
+    """
+
+    compute_per_record: float = 2e-4
+    task_overhead: float = 8e-3
+    shuffle_per_record: float = 5e-5
+    stage_barrier: float = 2e-2
+    broadcast_per_record_machine: float = 5e-6
+
+    def validated(self) -> "CostModel":
+        """Raise :class:`~repro.errors.EngineError` on negative costs."""
+        for name in ("compute_per_record", "task_overhead",
+                     "shuffle_per_record", "stage_barrier",
+                     "broadcast_per_record_machine"):
+            if getattr(self, name) < 0:
+                raise EngineError(f"{name} must be >= 0")
+        return self
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A simulated cluster: machine count plus the cost model.
+
+    Attributes:
+        n_machines: worker machines (the paper varies 5–20).
+        n_slots_per_machine: concurrent task slots per machine (the
+            testbed's E5520 has 4 physical cores; Spark defaults to one
+            task per core).
+        cost: the :class:`CostModel`.
+    """
+
+    n_machines: int
+    n_slots_per_machine: int = 4
+    cost: CostModel = CostModel()
+
+    def validated(self) -> "ClusterSpec":
+        """Raise :class:`~repro.errors.EngineError` on bad values."""
+        if self.n_machines <= 0:
+            raise EngineError(
+                f"n_machines must be positive, got {self.n_machines}")
+        if self.n_slots_per_machine <= 0:
+            raise EngineError(
+                f"n_slots_per_machine must be positive, "
+                f"got {self.n_slots_per_machine}")
+        self.cost.validated()
+        return self
+
+    @property
+    def total_slots(self) -> int:
+        """Cluster-wide parallel task slots."""
+        return self.n_machines * self.n_slots_per_machine
+
+    def default_parallelism(self) -> int:
+        """Default partition count for new collections (2× slots, the
+        usual Spark guidance)."""
+        return self.total_slots * 2

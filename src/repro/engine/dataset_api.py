@@ -1,0 +1,420 @@
+"""The RDD-style dataflow API and its executing context.
+
+A :class:`DistCollection` is a node in a lineage DAG. Transformations
+(``map``, ``filter``, ``flat_map`` — *narrow*; ``reduce_by_key``,
+``group_by_key``, ``join``, ``partition_by`` — *wide*) build the DAG
+lazily; actions (``collect``, ``count``) hand it to the
+:class:`DataflowContext`, which
+
+1. executes every task for real (results are exact Python values),
+2. fuses consecutive narrow transformations into single per-partition
+   tasks, exactly as Spark pipelines them within a stage,
+3. charges each task to the cluster's
+   :class:`~repro.engine.cluster.CostModel` and schedules it with LPT
+   onto the simulated machines,
+4. returns the result alongside an
+   :class:`~repro.engine.metrics.ExecutionReport` whose makespan is the
+   job's simulated wall-clock time.
+
+Keyed operations require records to be ``(key, value)`` tuples and raise
+:class:`~repro.errors.EngineError` otherwise. Like an uncached RDD, a
+collection referenced by several downstream branches is recomputed per
+branch unless ``cache()`` is called on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.metrics import ExecutionReport, StageReport
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.scheduler import stage_makespan
+from repro.errors import EngineError
+
+_Partition = list
+_Partitions = list[list]
+
+
+class _Node:
+    """Internal lineage node."""
+
+    __slots__ = ("kind", "parents", "fn", "n_partitions", "label", "cached",
+                 "cost_fn")
+
+    def __init__(self, kind: str, parents: tuple["_Node", ...],
+                 fn: Callable | None, n_partitions: int | None,
+                 label: str, cost_fn: Callable | None = None) -> None:
+        self.kind = kind              # source | narrow | shuffle | join
+        self.parents = parents
+        self.fn = fn
+        self.n_partitions = n_partitions
+        self.label = label
+        self.cached = False
+        #: optional record → work-units function; by default every input
+        #: record costs one unit. Lets compute-heavy maps (an ALS solve
+        #: touches |ratings| entries) report their true cost to the
+        #: simulated clock.
+        self.cost_fn = cost_fn
+
+
+class Broadcast:
+    """A read-only value shipped to every machine (Spark's ``broadcast``).
+
+    The distribution cost — payload × machines — is charged to the next
+    action's report; it is the term that makes ALS's per-iteration factor
+    shipping grow with the cluster (Figure 11's sub-linear curve).
+    """
+
+    __slots__ = ("value", "n_records")
+
+    def __init__(self, value: Any, n_records: int) -> None:
+        self.value = value
+        self.n_records = n_records
+
+
+class DistCollection:
+    """A lazily-evaluated, partitioned collection (the RDD analogue)."""
+
+    def __init__(self, context: "DataflowContext", node: _Node) -> None:
+        self._context = context
+        self._node = node
+
+    # -- narrow transformations -----------------------------------------
+
+    def _narrow(self, fn: Callable[[Iterable], Iterable],
+                label: str) -> "DistCollection":
+        node = _Node("narrow", (self._node,), fn, None, label)
+        return DistCollection(self._context, node)
+
+    def map(self, fn: Callable[[Any], Any]) -> "DistCollection":
+        """Apply *fn* to every record."""
+        return self._narrow(lambda part: (fn(x) for x in part), "map")
+
+    def map_with_cost(self, fn: Callable[[Any], Any],
+                      cost_fn: Callable[[Any], float]) -> "DistCollection":
+        """``map`` whose simulated cost is ``cost_fn(record)`` work units
+        per input record instead of 1 (for compute-heavy records whose
+        work is invisible in record counts, e.g. per-user ALS solves)."""
+        node = _Node("narrow", (self._node,),
+                     lambda part: (fn(x) for x in part), None,
+                     "map", cost_fn=cost_fn)
+        return DistCollection(self._context, node)
+
+    def flat_map(self, fn: Callable[[Any], Iterable]) -> "DistCollection":
+        """Apply *fn* and flatten the resulting iterables."""
+        return self._narrow(
+            lambda part: itertools.chain.from_iterable(fn(x) for x in part),
+            "flat_map")
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "DistCollection":
+        """Keep records where *predicate* is true."""
+        return self._narrow(
+            lambda part: (x for x in part if predicate(x)), "filter")
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "DistCollection":
+        """Apply *fn* to the value of every (key, value) record."""
+        def apply(part: Iterable) -> Iterable:
+            for record in part:
+                key, value = _as_pair(record, "map_values")
+                yield (key, fn(value))
+        return self._narrow(apply, "map_values")
+
+    def map_partitions(self, fn: Callable[[list], Iterable]
+                       ) -> "DistCollection":
+        """Apply *fn* once per partition (setup-heavy computations)."""
+        return self._narrow(lambda part: fn(list(part)), "map_partitions")
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "DistCollection":
+        """Turn records into ``(fn(record), record)`` pairs."""
+        return self._narrow(
+            lambda part: ((fn(x), x) for x in part), "key_by")
+
+    # -- wide transformations --------------------------------------------
+
+    def reduce_by_key(self, fn: Callable[[Any, Any], Any],
+                      n_partitions: int | None = None) -> "DistCollection":
+        """Shuffle by key and fold each key's values with *fn*."""
+        node = _Node("shuffle", (self._node,), fn, n_partitions,
+                     "reduce_by_key")
+        return DistCollection(self._context, node)
+
+    def group_by_key(self, n_partitions: int | None = None
+                     ) -> "DistCollection":
+        """Shuffle by key into ``(key, [values...])`` records."""
+        node = _Node("shuffle", (self._node,), None, n_partitions,
+                     "group_by_key")
+        return DistCollection(self._context, node)
+
+    def partition_by(self, n_partitions: int) -> "DistCollection":
+        """Shuffle (key, value) records onto *n_partitions* by key."""
+        node = _Node("shuffle", (self._node,), False, n_partitions,
+                     "partition_by")
+        return DistCollection(self._context, node)
+
+    def join(self, other: "DistCollection",
+             n_partitions: int | None = None) -> "DistCollection":
+        """Inner join on keys: ``(k, (left value, right value))``."""
+        if other._context is not self._context:
+            raise EngineError(
+                "cannot join collections from different contexts")
+        node = _Node("join", (self._node, other._node), None, n_partitions,
+                     "join")
+        return DistCollection(self._context, node)
+
+    def union(self, other: "DistCollection") -> "DistCollection":
+        """Concatenate two collections (narrow — no shuffle)."""
+        if other._context is not self._context:
+            raise EngineError(
+                "cannot union collections from different contexts")
+        node = _Node("union", (self._node, other._node), None, None, "union")
+        return DistCollection(self._context, node)
+
+    def cache(self) -> "DistCollection":
+        """Keep this node's materialisation for reuse across branches
+        and actions (Spark's ``.cache()``)."""
+        self._node.cached = True
+        return self
+
+    # -- actions -----------------------------------------------------------
+
+    def collect(self) -> list:
+        """Materialise and return all records (driver-side)."""
+        result, _ = self.collect_with_report()
+        return result
+
+    def collect_with_report(self) -> tuple[list, ExecutionReport]:
+        """Materialise; also return the simulated-time report."""
+        return self._context._run(self._node)
+
+    def count(self) -> int:
+        """Number of records."""
+        return len(self.collect())
+
+
+def _as_pair(record: Any, op: str) -> tuple[Any, Any]:
+    if not isinstance(record, tuple) or len(record) != 2:
+        raise EngineError(
+            f"{op} requires (key, value) records, got {record!r}")
+    return record
+
+
+class DataflowContext:
+    """Owns the simulated cluster and executes lineage DAGs.
+
+    Args:
+        cluster: machine count and cost model. Two contexts with
+            different machine counts executing the same job produce the
+            same *results* but different simulated makespans — that
+            contrast is the scalability experiment.
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster.validated()
+        self._cache: dict[int, _Partitions] = {}
+        self._pending_broadcast_records = 0
+
+    # -- building blocks ----------------------------------------------------
+
+    def parallelize(self, items: Iterable, n_partitions: int | None = None
+                    ) -> DistCollection:
+        """Create a source collection, round-robin partitioned."""
+        records = list(items)
+        count = n_partitions or self.cluster.default_parallelism()
+        count = max(1, min(count, max(1, len(records))))
+        partitions: _Partitions = [[] for _ in range(count)]
+        for index, record in enumerate(records):
+            partitions[index % count].append(record)
+        node = _Node("source", (), None, count, "parallelize")
+        self._cache[id(node)] = partitions
+        return DistCollection(self, node)
+
+    def broadcast(self, value: Any, n_records: int | None = None) -> Broadcast:
+        """Ship *value* to every machine; cost lands on the next action.
+
+        Args:
+            n_records: payload size proxy (defaults to ``len(value)``
+                when it has a length, else 1).
+        """
+        if n_records is None:
+            try:
+                n_records = len(value)  # type: ignore[arg-type]
+            except TypeError:
+                n_records = 1
+        if n_records < 0:
+            raise EngineError(f"n_records must be >= 0, got {n_records}")
+        self._pending_broadcast_records += n_records
+        return Broadcast(value, n_records)
+
+    # -- execution ---------------------------------------------------------
+
+    def _run(self, node: _Node) -> tuple[list, ExecutionReport]:
+        report = ExecutionReport(n_machines=self.cluster.n_machines)
+        partitions = self._materialize(node, report)
+        cost = self.cluster.cost
+        report.broadcast_seconds += (
+            self._pending_broadcast_records
+            * cost.broadcast_per_record_machine * self.cluster.n_machines)
+        self._pending_broadcast_records = 0
+        result = [record for partition in partitions for record in partition]
+        return result, report
+
+    def _materialize(self, node: _Node, report: ExecutionReport) -> _Partitions:
+        cached = self._cache.get(id(node))
+        if cached is not None:
+            return cached
+        if node.kind == "narrow" or node.kind == "union":
+            partitions = self._run_narrow_stage(node, report)
+        elif node.kind == "shuffle":
+            partitions = self._run_shuffle(node, report)
+        elif node.kind == "join":
+            partitions = self._run_join(node, report)
+        else:  # pragma: no cover - source nodes are always pre-cached
+            raise EngineError(f"cannot materialize node kind {node.kind!r}")
+        if node.cached:
+            self._cache[id(node)] = partitions
+        return partitions
+
+    def _fuse_narrow_chain(self, node: _Node) -> tuple[_Node, list[_Node]]:
+        """Walk up through uncached narrow links; return (boundary, chain)."""
+        chain: list[_Node] = []
+        current = node
+        while (current.kind == "narrow"
+               and self._cache.get(id(current)) is None):
+            chain.append(current)
+            current = current.parents[0]
+        chain.reverse()
+        return current, chain
+
+    def _run_narrow_stage(self, node: _Node,
+                          report: ExecutionReport) -> _Partitions:
+        if node.kind == "union":
+            left = self._materialize(node.parents[0], report)
+            right = self._materialize(node.parents[1], report)
+            return left + right
+        boundary, chain = self._fuse_narrow_chain(node)
+        inputs = self._materialize(boundary, report)
+        cost = self.cluster.cost
+        outputs: _Partitions = []
+        durations: list[float] = []
+        records_in = 0
+        records_out = 0
+        cost_fns = [link.cost_fn for link in chain if link.cost_fn]
+        for partition in inputs:
+            if cost_fns:
+                work_units = sum(
+                    cost_fn(record)
+                    for cost_fn in cost_fns for record in partition)
+            else:
+                work_units = len(partition)
+            data: Iterable = partition
+            for link in chain:
+                data = link.fn(data)
+            result = list(data)
+            records_in += len(partition)
+            records_out += len(result)
+            durations.append(
+                cost.task_overhead
+                + cost.compute_per_record * (work_units + len(result)))
+            outputs.append(result)
+        description = "+".join(link.label for link in chain) or "identity"
+        self._record_stage(report, description, records_in, records_out,
+                           shuffle_records=0, durations=durations)
+        return outputs
+
+    def _route(self, inputs: _Partitions, n_partitions: int,
+               op: str) -> _Partitions:
+        partitioner = HashPartitioner(n_partitions)
+        buckets: _Partitions = [[] for _ in range(n_partitions)]
+        for partition in inputs:
+            for record in partition:
+                key, _ = _as_pair(record, op)
+                buckets[partitioner.partition_of(key)].append(record)
+        return buckets
+
+    def _shuffle_partition_count(self, node: _Node,
+                                 inputs: _Partitions) -> int:
+        if node.n_partitions is not None and node.n_partitions is not False:
+            return int(node.n_partitions)
+        return max(1, len(inputs))
+
+    def _run_shuffle(self, node: _Node, report: ExecutionReport) -> _Partitions:
+        inputs = self._materialize(node.parents[0], report)
+        n_out = self._shuffle_partition_count(node, inputs)
+        buckets = self._route(inputs, n_out, node.label)
+        cost = self.cluster.cost
+        outputs: _Partitions = []
+        durations: list[float] = []
+        records_in = sum(len(p) for p in inputs)
+        records_out = 0
+        for bucket in buckets:
+            if node.label == "reduce_by_key":
+                merged: dict = {}
+                for key, value in bucket:
+                    merged[key] = (node.fn(merged[key], value)
+                                   if key in merged else value)
+                result = sorted(merged.items(), key=lambda kv: repr(kv[0]))
+            elif node.label == "group_by_key":
+                grouped: dict = {}
+                for key, value in bucket:
+                    grouped.setdefault(key, []).append(value)
+                result = sorted(grouped.items(), key=lambda kv: repr(kv[0]))
+            else:  # partition_by
+                result = bucket
+            records_out += len(result)
+            durations.append(
+                cost.task_overhead
+                + cost.shuffle_per_record * (len(bucket) * 2)
+                + cost.compute_per_record * (len(bucket) + len(result)))
+            outputs.append(result)
+        self._record_stage(report, node.label, records_in, records_out,
+                           shuffle_records=records_in, durations=durations)
+        return outputs
+
+    def _run_join(self, node: _Node, report: ExecutionReport) -> _Partitions:
+        left_in = self._materialize(node.parents[0], report)
+        right_in = self._materialize(node.parents[1], report)
+        n_out = (int(node.n_partitions) if node.n_partitions
+                 else max(1, len(left_in), len(right_in)))
+        left_buckets = self._route(left_in, n_out, "join")
+        right_buckets = self._route(right_in, n_out, "join")
+        cost = self.cluster.cost
+        outputs: _Partitions = []
+        durations: list[float] = []
+        records_in = (sum(len(p) for p in left_in)
+                      + sum(len(p) for p in right_in))
+        records_out = 0
+        for left, right in zip(left_buckets, right_buckets):
+            table: dict = {}
+            for key, value in left:
+                table.setdefault(key, []).append(value)
+            result = []
+            for key, value in right:
+                for lv in table.get(key, ()):
+                    result.append((key, (lv, value)))
+            result.sort(key=lambda kv: repr(kv[0]))
+            moved = len(left) + len(right)
+            records_out += len(result)
+            durations.append(
+                cost.task_overhead
+                + cost.shuffle_per_record * (moved * 2)
+                + cost.compute_per_record * (moved + len(result)))
+            outputs.append(result)
+        self._record_stage(report, "join", records_in, records_out,
+                           shuffle_records=records_in, durations=durations)
+        return outputs
+
+    def _record_stage(self, report: ExecutionReport, description: str,
+                      records_in: int, records_out: int,
+                      shuffle_records: int, durations: list[float]) -> None:
+        report.stages.append(StageReport(
+            stage_id=len(report.stages),
+            description=description,
+            n_tasks=len(durations),
+            records_in=records_in,
+            records_out=records_out,
+            shuffle_records=shuffle_records,
+            task_durations=tuple(durations),
+            makespan=stage_makespan(durations, self.cluster)))
+        report.barrier_seconds += self.cluster.cost.stage_barrier

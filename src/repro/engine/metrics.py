@@ -1,0 +1,123 @@
+"""Execution reports and speedup computation (Figure 11's y-axis).
+
+Every action on a :class:`~repro.engine.dataset_api.DistCollection`
+produces an :class:`ExecutionReport`: per-stage task durations, shuffle
+volumes, and the simulated makespan. Figure 11 plots
+
+    S_p = T_5 / T_p
+
+— speedup relative to the 5-machine run (the paper uses T_5 instead of a
+sequential T_1 "due to the considerable amount of computations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One stage of one job run.
+
+    Attributes:
+        stage_id: topological index.
+        description: human label ("map+filter → reduce_by_key" etc.).
+        n_tasks: tasks (= partitions) in the stage.
+        records_in / records_out: record volumes.
+        shuffle_records: records crossing the stage's output boundary.
+        task_durations: per-task simulated seconds.
+        makespan: LPT makespan of the stage on the cluster.
+    """
+
+    stage_id: int
+    description: str
+    n_tasks: int
+    records_in: int
+    records_out: int
+    shuffle_records: int
+    task_durations: tuple[float, ...]
+    makespan: float
+
+
+@dataclass
+class ExecutionReport:
+    """Simulated timeline of one job run."""
+
+    n_machines: int
+    stages: list[StageReport] = field(default_factory=list)
+    broadcast_seconds: float = 0.0
+    barrier_seconds: float = 0.0
+
+    @property
+    def makespan(self) -> float:
+        """Total simulated seconds: stage makespans + barriers +
+        broadcast distribution."""
+        return (sum(stage.makespan for stage in self.stages)
+                + self.barrier_seconds + self.broadcast_seconds)
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Aggregate work (the numerator of efficiency)."""
+        return sum(sum(stage.task_durations) for stage in self.stages)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"{len(self.stages)} stages on {self.n_machines} machines, "
+                 f"simulated makespan {self.makespan:.3f}s"]
+        for stage in self.stages:
+            lines.append(
+                f"  stage {stage.stage_id}: {stage.description} — "
+                f"{stage.n_tasks} tasks, {stage.records_in}→"
+                f"{stage.records_out} records, makespan {stage.makespan:.3f}s")
+        return "\n".join(lines)
+
+
+def merge_reports(reports: list[ExecutionReport]) -> ExecutionReport:
+    """Concatenate the timelines of several actions into one job report.
+
+    Iterative jobs (ALS) trigger one action per iteration; the job's
+    makespan is the sum of the per-action makespans, which is what this
+    merge produces. All reports must come from the same cluster size.
+    """
+    if not reports:
+        raise EngineError("merge_reports needs at least one report")
+    machines = {report.n_machines for report in reports}
+    if len(machines) != 1:
+        raise EngineError(
+            f"cannot merge reports from different cluster sizes {machines}")
+    merged = ExecutionReport(n_machines=reports[0].n_machines)
+    for report in reports:
+        for stage in report.stages:
+            merged.stages.append(StageReport(
+                stage_id=len(merged.stages),
+                description=stage.description,
+                n_tasks=stage.n_tasks,
+                records_in=stage.records_in,
+                records_out=stage.records_out,
+                shuffle_records=stage.shuffle_records,
+                task_durations=stage.task_durations,
+                makespan=stage.makespan))
+        merged.broadcast_seconds += report.broadcast_seconds
+        merged.barrier_seconds += report.barrier_seconds
+    return merged
+
+
+def speedup_curve(makespans: dict[int, float],
+                  baseline_machines: int = 5) -> dict[int, float]:
+    """Figure 11's curve: ``S_p = T_baseline / T_p``.
+
+    Args:
+        makespans: machines → simulated makespan.
+        baseline_machines: the reference point (paper: 5).
+    """
+    if baseline_machines not in makespans:
+        raise EngineError(
+            f"baseline machine count {baseline_machines} missing from "
+            f"makespans {sorted(makespans)}")
+    baseline = makespans[baseline_machines]
+    if baseline <= 0:
+        raise EngineError("baseline makespan must be positive")
+    return {machines: baseline / value
+            for machines, value in sorted(makespans.items())}

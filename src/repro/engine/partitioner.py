@@ -1,0 +1,45 @@
+"""Key partitioners for the dataflow engine.
+
+Shuffles route each (key, value) record to the partition returned by the
+partitioner. Hashing is done with a stable FNV-1a over ``repr(key)``
+rather than Python's builtin ``hash`` — the builtin is salted per process
+for strings, and a simulator whose partition sizes change between runs
+would make every timing test flaky.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineError
+
+
+def stable_hash(key: object) -> int:
+    """Deterministic 64-bit FNV-1a hash of ``repr(key)``."""
+    data = repr(key).encode("utf-8")
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class HashPartitioner:
+    """Route keys to ``stable_hash(key) % n_partitions``."""
+
+    __slots__ = ("n_partitions",)
+
+    def __init__(self, n_partitions: int) -> None:
+        if n_partitions <= 0:
+            raise EngineError(
+                f"n_partitions must be positive, got {n_partitions}")
+        self.n_partitions = n_partitions
+
+    def partition_of(self, key: object) -> int:
+        """The partition index for *key*."""
+        return stable_hash(key) % self.n_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HashPartitioner)
+                and other.n_partitions == self.n_partitions)
+
+    def __hash__(self) -> int:
+        return hash(("HashPartitioner", self.n_partitions))

@@ -1,0 +1,35 @@
+"""Greedy task scheduling onto the simulated cluster.
+
+Spark's scheduler assigns a stage's tasks to free executor slots as they
+drain; with uniform-ish task sizes that behaves like Longest Processing
+Time (LPT) list scheduling, which is what we implement: sort the stage's
+task durations descending and always place the next task on the
+earliest-finishing slot. The stage's simulated duration is the maximum
+slot finish time — the makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.engine.cluster import ClusterSpec
+from repro.errors import EngineError
+
+
+def stage_makespan(task_durations: Sequence[float],
+                   cluster: ClusterSpec) -> float:
+    """LPT makespan of one stage's tasks on the cluster's slots.
+
+    An empty stage takes zero time. Negative durations are a caller bug.
+    """
+    if not task_durations:
+        return 0.0
+    if any(duration < 0 for duration in task_durations):
+        raise EngineError("task durations must be >= 0")
+    slots = [0.0] * cluster.total_slots
+    heapq.heapify(slots)
+    for duration in sorted(task_durations, reverse=True):
+        earliest = heapq.heappop(slots)
+        heapq.heappush(slots, earliest + duration)
+    return max(slots)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the X-Map reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Each subclass documents the subsystem that raises it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DataError(ReproError):
+    """Invalid or inconsistent rating data (bad values, unknown ids)."""
+
+
+class DomainError(DataError):
+    """An operation referenced a domain that the dataset does not define,
+    or mixed items across domains where a single domain was required."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class SimilarityError(ReproError):
+    """Similarity computation was asked for items/users with no data."""
+
+
+class GraphError(ReproError):
+    """The similarity graph or its layer partition is inconsistent."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy mechanism received an invalid budget or
+    sensitivity (e.g. epsilon <= 0)."""
+
+
+class EngineError(ReproError):
+    """The dataflow engine was driven incorrectly (e.g. collecting an
+    unmaterialised plan, joining collections from different contexts)."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation protocol could not be applied to the given dataset
+    (e.g. no overlapping users to hide)."""

@@ -1,0 +1,25 @@
+"""Evaluation harness and the paper's experiments (§6).
+
+* :mod:`repro.evaluation.metrics` — MAE (the paper's accuracy metric),
+  RMSE and precision@N,
+* :mod:`repro.evaluation.harness` — score any
+  :class:`~repro.cf.predictor.Recommender` against a
+  :class:`~repro.data.splits.TrainTestSplit`,
+* :mod:`repro.evaluation.systems` — factories building every evaluated
+  system (X-Map variants, NX-Map variants, competitors) from a training
+  split,
+* :mod:`repro.evaluation.reporting` — plain-text tables,
+* :mod:`repro.evaluation.experiments` — one module per table/figure,
+  with a CLI registry (``python -m repro.evaluation.experiments.registry``).
+"""
+
+from repro.evaluation.harness import EvalResult, evaluate
+from repro.evaluation.metrics import mae, precision_at_n, rmse
+
+__all__ = [
+    "EvalResult",
+    "evaluate",
+    "mae",
+    "precision_at_n",
+    "rmse",
+]

@@ -1,0 +1,7 @@
+"""One module per paper artifact (see DESIGN.md §4 for the index).
+
+Every module exposes ``run(quick=False, seed=0) -> ExperimentResult``;
+``quick=True`` shrinks sweeps for CI-speed runs. The registry
+(:mod:`repro.evaluation.experiments.registry`) maps experiment ids to
+these functions and provides the command-line entry point.
+"""

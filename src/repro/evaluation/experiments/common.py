@@ -1,0 +1,153 @@
+"""Shared infrastructure for the experiment modules.
+
+Two pieces:
+
+* dataset presets — the synthetic stand-ins for the paper's traces, in
+  a default size (benchmarks) and a quick size (CI),
+* :class:`XMapLab` — fits the expensive offline phases (Baseliner +
+  Extender) *once* per (split, prune_k) and derives every evaluated
+  variant cheaply. This mirrors the paper's §5.4 deployment: the X-Sim
+  map is computed offline and periodically; AlterEgo policies, privacy
+  budgets and CF settings are downstream choices. Parameter sweeps
+  (Figures 5–8) would otherwise redo identical meta-path enumeration per
+  grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cf.item_knn import ItemKNNRecommender
+from repro.cf.predictor import Recommender
+from repro.cf.temporal import TemporalItemKNNRecommender
+from repro.cf.user_knn import UserKNNRecommender
+from repro.core.alterego import AlterEgoGenerator, ReplacementPolicy
+from repro.core.baseliner import Baseliner
+from repro.core.extender import Extender, ExtenderConfig
+from repro.core.layers import LayerPartition
+from repro.data.dataset import CrossDomainDataset
+from repro.data.ratings import RatingTable
+from repro.data.splits import TrainTestSplit
+from repro.data.synthetic import SyntheticConfig, amazon_like
+from repro.privacy.pncf import (
+    PrivateItemKNNRecommender,
+    PrivateUserKNNRecommender,
+)
+
+#: directions as the paper labels them (our generator's source is movies).
+DIRECTIONS = ("movie->book", "book->movie")
+
+
+def default_trace(seed: int = 7) -> CrossDomainDataset:
+    """The standard two-domain trace for the accuracy experiments."""
+    return amazon_like(SyntheticConfig(seed=seed))
+
+
+def quick_trace(seed: int = 7) -> CrossDomainDataset:
+    """A smaller trace for quick runs (tests / CI)."""
+    config = replace(
+        SyntheticConfig(seed=seed),
+        n_users_source=180, n_users_target=180, n_overlap=50,
+        n_items_source=200, n_items_target=180)
+    return amazon_like(config)
+
+
+def scalability_trace(seed: int = 7) -> CrossDomainDataset:
+    """The larger trace for Figure 11 (enough work per machine that the
+    DAG structure, not task granularity, dominates)."""
+    config = replace(
+        SyntheticConfig(seed=seed),
+        n_users_source=1400, n_users_target=1400, n_overlap=280,
+        n_items_source=800, n_items_target=700)
+    return amazon_like(config)
+
+
+def oriented(data: CrossDomainDataset, direction: str) -> CrossDomainDataset:
+    """Orient the trace for a paper direction label."""
+    if direction == "movie->book":
+        return data
+    if direction == "book->movie":
+        return data.reversed()
+    raise ValueError(f"unknown direction {direction!r}; use {DIRECTIONS}")
+
+
+class XMapLab:
+    """Offline phases fitted once; cheap derivation of every variant.
+
+    Args:
+        split: training split (AlterEgos are generated for its test
+            users, like the pipeline facade does).
+        prune_k: Extender layer budget for this lab.
+        seed: seed for the private mechanisms derived later.
+    """
+
+    def __init__(self, split: TrainTestSplit, prune_k: int = 50,
+                 max_paths_per_item: int | None = 5000,
+                 n_replacements: int = 12, seed: int = 0) -> None:
+        self.split = split
+        self.seed = seed
+        self.n_replacements = n_replacements
+        data = split.train
+        self.baseline = Baseliner().compute(data)
+        self.partition = LayerPartition.from_graph(
+            self.baseline.graph, data.domain_map())
+        extender = Extender(ExtenderConfig(
+            k=prune_k, max_paths_per_item=max_paths_per_item))
+        self.xsim_map = extender.extend(
+            self.baseline.graph, self.partition, data.merged(),
+            source_domain=data.source.name)
+        self._nx_table: RatingTable | None = None
+        self._private_tables: dict[float, RatingTable] = {}
+
+    # -- AlterEgo tables -------------------------------------------------
+
+    def nx_table(self) -> RatingTable:
+        """Target table augmented with argmax (NX-Map) AlterEgos."""
+        if self._nx_table is None:
+            generator = AlterEgoGenerator(
+                self.xsim_map, policy=ReplacementPolicy.NON_PRIVATE,
+                n_replacements=self.n_replacements)
+            self._nx_table = generator.alterego_table(
+                self.split.test_users,
+                self.split.train.source.ratings,
+                self.split.train.target.ratings)
+        return self._nx_table
+
+    def private_table(self, epsilon: float) -> RatingTable:
+        """Target table augmented with ε-DP (PRS) AlterEgos (cached per ε)."""
+        cached = self._private_tables.get(epsilon)
+        if cached is None:
+            generator = AlterEgoGenerator(
+                self.xsim_map, policy=ReplacementPolicy.PRIVATE,
+                epsilon=epsilon, seed=self.seed,
+                n_replacements=self.n_replacements)
+            cached = generator.alterego_table(
+                self.split.test_users,
+                self.split.train.source.ratings,
+                self.split.train.target.ratings)
+            self._private_tables[epsilon] = cached
+        return cached
+
+    # -- recommender variants ----------------------------------------------
+
+    def nx_recommender(self, mode: str = "item", k: int = 50,
+                       alpha: float = 0.0) -> Recommender:
+        """An NX-Map variant over the cached AlterEgo table."""
+        table = self.nx_table()
+        if mode == "user":
+            return UserKNNRecommender(table, k=k)
+        if alpha > 0.0:
+            return TemporalItemKNNRecommender(table, k=k, alpha=alpha)
+        return ItemKNNRecommender(table, k=k)
+
+    def x_recommender(self, epsilon: float, epsilon_prime: float,
+                      mode: str = "item", k: int = 50,
+                      alpha: float = 0.0) -> Recommender:
+        """An X-Map variant (PRS AlterEgos + PNSA/PNCF recommendation)."""
+        table = self.private_table(epsilon)
+        if mode == "user":
+            return PrivateUserKNNRecommender(
+                table, k=k, epsilon_prime=epsilon_prime, seed=self.seed)
+        return PrivateItemKNNRecommender(
+            table, k=k, epsilon_prime=epsilon_prime, alpha=alpha,
+            seed=self.seed)

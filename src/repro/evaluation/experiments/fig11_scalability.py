@@ -1,0 +1,54 @@
+"""Figure 11: speedup with an increasing number of machines.
+
+Runs the X-Map offline pipeline and distributed ALS (both expressed in
+the sparklite dataflow API) on simulated clusters of 5–20 machines and
+reports ``S_p = T_5 / T_p``. Expected shape: X-Map near-linear (its
+extension phase is embarrassingly parallel), MLlib-ALS clearly below
+and flattening (global barriers plus factor broadcasts that grow with
+the cluster).
+"""
+
+from __future__ import annotations
+
+from repro.competitors.als import ALSConfig
+from repro.engine.als_job import run_als_job
+from repro.engine.cluster import ClusterSpec
+from repro.engine.metrics import speedup_curve
+from repro.engine.xmap_job import run_xmap_job
+from repro.evaluation.experiments.common import quick_trace, scalability_trace
+from repro.evaluation.reporting import ExperimentResult
+
+DEFAULT_MACHINES = (5, 10, 15, 20)
+QUICK_MACHINES = (5, 20)
+
+
+def run(quick: bool = False, seed: int = 7) -> ExperimentResult:
+    """Measure both jobs' simulated makespans across cluster sizes."""
+    data = quick_trace(seed) if quick else scalability_trace(seed)
+    machines = QUICK_MACHINES if quick else DEFAULT_MACHINES
+    xmap_times: dict[int, float] = {}
+    als_times: dict[int, float] = {}
+    for count in machines:
+        cluster = ClusterSpec(n_machines=count)
+        xmap_times[count] = run_xmap_job(data, cluster).report.makespan
+        als_times[count] = run_als_job(
+            data.merged(), cluster,
+            ALSConfig(n_iterations=4 if quick else 8)).report.makespan
+    xmap_speedup = speedup_curve(xmap_times, baseline_machines=machines[0])
+    als_speedup = speedup_curve(als_times, baseline_machines=machines[0])
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Scalability of X-Map (speedup vs machines)",
+        columns=["machines", "X-MAP speedup", "MLLIB-ALS speedup"])
+    for count in machines:
+        result.rows.append({
+            "machines": count,
+            "X-MAP speedup": xmap_speedup[count],
+            "MLLIB-ALS speedup": als_speedup[count]})
+    result.notes.append(
+        f"simulated makespans (s): X-Map {xmap_times}, ALS {als_times}")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

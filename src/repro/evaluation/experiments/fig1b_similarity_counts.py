@@ -1,0 +1,48 @@
+"""Figure 1(b): heterogeneous similarities, standard vs meta-path-based.
+
+The paper's motivating bar chart: counting item pairs across domains
+that receive a similarity value (i) from plain adjusted cosine (a pair
+needs a common rater) versus (ii) from X-Sim meta-paths. Meta-paths
+multiply the connectable pairs because a straddler's single co-rating
+fans out transitively through the layer graph.
+"""
+
+from __future__ import annotations
+
+from repro.core.baseliner import Baseliner
+from repro.core.extender import Extender, ExtenderConfig, count_heterogeneous_pairs
+from repro.core.layers import LayerPartition
+from repro.evaluation.experiments.common import default_trace, quick_trace
+from repro.evaluation.reporting import ExperimentResult
+
+
+def run(quick: bool = False, seed: int = 7,
+        prune_k: int = 20) -> ExperimentResult:
+    """Count both kinds of heterogeneous similarity on the trace."""
+    data = quick_trace(seed) if quick else default_trace(seed)
+    baseline = Baseliner().compute(data)
+    partition = LayerPartition.from_graph(baseline.graph, data.domain_map())
+    extender = Extender(ExtenderConfig(k=prune_k))
+    xsim_map = extender.extend(
+        baseline.graph, partition, data.merged(),
+        source_domain=data.source.name)
+    standard = baseline.n_heterogeneous
+    meta_path = count_heterogeneous_pairs(xsim_map)
+    result = ExperimentResult(
+        experiment_id="fig1b",
+        title="Number of heterogeneous similarities (standard vs meta-path)",
+        rows=[
+            {"method": "Standard", "heterogeneous similarities": standard},
+            {"method": "Meta-path-based",
+             "heterogeneous similarities": meta_path},
+        ],
+        columns=["method", "heterogeneous similarities"])
+    ratio = meta_path / standard if standard else float("inf")
+    result.notes.append(
+        f"meta-paths yield {ratio:.1f}x the standard similarity count "
+        "(the paper's bars show a similar multiple on Amazon)")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,58 @@
+"""Prediction-quality metrics.
+
+MAE is the paper's accuracy metric (§6.1): the mean absolute deviation
+between predicted and true ratings, bounded by the rating span. RMSE and
+precision@N are provided for completeness (the wider literature reports
+them, and the extra tests use them as independent sanity checks).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import EvaluationError
+
+
+def mae(predictions: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean Absolute Error: ``Σ|p_i − r_i| / N`` (§6.1).
+
+    Raises :class:`~repro.errors.EvaluationError` on empty or mismatched
+    inputs.
+    """
+    if len(predictions) != len(truths):
+        raise EvaluationError(
+            f"length mismatch: {len(predictions)} predictions vs "
+            f"{len(truths)} truths")
+    if not predictions:
+        raise EvaluationError("MAE over zero predictions is undefined")
+    return math.fsum(
+        abs(p - r) for p, r in zip(predictions, truths)) / len(predictions)
+
+
+def rmse(predictions: Sequence[float], truths: Sequence[float]) -> float:
+    """Root Mean Squared Error."""
+    if len(predictions) != len(truths):
+        raise EvaluationError(
+            f"length mismatch: {len(predictions)} predictions vs "
+            f"{len(truths)} truths")
+    if not predictions:
+        raise EvaluationError("RMSE over zero predictions is undefined")
+    return math.sqrt(math.fsum(
+        (p - r) ** 2 for p, r in zip(predictions, truths)) / len(predictions))
+
+
+def precision_at_n(recommended: Sequence[str], relevant: set[str],
+                   n: int = 10) -> float:
+    """Fraction of the top-n recommendations that are relevant.
+
+    "Relevant" is the caller's notion — the harness uses "hidden items
+    the user rated at or above their mean".
+    """
+    if n <= 0:
+        raise EvaluationError(f"n must be positive, got {n}")
+    top = list(recommended)[:n]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(top)

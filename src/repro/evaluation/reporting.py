@@ -1,0 +1,71 @@
+"""Plain-text tables for experiment output.
+
+Every experiment prints its result as an aligned text table whose rows
+mirror the corresponding paper table/figure series, so a terminal diff
+against EXPERIMENTS.md is enough to spot a regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 float_format: str = "{:.4f}") -> str:
+    """Render dict-rows as an aligned text table.
+
+    Args:
+        rows: one mapping per row; missing keys render empty.
+        columns: column order (default: keys of the first row).
+        float_format: applied to float cells.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0])
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return "" if value is None else str(value)
+
+    grid = [[cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[idx]) for line in grid))
+        for idx, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[idx])
+                       for idx, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[idx].ljust(widths[idx])
+                  for idx in range(len(columns)))
+        for line in grid]
+    return "\n".join([header, separator, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform return type of every experiment module.
+
+    Attributes:
+        experiment_id: e.g. ``fig8``.
+        title: the paper artifact it regenerates.
+        rows: the data series (one dict per table row / curve point).
+        columns: display order.
+        notes: free-text observations (e.g. where a shape deviates).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    columns: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The full printable report for this experiment."""
+        parts = [f"== {self.experiment_id}: {self.title} ==",
+                 format_table(self.rows, self.columns)]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

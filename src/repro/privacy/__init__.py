@@ -1,0 +1,47 @@
+"""Differential-privacy substrate (§2.2, §4, Algorithms 3–5).
+
+X-Map's privacy story has two independent halves, composed by the basic
+composition property of differential privacy:
+
+* **AlterEgo generation** — the Private Replacement Selection (PRS)
+  exponential mechanism of Algorithm 3, ε-DP (Theorem 1), protecting the
+  straddlers whose ratings power the cross-domain similarities;
+* **Recommendation** — Private Neighbor Selection (PNSA, Algorithm 4,
+  ε′/2) plus Laplace-noised predictions (PNCF, Algorithm 5, ε′/2), using
+  the similarity-based sensitivity of Theorem 2 and the truncated
+  similarity of Zhu et al. [39, 40], protecting target-domain users.
+
+:mod:`repro.privacy.mechanisms` holds the raw Laplace/exponential
+mechanisms, :mod:`repro.privacy.accountant` the budget bookkeeping, and
+:mod:`repro.privacy.attack` an empirical straddler re-identification
+attack used to demonstrate what the obfuscation buys.
+"""
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.mechanisms import (
+    exponential_mechanism,
+    exponential_sample_without_replacement,
+    laplace_noise,
+)
+from repro.privacy.pncf import PrivateItemKNNRecommender, PrivateUserKNNRecommender
+from repro.privacy.pnsa import PNSAConfig, private_neighbor_selection
+from repro.privacy.prs import private_replacement
+from repro.privacy.sensitivity import (
+    XSIM_GLOBAL_SENSITIVITY,
+    item_similarity_sensitivity,
+    user_similarity_sensitivity,
+)
+
+__all__ = [
+    "PNSAConfig",
+    "PrivacyAccountant",
+    "PrivateItemKNNRecommender",
+    "PrivateUserKNNRecommender",
+    "XSIM_GLOBAL_SENSITIVITY",
+    "exponential_mechanism",
+    "exponential_sample_without_replacement",
+    "item_similarity_sensitivity",
+    "laplace_noise",
+    "private_replacement",
+    "user_similarity_sensitivity",
+]

@@ -1,0 +1,68 @@
+"""Privacy budget bookkeeping.
+
+X-Map composes mechanisms: PRS spends ε on AlterEgo generation, PNSA and
+PNCF spend ε′/2 each on recommendation (§4.4, "by the composition
+property of differential privacy, PNSA and PNCF together provide
+ε′-differential privacy"). The accountant records each spend so the
+pipeline can report — and tests can assert — the total guarantee that a
+configuration provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PrivacyError
+
+
+@dataclass
+class PrivacyAccountant:
+    """Sequential-composition ledger.
+
+    Attributes:
+        budget: optional hard cap; spends beyond it raise
+            :class:`~repro.errors.PrivacyError` (``None`` = unlimited,
+            just record).
+    """
+
+    budget: float | None = None
+    _entries: list[tuple[str, float]] = field(default_factory=list)
+
+    def spend(self, label: str, epsilon: float) -> None:
+        """Record spending *epsilon* under *label*.
+
+        Raises:
+            PrivacyError: on non-positive epsilon, or if the cumulative
+                total would exceed the budget.
+        """
+        if epsilon <= 0:
+            raise PrivacyError(
+                f"spent epsilon must be > 0, got {epsilon} for {label!r}")
+        if self.budget is not None and self.total + epsilon > self.budget + 1e-12:
+            raise PrivacyError(
+                f"spending {epsilon} on {label!r} exceeds budget "
+                f"{self.budget} (already spent {self.total})")
+        self._entries.append((label, epsilon))
+
+    @property
+    def total(self) -> float:
+        """Total ε spent so far (sequential composition)."""
+        return sum(eps for _, eps in self._entries)
+
+    @property
+    def entries(self) -> tuple[tuple[str, float], ...]:
+        """The (label, ε) ledger in spend order."""
+        return tuple(self._entries)
+
+    def remaining(self) -> float | None:
+        """Budget left, or ``None`` when unlimited."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - self.total)
+
+    def describe(self) -> str:
+        """Human-readable ledger summary."""
+        lines = [f"  {label}: ε={eps:g}" for label, eps in self._entries]
+        header = f"privacy spend (total ε={self.total:g}"
+        header += f", budget {self.budget:g})" if self.budget is not None else ")"
+        return "\n".join([header, *lines])

@@ -1,0 +1,113 @@
+"""Raw differential-privacy mechanisms.
+
+Two classics, in the exact shapes the paper's algorithms consume:
+
+* the **Laplace mechanism** — additive ``Lap(sensitivity / ε)`` noise
+  (used by PNCF, Algorithm 5, on similarity values);
+* the **exponential mechanism** — sample a candidate with probability
+  ``∝ exp(ε · score / (2 · sensitivity))`` (used by PRS, Algorithm 3, and
+  round-by-round by PNSA, Algorithm 4).
+
+Scores are shifted by their maximum before exponentiation, which leaves
+the distribution unchanged (the shift cancels in the normalisation) but
+avoids overflow for large ε/sensitivity ratios.
+
+All randomness flows through an explicit ``numpy`` generator so that
+every private run is reproducible given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import PrivacyError
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not math.isfinite(epsilon) or epsilon <= 0.0:
+        raise PrivacyError(f"epsilon must be finite and > 0, got {epsilon}")
+
+
+def laplace_noise(sensitivity: float, epsilon: float,
+                  rng: np.random.Generator) -> float:
+    """One draw of ``Lap(sensitivity / ε)`` noise.
+
+    Zero sensitivity legitimately yields zero noise (the queried value
+    cannot change between neighboring datasets).
+    """
+    _check_epsilon(epsilon)
+    if sensitivity < 0.0:
+        raise PrivacyError(f"sensitivity must be >= 0, got {sensitivity}")
+    if sensitivity == 0.0:
+        return 0.0
+    return float(rng.laplace(loc=0.0, scale=sensitivity / epsilon))
+
+
+def _exponential_weights(scores: Sequence[float],
+                         sensitivities: Sequence[float],
+                         epsilon: float) -> np.ndarray:
+    exponents = np.array([
+        epsilon * score / (2.0 * sens)
+        for score, sens in zip(scores, sensitivities)])
+    exponents -= exponents.max()
+    weights = np.exp(exponents)
+    return weights / weights.sum()
+
+
+def exponential_mechanism(scores: Mapping[str, float], epsilon: float,
+                          sensitivity: float | Mapping[str, float],
+                          rng: np.random.Generator) -> str:
+    """Pick one key with probability ``∝ exp(ε·score/(2·sensitivity))``.
+
+    Args:
+        scores: candidate → utility score (e.g. X-Sim values in PRS).
+        epsilon: privacy budget of this single selection.
+        sensitivity: global score sensitivity, or a per-candidate mapping
+            (PNSA uses per-pair similarity-based sensitivities).
+        rng: seeded generator.
+
+    Raises:
+        PrivacyError: on empty candidates, bad ε, or non-positive
+            sensitivity (a zero-sensitivity exponential mechanism would
+            put infinite weight on the max — the caller should shortcut
+            to argmax instead of asking us to divide by zero).
+    """
+    if not scores:
+        raise PrivacyError("exponential mechanism needs at least one candidate")
+    _check_epsilon(epsilon)
+    keys = sorted(scores)
+    values = [scores[key] for key in keys]
+    if isinstance(sensitivity, Mapping):
+        sens = [sensitivity[key] for key in keys]
+    else:
+        sens = [sensitivity] * len(keys)
+    if any(s <= 0.0 for s in sens):
+        raise PrivacyError("sensitivities must be positive")
+    probabilities = _exponential_weights(values, sens, epsilon)
+    index = int(rng.choice(len(keys), p=probabilities))
+    return keys[index]
+
+
+def exponential_sample_without_replacement(
+        scores: Mapping[str, float], rounds: int, epsilon_per_round: float,
+        sensitivity: float | Mapping[str, float],
+        rng: np.random.Generator) -> list[str]:
+    """PNSA's inner loop: *rounds* exponential-mechanism draws without
+    replacement (Algorithm 4, steps 4–12).
+
+    Returns at most ``min(rounds, len(scores))`` distinct keys, in draw
+    order. Each draw spends ``epsilon_per_round``.
+    """
+    if rounds <= 0:
+        raise PrivacyError(f"rounds must be positive, got {rounds}")
+    remaining = dict(scores)
+    chosen: list[str] = []
+    while remaining and len(chosen) < rounds:
+        pick = exponential_mechanism(
+            remaining, epsilon_per_round, sensitivity, rng)
+        chosen.append(pick)
+        del remaining[pick]
+    return chosen

@@ -1,0 +1,114 @@
+"""Private Neighbor Selection — Algorithm 4 (PNSA).
+
+Selecting the k nearest neighbors by exact similarity leaks which users'
+ratings shaped the neighborhood. PNSA replaces the exact top-k with k
+rounds of the exponential mechanism, each spending ε_sel/k, over the
+*truncated* similarities of Zhu et al. [39, 40]:
+
+    Ŝim(t_i, t_j) = max(Sim(t_i, t_j), Sim_k(t_i) − w)
+
+where ``Sim_k`` is the k-th best similarity and the truncation width
+
+    w = min(Sim_k, (4k / ε_sel) · SS · ln(k (|v| − k) / ρ))
+
+uses the similarity-based sensitivity SS of Theorem 2. Theorems 3–4: with
+probability ≥ 1 − ρ the selected neighbors all have similarity above
+``Sim_k − w`` and every item above ``Sim_k + w`` is selected — i.e. the
+noise is spent where it cannot hurt neighbor quality much.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import PrivacyError
+from repro.privacy.mechanisms import exponential_sample_without_replacement
+
+
+@dataclass(frozen=True)
+class PNSAConfig:
+    """Parameters of one private neighbor selection.
+
+    Attributes:
+        k: neighborhood size.
+        epsilon: the selection budget ε_sel (X-Map allocates ε′/2 of the
+            recommendation budget here, the other half to PNCF noise).
+        rho: the failure probability ρ of Theorems 3–4 (small constant;
+            0.1 follows the Zhu et al. evaluation).
+    """
+
+    k: int
+    epsilon: float
+    rho: float = 0.1
+
+    def validated(self) -> "PNSAConfig":
+        """Raise :class:`~repro.errors.PrivacyError` on bad values."""
+        if self.k <= 0:
+            raise PrivacyError(f"k must be positive, got {self.k}")
+        if self.epsilon <= 0:
+            raise PrivacyError(f"epsilon must be > 0, got {self.epsilon}")
+        if not 0.0 < self.rho < 1.0:
+            raise PrivacyError(f"rho must be in (0, 1), got {self.rho}")
+        return self
+
+
+def truncation_width(config: PNSAConfig, sim_k: float,
+                     max_sensitivity: float, n_candidates: int) -> float:
+    """The w of Theorems 3–4 (Algorithm 4, step 3), clamped to ≥ 0.
+
+    The log argument ``k(|v| − k)/ρ`` can dip below 1 for tiny candidate
+    sets, which would make w negative; truncation then degenerates to
+    none, which is the correct limit (nothing to hide among ≤ k
+    candidates).
+    """
+    spare = max(n_candidates - config.k, 1)
+    log_term = math.log(max(config.k * spare / config.rho, 1.0))
+    width = (4.0 * config.k / config.epsilon) * max_sensitivity * log_term
+    return max(0.0, min(sim_k, width))
+
+
+def private_neighbor_selection(
+        similarities: Mapping[str, float],
+        sensitivities: Mapping[str, float],
+        config: PNSAConfig,
+        rng: np.random.Generator) -> list[str]:
+    """Run Algorithm 4: k private draws over truncated similarities.
+
+    Args:
+        similarities: candidate → Sim(t_i, ·) (every candidate the query
+            item could neighbor — Algorithm 4's C1 ∪ C0).
+        sensitivities: candidate → SS(t_i, ·) (Theorem 2 values; must be
+            positive).
+        config: k / ε_sel / ρ.
+        rng: seeded generator.
+
+    Returns:
+        The selected neighbor ids (≤ k, fewer when the candidate set is
+        smaller). With ≤ k candidates everything is returned unchanged —
+        there is no selection to privatise.
+    """
+    config = config.validated()
+    if not similarities:
+        return []
+    missing = [c for c in similarities if c not in sensitivities]
+    if missing:
+        raise PrivacyError(
+            f"candidates missing sensitivities, e.g. {sorted(missing)[:3]}")
+    if len(similarities) <= config.k:
+        return sorted(similarities, key=lambda c: (-similarities[c], c))
+    ranked = sorted(similarities.values(), reverse=True)
+    sim_k = ranked[config.k - 1]
+    width = truncation_width(
+        config, sim_k, max(sensitivities.values()), len(similarities))
+    floor = sim_k - width
+    truncated = {
+        candidate: max(value, floor)
+        for candidate, value in similarities.items()}
+    per_round_epsilon = config.epsilon / config.k
+    return exponential_sample_without_replacement(
+        truncated, rounds=config.k, epsilon_per_round=per_round_epsilon,
+        sensitivity=dict(sensitivities), rng=rng)

@@ -1,0 +1,51 @@
+"""Private Replacement Selection — Algorithm 3 (Theorem 1).
+
+The Generator must pick, for a source item ``t_i``, a replacement among
+the target items ``I(t_i)`` that X-Sim connects it to. Doing that by
+argmax leaks: a curious user who controls a probe profile can infer which
+straddler's ratings created the winning link (§1.2's privacy challenge).
+
+PRS instead samples the replacement with probability
+
+    Pr[t_j] ∝ exp( ε · X-Sim(t_i, t_j) / (2 · GS) ),      GS = 2,
+
+which Theorem 1 shows is ε-differentially private with respect to any one
+user profile. Standard additive (Laplace/Gaussian) noise would not work
+here — the output must *be an item of the target domain*, not a noisy
+number — which is why the exponential mechanism is the right tool.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import PrivacyError
+from repro.privacy.mechanisms import exponential_mechanism
+from repro.privacy.sensitivity import XSIM_GLOBAL_SENSITIVITY
+
+
+def private_replacement(candidates: Mapping[str, float], epsilon: float,
+                        rng: np.random.Generator) -> str:
+    """Draw the ε-DP replacement for one source item.
+
+    Args:
+        candidates: ``I(t_i)`` — target item → X-Sim value.
+        epsilon: the per-selection privacy parameter ε (the paper tunes
+            it in Figures 6–7; ≤ 1 is the "suitable" range, §6.1).
+        rng: seeded generator.
+
+    Returns:
+        The sampled target item id.
+
+    Raises:
+        PrivacyError: if *candidates* is empty (a source item with no
+        X-Sim connections has no private replacement — the Generator
+        skips such items).
+    """
+    if not candidates:
+        raise PrivacyError(
+            "private replacement needs a non-empty candidate set")
+    return exponential_mechanism(
+        candidates, epsilon, XSIM_GLOBAL_SENSITIVITY, rng)

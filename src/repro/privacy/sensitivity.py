@@ -1,0 +1,116 @@
+"""Sensitivity computations (Theorem 1's GS and Theorem 2's SS).
+
+* **Global sensitivity of X-Sim.** X-Sim values are certainty-weighted
+  means of similarities in [−1, 1], so removing one profile can move a
+  value by at most ``X-Sim_max − X-Sim_min = 2`` — the constant GS = 2
+  that Algorithm 3 hard-codes.
+
+* **Similarity-based (local) sensitivity** (Theorem 2). For a pair of
+  items, how much can the adjusted-cosine similarity change when one
+  co-rater's profile is removed? The theorem bounds it by the larger of
+  (a) the largest single co-rater contribution measured against the
+  reduced norms, and (b) the largest renormalisation shift. Pairs with
+  much co-rating mass get tiny sensitivities — which is exactly why PNSA
+  adds far less noise than a global bound would force.
+
+Both item-pair and user-pair variants are provided: Algorithm 4/5 are
+written item-based, and the user-based X-Map variant needs the transpose.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.data.ratings import RatingTable
+
+#: Theorem 1 / Algorithm 3 line 2: |X-Sim_max − X-Sim_min| = |1 − (−1)|.
+XSIM_GLOBAL_SENSITIVITY = 2.0
+
+#: Floor for degenerate sensitivities: when a pair's rating vectors are
+#: so thin that removing a user empties them, fall back to the global
+#: worst case for a similarity in [−1, 1].
+_DEGENERATE_SENSITIVITY = 2.0
+
+
+def _centered_vectors(table: RatingTable, item_i: str, item_j: str,
+                      ) -> tuple[dict[str, float], dict[str, float]]:
+    """User-mean-centered rating vectors ``r_{t_i}``, ``r_{t_j}``.
+
+    Theorem 2 defines the vectors post-centering ("a rating is the
+    result after subtracting the average rating of user x"), matching
+    the adjusted-cosine computation the similarities come from.
+    """
+    vector_i = {
+        user: rating.value - table.user_mean(user)
+        for user, rating in table.item_profile(item_i).items()}
+    vector_j = {
+        user: rating.value - table.user_mean(user)
+        for user, rating in table.item_profile(item_j).items()}
+    return vector_i, vector_j
+
+
+def _pair_sensitivity(vector_i: dict[str, float],
+                      vector_j: dict[str, float]) -> float:
+    """Shared core of the item/user variants (the Theorem 2 formula)."""
+    common = [u for u in vector_i if u in vector_j]
+    if not common:
+        # No co-rater: removing any single profile cannot create or
+        # destroy co-rating mass beyond one entry; the similarity is 0
+        # and stays 0 except via the norms, bounded by the global case.
+        return _DEGENERATE_SENSITIVITY
+    norm_sq_i = math.fsum(v * v for v in vector_i.values())
+    norm_sq_j = math.fsum(v * v for v in vector_j.values())
+    dot = math.fsum(vector_i[u] * vector_j[u] for u in common)
+    norm_i = math.sqrt(norm_sq_i)
+    norm_j = math.sqrt(norm_sq_j)
+
+    best = 0.0
+    degenerate = False
+    for user in common:
+        reduced_norm_i = math.sqrt(max(0.0, norm_sq_i - vector_i[user] ** 2))
+        reduced_norm_j = math.sqrt(max(0.0, norm_sq_j - vector_j[user] ** 2))
+        if reduced_norm_i == 0.0 or reduced_norm_j == 0.0:
+            degenerate = True
+            continue
+        # (a) the user's own contribution over the reduced norms
+        term_contribution = abs(
+            vector_i[user] * vector_j[user]) / (reduced_norm_i * reduced_norm_j)
+        # (b) the renormalisation shift of the full dot product
+        term_renorm = 0.0
+        if norm_i > 0.0 and norm_j > 0.0:
+            term_renorm = abs(
+                dot / (reduced_norm_i * reduced_norm_j)
+                - dot / (norm_i * norm_j))
+        best = max(best, term_contribution, term_renorm)
+    if degenerate and best == 0.0:
+        return _DEGENERATE_SENSITIVITY
+    # A similarity lives in [−1, 1]; its change can never exceed 2.
+    return min(best, _DEGENERATE_SENSITIVITY) if best > 0.0 else (
+        _DEGENERATE_SENSITIVITY if degenerate else max(best, 1e-12))
+
+
+def item_similarity_sensitivity(table: RatingTable, item_i: str,
+                                item_j: str) -> float:
+    """``SS(t_i, t_j)`` of Theorem 2 for an item pair.
+
+    Always returns a strictly positive, finite value — the exponential
+    mechanism divides by it.
+    """
+    vector_i, vector_j = _centered_vectors(table, item_i, item_j)
+    return _pair_sensitivity(vector_i, vector_j)
+
+
+def user_similarity_sensitivity(table: RatingTable, user_a: str,
+                                user_b: str) -> float:
+    """Theorem 2 transposed to a user pair (for user-based X-Map).
+
+    The "profiles" whose removal we bound over are the co-rated *items*;
+    ratings are centered on item means, matching Eq 1's user similarity.
+    """
+    vector_a = {
+        item: rating.value - table.item_mean(item)
+        for item, rating in table.user_profile(user_a).items()}
+    vector_b = {
+        item: rating.value - table.item_mean(item)
+        for item, rating in table.user_profile(user_b).items()}
+    return _pair_sensitivity(vector_a, vector_b)

@@ -1,0 +1,35 @@
+"""Similarity substrate: the metrics the paper's §2–3 builds on.
+
+* item–item metrics: adjusted cosine (Eq 3/6 — the paper's choice),
+  plain cosine and Pearson (the classical alternatives of [29]),
+* user–user Pearson on item-centered ratings (Eq 1, used by Algorithm 1),
+* significance weighting (Definitions 2 and 4),
+* the baseline item similarity graph ``G_ac`` (§3.1),
+* top-k neighbor selection helpers.
+"""
+
+from repro.similarity.adjusted_cosine import (
+    adjusted_cosine,
+    all_pairs_adjusted_cosine,
+)
+from repro.similarity.cosine import cosine
+from repro.similarity.graph import ItemGraph, build_similarity_graph
+from repro.similarity.knn import top_k
+from repro.similarity.pearson import pearson_items, pearson_users
+from repro.similarity.significance import (
+    normalized_significance,
+    significance,
+)
+
+__all__ = [
+    "ItemGraph",
+    "adjusted_cosine",
+    "all_pairs_adjusted_cosine",
+    "build_similarity_graph",
+    "cosine",
+    "normalized_significance",
+    "pearson_items",
+    "pearson_users",
+    "significance",
+    "top_k",
+]

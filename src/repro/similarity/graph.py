@@ -1,0 +1,147 @@
+"""The item similarity graph ``G`` of §3.1.
+
+Vertices are items, undirected edges carry a similarity weight. The
+Baseliner builds the initial graph ``G_ac`` from adjusted-cosine
+similarities (two items are connected iff they share a user); the
+Extender then adds meta-path-derived X-Sim edges across domains.
+
+The class is a thin adjacency-dict wrapper, but it is the shared
+vocabulary between the layer partitioner, the meta-path enumerator and
+the extender, so it lives in one place with a validated API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.data.ratings import RatingTable
+from repro.errors import GraphError
+from repro.similarity.adjusted_cosine import all_pairs_adjusted_cosine
+from repro.similarity.knn import top_k
+
+
+class ItemGraph:
+    """Undirected weighted item–item graph."""
+
+    __slots__ = ("_adjacency",)
+
+    def __init__(self) -> None:
+        self._adjacency: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_item(self, item: str) -> None:
+        """Ensure *item* exists as an (initially isolated) vertex."""
+        self._adjacency.setdefault(item, {})
+
+    def add_edge(self, item_i: str, item_j: str, similarity: float) -> None:
+        """Add (or overwrite) the undirected edge ``{i, j}``.
+
+        Self-loops are meaningless for item similarity and raise
+        :class:`~repro.errors.GraphError`.
+        """
+        if item_i == item_j:
+            raise GraphError(f"self-loop on {item_i!r} is not allowed")
+        self._adjacency.setdefault(item_i, {})[item_j] = similarity
+        self._adjacency.setdefault(item_j, {})[item_i] = similarity
+
+    def remove_edge(self, item_i: str, item_j: str) -> None:
+        """Remove the edge ``{i, j}`` if present."""
+        self._adjacency.get(item_i, {}).pop(item_j, None)
+        self._adjacency.get(item_j, {}).pop(item_i, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def items(self) -> frozenset[str]:
+        """All vertices (including isolated ones)."""
+        return frozenset(self._adjacency)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def neighbors(self, item: str) -> Mapping[str, float]:
+        """Neighbor → similarity for *item* (empty mapping if unknown)."""
+        return self._adjacency.get(item, {})
+
+    def similarity(self, item_i: str, item_j: str,
+                   default: float = 0.0) -> float:
+        """Edge weight, or *default* when the edge is absent."""
+        return self._adjacency.get(item_i, {}).get(item_j, default)
+
+    def has_edge(self, item_i: str, item_j: str) -> bool:
+        """Whether the undirected edge ``{i, j}`` exists."""
+        return item_j in self._adjacency.get(item_i, {})
+
+    def edges(self) -> Iterator[tuple[str, str, float]]:
+        """Yield each undirected edge once as ``(i, j, sim)`` with i < j."""
+        for item, nbrs in self._adjacency.items():
+            for other, sim in nbrs.items():
+                if item < other:
+                    yield item, other, sim
+
+    def top_neighbors(self, item: str, k: int,
+                      among: Iterable[str] | None = None,
+                      minimum: float | None = None) -> list[tuple[str, float]]:
+        """Top-k neighbors of *item*, optionally restricted to *among*."""
+        nbrs = self._adjacency.get(item, {})
+        if among is not None:
+            allowed = set(among)
+            nbrs = {n: s for n, s in nbrs.items() if n in allowed}
+        return top_k(nbrs, k, minimum=minimum)
+
+    def degree(self, item: str) -> int:
+        """Number of incident edges."""
+        return len(self._adjacency.get(item, {}))
+
+    def copy(self) -> "ItemGraph":
+        """Deep copy (the Extender mutates its working graph)."""
+        clone = ItemGraph()
+        clone._adjacency = {
+            item: dict(nbrs) for item, nbrs in self._adjacency.items()}
+        return clone
+
+
+def build_similarity_graph(
+        table: RatingTable,
+        min_common_users: int = 1,
+        min_abs_similarity: float = 0.0,
+        pair_source: Callable[[RatingTable], Iterable[tuple[str, str, float]]]
+        | None = None,
+) -> ItemGraph:
+    """Build the baseline graph ``G_ac`` from a rating table (§3.1).
+
+    Args:
+        table: ratings over the aggregated (source ∪ target) domain.
+        min_common_users: minimum co-raters for an edge to exist.
+        min_abs_similarity: drop edges with ``|sim|`` below this (0 keeps
+            every nonzero edge, as the paper does).
+        pair_source: override the pair generator (tests inject handcrafted
+            similarities; default is adjusted cosine, Eq 6).
+
+    Every item in *table* becomes a vertex even if isolated — the layer
+    partitioner needs to see isolated items to classify them NN.
+    """
+    graph = ItemGraph()
+    for item in table.items:
+        graph.add_item(item)
+    if pair_source is None:
+        pairs: Iterable[tuple[str, str, float]] = all_pairs_adjusted_cosine(
+            table, min_common_users=min_common_users)
+    else:
+        pairs = pair_source(table)
+    for item_i, item_j, sim in pairs:
+        if abs(sim) >= min_abs_similarity and sim != 0.0:
+            graph.add_edge(item_i, item_j, sim)
+    return graph

@@ -1,0 +1,41 @@
+"""Top-k neighbor selection.
+
+Every phase of the paper ends with "keep the top-k": Algorithm 1/2's
+nearest neighbors, the Extender's per-layer pruning, the AlterEgo's
+replacement shortlists. This module centralises that selection with a
+deterministic tie-break (higher similarity first, then lexicographic id)
+so that runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping
+
+
+def top_k(similarities: Mapping[str, float], k: int,
+          exclude: Iterable[str] = (),
+          minimum: float | None = None) -> list[tuple[str, float]]:
+    """Return the k highest-similarity (id, similarity) pairs.
+
+    Args:
+        similarities: candidate id → similarity.
+        k: how many to keep; ``k <= 0`` returns an empty list.
+        exclude: ids never to return (e.g. the query item itself).
+        minimum: if given, drop candidates with similarity strictly below
+            it (the Extender uses 0.0 to keep only positive edges when
+            building shortlists).
+
+    Ties break on the id so the result is a pure function of the input.
+    """
+    if k <= 0:
+        return []
+    excluded = set(exclude)
+    candidates = (
+        (identifier, value) for identifier, value in similarities.items()
+        if identifier not in excluded
+        and (minimum is None or value >= minimum))
+    # heapq.nsmallest on (-value, id) = "largest value, then smallest id".
+    best = heapq.nsmallest(
+        k, candidates, key=lambda pair: (-pair[1], pair[0]))
+    return best

@@ -1,0 +1,76 @@
+"""Pearson correlation similarities.
+
+* :func:`pearson_items` — the classical item–item Pearson of [29]
+  (centered on *item* means, over co-raters only).
+* :func:`pearson_users` — the user–user similarity of Algorithm 1 / Eq 1:
+  ratings centered on *item* means, norms over each user's full profile.
+  This is what user-based X-Map and the RemoteUser competitor use to pick
+  a user's k nearest neighbors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.data.ratings import RatingTable
+
+
+def pearson_items(table: RatingTable, item_i: str, item_j: str) -> float:
+    """Item–item Pearson correlation over co-raters.
+
+    Both vectors are centered on the item means computed over the
+    co-rater subset (standard Pearson). Returns 0.0 with fewer than two
+    co-raters or degenerate variance.
+    """
+    profile_i = table.item_profile(item_i)
+    profile_j = table.item_profile(item_j)
+    common = profile_i.keys() & profile_j.keys()
+    if len(common) < 2:
+        return 0.0
+    values_i = [profile_i[u].value for u in common]
+    values_j = [profile_j[u].value for u in common]
+    mean_i = math.fsum(values_i) / len(values_i)
+    mean_j = math.fsum(values_j) / len(values_j)
+    numerator = math.fsum(
+        (vi - mean_i) * (vj - mean_j) for vi, vj in zip(values_i, values_j))
+    var_i = math.fsum((vi - mean_i) ** 2 for vi in values_i)
+    var_j = math.fsum((vj - mean_j) ** 2 for vj in values_j)
+    if var_i == 0.0 or var_j == 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, numerator / math.sqrt(var_i * var_j)))
+
+
+def pearson_users(table: RatingTable, user_a: str, user_b: str) -> float:
+    """User–user similarity of Eq 1 (Algorithm 1, Phase 1).
+
+    Ratings are centered on the *item* means ``r̄_i`` and the norms run
+    over each user's whole profile, exactly as the paper writes it:
+
+        τ_A[u] = Σ_{i∈X_A∩X_u} (r_{A,i}−r̄_i)(r_{u,i}−r̄_i)
+                 / (√Σ_{i∈X_A}(r_{A,i}−r̄_i)² · √Σ_{i∈X_u}(r_{u,i}−r̄_i)²)
+    """
+    profile_a = table.user_profile(user_a)
+    profile_b = table.user_profile(user_b)
+    if len(profile_b) < len(profile_a):
+        profile_a, profile_b = profile_b, profile_a
+    numerator = 0.0
+    for item, rating_a in profile_a.items():
+        rating_b = profile_b.get(item)
+        if rating_b is None:
+            continue
+        mean = table.item_mean(item)
+        numerator += (rating_a.value - mean) * (rating_b.value - mean)
+    if numerator == 0.0:
+        return 0.0
+
+    def norm(user: str) -> float:
+        acc = 0.0
+        for item, rating in table.user_profile(user).items():
+            centered = rating.value - table.item_mean(item)
+            acc += centered * centered
+        return math.sqrt(acc)
+
+    denom = norm(user_a) * norm(user_b)
+    if denom == 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, numerator / denom))

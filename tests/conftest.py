@@ -1,0 +1,91 @@
+"""Shared fixtures.
+
+Expensive artifacts (the synthetic trace, a fitted pipeline) are
+session-scoped: they are deterministic, never mutated by tests (the data
+structures are immutable by design), and rebuilding them per test would
+dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import CrossDomainDataset, Dataset
+from repro.data.ratings import Rating, RatingTable
+from repro.data.splits import cold_start_split
+from repro.data.synthetic import (
+    SyntheticConfig,
+    amazon_like,
+    interstellar_scenario,
+)
+
+
+@pytest.fixture()
+def tiny_table() -> RatingTable:
+    """Four users, four items, hand-checkable numbers."""
+    return RatingTable([
+        Rating("u1", "a", 5.0, 0),
+        Rating("u1", "b", 3.0, 1),
+        Rating("u1", "c", 1.0, 2),
+        Rating("u2", "a", 4.0, 0),
+        Rating("u2", "b", 2.0, 1),
+        Rating("u3", "b", 5.0, 0),
+        Rating("u3", "c", 4.0, 1),
+        Rating("u3", "d", 3.0, 2),
+        Rating("u4", "a", 2.0, 0),
+        Rating("u4", "d", 5.0, 1),
+    ])
+
+
+@pytest.fixture()
+def scenario() -> CrossDomainDataset:
+    """The Figure 1(a) hand-built scenario."""
+    return interstellar_scenario()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SyntheticConfig:
+    """A trace small enough for per-test pipelines."""
+    return SyntheticConfig(
+        n_users_source=120, n_users_target=120, n_overlap=40,
+        n_items_source=120, n_items_target=110,
+        ratings_per_user=12.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_config) -> CrossDomainDataset:
+    """A small but structurally complete two-domain trace."""
+    return amazon_like(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_trace):
+    """Cold-start split of the small trace."""
+    return cold_start_split(small_trace, seed=3)
+
+
+@pytest.fixture()
+def two_domain_micro() -> CrossDomainDataset:
+    """A minimal two-domain dataset with one straddler for layer tests.
+
+    ``s1`` rates movies m1, m2; ``x`` straddles (m2 + b1); ``t1`` rates
+    books b1, b2; ``t2`` rates only b3 (isolated target item).
+    Ratings vary so user-mean centering never degenerates.
+    """
+    movies = Dataset("m", RatingTable([
+        Rating("s1", "m1", 5.0, 0),
+        Rating("s1", "m2", 3.0, 1),
+        Rating("s1", "m3", 1.0, 2),
+        Rating("x", "m2", 5.0, 0),
+        Rating("x", "m3", 2.0, 1),
+    ]))
+    books = Dataset("b", RatingTable([
+        Rating("x", "b1", 5.0, 2),
+        Rating("x", "b2", 2.0, 3),
+        Rating("t1", "b1", 4.0, 0),
+        Rating("t1", "b2", 2.0, 1),
+        Rating("t1", "b3", 5.0, 2),
+        Rating("t2", "b3", 3.0, 0),
+        Rating("t2", "b2", 4.0, 1),
+    ]))
+    return CrossDomainDataset(movies, books)

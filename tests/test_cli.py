@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("trace")
+    code = main(["generate", "--out", str(directory),
+                 "--seed", "3", "--users", "120"])
+    assert code == 0
+    return directory
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_both_domains(self, trace_dir):
+        assert (trace_dir / "movies" / "ratings.csv").exists()
+        assert (trace_dir / "books" / "ratings.csv").exists()
+
+    def test_stats_reads_back(self, trace_dir, capsys):
+        assert main(["stats", "--data", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "overlapping users" in out
+
+    def test_generate_deterministic(self, trace_dir, tmp_path):
+        other = tmp_path / "again"
+        main(["generate", "--out", str(other), "--seed", "3",
+              "--users", "120"])
+        first = (trace_dir / "movies" / "ratings.csv").read_text()
+        second = (other / "movies" / "ratings.csv").read_text()
+        assert first == second
+
+
+class TestEvaluate:
+    def test_item_average(self, trace_dir, capsys):
+        assert main(["evaluate", "--data", str(trace_dir),
+                     "--system", "item-average"]) == 0
+        assert "MAE=" in capsys.readouterr().out
+
+    def test_nx_ub(self, trace_dir, capsys):
+        assert main(["evaluate", "--data", str(trace_dir),
+                     "--system", "nx-ub", "--k", "10"]) == 0
+        assert "nx-ub" in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_known_user(self, trace_dir, capsys):
+        assert main(["recommend", "--data", str(trace_dir),
+                     "--user", "o00000", "--system", "nx-ib",
+                     "--k", "10", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendations for o00000" in out
+
+    def test_unknown_user_exit_code(self, trace_dir, capsys):
+        assert main(["recommend", "--data", str(trace_dir),
+                     "--user", "nobody"]) == 2
+        assert "unknown user" in capsys.readouterr().err

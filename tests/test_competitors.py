@@ -1,0 +1,113 @@
+"""Unit tests for the competitor systems (repro.competitors)."""
+
+import pytest
+
+from repro.competitors.als import ALSConfig, ALSRecommender
+from repro.competitors.linked_domain import (
+    LinkedDomainItemKNN,
+    SingleDomainItemKNN,
+)
+from repro.competitors.remote_user import RemoteUserRecommender
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import ConfigError
+
+
+class TestLinkedDomain:
+    def test_trains_on_merged_table(self, small_trace):
+        rec = LinkedDomainItemKNN(small_trace, k=10)
+        assert rec.table.items == (small_trace.source.items
+                                   | small_trace.target.items)
+
+    def test_recommends_target_items_only(self, small_trace):
+        rec = LinkedDomainItemKNN(small_trace, k=10)
+        user = sorted(small_trace.source.users)[0]
+        for item, _ in rec.recommend(user, n=5):
+            assert item in small_trace.target.items
+
+    def test_cold_start_prediction_uses_source_ratings(self, small_split):
+        rec = LinkedDomainItemKNN(small_split.train, k=10)
+        user, item, _ = small_split.hidden_pairs()[0]
+        assert 1.0 <= rec.predict(user, item) <= 5.0
+
+    def test_single_domain_variant_sees_target_only(self, small_trace):
+        rec = SingleDomainItemKNN(small_trace, k=10)
+        assert rec.table.items == small_trace.target.items
+
+
+class TestRemoteUser:
+    def test_k_validation(self, small_trace):
+        with pytest.raises(ConfigError):
+            RemoteUserRecommender(small_trace, k=0)
+
+    def test_neighbors_are_straddlers(self, small_split):
+        rec = RemoteUserRecommender(small_split.train, k=10)
+        user = small_split.test_users[0]
+        straddlers = small_split.train.overlap_users
+        for neighbor, _ in rec.remote_neighbors(user):
+            assert neighbor in straddlers
+
+    def test_neighbors_cached(self, small_split):
+        rec = RemoteUserRecommender(small_split.train, k=10)
+        user = small_split.test_users[0]
+        assert rec.remote_neighbors(user) is rec.remote_neighbors(user)
+
+    def test_predictions_in_scale(self, small_split):
+        rec = RemoteUserRecommender(small_split.train, k=10)
+        for user, item, _ in small_split.hidden_pairs()[:20]:
+            assert 1.0 <= rec.predict(user, item) <= 5.0
+
+    def test_self_never_own_neighbor(self, small_split):
+        rec = RemoteUserRecommender(small_split.train, k=50)
+        straddler = sorted(small_split.train.overlap_users)[0]
+        assert all(n != straddler
+                   for n, _ in rec.remote_neighbors(straddler))
+
+
+class TestALS:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ALSConfig(rank=0).validated()
+        with pytest.raises(ConfigError):
+            ALSConfig(n_iterations=0).validated()
+        with pytest.raises(ConfigError):
+            ALSConfig(regularization=-0.1).validated()
+
+    def test_fits_training_data(self, small_trace):
+        table = small_trace.target.ratings
+        rec = ALSRecommender(table, ALSConfig(rank=6, n_iterations=8))
+        assert rec.training_rmse() < 0.6
+
+    def test_more_iterations_fit_better(self, small_trace):
+        table = small_trace.target.ratings
+        short = ALSRecommender(table, ALSConfig(rank=6, n_iterations=1))
+        long = ALSRecommender(table, ALSConfig(rank=6, n_iterations=10))
+        assert long.training_rmse() <= short.training_rmse() + 1e-9
+
+    def test_predictions_in_scale(self, small_trace):
+        table = small_trace.target.ratings
+        rec = ALSRecommender(table, ALSConfig(n_iterations=3))
+        users = sorted(table.users)[:5]
+        items = sorted(table.items)[:5]
+        for user in users:
+            for item in items:
+                assert 1.0 <= rec.predict(user, item) <= 5.0
+
+    def test_unknown_user_gets_item_anchored_estimate(self, small_trace):
+        table = small_trace.target.ratings
+        rec = ALSRecommender(table, ALSConfig(n_iterations=3))
+        item = sorted(table.items)[0]
+        value = rec.predict("stranger", item)
+        assert 1.0 <= value <= 5.0
+
+    def test_unknown_both_falls_back(self):
+        table = RatingTable([Rating("u", "i", 4.0), Rating("v", "i", 2.0)])
+        rec = ALSRecommender(table, ALSConfig(n_iterations=1))
+        assert rec.predict("x", "y") == pytest.approx(table.global_mean())
+
+    def test_deterministic_given_seed(self, small_trace):
+        table = small_trace.target.ratings
+        user = sorted(table.users)[0]
+        item = sorted(table.items)[0]
+        a = ALSRecommender(table, ALSConfig(n_iterations=2, seed=3))
+        b = ALSRecommender(table, ALSConfig(n_iterations=2, seed=3))
+        assert a.predict(user, item) == pytest.approx(b.predict(user, item))

@@ -1,0 +1,91 @@
+"""Unit tests for Dataset / CrossDomainDataset (repro.data.dataset)."""
+
+import pytest
+
+from repro.data.dataset import CrossDomainDataset, Dataset
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import DataError, DomainError
+
+
+def _dataset(name, prefix, users=("u1", "u2")):
+    ratings = [Rating(u, f"{prefix}{k}", 3.0 + k % 2)
+               for u in users for k in range(2)]
+    return Dataset(name, RatingTable(ratings))
+
+
+class TestDataset:
+    def test_accepts_iterable_of_ratings(self):
+        ds = Dataset("d", [Rating("u", "i", 4.0)])
+        assert ds.items == {"i"}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DataError):
+            Dataset("", RatingTable())
+
+    def test_title_of_falls_back_to_id(self):
+        ds = Dataset("d", [Rating("u", "i", 4.0)],
+                     item_titles={"i": "Item One"})
+        assert ds.title_of("i") == "Item One"
+        assert ds.title_of("j") == "j"
+
+    def test_with_ratings_shares_metadata(self):
+        ds = Dataset("d", [Rating("u", "i", 4.0)],
+                     item_titles={"i": "Item"})
+        replaced = ds.with_ratings(RatingTable([Rating("v", "i", 2.0)]))
+        assert replaced.title_of("i") == "Item"
+        assert replaced.users == {"v"}
+
+    def test_len(self):
+        assert len(_dataset("d", "i")) == 4
+
+
+class TestCrossDomain:
+    def test_same_name_rejected(self):
+        with pytest.raises(DomainError, match="differ"):
+            CrossDomainDataset(_dataset("d", "a"), _dataset("d", "b"))
+
+    def test_shared_items_rejected(self):
+        with pytest.raises(DomainError, match="disjoint"):
+            CrossDomainDataset(_dataset("d1", "x"), _dataset("d2", "x"))
+
+    def test_overlap_users(self):
+        data = CrossDomainDataset(
+            _dataset("d1", "a", users=("u1", "u2")),
+            _dataset("d2", "b", users=("u2", "u3")))
+        assert data.overlap_users == {"u2"}
+
+    def test_domain_of(self):
+        data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
+        assert data.domain_of("a0") == "d1"
+        assert data.domain_of("b1") == "d2"
+        with pytest.raises(DomainError):
+            data.domain_of("zzz")
+
+    def test_dataset_lookup(self):
+        data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
+        assert data.dataset("d1").name == "d1"
+        with pytest.raises(DomainError):
+            data.dataset("d3")
+
+    def test_merged_has_all_ratings(self):
+        data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
+        assert len(data.merged()) == len(data.source.ratings) + len(
+            data.target.ratings)
+
+    def test_reversed_swaps(self):
+        data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
+        swapped = data.reversed()
+        assert swapped.source.name == "d2"
+        assert swapped.target.name == "d1"
+        assert swapped.overlap_users == data.overlap_users
+
+    def test_with_target_ratings(self):
+        data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
+        emptied = data.with_target_ratings(RatingTable())
+        assert len(emptied.target.ratings) == 0
+        assert len(data.target.ratings) == 4  # original untouched
+
+    def test_domain_map_covers_all_items(self, small_trace):
+        mapping = small_trace.domain_map()
+        assert set(mapping) == set(small_trace.source.items
+                                   | small_trace.target.items)

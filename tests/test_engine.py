@@ -1,0 +1,212 @@
+"""Unit tests for the sparklite dataflow engine (repro.engine)."""
+
+import pytest
+
+from repro.engine.cluster import ClusterSpec, CostModel
+from repro.engine.dataset_api import DataflowContext
+from repro.engine.metrics import merge_reports, speedup_curve
+from repro.engine.partitioner import HashPartitioner, stable_hash
+from repro.engine.scheduler import stage_makespan
+from repro.errors import EngineError
+
+
+@pytest.fixture()
+def context():
+    return DataflowContext(ClusterSpec(n_machines=2))
+
+
+class TestPartitioner:
+    def test_stable_across_calls(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_range(self):
+        partitioner = HashPartitioner(7)
+        for key in ("x", "y", 123, ("a", "b")):
+            assert 0 <= partitioner.partition_of(key) < 7
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(EngineError):
+            HashPartitioner(0)
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+
+
+class TestClusterSpec:
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            ClusterSpec(n_machines=0).validated()
+        with pytest.raises(EngineError):
+            ClusterSpec(n_machines=1, n_slots_per_machine=0).validated()
+        with pytest.raises(EngineError):
+            ClusterSpec(n_machines=1,
+                        cost=CostModel(task_overhead=-1)).validated()
+
+    def test_slots(self):
+        spec = ClusterSpec(n_machines=3, n_slots_per_machine=4)
+        assert spec.total_slots == 12
+        assert spec.default_parallelism() == 24
+
+
+class TestScheduler:
+    def test_empty_stage(self):
+        assert stage_makespan([], ClusterSpec(n_machines=2)) == 0.0
+
+    def test_single_slot_sums(self):
+        spec = ClusterSpec(n_machines=1, n_slots_per_machine=1)
+        assert stage_makespan([1.0, 2.0, 3.0], spec) == pytest.approx(6.0)
+
+    def test_parallel_slots_split(self):
+        spec = ClusterSpec(n_machines=1, n_slots_per_machine=2)
+        assert stage_makespan([2.0, 2.0], spec) == pytest.approx(2.0)
+
+    def test_lpt_handles_skew(self):
+        spec = ClusterSpec(n_machines=1, n_slots_per_machine=2)
+        # one whale bounds the makespan
+        assert stage_makespan([10.0, 1.0, 1.0], spec) == pytest.approx(10.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(EngineError):
+            stage_makespan([-1.0], ClusterSpec(n_machines=1))
+
+
+class TestTransformations:
+    def test_map_filter_collect(self, context):
+        result = (context.parallelize(range(10))
+                  .map(lambda x: x * 2)
+                  .filter(lambda x: x % 4 == 0)
+                  .collect())
+        assert sorted(result) == [0, 4, 8, 12, 16]
+
+    def test_flat_map(self, context):
+        result = context.parallelize([1, 2]).flat_map(
+            lambda x: [x] * x).collect()
+        assert sorted(result) == [1, 2, 2]
+
+    def test_reduce_by_key(self, context):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        result = context.parallelize(pairs).reduce_by_key(
+            lambda x, y: x + y).collect()
+        assert sorted(result) == [("a", 4), ("b", 2)]
+
+    def test_group_by_key(self, context):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        result = dict(context.parallelize(pairs).group_by_key().collect())
+        assert sorted(result["a"]) == [1, 2]
+        assert result["b"] == [3]
+
+    def test_map_values_and_key_by(self, context):
+        result = (context.parallelize([1, 2, 3])
+                  .key_by(lambda x: x % 2)
+                  .map_values(lambda v: v * 10)
+                  .collect())
+        assert sorted(result) == [(0, 20), (1, 10), (1, 30)]
+
+    def test_join(self, context):
+        left = context.parallelize([("a", 1), ("b", 2)])
+        right = context.parallelize([("a", "x"), ("c", "y")])
+        assert left.join(right).collect() == [("a", (1, "x"))]
+
+    def test_union(self, context):
+        left = context.parallelize([1, 2])
+        right = context.parallelize([3])
+        assert sorted(left.union(right).collect()) == [1, 2, 3]
+
+    def test_count(self, context):
+        assert context.parallelize(range(17)).count() == 17
+
+    def test_keyed_op_requires_pairs(self, context):
+        collection = context.parallelize([1, 2, 3]).reduce_by_key(
+            lambda a, b: a + b)
+        with pytest.raises(EngineError, match="requires .key, value."):
+            collection.collect()
+
+    def test_cross_context_join_rejected(self, context):
+        other = DataflowContext(ClusterSpec(n_machines=1))
+        left = context.parallelize([("a", 1)])
+        right = other.parallelize([("a", 2)])
+        with pytest.raises(EngineError, match="different contexts"):
+            left.join(right)
+
+    def test_map_partitions(self, context):
+        result = context.parallelize(range(8), n_partitions=2).map_partitions(
+            lambda part: [sum(part)]).collect()
+        assert sum(result) == sum(range(8))
+
+    def test_cache_reuses_materialisation(self, context):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+        cached = context.parallelize(range(5)).map(spy).cache()
+        cached.collect()
+        first = len(calls)
+        cached.collect()
+        assert len(calls) == first  # no recomputation
+
+    def test_results_independent_of_machine_count(self):
+        pairs = [(k % 5, k) for k in range(60)]
+        results = []
+        for machines in (1, 4, 9):
+            ctx = DataflowContext(ClusterSpec(n_machines=machines))
+            results.append(sorted(ctx.parallelize(pairs).reduce_by_key(
+                lambda a, b: a + b).collect()))
+        assert results[0] == results[1] == results[2]
+
+
+class TestReports:
+    def test_report_contains_stages(self, context):
+        _, report = (context.parallelize(range(50))
+                     .map(lambda x: (x % 3, x))
+                     .reduce_by_key(lambda a, b: a + b)
+                     .collect_with_report())
+        assert report.makespan > 0
+        assert any("reduce_by_key" in s.description for s in report.stages)
+
+    def test_narrow_ops_fused_into_one_stage(self, context):
+        _, report = (context.parallelize(range(10))
+                     .map(lambda x: x + 1)
+                     .filter(lambda x: x > 2)
+                     .map(lambda x: x * 2)
+                     .collect_with_report())
+        assert len(report.stages) == 1
+        assert "map+filter+map" in report.stages[0].description
+
+    def test_broadcast_cost_charged_once(self, context):
+        context.broadcast([1] * 100, n_records=100)
+        _, report = context.parallelize([1]).map(
+            lambda x: x).collect_with_report()
+        assert report.broadcast_seconds > 0
+        _, second = context.parallelize([1]).map(
+            lambda x: x).collect_with_report()
+        assert second.broadcast_seconds == 0.0
+
+    def test_merge_reports(self, context):
+        _, first = context.parallelize([1]).map(
+            lambda x: x).collect_with_report()
+        _, second = context.parallelize([2]).map(
+            lambda x: x).collect_with_report()
+        merged = merge_reports([first, second])
+        assert merged.makespan == pytest.approx(
+            first.makespan + second.makespan)
+
+    def test_merge_rejects_mixed_clusters(self, context):
+        other = DataflowContext(ClusterSpec(n_machines=9))
+        _, first = context.parallelize([1]).map(
+            lambda x: x).collect_with_report()
+        _, second = other.parallelize([1]).map(
+            lambda x: x).collect_with_report()
+        with pytest.raises(EngineError):
+            merge_reports([first, second])
+
+
+class TestSpeedupCurve:
+    def test_relative_to_baseline(self):
+        curve = speedup_curve({5: 10.0, 10: 5.0, 20: 2.5})
+        assert curve == {5: 1.0, 10: 2.0, 20: 4.0}
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(EngineError):
+            speedup_curve({10: 5.0}, baseline_machines=5)

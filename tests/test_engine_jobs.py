@@ -1,0 +1,87 @@
+"""Integration tests for the dataflow jobs (xmap_job / als_job)."""
+
+import pytest
+
+from repro.competitors.als import ALSConfig
+from repro.core.baseliner import Baseliner
+from repro.engine.als_job import run_als_job
+from repro.engine.cluster import ClusterSpec
+from repro.engine.xmap_job import run_xmap_job
+
+
+@pytest.fixture(scope="module")
+def xmap_result(small_trace):
+    return run_xmap_job(small_trace, ClusterSpec(n_machines=4), prune_k=6)
+
+
+class TestXMapJob:
+    def test_baseline_edges_match_library_path(self, small_trace, xmap_result):
+        reference = Baseliner().compute(small_trace)
+        assert xmap_result.n_baseline_edges == reference.n_edges
+
+    def test_produces_xsim_pairs_and_alteregos(self, xmap_result):
+        assert xmap_result.n_xsim_pairs > 0
+        assert xmap_result.n_alteregos > 0
+
+    def test_xsim_pairs_match_library_extender(self, small_trace,
+                                               xmap_result):
+        """The dataflow rendition computes the *same* X-Sim map as the
+        in-process Extender (same pruning, same path caps)."""
+        from repro.core.extender import (
+            Extender,
+            ExtenderConfig,
+            count_heterogeneous_pairs,
+        )
+        from repro.core.layers import LayerPartition
+        baseline = Baseliner().compute(small_trace)
+        partition = LayerPartition.from_graph(
+            baseline.graph, small_trace.domain_map())
+        xsim_map = Extender(ExtenderConfig(
+            k=6, max_paths_per_item=2000)).extend(
+            baseline.graph, partition, small_trace.merged(),
+            source_domain=small_trace.source.name)
+        assert xmap_result.n_xsim_pairs == count_heterogeneous_pairs(xsim_map)
+
+    def test_report_has_simulated_time(self, xmap_result):
+        assert xmap_result.report.makespan > 0
+        assert xmap_result.report.total_task_seconds > 0
+        assert xmap_result.report.describe()
+
+    def test_results_independent_of_cluster_size(self, small_trace,
+                                                 xmap_result):
+        bigger = run_xmap_job(small_trace, ClusterSpec(n_machines=12),
+                              prune_k=6)
+        assert bigger.n_xsim_pairs == xmap_result.n_xsim_pairs
+        assert bigger.n_alteregos == xmap_result.n_alteregos
+
+    def test_more_machines_not_slower_at_scale(self, small_trace):
+        slow = run_xmap_job(small_trace, ClusterSpec(n_machines=2),
+                            prune_k=6)
+        fast = run_xmap_job(small_trace, ClusterSpec(n_machines=8),
+                            prune_k=6)
+        assert fast.report.makespan < slow.report.makespan
+
+
+class TestALSJob:
+    def test_converges(self, small_trace):
+        result = run_als_job(
+            small_trace.target.ratings, ClusterSpec(n_machines=4),
+            ALSConfig(n_iterations=6))
+        assert result.training_rmse < 0.6
+
+    def test_rmse_independent_of_cluster_size(self, small_trace):
+        table = small_trace.target.ratings
+        a = run_als_job(table, ClusterSpec(n_machines=2),
+                        ALSConfig(n_iterations=3))
+        b = run_als_job(table, ClusterSpec(n_machines=10),
+                        ALSConfig(n_iterations=3))
+        assert a.training_rmse == pytest.approx(b.training_rmse)
+
+    def test_broadcast_cost_grows_with_cluster(self, small_trace):
+        table = small_trace.target.ratings
+        small = run_als_job(table, ClusterSpec(n_machines=2),
+                            ALSConfig(n_iterations=2))
+        large = run_als_job(table, ClusterSpec(n_machines=16),
+                            ALSConfig(n_iterations=2))
+        assert (large.report.broadcast_seconds
+                > small.report.broadcast_seconds)

@@ -1,0 +1,92 @@
+"""Smoke tests for the experiment modules (quick mode).
+
+Each experiment regenerates one paper artifact; here we check they run,
+produce the expected row structure, and that the cheap ones also show
+the expected qualitative shape. The full-size runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import (
+    ablations,
+    fig1b_similarity_counts,
+    fig11_scalability,
+    table2_genres,
+    table3_homogeneous,
+)
+from repro.evaluation.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "table2", "table3", "fig11", "ablations"}
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFig1b:
+    def test_meta_paths_dominate(self):
+        result = fig1b_similarity_counts.run(quick=True)
+        by_method = {row["method"]: row["heterogeneous similarities"]
+                     for row in result.rows}
+        assert by_method["Meta-path-based"] > by_method["Standard"]
+        assert result.render()
+
+
+class TestTable2:
+    def test_rows_have_four_columns(self):
+        result = table2_genres.run(quick=True)
+        assert result.rows
+        for row in result.rows:
+            assert set(row) == {"D1 genre", "movies", "D2 genre", "movies "}
+
+    def test_counts_descend_within_subdomain(self):
+        result = table2_genres.run(quick=True)
+        counts = [row["movies"] for row in result.rows if row["movies"]]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTable3:
+    def test_three_systems_reported(self):
+        result = table3_homogeneous.run(quick=True)
+        systems = {row["system"] for row in result.rows}
+        assert systems == {"NX-Map", "X-Map", "MLlib-ALS"}
+        for row in result.rows:
+            assert 0.0 < row["mae"] < 4.0
+
+    def test_nxmap_beats_private_xmap(self):
+        result = table3_homogeneous.run(quick=True)
+        by_system = {row["system"]: row["mae"] for row in result.rows}
+        assert by_system["NX-Map"] < by_system["X-Map"]
+
+
+class TestAblations:
+    def test_replacement_diversity_helps(self):
+        result = ablations.run(quick=True)
+        diversity = {row["variant"]: row["mae"] for row in result.rows
+                     if row["ablation"].startswith("replacement")}
+        assert diversity["R=12"] < diversity["R=1"]
+
+    def test_positive_only_helps(self):
+        result = ablations.run(quick=True)
+        by_ablation = {row["ablation"]: row["mae"] for row in result.rows}
+        assert (by_ablation["full X-Sim (reference)"]
+                < by_ablation["negative neighbors admitted (Eq 4 literal)"])
+
+
+class TestFig11:
+    def test_xmap_scales_better_than_als(self):
+        result = fig11_scalability.run(quick=True)
+        last = result.rows[-1]
+        assert last["X-MAP speedup"] > last["MLLIB-ALS speedup"]
+        assert last["X-MAP speedup"] > 1.5
+
+    def test_baseline_point_is_one(self):
+        result = fig11_scalability.run(quick=True)
+        first = result.rows[0]
+        assert first["X-MAP speedup"] == pytest.approx(1.0)
+        assert first["MLLIB-ALS speedup"] == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for genre partitioning and dataset statistics."""
+
+import pytest
+
+from repro.data.genres import genre_movie_counts, partition_by_genre
+from repro.data.ratings import Rating, RatingTable
+from repro.data.dataset import Dataset
+from repro.data.stats import summarize, summarize_cross_domain
+from repro.data.synthetic import movielens_like
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return movielens_like(n_users=80, n_items=70, seed=3)
+
+
+class TestGenrePartition:
+    def test_requires_genres(self):
+        plain = Dataset("d", RatingTable([Rating("u", "i", 3.0)]))
+        with pytest.raises(DataError, match="genre"):
+            partition_by_genre(plain)
+
+    def test_items_split_disjoint_and_complete(self, ml):
+        partition = partition_by_genre(ml)
+        assert not (partition.d1.items & partition.d2.items)
+        assert partition.d1.items | partition.d2.items == ml.items
+
+    def test_genres_alternate_by_count(self, ml):
+        partition = partition_by_genre(ml)
+        counts = genre_movie_counts(ml)
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        d1_names = {g for g, _ in partition.d1_genres}
+        d2_names = {g for g, _ in partition.d2_genres}
+        for idx, (genre, _) in enumerate(ordered):
+            assert genre in (d1_names if idx % 2 == 0 else d2_names)
+
+    def test_majority_assignment(self, ml):
+        partition = partition_by_genre(ml)
+        d1_genres = {g for g, _ in partition.d1_genres}
+        d2_genres = {g for g, _ in partition.d2_genres}
+        for item in ml.items:
+            genres = set(ml.item_genres[item])
+            in_d1 = len(genres & d1_genres)
+            in_d2 = len(genres & d2_genres)
+            if in_d1 > in_d2:
+                assert item in partition.d1.items
+            elif in_d2 > in_d1:
+                assert item in partition.d2.items
+
+    def test_as_cross_domain(self, ml):
+        data = partition_by_genre(ml).as_cross_domain()
+        assert data.source.name == "d1"
+        assert data.overlap_users  # users rate across genre sub-domains
+
+    def test_table_rows_padded(self, ml):
+        rows = partition_by_genre(ml).table_rows()
+        assert all(len(row) == 4 for row in rows)
+
+    def test_deterministic(self, ml):
+        first = partition_by_genre(ml)
+        second = partition_by_genre(ml)
+        assert first.d1.items == second.d1.items
+
+
+class TestStats:
+    def test_summarize(self, tiny_table):
+        stats = summarize(tiny_table)
+        assert stats.n_users == 4
+        assert stats.n_items == 4
+        assert stats.n_ratings == 10
+        assert stats.density == pytest.approx(10 / 16)
+        assert stats.mean_rating == pytest.approx(3.4)
+        assert "10 ratings" in stats.describe()
+
+    def test_empty_table(self):
+        stats = summarize(RatingTable())
+        assert stats.n_ratings == 0
+        assert stats.density == 0.0
+
+    def test_cross_domain_summary(self, scenario):
+        stats = summarize_cross_domain(scenario)
+        assert stats.n_overlap_users == 1
+        assert "overlapping users: 1" in stats.describe()

@@ -1,0 +1,108 @@
+"""Unit tests for the item graph and top-k selection."""
+
+import pytest
+
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import GraphError
+from repro.similarity.graph import ItemGraph, build_similarity_graph
+from repro.similarity.knn import top_k
+
+
+class TestTopK:
+    def test_orders_by_value_then_id(self):
+        sims = {"b": 0.5, "a": 0.5, "c": 0.9, "d": 0.1}
+        assert top_k(sims, 3) == [("c", 0.9), ("a", 0.5), ("b", 0.5)]
+
+    def test_k_zero_or_negative(self):
+        assert top_k({"a": 1.0}, 0) == []
+        assert top_k({"a": 1.0}, -3) == []
+
+    def test_exclude(self):
+        assert top_k({"a": 1.0, "b": 0.5}, 2, exclude=["a"]) == [("b", 0.5)]
+
+    def test_minimum_inclusive(self):
+        sims = {"a": 0.5, "b": 0.2, "c": -0.1}
+        assert top_k(sims, 5, minimum=0.2) == [("a", 0.5), ("b", 0.2)]
+
+    def test_fewer_candidates_than_k(self):
+        assert top_k({"a": 1.0}, 10) == [("a", 1.0)]
+
+    def test_deterministic(self):
+        sims = {f"i{n}": 0.5 for n in range(20)}
+        assert top_k(sims, 5) == top_k(dict(reversed(list(sims.items()))), 5)
+
+
+class TestItemGraph:
+    def test_add_edge_is_undirected(self):
+        graph = ItemGraph()
+        graph.add_edge("a", "b", 0.7)
+        assert graph.similarity("a", "b") == 0.7
+        assert graph.similarity("b", "a") == 0.7
+        assert graph.has_edge("b", "a")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            ItemGraph().add_edge("a", "a", 1.0)
+
+    def test_edges_yielded_once(self):
+        graph = ItemGraph()
+        graph.add_edge("a", "b", 0.5)
+        graph.add_edge("b", "c", 0.2)
+        edges = list(graph.edges())
+        assert len(edges) == 2
+        assert graph.n_edges() == 2
+
+    def test_remove_edge(self):
+        graph = ItemGraph()
+        graph.add_edge("a", "b", 0.5)
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        assert graph.n_edges() == 0
+
+    def test_isolated_items_kept(self):
+        graph = ItemGraph()
+        graph.add_item("lonely")
+        assert "lonely" in graph
+        assert graph.degree("lonely") == 0
+
+    def test_top_neighbors_with_restriction(self):
+        graph = ItemGraph()
+        graph.add_edge("q", "a", 0.9)
+        graph.add_edge("q", "b", 0.8)
+        graph.add_edge("q", "c", 0.7)
+        assert graph.top_neighbors("q", 2, among={"b", "c"}) == [
+            ("b", 0.8), ("c", 0.7)]
+
+    def test_copy_is_independent(self):
+        graph = ItemGraph()
+        graph.add_edge("a", "b", 0.5)
+        clone = graph.copy()
+        clone.add_edge("a", "c", 0.1)
+        assert not graph.has_edge("a", "c")
+
+
+class TestBuildSimilarityGraph:
+    def test_every_item_is_a_vertex(self, tiny_table):
+        graph = build_similarity_graph(tiny_table)
+        assert graph.items == tiny_table.items
+
+    def test_edges_need_common_users(self, scenario):
+        graph = build_similarity_graph(scenario.merged())
+        assert not graph.has_edge("interstellar", "forever-war")
+        assert graph.has_edge("inception", "forever-war")  # via cecilia
+
+    def test_min_abs_similarity_filters(self, tiny_table):
+        loose = build_similarity_graph(tiny_table)
+        strict = build_similarity_graph(tiny_table, min_abs_similarity=0.99)
+        assert strict.n_edges() <= loose.n_edges()
+
+    def test_pair_source_injection(self, tiny_table):
+        graph = build_similarity_graph(
+            tiny_table, pair_source=lambda table: [("a", "b", 0.42)])
+        assert graph.n_edges() == 1
+        assert graph.similarity("a", "b") == 0.42
+
+    def test_zero_similarity_never_creates_edge(self, tiny_table):
+        graph = build_similarity_graph(
+            tiny_table, pair_source=lambda table: [("a", "b", 0.0)])
+        assert graph.n_edges() == 0

@@ -1,0 +1,72 @@
+"""End-to-end integration tests: the paper's headline claims in miniature."""
+
+import pytest
+
+from repro.cf.item_average import ItemAverageRecommender
+from repro.core.pipeline import NXMapRecommender, XMapConfig
+from repro.data.splits import cold_start_split
+from repro.data.synthetic import amazon_like, interstellar_scenario
+from repro.evaluation.harness import evaluate
+
+
+class TestInterstellarStory:
+    """The paper's title scenario, end to end."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        scenario = interstellar_scenario()
+        return scenario, NXMapRecommender(
+            XMapConfig(prune_k=3, cf_k=5)).fit(scenario)
+
+    def test_interstellar_maps_to_forever_war(self, fitted):
+        _, recommender = fitted
+        assert recommender.item_mapping()["interstellar"] == "forever-war"
+
+    def test_alice_gets_book_recommendations(self, fitted):
+        scenario, recommender = fitted
+        # Alice never rated a book.
+        assert not scenario.target.ratings.user_items("alice")
+        recommended = recommender.recommend("alice", n=2)
+        assert recommended
+        assert all(item in scenario.target.items for item, _ in recommended)
+
+    def test_xsim_connects_disconnected_items(self, fitted):
+        _, recommender = fitted
+        # Standard similarity is 0 (no common rater); X-Sim is positive.
+        assert recommender.xsim_map["interstellar"]["forever-war"] > 0.0
+
+
+class TestHeadlineAccuracy:
+    """NX-Map beats the unpersonalised baseline on a full trace.
+
+    This is the paper's central accuracy claim (Figure 8) at test
+    scale: the default synthetic trace, cold-start protocol, both
+    recommendation modes.
+    """
+
+    @pytest.fixture(scope="class")
+    def split(self):
+        return cold_start_split(amazon_like(), seed=7)
+
+    @pytest.fixture(scope="class")
+    def item_average_mae(self, split):
+        return evaluate(
+            "ItemAverage",
+            ItemAverageRecommender(split.train.target.ratings),
+            split).mae
+
+    def test_nxmap_user_based_beats_item_average(self, split,
+                                                 item_average_mae):
+        recommender = NXMapRecommender(
+            XMapConfig(mode="user")).fit(
+            split.train, users=split.test_users)
+        result = evaluate("NX-Map-ub", recommender, split)
+        assert result.mae < item_average_mae
+
+    def test_nxmap_item_based_beats_item_average(self, split,
+                                                 item_average_mae):
+        recommender = NXMapRecommender(
+            XMapConfig(mode="item", alpha=0.03)).fit(
+            split.train, users=split.test_users)
+        result = evaluate("NX-Map-ib", recommender, split)
+        assert result.mae < item_average_mae

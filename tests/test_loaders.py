@@ -1,0 +1,70 @@
+"""Unit tests for CSV persistence (repro.data.loaders)."""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.loaders import (
+    read_cross_domain,
+    read_dataset,
+    read_ratings_csv,
+    write_cross_domain,
+    write_dataset,
+    write_ratings_csv,
+)
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import DataError
+
+
+class TestRatingsRoundtrip:
+    def test_roundtrip_preserves_everything(self, tiny_table, tmp_path):
+        path = tmp_path / "ratings.csv"
+        write_ratings_csv(tiny_table, path)
+        loaded = read_ratings_csv(path)
+        assert sorted(map(repr, loaded)) == sorted(map(repr, tiny_table))
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user,thing\nu,1\n")
+        with pytest.raises(DataError, match="header"):
+            read_ratings_csv(path)
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user,item,rating\nu,i,notanumber\n")
+        with pytest.raises(DataError, match=":2:"):
+            read_ratings_csv(path)
+
+    def test_missing_timestep_defaults_zero(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("user,item,rating\nu,i,3\n")
+        loaded = read_ratings_csv(path)
+        assert loaded.get("u", "i").timestep == 0
+
+
+class TestDatasetRoundtrip:
+    def test_with_metadata(self, tmp_path):
+        dataset = Dataset(
+            "books", RatingTable([Rating("u", "b1", 4.0, 3)]),
+            item_titles={"b1": "The Forever War"},
+            item_genres={"b1": ("Sci-Fi", "War")})
+        write_dataset(dataset, tmp_path / "books")
+        loaded = read_dataset(tmp_path / "books", "books")
+        assert loaded.title_of("b1") == "The Forever War"
+        assert loaded.item_genres["b1"] == ("Sci-Fi", "War")
+        assert loaded.ratings.value("u", "b1") == 4.0
+
+    def test_without_metadata_files(self, tmp_path):
+        dataset = Dataset("d", RatingTable([Rating("u", "i", 2.0)]))
+        write_dataset(dataset, tmp_path / "d")
+        loaded = read_dataset(tmp_path / "d", "d")
+        assert loaded.item_titles == {}
+        assert loaded.item_genres == {}
+
+
+class TestCrossDomainRoundtrip:
+    def test_roundtrip(self, scenario, tmp_path):
+        write_cross_domain(scenario, tmp_path)
+        loaded = read_cross_domain(tmp_path, "movies", "books")
+        assert loaded.overlap_users == scenario.overlap_users
+        assert loaded.source.items == scenario.source.items
+        assert loaded.target.items == scenario.target.items

@@ -1,0 +1,149 @@
+"""Unit tests for meta-path enumeration and the X-Sim metric."""
+
+import pytest
+
+from repro.core.layers import Layer, LayerPartition
+from repro.core.metapaths import (
+    build_pruned_adjacency,
+    enumerate_meta_paths,
+    layer_sequence,
+)
+from repro.core.xsim import (
+    SignificanceCache,
+    aggregate_xsim,
+    path_certainty,
+    path_similarity,
+)
+from repro.errors import GraphError, SimilarityError
+from repro.similarity.graph import build_similarity_graph
+
+
+class TestPathMath:
+    def test_path_similarity_weighted_mean(self):
+        # edges: (sim, significance)
+        assert path_similarity([(1.0, 3), (0.0, 1)]) == pytest.approx(0.75)
+
+    def test_path_similarity_zero_significance_undefined(self):
+        with pytest.raises(SimilarityError):
+            path_similarity([(0.5, 0), (0.9, 0)])
+
+    def test_path_similarity_empty(self):
+        with pytest.raises(SimilarityError):
+            path_similarity([])
+
+    def test_certainty_is_product(self):
+        assert path_certainty([0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_longer_paths_lose_certainty(self):
+        short = path_certainty([0.8])
+        long = path_certainty([0.8, 0.8, 0.8])
+        assert long < short
+
+    def test_aggregate_xsim_weighted(self):
+        # two paths: (s_p, c_p)
+        value = aggregate_xsim([(1.0, 0.8), (0.0, 0.2)])
+        assert value == pytest.approx(0.8)
+
+    def test_aggregate_no_certain_paths_is_none(self):
+        assert aggregate_xsim([(0.7, 0.0)]) is None
+        assert aggregate_xsim([]) is None
+
+
+class TestLayerSequence:
+    def test_from_nn(self):
+        keys = layer_sequence(Layer.NN, "s", "t")
+        assert keys == [("s", Layer.NB), ("s", Layer.BB),
+                        ("t", Layer.BB), ("t", Layer.NB), ("t", Layer.NN)]
+
+    def test_from_bb(self):
+        keys = layer_sequence(Layer.BB, "s", "t")
+        assert keys == [("t", Layer.BB), ("t", Layer.NB), ("t", Layer.NN)]
+
+
+class TestPrunedAdjacency:
+    def test_respects_k(self, small_trace):
+        graph = build_similarity_graph(small_trace.merged())
+        partition = LayerPartition.from_graph(graph, small_trace.domain_map())
+        adjacency = build_pruned_adjacency(graph, partition, k=3)
+        for per_layer in adjacency.values():
+            for edges in per_layer.values():
+                assert len(edges) <= 3
+
+    def test_no_same_layer_edges(self, small_trace):
+        graph = build_similarity_graph(small_trace.merged())
+        partition = LayerPartition.from_graph(graph, small_trace.domain_map())
+        adjacency = build_pruned_adjacency(graph, partition, k=5)
+        for item, per_layer in adjacency.items():
+            own = (partition.domain_of(item), partition.layer_of(item))
+            assert own not in per_layer
+
+    def test_invalid_k(self, small_trace):
+        graph = build_similarity_graph(small_trace.merged())
+        partition = LayerPartition.from_graph(graph, small_trace.domain_map())
+        with pytest.raises(GraphError):
+            build_pruned_adjacency(graph, partition, k=0)
+
+
+class TestEnumeration:
+    def _setup(self, data):
+        merged = data.merged()
+        graph = build_similarity_graph(merged)
+        partition = LayerPartition.from_graph(graph, data.domain_map())
+        adjacency = build_pruned_adjacency(graph, partition, k=5)
+        cache = SignificanceCache(merged)
+        return partition, adjacency, cache
+
+    def test_paths_end_in_target_domain(self, two_domain_micro):
+        partition, adjacency, cache = self._setup(two_domain_micro)
+        for item in two_domain_micro.source.items:
+            for path in enumerate_meta_paths(
+                    item, partition, adjacency, cache.significance):
+                assert partition.domain_of(path.terminal) == "b"
+                assert path.source == item
+
+    def test_at_most_one_item_per_layer(self, two_domain_micro):
+        partition, adjacency, cache = self._setup(two_domain_micro)
+        for item in two_domain_micro.source.items:
+            for path in enumerate_meta_paths(
+                    item, partition, adjacency, cache.significance):
+                layers = [(partition.domain_of(i), partition.layer_of(i))
+                          for i in path.items]
+                assert len(layers) == len(set(layers))
+
+    def test_max_paths_cap(self, small_trace):
+        partition, adjacency, cache = self._setup(small_trace)
+        item = sorted(small_trace.source.items)[0]
+        capped = list(enumerate_meta_paths(
+            item, partition, adjacency, cache.significance, max_paths=3))
+        assert len(capped) <= 3
+
+    def test_figure_1a_path_found(self, scenario):
+        partition, adjacency, cache = self._setup(scenario)
+        paths = list(enumerate_meta_paths(
+            "interstellar", partition, adjacency, cache.significance))
+        routes = {path.items for path in paths}
+        assert any(
+            path[-1] == "forever-war" and "inception" in path
+            for path in routes), routes
+
+    def test_edges_align_with_items(self, two_domain_micro):
+        partition, adjacency, cache = self._setup(two_domain_micro)
+        for item in two_domain_micro.source.items:
+            for path in enumerate_meta_paths(
+                    item, partition, adjacency, cache.significance):
+                assert len(path.edges) == len(path.items) - 1
+
+
+class TestSignificanceCache:
+    def test_cache_consistency(self, tiny_table):
+        from repro.similarity.significance import (
+            normalized_significance,
+            significance,
+        )
+        cache = SignificanceCache(tiny_table)
+        assert cache.significance("a", "b") == significance(
+            tiny_table, "a", "b")
+        assert cache.normalized("a", "b") == normalized_significance(
+            tiny_table, "a", "b")
+        # order-insensitive
+        assert cache.significance("b", "a") == cache.significance("a", "b")

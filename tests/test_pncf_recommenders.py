@@ -1,0 +1,97 @@
+"""Unit tests for the private recommenders (repro.privacy.pncf)."""
+
+import pytest
+
+from repro.cf.item_knn import ItemKNNRecommender
+from repro.cf.user_knn import UserKNNRecommender
+from repro.errors import PrivacyError
+from repro.privacy.pncf import (
+    PrivateItemKNNRecommender,
+    PrivateUserKNNRecommender,
+)
+
+
+@pytest.fixture(scope="module")
+def target(small_trace):
+    return small_trace.target.ratings
+
+
+class TestPrivateItemKNN:
+    def test_rejects_bad_epsilon(self, target):
+        with pytest.raises(PrivacyError):
+            PrivateItemKNNRecommender(target, epsilon_prime=0.0)
+
+    def test_rejects_negative_alpha(self, target):
+        with pytest.raises(PrivacyError):
+            PrivateItemKNNRecommender(target, alpha=-0.5)
+
+    def test_predictions_in_scale(self, target):
+        rec = PrivateItemKNNRecommender(target, k=10, epsilon_prime=0.8,
+                                        seed=0)
+        users = sorted(target.users)[:4]
+        items = sorted(target.items)[:4]
+        for user in users:
+            for item in items:
+                assert 1.0 <= rec.predict(user, item) <= 5.0
+
+    def test_deterministic_given_seed(self, target):
+        user = sorted(target.users)[0]
+        item = sorted(target.items)[0]
+        first = PrivateItemKNNRecommender(
+            target, k=10, epsilon_prime=0.8, seed=42).predict(user, item)
+        second = PrivateItemKNNRecommender(
+            target, k=10, epsilon_prime=0.8, seed=42).predict(user, item)
+        assert first == pytest.approx(second)
+
+    def test_high_budget_tracks_non_private(self, target):
+        """With a huge ε′ the private predictions converge to plain
+        item-based CF (the paper: X-Map transforms to NX-Map)."""
+        plain = ItemKNNRecommender(target, k=10)
+        private = PrivateItemKNNRecommender(
+            target, k=10, epsilon_prime=1000.0, seed=1)
+        users = sorted(target.users)[:5]
+        items = sorted(target.items)[:5]
+        deltas = [abs(private.predict(u, i) - plain.predict(u, i))
+                  for u in users for i in items]
+        assert sum(deltas) / len(deltas) < 0.1
+
+    def test_low_budget_noisier_than_high(self, target):
+        plain = ItemKNNRecommender(target, k=10)
+        users = sorted(target.users)[:5]
+        items = sorted(target.items)[:5]
+
+        def mean_delta(eps):
+            rec = PrivateItemKNNRecommender(
+                target, k=10, epsilon_prime=eps, seed=2)
+            return sum(abs(rec.predict(u, i) - plain.predict(u, i))
+                       for u in users for i in items) / 25
+        assert mean_delta(0.2) > mean_delta(100.0)
+
+
+class TestPrivateUserKNN:
+    def test_predictions_in_scale(self, target):
+        rec = PrivateUserKNNRecommender(target, k=10, epsilon_prime=0.5,
+                                        seed=0)
+        users = sorted(target.users)[:4]
+        items = sorted(target.items)[:4]
+        for user in users:
+            for item in items:
+                assert 1.0 <= rec.predict(user, item) <= 5.0
+
+    def test_neighborhood_cached_per_user(self, target):
+        rec = PrivateUserKNNRecommender(target, k=10, epsilon_prime=0.5,
+                                        seed=0)
+        user = sorted(target.users)[0]
+        first = rec._private_neighbors(user)
+        assert rec._private_neighbors(user) is first
+
+    def test_budget_split_in_halves(self, target):
+        rec = PrivateUserKNNRecommender(target, k=5, epsilon_prime=0.6)
+        assert rec.selection_epsilon == pytest.approx(0.3)
+        assert rec.noise_epsilon == pytest.approx(0.3)
+
+    def test_user_without_history_falls_back(self, target):
+        rec = PrivateUserKNNRecommender(target, k=5, epsilon_prime=0.5)
+        item = sorted(target.items)[0]
+        value = rec.predict("complete-stranger", item)
+        assert 1.0 <= value <= 5.0

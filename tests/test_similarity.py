@@ -1,0 +1,168 @@
+"""Unit tests for the similarity metrics (repro.similarity)."""
+
+import math
+
+import pytest
+
+from repro.data.ratings import Rating, RatingTable
+from repro.errors import SimilarityError
+from repro.similarity.adjusted_cosine import (
+    adjusted_cosine,
+    all_pairs_adjusted_cosine,
+)
+from repro.similarity.cosine import cosine
+from repro.similarity.pearson import pearson_items, pearson_users
+from repro.similarity.significance import (
+    normalized_significance,
+    significance,
+)
+
+
+class TestAdjustedCosine:
+    def test_hand_computed_value(self):
+        # u1: a=5, b=3 (mean 4); u2: a=4, b=2 (mean 3)
+        table = RatingTable([
+            Rating("u1", "a", 5.0), Rating("u1", "b", 3.0),
+            Rating("u2", "a", 4.0), Rating("u2", "b", 2.0)])
+        # centered: u1 -> a:+1, b:-1 ; u2 -> a:+1, b:-1
+        # numerator = -1 + -1 = -2; norms = sqrt(2)*sqrt(2) = 2
+        assert adjusted_cosine(table, "a", "b") == pytest.approx(-1.0)
+
+    def test_no_common_users_is_zero(self, scenario):
+        merged = scenario.merged()
+        assert adjusted_cosine(merged, "interstellar", "forever-war") == 0.0
+
+    def test_symmetry(self, tiny_table):
+        assert adjusted_cosine(tiny_table, "a", "b") == pytest.approx(
+            adjusted_cosine(tiny_table, "b", "a"))
+
+    def test_bounded(self, small_trace):
+        merged = small_trace.merged()
+        items = sorted(merged.items)[:15]
+        for i in items:
+            for j in items:
+                if i < j:
+                    assert -1.0 <= adjusted_cosine(merged, i, j) <= 1.0
+
+    def test_degenerate_constant_rater(self):
+        # Single user rating everything identically: centered values 0.
+        table = RatingTable([
+            Rating("u", "a", 4.0), Rating("u", "b", 4.0)])
+        assert adjusted_cosine(table, "a", "b") == 0.0
+
+    def test_all_pairs_matches_pointwise(self, tiny_table):
+        for item_i, item_j, sim in all_pairs_adjusted_cosine(tiny_table):
+            assert sim == pytest.approx(
+                adjusted_cosine(tiny_table, item_i, item_j))
+
+    def test_all_pairs_yields_each_pair_once(self, tiny_table):
+        pairs = [(i, j) for i, j, _ in all_pairs_adjusted_cosine(tiny_table)]
+        assert len(pairs) == len(set(pairs))
+        assert all(i < j for i, j in pairs)
+
+    def test_min_common_users_filter(self, tiny_table):
+        loose = list(all_pairs_adjusted_cosine(tiny_table))
+        strict = list(all_pairs_adjusted_cosine(
+            tiny_table, min_common_users=2))
+        assert len(strict) <= len(loose)
+
+    def test_max_profile_size_skips_whales(self, tiny_table):
+        capped = list(all_pairs_adjusted_cosine(
+            tiny_table, max_profile_size=2))
+        # u1 (3 items) and u3 (3 items) are skipped entirely.
+        contributing = {i for i, j, _ in capped} | {
+            j for i, j, _ in capped}
+        assert contributing <= {"a", "b", "d"}
+
+
+class TestCosine:
+    def test_positive_for_corated(self, tiny_table):
+        # raw cosine of co-rated items is positive (all ratings > 0)
+        assert cosine(tiny_table, "a", "b") > 0.0
+
+    def test_zero_without_common_users(self, scenario):
+        merged = scenario.merged()
+        assert cosine(merged, "interstellar", "forever-war") == 0.0
+
+    def test_bounded_and_symmetric(self, tiny_table):
+        value = cosine(tiny_table, "b", "c")
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(cosine(tiny_table, "c", "b"))
+
+
+class TestPearsonItems:
+    def test_needs_two_common_raters(self, tiny_table):
+        # items c and d share only u3.
+        assert pearson_items(tiny_table, "c", "d") == 0.0
+
+    def test_perfect_correlation(self):
+        table = RatingTable([
+            Rating("u1", "a", 1.0), Rating("u1", "b", 2.0),
+            Rating("u2", "a", 3.0), Rating("u2", "b", 4.0),
+            Rating("u3", "a", 5.0), Rating("u3", "b", 5.0)])
+        assert pearson_items(table, "a", "b") > 0.9
+
+    def test_degenerate_variance(self):
+        table = RatingTable([
+            Rating("u1", "a", 3.0), Rating("u1", "b", 2.0),
+            Rating("u2", "a", 3.0), Rating("u2", "b", 4.0)])
+        assert pearson_items(table, "a", "b") == 0.0
+
+
+class TestPearsonUsers:
+    def test_symmetry(self, tiny_table):
+        assert pearson_users(tiny_table, "u1", "u2") == pytest.approx(
+            pearson_users(tiny_table, "u2", "u1"))
+
+    def test_agreeing_users_positive(self, tiny_table):
+        # u1 and u2 rate a high and b low relative to item means.
+        assert pearson_users(tiny_table, "u1", "u2") > 0.0
+
+    def test_no_common_items_zero(self):
+        table = RatingTable([
+            Rating("u1", "a", 5.0), Rating("u2", "b", 1.0)])
+        assert pearson_users(table, "u1", "u2") == 0.0
+
+    def test_bounded(self, small_trace):
+        merged = small_trace.merged()
+        users = sorted(merged.users)[:10]
+        for a in users:
+            for b in users:
+                if a < b:
+                    assert -1.0 <= pearson_users(merged, a, b) <= 1.0
+
+
+class TestSignificance:
+    def test_definition_2_by_hand(self):
+        # means: a = 4 (5,4,3... wait) compute: a rated 5,3 -> mean 4;
+        # b rated 5,1 -> mean 3.
+        table = RatingTable([
+            Rating("u1", "a", 5.0), Rating("u1", "b", 5.0),  # like/like
+            Rating("u2", "a", 3.0), Rating("u2", "b", 1.0),  # dislike/dislike
+        ])
+        assert significance(table, "a", "b") == 2
+
+    def test_disagreement_not_counted(self):
+        table = RatingTable([
+            Rating("u1", "a", 5.0), Rating("u1", "b", 1.0),
+            Rating("u2", "a", 1.0), Rating("u2", "b", 5.0),
+        ])
+        assert significance(table, "a", "b") == 0
+
+    def test_symmetry(self, tiny_table):
+        assert significance(tiny_table, "a", "b") == significance(
+            tiny_table, "b", "a")
+
+    def test_normalized_bounds(self, tiny_table):
+        value = normalized_significance(tiny_table, "a", "b")
+        assert 0.0 <= value <= 1.0
+
+    def test_normalized_undefined_without_raters(self):
+        with pytest.raises(SimilarityError):
+            normalized_significance(RatingTable(), "x", "y")
+
+    def test_normalized_denominator_is_union(self, tiny_table):
+        raw = significance(tiny_table, "a", "b")
+        union = len(tiny_table.item_users("a") | tiny_table.item_users("b"))
+        assert normalized_significance(
+            tiny_table, "a", "b") == pytest.approx(raw / union)

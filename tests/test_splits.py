@@ -1,0 +1,94 @@
+"""Unit tests for the evaluation split protocols (repro.data.splits)."""
+
+import pytest
+
+from repro.data.splits import (
+    cold_start_split,
+    overlap_fraction_split,
+    sparsity_split,
+)
+from repro.errors import EvaluationError
+
+
+class TestColdStart:
+    def test_hides_entire_target_profiles(self, small_trace):
+        split = cold_start_split(small_trace, seed=1)
+        for user in split.test_users:
+            assert not split.train.target.ratings.user_items(user)
+            assert len(split.hidden.user_items(user)) > 0
+
+    def test_source_profiles_untouched(self, small_trace):
+        split = cold_start_split(small_trace, seed=1)
+        for user in split.test_users:
+            assert (split.train.source.ratings.user_items(user)
+                    == small_trace.source.ratings.user_items(user))
+
+    def test_deterministic(self, small_trace):
+        assert (cold_start_split(small_trace, seed=5).test_users
+                == cold_start_split(small_trace, seed=5).test_users)
+
+    def test_seed_changes_selection(self, small_trace):
+        assert (cold_start_split(small_trace, seed=5).test_users
+                != cold_start_split(small_trace, seed=6).test_users)
+
+    def test_bad_fraction_rejected(self, small_trace):
+        with pytest.raises(EvaluationError):
+            cold_start_split(small_trace, test_fraction=0.0)
+        with pytest.raises(EvaluationError):
+            cold_start_split(small_trace, test_fraction=1.0)
+
+    def test_thresholds_too_strict(self, small_trace):
+        with pytest.raises(EvaluationError, match="eligibility"):
+            cold_start_split(small_trace, min_source=10_000)
+
+    def test_hidden_pairs_match_hidden_table(self, small_split):
+        assert len(small_split.hidden_pairs()) == small_split.n_hidden
+
+
+class TestSparsity:
+    def test_keeps_exactly_auxiliary(self, small_trace):
+        split = sparsity_split(small_trace, auxiliary_size=2,
+                               min_source=8, min_target=8, seed=1)
+        for user in split.test_users:
+            kept = split.train.target.ratings.user_items(user)
+            assert len(kept) == 2
+
+    def test_keeps_earliest_ratings(self, small_trace):
+        split = sparsity_split(small_trace, auxiliary_size=1,
+                               min_source=8, min_target=8, seed=1)
+        user = split.test_users[0]
+        kept = list(split.train.target.ratings.user_profile(user).values())
+        hidden = [r for r in split.hidden if r.user == user]
+        assert kept[0].timestep <= min(r.timestep for r in hidden)
+
+    def test_zero_auxiliary_equals_cold_start_hiding(self, small_trace):
+        split = sparsity_split(small_trace, auxiliary_size=0,
+                               min_source=8, min_target=8, seed=1)
+        for user in split.test_users:
+            assert not split.train.target.ratings.user_items(user)
+
+    def test_negative_auxiliary_rejected(self, small_trace):
+        with pytest.raises(EvaluationError):
+            sparsity_split(small_trace, auxiliary_size=-1)
+
+
+class TestOverlapFraction:
+    def test_test_users_stable_across_fractions(self, small_trace):
+        low = overlap_fraction_split(small_trace, fraction=0.2, seed=2)
+        high = overlap_fraction_split(small_trace, fraction=0.8, seed=2)
+        assert low.test_users == high.test_users
+        assert low.n_hidden == high.n_hidden
+
+    def test_overlap_shrinks_with_fraction(self, small_trace):
+        low = overlap_fraction_split(small_trace, fraction=0.2, seed=2)
+        high = overlap_fraction_split(small_trace, fraction=0.8, seed=2)
+        assert len(low.train.overlap_users) < len(high.train.overlap_users)
+
+    def test_full_fraction_keeps_all_straddlers(self, small_trace):
+        base = cold_start_split(small_trace, seed=2)
+        full = overlap_fraction_split(small_trace, fraction=1.0, seed=2)
+        assert full.train.overlap_users == base.train.overlap_users
+
+    def test_bad_fraction_rejected(self, small_trace):
+        with pytest.raises(EvaluationError):
+            overlap_fraction_split(small_trace, fraction=0.0)

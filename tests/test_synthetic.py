@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic generators (repro.data.synthetic)."""
+
+import pytest
+
+from repro.data.synthetic import (
+    MOVIELENS_GENRES,
+    SyntheticConfig,
+    amazon_like,
+    interstellar_scenario,
+    movielens_like,
+    scaled,
+)
+from repro.errors import ConfigError
+
+
+class TestConfigValidation:
+    def test_default_is_valid(self):
+        SyntheticConfig().validated()
+
+    def test_overlap_exceeding_users(self):
+        with pytest.raises(ConfigError, match="n_overlap"):
+            SyntheticConfig(n_users_source=10, n_overlap=20).validated()
+
+    def test_bad_transfer_strength(self):
+        with pytest.raises(ConfigError, match="transfer_strength"):
+            SyntheticConfig(transfer_strength=1.5).validated()
+
+    def test_nonpositive_counts(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(n_items_source=0).validated()
+
+    def test_ratings_below_minimum(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(ratings_per_user=2.0,
+                            min_ratings_per_user=4).validated()
+
+    def test_scaled(self):
+        config = scaled(SyntheticConfig(), 0.5)
+        assert config.n_users_source == SyntheticConfig().n_users_source // 2
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            scaled(SyntheticConfig(), 0)
+
+
+class TestAmazonLike:
+    def test_deterministic(self, small_config):
+        first = amazon_like(small_config)
+        second = amazon_like(small_config)
+        assert sorted(map(repr, first.source.ratings)) == sorted(
+            map(repr, second.source.ratings))
+
+    def test_counts_respected(self, small_trace, small_config):
+        assert len(small_trace.source.users) == small_config.n_users_source
+        assert len(small_trace.overlap_users) == small_config.n_overlap
+
+    def test_item_domains_disjoint(self, small_trace):
+        assert not (small_trace.source.items & small_trace.target.items)
+
+    def test_ratings_in_scale(self, small_trace):
+        for rating in small_trace.merged():
+            assert 1.0 <= rating.value <= 5.0
+            assert rating.value == int(rating.value)
+
+    def test_min_ratings_per_user(self, small_trace, small_config):
+        for user in small_trace.source.users:
+            profile = small_trace.source.ratings.user_profile(user)
+            assert len(profile) >= small_config.min_ratings_per_user
+
+    def test_timesteps_strided_and_increasing(self, small_trace, small_config):
+        user = sorted(small_trace.source.users)[0]
+        steps = sorted(r.timestep for r in
+                       small_trace.source.ratings.user_profile(user).values())
+        assert steps[0] == 0
+        assert all(b - a == small_config.timestep_stride
+                   for a, b in zip(steps, steps[1:]))
+
+    def test_different_seeds_differ(self, small_config):
+        from dataclasses import replace
+        other = amazon_like(replace(small_config, seed=99))
+        base = amazon_like(small_config)
+        assert sorted(map(repr, other.source.ratings)) != sorted(
+            map(repr, base.source.ratings))
+
+
+class TestMovielensLike:
+    def test_genres_assigned_to_every_item(self):
+        dataset = movielens_like(n_users=60, n_items=50, seed=5)
+        assert set(dataset.item_genres) == set(dataset.items) | (
+            set(dataset.item_genres) - set(dataset.items))
+        for genres in dataset.item_genres.values():
+            assert 1 <= len(genres) <= 3
+            assert all(g in MOVIELENS_GENRES for g in genres)
+
+    def test_too_many_genres_rejected(self):
+        with pytest.raises(ConfigError):
+            movielens_like(n_genres=99)
+
+    def test_deterministic(self):
+        a = movielens_like(n_users=40, n_items=30, seed=2)
+        b = movielens_like(n_users=40, n_items=30, seed=2)
+        assert sorted(map(repr, a.ratings)) == sorted(map(repr, b.ratings))
+
+
+class TestInterstellarScenario:
+    def test_matches_figure_1a(self, scenario):
+        # Cecilia is the only straddler.
+        assert scenario.overlap_users == {"cecilia"}
+        # Interstellar and The Forever War share no rater...
+        movies = scenario.source.ratings
+        books = scenario.target.ratings
+        assert not (movies.item_users("interstellar")
+                    & books.item_users("forever-war"))
+        # ...but the Bob->Inception->Cecilia meta-path exists.
+        assert "inception" in movies.user_items("bob")
+        assert "forever-war" in books.user_items("cecilia")
+
+    def test_titles_present(self, scenario):
+        assert scenario.source.title_of("interstellar") == "Interstellar"
+        assert scenario.target.title_of("forever-war") == "The Forever War"
