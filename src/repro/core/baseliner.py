@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.dataset import CrossDomainDataset
+from repro.data.ratings import RatingTable
 from repro.similarity.graph import ItemGraph, build_similarity_graph
 
 
@@ -53,10 +54,23 @@ class Baseliner:
         self.min_common_users = min_common_users
         self.min_abs_similarity = min_abs_similarity
 
-    def compute(self, data: CrossDomainDataset) -> BaselineSimilarities:
-        """Build ``G_ac`` for *data* and split the edge census by kind."""
+    def compute(self, data: CrossDomainDataset,
+                merged: RatingTable | None = None) -> BaselineSimilarities:
+        """Build ``G_ac`` for *data* and split the edge census by kind.
+
+        Args:
+            data: the two-domain input.
+            merged: the aggregated (source ∪ target) table, if the caller
+                already built it. The pipeline passes the one table it
+                derives per run so the Baseliner shares its interned
+                :class:`~repro.data.matrix.MatrixRatingStore` with the
+                Extender's significance sweeps instead of re-deriving
+                every profile. Defaults to ``data.merged()``.
+        """
+        if merged is None:
+            merged = data.merged()
         graph = build_similarity_graph(
-            data.merged(),
+            merged,
             min_common_users=self.min_common_users,
             min_abs_similarity=self.min_abs_similarity)
         domain_of = data.domain_map()

@@ -150,15 +150,21 @@ class _PipelineBase:
                 AlterEgos for all of them so any can be served online).
         """
         self.data = data
+        # One aggregated table (and therefore one interned
+        # MatrixRatingStore, built lazily on first similarity call) is
+        # shared by the Baseliner's Eq-6 sweep and the Extender's
+        # significance lookups — data.merged() builds a fresh table per
+        # call, which would re-derive every profile per phase.
+        merged = data.merged()
         baseliner = Baseliner(min_common_users=self.config.min_common_users)
-        self.baseline = baseliner.compute(data)
+        self.baseline = baseliner.compute(data, merged=merged)
         self.partition = LayerPartition.from_graph(
             self.baseline.graph, data.domain_map())
         extender = Extender(ExtenderConfig(
             k=self.config.prune_k,
             max_paths_per_item=self.config.max_paths_per_item))
         self.xsim_map = extender.extend(
-            self.baseline.graph, self.partition, data.merged(),
+            self.baseline.graph, self.partition, merged,
             source_domain=data.source.name)
         self.generator = self._make_generator(self.xsim_map)
         alterego_users = (sorted(set(users)) if users is not None

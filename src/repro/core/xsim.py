@@ -22,7 +22,6 @@ from typing import Iterable, Sequence
 
 from repro.data.ratings import RatingTable
 from repro.errors import SimilarityError
-from repro.similarity.significance import normalized_significance, significance
 
 
 class SignificanceCache:
@@ -30,11 +29,14 @@ class SignificanceCache:
 
     Significance is evaluated once per graph edge but read once per
     *meta-path through* that edge, so caching is what keeps the extender
-    at O(km) instead of O(km · path count).
+    at O(km) instead of O(km · path count). Misses go straight to the
+    table's interned :class:`~repro.data.matrix.MatrixRatingStore`
+    (one sorted-column merge over precomputed like/dislike flags) rather
+    than re-intersecting ``Rating`` dicts pair by pair.
     """
 
     def __init__(self, table: RatingTable) -> None:
-        self._table = table
+        self._store = table.matrix()
         self._raw: dict[tuple[str, str], int] = {}
         self._normalized: dict[tuple[str, str], float] = {}
 
@@ -47,7 +49,7 @@ class SignificanceCache:
         key = self._key(item_i, item_j)
         cached = self._raw.get(key)
         if cached is None:
-            cached = significance(self._table, item_i, item_j)
+            cached = self._store.significance(item_i, item_j)
             self._raw[key] = cached
         return cached
 
@@ -56,7 +58,7 @@ class SignificanceCache:
         key = self._key(item_i, item_j)
         cached = self._normalized.get(key)
         if cached is None:
-            cached = normalized_significance(self._table, item_i, item_j)
+            cached = self._store.normalized_significance(item_i, item_j)
             self._normalized[key] = cached
         return cached
 
@@ -99,11 +101,19 @@ def aggregate_xsim(paths: Iterable[tuple[float, float]]) -> float | None:
     then simply has no X-Sim value, mirroring the paper's "set of items
     with *some quantified* X-Sim values".
     """
+    pairs = list(paths)
+    max_certainty = max((c for _, c in pairs), default=0.0)
+    if max_certainty <= 0.0:
+        return None
+    # Normalising by the largest certainty leaves the weighted mean
+    # unchanged but keeps the weights in [0, 1]: with raw subnormal
+    # certainties (long paths multiply many Ŝ ≤ 1 factors) the products
+    # c_p·s_p can underflow to 0 while Σ c_p stays positive, collapsing
+    # the mean to 0 instead of the convex combination it should be.
     total_certainty = 0.0
     weighted = 0.0
-    for similarity, certainty in paths:
-        total_certainty += certainty
-        weighted += certainty * similarity
-    if total_certainty <= 0.0:
-        return None
+    for similarity, certainty in pairs:
+        weight = certainty / max_certainty
+        total_certainty += weight
+        weighted += weight * similarity
     return weighted / total_certainty

@@ -13,6 +13,7 @@ from §6.1 (:mod:`repro.data.splits`).
 """
 
 from repro.data.dataset import CrossDomainDataset, Dataset
+from repro.data.matrix import MatrixRatingStore, numpy_available
 from repro.data.ratings import Rating, RatingTable
 from repro.data.splits import (
     TrainTestSplit,
@@ -25,8 +26,10 @@ from repro.data.synthetic import SyntheticConfig, amazon_like, movielens_like
 __all__ = [
     "CrossDomainDataset",
     "Dataset",
+    "MatrixRatingStore",
     "Rating",
     "RatingTable",
+    "numpy_available",
     "SyntheticConfig",
     "TrainTestSplit",
     "amazon_like",

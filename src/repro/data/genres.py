@@ -73,6 +73,7 @@ def partition_by_genre(dataset: Dataset,
 
     items_d1: set[str] = set()
     items_d2: set[str] = set()
+    tie_breaker = 0
     for item in sorted(dataset.items):
         genres = set(dataset.item_genres.get(item, ()))
         overlap1 = len(genres & g1)
@@ -82,9 +83,13 @@ def partition_by_genre(dataset: Dataset,
         elif overlap2 > overlap1:
             items_d2.add(item)
         else:
-            # Equal overlap: the paper allows either; we alternate
-            # deterministically on the item id so both stay populated.
-            (items_d1 if hash(item) % 2 == 0 else items_d2).add(item)
+            # Equal overlap: the paper allows either; we alternate over
+            # the sorted item order so both stay populated. (Not
+            # hash(item) — string hashing is randomized per process,
+            # which made the split, and every artifact derived from it,
+            # differ run to run.)
+            (items_d1 if tie_breaker == 0 else items_d2).add(item)
+            tie_breaker ^= 1
 
     def build(sub_name: str, items: set[str]) -> Dataset:
         table = dataset.ratings.restricted_to_items(items)

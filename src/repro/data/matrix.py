@@ -1,0 +1,709 @@
+"""The interned, array-backed rating store behind the hot similarity paths.
+
+:class:`~repro.data.ratings.RatingTable` is the semantic store: string ids,
+``Rating`` objects, doubly-indexed dict-of-dicts. That representation is
+right for the evaluation protocols (immutable derivation, per-rating
+timesteps) but wrong for the similarity backbone: the Baseliner's Eq-6
+accumulation and the Extender's significance sweeps spend their time
+hashing string tuples and re-deriving user means from objects.
+
+:class:`MatrixRatingStore` is the compact mirror the hot loops run over:
+
+* user and item ids interned to dense integer indexes (sorted
+  lexicographically, so integer order == string order and results stay
+  deterministic);
+* CSR-style per-user rows and per-item columns of ``(index, value)``
+  pairs, each with the user-mean-centered value (the Eq-6 building block)
+  precomputed alongside;
+* per-user and per-item means, per-item centered/raw L2 norms, per-item
+  like/dislike flags (Definition 2) and per-user item-centered norms
+  (Eq 1), all computed once at construction.
+
+The store has a NumPy fast path and a pure-Python fallback behind the
+same API, selected at construction (``REPRO_PURE_PYTHON=1`` forces the
+fallback — the CI matrix uses it). Means and norms are always computed
+with ``math.fsum`` in pure Python so both backends share bit-identical
+scalars; the pair accumulation orders of the two backends are aligned
+(users ascending, one sequential add per co-rating) so the two paths
+produce *identical* similarity graphs, not merely close ones.
+
+Build one store per pipeline run via :meth:`RatingTable.matrix`, which
+memoizes on the (immutable) table — every string-keyed similarity entry
+point picks it up transparently.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.errors import SimilarityError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.data.ratings import RatingTable
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy fast path can be used (installed and not
+    disabled via the ``REPRO_PURE_PYTHON`` environment variable;
+    ``"0"`` and the empty string count as unset)."""
+    return _np is not None and os.environ.get(
+        "REPRO_PURE_PYTHON", "") in ("", "0")
+
+
+def _clip1(value: float) -> float:
+    return max(-1.0, min(1.0, value))
+
+
+def _intersect_sorted(a: Sequence[int], b: Sequence[int]
+                      ) -> tuple[list[int], list[int]]:
+    """Positions of the common values of two strictly-increasing int
+    sequences (the pure-Python profile intersection)."""
+    pos_a: list[int] = []
+    pos_b: list[int] = []
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            pos_a.append(i)
+            pos_b.append(j)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return pos_a, pos_b
+
+
+class MatrixRatingStore:
+    """Integer-interned, array-backed view of one :class:`RatingTable`.
+
+    Construction is one O(N log N) pass; every similarity primitive is
+    then a sparse merge or accumulation over dense arrays. Instances are
+    immutable and safe to share across pipeline phases.
+    """
+
+    __slots__ = (
+        "users", "items", "user_index", "item_index",
+        "n_ratings", "global_mean", "user_means", "item_means",
+        "user_ptr", "user_item_idx", "user_values", "user_centered",
+        "user_item_centered", "user_item_centered_norms",
+        "item_ptr", "item_user_idx", "item_values", "item_centered",
+        "item_likes", "item_centered_norms", "item_raw_norms",
+        "_use_numpy", "_triu_cache", "_item_names_obj", "_like_dicts",
+    )
+
+    def __init__(self, table: "RatingTable",
+                 use_numpy: bool | None = None) -> None:
+        if use_numpy is None:
+            use_numpy = numpy_available()
+        elif use_numpy and _np is None:
+            raise SimilarityError(
+                "use_numpy=True requested but numpy is not installed")
+        self._use_numpy = bool(use_numpy)
+        self._triu_cache: dict[int, tuple] = {}
+        self._item_names_obj = None
+        self._like_dicts: list[dict[int, bool] | None] | None = None
+
+        users = sorted(table.users)
+        items = sorted(table.items)
+        self.users = users
+        self.items = items
+        user_index = {user: k for k, user in enumerate(users)}
+        item_index = {item: k for k, item in enumerate(items)}
+        self.user_index = user_index
+        self.item_index = item_index
+        n = len(table)
+        self.n_ratings = n
+        self.global_mean = table.global_mean()
+
+        # One pass over the Rating objects, then everything else is sorts
+        # (np.lexsort on the fast path, list sorts on the fallback) and
+        # vectorised arithmetic over flat columns. All sums of float sets
+        # go through math.fsum, which is *exact* (single final rounding),
+        # so means and norms are independent of accumulation order and
+        # identical across backends; centering is one element-wise IEEE
+        # subtraction either way.
+        if self._use_numpy:
+            rows = [(user_index[r.user], item_index[r.item], r.value)
+                    for r in table]
+            if rows:
+                user_raw, item_raw, value_raw = zip(*rows)
+            else:
+                user_raw = item_raw = value_raw = ()
+            user_arr = _np.asarray(user_raw, dtype=_np.int64)
+            item_arr = _np.asarray(item_raw, dtype=_np.int64)
+            value_arr = _np.asarray(value_raw, dtype=_np.float64)
+            csr_order = _np.lexsort((item_arr, user_arr))
+            user_csr = user_arr[csr_order]
+            item_csr = item_arr[csr_order]
+            value_csr = value_arr[csr_order]
+            user_ptr_arr = _np.searchsorted(
+                user_csr, _np.arange(len(users) + 1))
+            user_ptr = user_ptr_arr.tolist()
+            value_csr_list = value_csr.tolist()
+            user_means = [
+                math.fsum(value_csr_list[user_ptr[k]:user_ptr[k + 1]])
+                / (user_ptr[k + 1] - user_ptr[k])
+                for k in range(len(users))]
+            csc_order = _np.lexsort((user_csr, item_csr))
+            item_csc = item_csr[csc_order]
+            item_values_arr = value_csr[csc_order]
+            item_ptr_arr = _np.searchsorted(
+                item_csc, _np.arange(len(items) + 1))
+            item_ptr = item_ptr_arr.tolist()
+            item_values_list = item_values_arr.tolist()
+            item_means = [
+                math.fsum(item_values_list[item_ptr[k]:item_ptr[k + 1]])
+                / (item_ptr[k + 1] - item_ptr[k])
+                for k in range(len(items))]
+            user_means_arr = _np.asarray(user_means, dtype=_np.float64)
+            item_means_arr = _np.asarray(item_means, dtype=_np.float64)
+            user_centered_arr = value_csr - user_means_arr[user_csr]
+            self.user_means = user_means_arr
+            self.item_means = item_means_arr
+            self.user_ptr = user_ptr_arr
+            self.user_item_idx = item_csr
+            self.user_values = value_csr
+            self.user_centered = user_centered_arr
+            self.user_item_centered = value_csr - item_means_arr[item_csr]
+            self.item_ptr = item_ptr_arr
+            self.item_user_idx = user_csr[csc_order]
+            self.item_values = item_values_arr
+            self.item_centered = user_centered_arr[csc_order]
+            self.item_likes = item_values_arr >= item_means_arr[item_csc]
+            user_item_centered_sq = (
+                self.user_item_centered * self.user_item_centered).tolist()
+            item_centered_sq = (
+                self.item_centered * self.item_centered).tolist()
+            item_raw_sq = (item_values_arr * item_values_arr).tolist()
+        else:
+            triples = sorted((user_index[r.user], item_index[r.item], r.value)
+                             for r in table)
+            if triples:
+                user_col, item_col, value_col = map(list, zip(*triples))
+            else:
+                user_col, item_col, value_col = [], [], []
+            user_ptr = [0] * (len(users) + 1)
+            for u in user_col:
+                user_ptr[u + 1] += 1
+            for k in range(len(users)):
+                user_ptr[k + 1] += user_ptr[k]
+            user_means = [
+                math.fsum(value_col[user_ptr[k]:user_ptr[k + 1]])
+                / (user_ptr[k + 1] - user_ptr[k])
+                for k in range(len(users))]
+            perm = sorted(range(n), key=lambda k: (item_col[k], user_col[k]))
+            item_ptr = [0] * (len(items) + 1)
+            for k in perm:
+                item_ptr[item_col[k] + 1] += 1
+            for k in range(len(items)):
+                item_ptr[k + 1] += item_ptr[k]
+            item_values = [value_col[k] for k in perm]
+            item_means = [
+                math.fsum(item_values[item_ptr[k]:item_ptr[k + 1]])
+                / (item_ptr[k + 1] - item_ptr[k])
+                for k in range(len(items))]
+            user_centered = [value_col[k] - user_means[user_col[k]]
+                             for k in range(n)]
+            self.user_means = user_means
+            self.item_means = item_means
+            self.user_ptr = user_ptr
+            self.user_item_idx = item_col
+            self.user_values = value_col
+            self.user_centered = user_centered
+            self.user_item_centered = [
+                value_col[k] - item_means[item_col[k]] for k in range(n)]
+            self.item_ptr = item_ptr
+            self.item_user_idx = [user_col[k] for k in perm]
+            self.item_values = item_values
+            self.item_centered = [user_centered[k] for k in perm]
+            self.item_likes = [
+                item_values[k] >= item_means[item_col[perm[k]]]
+                for k in range(n)]
+            user_item_centered_sq = [c * c for c in self.user_item_centered]
+            item_centered_sq = [c * c for c in self.item_centered]
+            item_raw_sq = [v * v for v in item_values]
+
+        user_item_centered_norms = [
+            math.sqrt(math.fsum(
+                user_item_centered_sq[user_ptr[k]:user_ptr[k + 1]]))
+            for k in range(len(users))]
+        item_centered_norms = [
+            math.sqrt(math.fsum(
+                item_centered_sq[item_ptr[k]:item_ptr[k + 1]]))
+            for k in range(len(items))]
+        item_raw_norms = [
+            math.sqrt(math.fsum(item_raw_sq[item_ptr[k]:item_ptr[k + 1]]))
+            for k in range(len(items))]
+        if self._use_numpy:
+            self.user_item_centered_norms = _np.asarray(
+                user_item_centered_norms, dtype=_np.float64)
+            self.item_centered_norms = _np.asarray(
+                item_centered_norms, dtype=_np.float64)
+            self.item_raw_norms = _np.asarray(
+                item_raw_norms, dtype=_np.float64)
+        else:
+            self.user_item_centered_norms = user_item_centered_norms
+            self.item_centered_norms = item_centered_norms
+            self.item_raw_norms = item_raw_norms
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def uses_numpy(self) -> bool:
+        """Whether this store runs on the NumPy fast path."""
+        return self._use_numpy
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backend = "numpy" if self._use_numpy else "python"
+        return (f"MatrixRatingStore(users={self.n_users}, "
+                f"items={self.n_items}, ratings={self.n_ratings}, "
+                f"backend={backend})")
+
+    # ------------------------------------------------------------------
+    # Column / row slices
+    # ------------------------------------------------------------------
+
+    def _item_col(self, idx: int) -> tuple[int, int]:
+        return int(self.item_ptr[idx]), int(self.item_ptr[idx + 1])
+
+    def _user_row(self, idx: int) -> tuple[int, int]:
+        return int(self.user_ptr[idx]), int(self.user_ptr[idx + 1])
+
+    def item_raters(self, idx: int) -> int:
+        """``|Y_i|`` for an item *index*."""
+        start, end = self._item_col(idx)
+        return end - start
+
+    # ------------------------------------------------------------------
+    # Pairwise metrics (string-keyed adapters live in repro.similarity)
+    # ------------------------------------------------------------------
+
+    def _common_dot(self, index_column, value_column,
+                    slice_a: tuple[int, int],
+                    slice_b: tuple[int, int]) -> float:
+        """Dot product of two *value_column* slices over the intersection
+        of the corresponding (strictly increasing) *index_column* slices.
+
+        The one intersection kernel every pairwise metric shares —
+        ``intersect1d`` on the NumPy path, a two-pointer merge on the
+        fallback.
+        """
+        start_a, end_a = slice_a
+        start_b, end_b = slice_b
+        if self._use_numpy:
+            _, pos_a, pos_b = _np.intersect1d(
+                index_column[start_a:end_a], index_column[start_b:end_b],
+                assume_unique=True, return_indices=True)
+            if len(pos_a) == 0:
+                return 0.0
+            return float(_np.dot(value_column[start_a:end_a][pos_a],
+                                 value_column[start_b:end_b][pos_b]))
+        pos_a, pos_b = _intersect_sorted(index_column[start_a:end_a],
+                                         index_column[start_b:end_b])
+        values_a = value_column[start_a:end_a]
+        values_b = value_column[start_b:end_b]
+        total = 0.0
+        for x, y in zip(pos_a, pos_b):
+            total += values_a[x] * values_b[y]
+        return total
+
+    def _common_values(self, index_column, value_column,
+                       slice_a: tuple[int, int],
+                       slice_b: tuple[int, int]
+                       ) -> tuple[list[float], list[float]]:
+        """Aligned value pairs over the intersection, as plain lists."""
+        start_a, end_a = slice_a
+        start_b, end_b = slice_b
+        if self._use_numpy:
+            _, pos_a, pos_b = _np.intersect1d(
+                index_column[start_a:end_a], index_column[start_b:end_b],
+                assume_unique=True, return_indices=True)
+            return (value_column[start_a:end_a][pos_a].tolist(),
+                    value_column[start_b:end_b][pos_b].tolist())
+        pos_a, pos_b = _intersect_sorted(index_column[start_a:end_a],
+                                         index_column[start_b:end_b])
+        values_a = value_column[start_a:end_a]
+        values_b = value_column[start_b:end_b]
+        return ([values_a[x] for x in pos_a], [values_b[y] for y in pos_b])
+
+    def adjusted_cosine(self, item_i: str, item_j: str) -> float:
+        """Eq 6 over the precomputed centered columns and norms."""
+        i = self.item_index.get(item_i)
+        j = self.item_index.get(item_j)
+        if i is None or j is None:
+            return 0.0
+        if i == j:
+            return 0.0 if self.item_centered_norms[i] == 0.0 else 1.0
+        numerator = self._common_dot(
+            self.item_user_idx, self.item_centered,
+            self._item_col(i), self._item_col(j))
+        if numerator == 0.0:
+            return 0.0
+        denominator = (self.item_centered_norms[i]
+                       * self.item_centered_norms[j])
+        if denominator == 0.0:
+            return 0.0
+        return _clip1(numerator / denominator)
+
+    def cosine(self, item_i: str, item_j: str) -> float:
+        """Plain cosine over the raw columns, norms over full rater sets."""
+        i = self.item_index.get(item_i)
+        j = self.item_index.get(item_j)
+        if i is None or j is None:
+            return 0.0
+        numerator = self._common_dot(
+            self.item_user_idx, self.item_values,
+            self._item_col(i), self._item_col(j))
+        if numerator == 0.0:
+            return 0.0
+        denominator = self.item_raw_norms[i] * self.item_raw_norms[j]
+        if denominator == 0.0:
+            return 0.0
+        return _clip1(numerator / denominator)
+
+    def pearson_items(self, item_i: str, item_j: str) -> float:
+        """Item–item Pearson over co-raters (centered on co-rater means)."""
+        i = self.item_index.get(item_i)
+        j = self.item_index.get(item_j)
+        if i is None or j is None:
+            return 0.0
+        values_i, values_j = self._common_values(
+            self.item_user_idx, self.item_values,
+            self._item_col(i), self._item_col(j))
+        if len(values_i) < 2:
+            return 0.0
+        mean_i = math.fsum(values_i) / len(values_i)
+        mean_j = math.fsum(values_j) / len(values_j)
+        numerator = math.fsum(
+            (vi - mean_i) * (vj - mean_j)
+            for vi, vj in zip(values_i, values_j))
+        var_i = math.fsum((vi - mean_i) ** 2 for vi in values_i)
+        var_j = math.fsum((vj - mean_j) ** 2 for vj in values_j)
+        if var_i == 0.0 or var_j == 0.0:
+            return 0.0
+        return _clip1(numerator / math.sqrt(var_i * var_j))
+
+    def pearson_users(self, user_a: str, user_b: str) -> float:
+        """Eq 1: item-mean-centered numerator, full-profile norms."""
+        a = self.user_index.get(user_a)
+        b = self.user_index.get(user_b)
+        if a is None or b is None:
+            return 0.0
+        numerator = self._common_dot(
+            self.user_item_idx, self.user_item_centered,
+            self._user_row(a), self._user_row(b))
+        if numerator == 0.0:
+            return 0.0
+        denominator = (self.user_item_centered_norms[a]
+                       * self.user_item_centered_norms[b])
+        if denominator == 0.0:
+            return 0.0
+        return _clip1(numerator / denominator)
+
+    def _like_dict(self, idx: int) -> dict[int, bool]:
+        """Lazy per-item ``user index → likes`` dict (cached).
+
+        Typical item profiles have tens-to-hundreds of raters, where a
+        small-dict probe loop beats array set-intersection constants by a
+        wide margin — this is the Definition-2 hot path the Extender's
+        significance sweeps hit, so it gets the dict treatment on both
+        backends (the result is an integer count; no float concerns).
+        """
+        if self._like_dicts is None:
+            self._like_dicts = [None] * len(self.items)
+        cached = self._like_dicts[idx]
+        if cached is None:
+            start, end = self._item_col(idx)
+            users = self.item_user_idx[start:end]
+            likes = self.item_likes[start:end]
+            if self._use_numpy:
+                users = users.tolist()
+                likes = likes.tolist()
+            cached = dict(zip(users, likes))
+            self._like_dicts[idx] = cached
+        return cached
+
+    def significance(self, item_i: str, item_j: str) -> int:
+        """Definition 2: probe the smaller like-dict against the larger."""
+        i = self.item_index.get(item_i)
+        j = self.item_index.get(item_j)
+        if i is None or j is None:
+            return 0
+        likes_i = self._like_dict(i)
+        likes_j = self._like_dict(j)
+        if len(likes_j) < len(likes_i):
+            likes_i, likes_j = likes_j, likes_i
+        lookup = likes_j.get
+        count = 0
+        for user, like in likes_i.items():
+            other = lookup(user)
+            if other is not None and other == like:
+                count += 1
+        return count
+
+    def common_raters(self, item_i: str, item_j: str) -> int:
+        """``|Y_i ∩ Y_j|`` via the same smaller-into-larger probe."""
+        i = self.item_index.get(item_i)
+        j = self.item_index.get(item_j)
+        if i is None or j is None:
+            return 0
+        likes_i = self._like_dict(i)
+        likes_j = self._like_dict(j)
+        if len(likes_j) < len(likes_i):
+            likes_i, likes_j = likes_j, likes_i
+        return sum(1 for user in likes_i if user in likes_j)
+
+    def normalized_significance(self, item_i: str, item_j: str) -> float:
+        """Definition 4: ``S_{i,j} / |Y_i ∪ Y_j|`` without materialising
+        the union — ``|Y_i| + |Y_j| − |Y_i ∩ Y_j|``."""
+        i = self.item_index.get(item_i)
+        j = self.item_index.get(item_j)
+        raters_i = self.item_raters(i) if i is not None else 0
+        raters_j = self.item_raters(j) if j is not None else 0
+        if i == j and i is not None:
+            # Degenerate self-query: union == each profile.
+            return self.significance(item_i, item_j) / raters_i
+        union = raters_i + raters_j - self.common_raters(item_i, item_j)
+        if union == 0:
+            raise SimilarityError(
+                f"normalized significance undefined: neither {item_i!r} "
+                f"nor {item_j!r} has raters")
+        return self.significance(item_i, item_j) / union
+
+    # ------------------------------------------------------------------
+    # All-pairs adjusted cosine (the Baseliner's Eq-6 sweep)
+    # ------------------------------------------------------------------
+
+    def _triu(self, n: int):
+        """Cached upper-triangle index pair for a profile of length *n*
+        (profile lengths repeat heavily, so the cache removes most of the
+        per-user index-generation cost)."""
+        cached = self._triu_cache.get(n)
+        if cached is None:
+            cached = _np.triu_indices(n, 1)
+            self._triu_cache[n] = cached
+        return cached
+
+    def all_pairs_adjusted_cosine(
+            self, min_common_users: int = 1,
+            max_profile_size: int | None = None,
+    ) -> Iterator[tuple[str, str, float]]:
+        """Yield ``(i, j, sim)`` for every co-rated item pair (Eq 6).
+
+        Both backends accumulate the numerators in the same canonical
+        order (profile-length groups ascending, user index ascending
+        within a group, one sequential add per co-rating), so they
+        produce bit-identical sums and therefore identical graphs. Pairs
+        come out sorted by (i, j) with ``i < j`` (interning is
+        lexicographic, so integer order is string order).
+
+        Peak memory on the NumPy path is one ``(key, value)`` pair per
+        co-rating contribution (``Σ_u |X_u|²`` entries); cap skewed
+        profiles with *max_profile_size* as the paper's Spark job does.
+        """
+        if self._use_numpy:
+            yield from self._all_pairs_numpy(min_common_users,
+                                             max_profile_size)
+        else:
+            yield from self._all_pairs_python(min_common_users,
+                                              max_profile_size)
+
+    def _pair_arrays_numpy(self, min_common_users: int,
+                           max_profile_size: int | None):
+        """The filtered Eq-6 pair sweep as three aligned arrays
+        ``(left item idx, right item idx, similarity)``, or None when no
+        user contributes a pair.
+
+        Users are batched by profile length so each batch is one 2-D
+        gather + one broadcasted multiply instead of a per-user Python
+        iteration. The contribution order (length groups ascending,
+        users ascending within a group, triu pair order within a user)
+        is mirrored exactly by the pure-Python fallback, and bincount
+        adds sequentially in input order — hence bit-identical sums and
+        identical output graphs across backends.
+        """
+        n_items = len(self.items)
+        lengths = _np.diff(self.user_ptr)
+        mask = lengths >= 2
+        if max_profile_size is not None:
+            mask &= lengths <= max_profile_size
+        eligible = _np.nonzero(mask)[0]
+        if len(eligible) == 0:
+            return None
+        eligible = eligible[_np.argsort(lengths[eligible], kind="stable")]
+        group_lengths = lengths[eligible]
+        starts = self.user_ptr[eligible]
+        key_parts = []
+        value_parts = []
+        distinct, group_bounds = _np.unique(group_lengths, return_index=True)
+        group_bounds = list(group_bounds) + [len(eligible)]
+        for g, length in enumerate(distinct.tolist()):
+            batch_starts = starts[group_bounds[g]:group_bounds[g + 1]]
+            offsets = batch_starts[:, None] + _np.arange(length)
+            idx = self.user_item_idx[offsets]
+            centered = self.user_centered[offsets]
+            rows, cols = self._triu(length)
+            key_parts.append((idx[:, rows] * n_items + idx[:, cols]).ravel())
+            value_parts.append((centered[:, rows] * centered[:, cols]).ravel())
+        keys = _np.concatenate(key_parts)
+        values = _np.concatenate(value_parts)
+        # Two accumulation strategies with identical results (bincount
+        # adds sequentially in input order either way): a dense m²-sized
+        # accumulator when the item space is small relative to the
+        # contribution count (no sort at all), else sort-based grouping
+        # via np.unique. The 2²⁴ ceiling caps the dense accumulator at
+        # ~256 MB for the two arrays.
+        if n_items * n_items <= max(1 << 20, min(4 * len(keys), 1 << 24)):
+            space = n_items * n_items
+            dense_counts = _np.bincount(keys, minlength=space)
+            dense_sums = _np.bincount(keys, weights=values, minlength=space)
+            uniq = _np.nonzero(dense_counts)[0]
+            counts = dense_counts[uniq]
+            sums = dense_sums[uniq]
+        else:
+            uniq, inverse, counts = _np.unique(
+                keys, return_inverse=True, return_counts=True)
+            sums = _np.bincount(inverse, weights=values, minlength=len(uniq))
+        left = uniq // n_items
+        right = uniq % n_items
+        denominators = (self.item_centered_norms[left]
+                        * self.item_centered_norms[right])
+        keep = (counts >= min_common_users) & (sums != 0.0) \
+            & (denominators != 0.0)
+        similarities = _np.clip(sums[keep] / denominators[keep], -1.0, 1.0)
+        return left[keep], right[keep], similarities
+
+    def _all_pairs_numpy(self, min_common_users: int,
+                         max_profile_size: int | None
+                         ) -> Iterator[tuple[str, str, float]]:
+        arrays = self._pair_arrays_numpy(min_common_users, max_profile_size)
+        if arrays is None:
+            return
+        left, right, similarities = arrays
+        items = self.items
+        for a, b, sim in zip(left.tolist(), right.tolist(),
+                             similarities.tolist()):
+            yield items[a], items[b], sim
+
+    def build_adjacency(
+            self, min_common_users: int = 1,
+            min_abs_similarity: float = 0.0,
+            max_profile_size: int | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """The full symmetric Eq-6 adjacency, assembled in bulk.
+
+        Semantically ``{i: {j: sim}}`` over the pairs
+        :meth:`all_pairs_adjusted_cosine` yields (every item present,
+        isolated ones with an empty neighbor dict; edges with
+        ``|sim| < min_abs_similarity`` dropped), but built without a
+        per-edge Python loop: on the NumPy path the directed edge list is
+        sorted once and each item's neighbor dict is one C-speed
+        ``dict(zip(...))`` over a contiguous slice. This is what
+        :func:`~repro.similarity.graph.build_similarity_graph` adopts
+        wholesale — per-edge dict churn was the second-largest cost of
+        graph construction after the pair sweep itself.
+        """
+        adjacency: dict[str, dict[str, float]] = {
+            item: {} for item in self.items}
+        if not self._use_numpy:
+            for item_i, item_j, sim in self._all_pairs_python(
+                    min_common_users, max_profile_size):
+                if abs(sim) >= min_abs_similarity:
+                    adjacency[item_i][item_j] = sim
+                    adjacency[item_j][item_i] = sim
+            return adjacency
+        arrays = self._pair_arrays_numpy(min_common_users, max_profile_size)
+        if arrays is None:
+            return adjacency
+        left, right, similarities = arrays
+        if min_abs_similarity > 0.0:
+            keep = _np.abs(similarities) >= min_abs_similarity
+            left, right, similarities = (
+                left[keep], right[keep], similarities[keep])
+        if self._item_names_obj is None:
+            self._item_names_obj = _np.asarray(self.items, dtype=object)
+        source = _np.concatenate([left, right])
+        target = _np.concatenate([right, left])
+        weight = _np.concatenate([similarities, similarities])
+        order = _np.argsort(source, kind="stable")
+        source = source[order]
+        target_names = self._item_names_obj[target[order]].tolist()
+        weights = weight[order].tolist()
+        bounds = _np.searchsorted(source, _np.arange(len(self.items) + 1))
+        items = self.items
+        for k, (start, end) in enumerate(zip(bounds[:-1].tolist(),
+                                             bounds[1:].tolist())):
+            if start != end:
+                adjacency[items[k]] = dict(
+                    zip(target_names[start:end], weights[start:end]))
+        return adjacency
+
+    def _all_pairs_python(self, min_common_users: int,
+                          max_profile_size: int | None
+                          ) -> Iterator[tuple[str, str, float]]:
+        n_items = len(self.items)
+        numerators: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        ptr = self.user_ptr
+        idx_all = self.user_item_idx
+        centered_all = self.user_centered
+        lengths = [ptr[u + 1] - ptr[u] for u in range(len(self.users))]
+        # Same accumulation order as the NumPy batches (length groups
+        # ascending, user index ascending within a group) so the two
+        # backends produce bit-identical numerator sums.
+        order = sorted(
+            (u for u in range(len(self.users))
+             if lengths[u] >= 2
+             and (max_profile_size is None or lengths[u] <= max_profile_size)),
+            key=lambda u: (lengths[u], u))
+        for u in order:
+            start, end = ptr[u], ptr[u + 1]
+            length = end - start
+            idx = idx_all[start:end]
+            centered = centered_all[start:end]
+            for a in range(length):
+                base = idx[a] * n_items
+                centered_a = centered[a]
+                for b in range(a + 1, length):
+                    key = base + idx[b]
+                    value = centered_a * centered[b]
+                    if key in numerators:
+                        numerators[key] += value
+                        counts[key] += 1
+                    else:
+                        numerators[key] = value
+                        counts[key] = 1
+        norms = self.item_centered_norms
+        items = self.items
+        for key in sorted(numerators):
+            if counts[key] < min_common_users:
+                continue
+            numerator = numerators[key]
+            if numerator == 0.0:
+                continue
+            left, right = divmod(key, n_items)
+            denominator = norms[left] * norms[right]
+            if denominator == 0.0:
+                continue
+            yield items[left], items[right], _clip1(numerator / denominator)

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.data.matrix import MatrixRatingStore
 
 #: Default rating scale used by the Amazon and MovieLens traces (§6.1).
 DEFAULT_SCALE = (1.0, 5.0)
@@ -65,7 +68,7 @@ class RatingTable:
     """
 
     __slots__ = ("_by_user", "_by_item", "_scale", "_n", "_user_mean_cache",
-                 "_item_mean_cache", "_global_mean_cache")
+                 "_item_mean_cache", "_global_mean_cache", "_matrix_cache")
 
     def __init__(self, ratings: Iterable[Rating] = (),
                  scale: tuple[float, float] = DEFAULT_SCALE) -> None:
@@ -94,6 +97,7 @@ class RatingTable:
         self._user_mean_cache: dict[str, float] = {}
         self._item_mean_cache: dict[str, float] = {}
         self._global_mean_cache: float | None = None
+        self._matrix_cache = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -203,6 +207,23 @@ class RatingTable:
                 total = math.fsum(r.value for r in self)
                 self._global_mean_cache = total / self._n
         return self._global_mean_cache
+
+    # ------------------------------------------------------------------
+    # Indexed view (the similarity layer's hot-path representation)
+    # ------------------------------------------------------------------
+
+    def matrix(self) -> "MatrixRatingStore":
+        """The interned, array-backed view of this table (memoized).
+
+        Built lazily on first use and shared by every similarity entry
+        point, so one pipeline run derives the per-user/per-item arrays,
+        means and norms exactly once. Tables are immutable, which is what
+        makes the memoization sound.
+        """
+        if self._matrix_cache is None:
+            from repro.data.matrix import MatrixRatingStore
+            self._matrix_cache = MatrixRatingStore(self)
+        return self._matrix_cache
 
     # ------------------------------------------------------------------
     # Derivation (immutable-style updates)

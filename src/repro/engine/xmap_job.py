@@ -122,11 +122,11 @@ def run_xmap_job(data: CrossDomainDataset, cluster: ClusterSpec,
     graph = ItemGraph()
     for item in merged.items:
         graph.add_item(item)
-    for (item_a, item_b), numerator in numerators.items():
-        denom = norms.get(item_a, 0.0) * norms.get(item_b, 0.0)
-        if denom > 0.0 and numerator != 0.0:
-            graph.add_edge(item_a, item_b,
-                           max(-1.0, min(1.0, numerator / denom)))
+    graph.add_edges(
+        (item_a, item_b, max(-1.0, min(1.0, numerator / denom)))
+        for (item_a, item_b), numerator in numerators.items()
+        if (denom := norms.get(item_a, 0.0) * norms.get(item_b, 0.0)) > 0.0
+        and numerator != 0.0)
 
     # Stage group 3 (driver): layers + pruned adjacency, then broadcast.
     partition = LayerPartition.from_graph(graph, data.domain_map())

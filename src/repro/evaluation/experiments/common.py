@@ -88,13 +88,18 @@ class XMapLab:
         self.seed = seed
         self.n_replacements = n_replacements
         data = split.train
-        self.baseline = Baseliner().compute(data)
+        # One merged table shared by the Baseliner and the Extender's
+        # significance sweeps, so its interned MatrixRatingStore is
+        # built once per lab (data.merged() builds a fresh table — and
+        # therefore a fresh store — per call).
+        merged = data.merged()
+        self.baseline = Baseliner().compute(data, merged=merged)
         self.partition = LayerPartition.from_graph(
             self.baseline.graph, data.domain_map())
         extender = Extender(ExtenderConfig(
             k=prune_k, max_paths_per_item=max_paths_per_item))
         self.xsim_map = extender.extend(
-            self.baseline.graph, self.partition, data.merged(),
+            self.baseline.graph, self.partition, merged,
             source_domain=data.source.name)
         self._nx_table: RatingTable | None = None
         self._private_tables: dict[float, RatingTable] = {}

@@ -20,11 +20,12 @@ def run(quick: bool = False, seed: int = 7,
         prune_k: int = 20) -> ExperimentResult:
     """Count both kinds of heterogeneous similarity on the trace."""
     data = quick_trace(seed) if quick else default_trace(seed)
-    baseline = Baseliner().compute(data)
+    merged = data.merged()  # one table (and one matrix store) per run
+    baseline = Baseliner().compute(data, merged=merged)
     partition = LayerPartition.from_graph(baseline.graph, data.domain_map())
     extender = Extender(ExtenderConfig(k=prune_k))
     xsim_map = extender.extend(
-        baseline.graph, partition, data.merged(),
+        baseline.graph, partition, merged,
         source_domain=data.source.name)
     standard = baseline.n_heterogeneous
     meta_path = count_heterogeneous_pairs(xsim_map)

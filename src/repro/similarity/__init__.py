@@ -11,6 +11,7 @@
 from repro.similarity.adjusted_cosine import (
     adjusted_cosine,
     all_pairs_adjusted_cosine,
+    all_pairs_adjusted_cosine_reference,
 )
 from repro.similarity.cosine import cosine
 from repro.similarity.graph import ItemGraph, build_similarity_graph
@@ -19,17 +20,20 @@ from repro.similarity.pearson import pearson_items, pearson_users
 from repro.similarity.significance import (
     normalized_significance,
     significance,
+    significance_reference,
 )
 
 __all__ = [
     "ItemGraph",
     "adjusted_cosine",
     "all_pairs_adjusted_cosine",
+    "all_pairs_adjusted_cosine_reference",
     "build_similarity_graph",
     "cosine",
     "normalized_significance",
     "pearson_items",
     "pearson_users",
     "significance",
+    "significance_reference",
     "top_k",
 ]

@@ -8,10 +8,20 @@ it both for Algorithm 2 and as the baseline similarity graph ``G_ac``.
 
 Two entry points:
 
-* :func:`adjusted_cosine` — one pair, used by tests and spot checks;
+* :func:`adjusted_cosine` — one pair, used by tests, spot checks and the
+  item-kNN recommenders;
 * :func:`all_pairs_adjusted_cosine` — every co-rated pair in one pass over
   users, which is how the Baseliner (§5.1) computes ``G_ac`` without
   touching the O(m²) pairs that share no user.
+
+Both are string-keyed adapters over the table's interned
+:class:`~repro.data.matrix.MatrixRatingStore`: the centered profiles and
+per-item norms are derived once per table, and the Eq-6 accumulation runs
+over dense integer keys (vectorized under NumPy, plain arrays otherwise).
+The original object-graph implementation is kept as
+:func:`all_pairs_adjusted_cosine_reference` — it is the oracle for the
+equivalence property tests and the baseline for the microbenchmarks in
+``benchmarks/test_similarity_bench.py``.
 """
 
 from __future__ import annotations
@@ -22,49 +32,16 @@ from typing import Iterator
 from repro.data.ratings import RatingTable
 
 
-def _item_norms(table: RatingTable) -> dict[str, float]:
-    """Per-item L2 norm of user-mean-centered ratings: the denominator
-    terms of Eq 6, ``sqrt(Σ_{u∈Y_i} (r_{u,i} − r̄_u)²)``."""
-    norms: dict[str, float] = {}
-    for item in table.items:
-        acc = 0.0
-        for user, rating in table.item_profile(item).items():
-            centered = rating.value - table.user_mean(user)
-            acc += centered * centered
-        norms[item] = math.sqrt(acc)
-    return norms
-
-
 def adjusted_cosine(table: RatingTable, item_i: str, item_j: str) -> float:
     """Adjusted cosine similarity between two items (Eq 6).
 
     Returns 0.0 when the items share no user or either centered norm is
     zero (an item whose every rater rated at their personal mean carries
-    no preference signal).
+    no preference signal). One sorted-profile merge per call; the
+    centered profiles and both norms come precomputed from the store
+    instead of being rebuilt per pair.
     """
-    profile_i = table.item_profile(item_i)
-    profile_j = table.item_profile(item_j)
-    if len(profile_j) < len(profile_i):
-        profile_i, profile_j = profile_j, profile_i
-    numerator = 0.0
-    for user, rating_i in profile_i.items():
-        rating_j = profile_j.get(user)
-        if rating_j is None:
-            continue
-        mean = table.user_mean(user)
-        numerator += (rating_i.value - mean) * (rating_j.value - mean)
-    if numerator == 0.0:
-        return 0.0
-    norms = 1.0
-    for item in (item_i, item_j):
-        acc = 0.0
-        for user, rating in table.item_profile(item).items():
-            centered = rating.value - table.user_mean(user)
-            acc += centered * centered
-        norms *= math.sqrt(acc)
-    if norms == 0.0:
-        return 0.0
-    return max(-1.0, min(1.0, numerator / norms))
+    return table.matrix().adjusted_cosine(item_i, item_j)
 
 
 def all_pairs_adjusted_cosine(
@@ -85,6 +62,41 @@ def all_pairs_adjusted_cosine(
             paper's Spark job has the same practical guard via
             partitioning). ``None`` disables the cap.
     """
+    return table.matrix().all_pairs_adjusted_cosine(
+        min_common_users=min_common_users,
+        max_profile_size=max_profile_size)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (pre-store object-graph path)
+# ----------------------------------------------------------------------
+
+def _item_norms_reference(table: RatingTable) -> dict[str, float]:
+    """Per-item L2 norm of user-mean-centered ratings: the denominator
+    terms of Eq 6, ``sqrt(Σ_{u∈Y_i} (r_{u,i} − r̄_u)²)``."""
+    norms: dict[str, float] = {}
+    for item in table.items:
+        acc = 0.0
+        for user, rating in table.item_profile(item).items():
+            centered = rating.value - table.user_mean(user)
+            acc += centered * centered
+        norms[item] = math.sqrt(acc)
+    return norms
+
+
+def all_pairs_adjusted_cosine_reference(
+        table: RatingTable,
+        min_common_users: int = 1,
+        max_profile_size: int | None = None,
+) -> Iterator[tuple[str, str, float]]:
+    """The original tuple-keyed dict accumulation over ``Rating`` objects.
+
+    Kept verbatim as the oracle for the store-backed fast path: the
+    property tests assert pairwise agreement to 1e-9 (including the
+    ``min_common_users`` and ``max_profile_size`` guards) and the
+    microbenchmarks report the speedup against it. Not used by any
+    production code path.
+    """
     numerators: dict[tuple[str, str], float] = {}
     common: dict[tuple[str, str], int] = {}
     for user in table.users:
@@ -101,7 +113,7 @@ def all_pairs_adjusted_cosine(
                 key = (item_a, item_b)
                 numerators[key] = numerators.get(key, 0.0) + centered_a * centered_b
                 common[key] = common.get(key, 0) + 1
-    norms = _item_norms(table)
+    norms = _item_norms_reference(table)
     for (item_a, item_b), numerator in numerators.items():
         if common[(item_a, item_b)] < min_common_users:
             continue

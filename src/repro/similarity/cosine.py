@@ -4,11 +4,14 @@ One of the classical metrics of [29] that §3.1 lists as an alternative to
 adjusted cosine for the baseline graph. Ratings are used raw (no
 centering), so two items loved by the same enthusiastic raters score high
 even if those raters love everything.
+
+String-keyed adapter over the table's interned
+:class:`~repro.data.matrix.MatrixRatingStore`: raw per-item norms are
+precomputed once per table and the co-rater dot product runs as one
+sorted-profile merge.
 """
 
 from __future__ import annotations
-
-import math
 
 from repro.data.ratings import RatingTable
 
@@ -19,21 +22,4 @@ def cosine(table: RatingTable, item_i: str, item_j: str) -> float:
     Norms are taken over each item's full rater set (consistent with the
     adjusted-cosine convention in Eq 6). Returns 0.0 without co-raters.
     """
-    profile_i = table.item_profile(item_i)
-    profile_j = table.item_profile(item_j)
-    if len(profile_j) < len(profile_i):
-        profile_i, profile_j = profile_j, profile_i
-    numerator = 0.0
-    for user, rating_i in profile_i.items():
-        rating_j = profile_j.get(user)
-        if rating_j is not None:
-            numerator += rating_i.value * rating_j.value
-    if numerator == 0.0:
-        return 0.0
-    norm_i = math.sqrt(math.fsum(
-        r.value * r.value for r in table.item_profile(item_i).values()))
-    norm_j = math.sqrt(math.fsum(
-        r.value * r.value for r in table.item_profile(item_j).values()))
-    if norm_i == 0.0 or norm_j == 0.0:
-        return 0.0
-    return max(-1.0, min(1.0, numerator / (norm_i * norm_j)))
+    return table.matrix().cosine(item_i, item_j)

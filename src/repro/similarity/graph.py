@@ -16,7 +16,6 @@ from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.data.ratings import RatingTable
 from repro.errors import GraphError
-from repro.similarity.adjusted_cosine import all_pairs_adjusted_cosine
 from repro.similarity.knn import top_k
 
 
@@ -36,6 +35,21 @@ class ItemGraph:
         """Ensure *item* exists as an (initially isolated) vertex."""
         self._adjacency.setdefault(item, {})
 
+    @classmethod
+    def from_adjacency(cls,
+                       adjacency: dict[str, dict[str, float]]) -> "ItemGraph":
+        """Adopt a prebuilt adjacency mapping without copying.
+
+        The mapping must already be symmetric (``j in adjacency[i]`` iff
+        ``i in adjacency[j]``, equal weights) and self-loop free; the
+        caller keeps no reference. This is the bulk construction path the
+        Baseliner uses with
+        :meth:`~repro.data.matrix.MatrixRatingStore.build_adjacency`.
+        """
+        graph = cls()
+        graph._adjacency = adjacency
+        return graph
+
     def add_edge(self, item_i: str, item_j: str, similarity: float) -> None:
         """Add (or overwrite) the undirected edge ``{i, j}``.
 
@@ -46,6 +60,28 @@ class ItemGraph:
             raise GraphError(f"self-loop on {item_i!r} is not allowed")
         self._adjacency.setdefault(item_i, {})[item_j] = similarity
         self._adjacency.setdefault(item_j, {})[item_i] = similarity
+
+    def add_edges(self, edges: Iterable[tuple[str, str, float]]) -> None:
+        """Bulk-add undirected edges from ``(i, j, sim)`` triples.
+
+        Equivalent to calling :meth:`add_edge` per triple but keeps the
+        per-endpoint neighbor dict in a local instead of paying two
+        ``setdefault`` lookups per edge — this is what the Baseliner uses
+        to materialise the millions of Eq-6 edges of ``G_ac``.
+        """
+        adjacency = self._adjacency
+        get = adjacency.get
+        for item_i, item_j, similarity in edges:
+            if item_i == item_j:
+                raise GraphError(f"self-loop on {item_i!r} is not allowed")
+            neighbors = get(item_i)
+            if neighbors is None:
+                neighbors = adjacency[item_i] = {}
+            neighbors[item_j] = similarity
+            neighbors = get(item_j)
+            if neighbors is None:
+                neighbors = adjacency[item_j] = {}
+            neighbors[item_i] = similarity
 
     def remove_edge(self, item_i: str, item_j: str) -> None:
         """Remove the edge ``{i, j}`` if present."""
@@ -94,12 +130,19 @@ class ItemGraph:
     def top_neighbors(self, item: str, k: int,
                       among: Iterable[str] | None = None,
                       minimum: float | None = None) -> list[tuple[str, float]]:
-        """Top-k neighbors of *item*, optionally restricted to *among*."""
+        """Top-k neighbors of *item*, optionally restricted to *among*.
+
+        When *among* is already a set (the layer partitioner hands in
+        frozensets) it is used as-is — no per-call set rebuild — and the
+        restriction streams straight into the selection without an
+        intermediate dict.
+        """
         nbrs = self._adjacency.get(item, {})
-        if among is not None:
-            allowed = set(among)
-            nbrs = {n: s for n, s in nbrs.items() if n in allowed}
-        return top_k(nbrs, k, minimum=minimum)
+        if among is None:
+            return top_k(nbrs, k, minimum=minimum)
+        allowed = among if isinstance(among, (set, frozenset)) else set(among)
+        candidates = [(n, s) for n, s in nbrs.items() if n in allowed]
+        return top_k(candidates, k, minimum=minimum)
 
     def degree(self, item: str) -> int:
         """Number of incident edges."""
@@ -133,15 +176,16 @@ def build_similarity_graph(
     Every item in *table* becomes a vertex even if isolated — the layer
     partitioner needs to see isolated items to classify them NN.
     """
+    if pair_source is None:
+        # Bulk path: the store assembles the whole symmetric adjacency
+        # (isolated items included) without a per-edge Python loop.
+        return ItemGraph.from_adjacency(table.matrix().build_adjacency(
+            min_common_users=min_common_users,
+            min_abs_similarity=min_abs_similarity))
     graph = ItemGraph()
     for item in table.items:
         graph.add_item(item)
-    if pair_source is None:
-        pairs: Iterable[tuple[str, str, float]] = all_pairs_adjusted_cosine(
-            table, min_common_users=min_common_users)
-    else:
-        pairs = pair_source(table)
-    for item_i, item_j, sim in pairs:
-        if abs(sim) >= min_abs_similarity and sim != 0.0:
-            graph.add_edge(item_i, item_j, sim)
+    graph.add_edges(
+        (item_i, item_j, sim) for item_i, item_j, sim in pair_source(table)
+        if abs(sim) >= min_abs_similarity and sim != 0.0)
     return graph

@@ -13,15 +13,20 @@ import heapq
 from typing import Iterable, Mapping
 
 
-def top_k(similarities: Mapping[str, float], k: int,
+def top_k(similarities: Mapping[str, float] | Iterable[tuple[str, float]],
+          k: int,
           exclude: Iterable[str] = (),
           minimum: float | None = None) -> list[tuple[str, float]]:
     """Return the k highest-similarity (id, similarity) pairs.
 
     Args:
-        similarities: candidate id → similarity.
+        similarities: candidate id → similarity mapping, or an iterable
+            of (id, similarity) pairs (lets callers stream candidates
+            without building an intermediate dict).
         k: how many to keep; ``k <= 0`` returns an empty list.
-        exclude: ids never to return (e.g. the query item itself).
+        exclude: ids never to return (e.g. the query item itself). A set
+            is used as-is; other iterables are materialised once. The
+            common ``exclude=()`` case skips the filter entirely.
         minimum: if given, drop candidates with similarity strictly below
             it (the Extender uses 0.0 to keep only positive edges when
             building shortlists).
@@ -30,12 +35,17 @@ def top_k(similarities: Mapping[str, float], k: int,
     """
     if k <= 0:
         return []
-    excluded = set(exclude)
-    candidates = (
-        (identifier, value) for identifier, value in similarities.items()
-        if identifier not in excluded
-        and (minimum is None or value >= minimum))
+    candidates: Iterable[tuple[str, float]]
+    if isinstance(similarities, Mapping):
+        candidates = similarities.items()
+    else:
+        candidates = similarities
+    if not isinstance(exclude, (set, frozenset)):
+        exclude = set(exclude)
+    if exclude:
+        candidates = (pair for pair in candidates if pair[0] not in exclude)
+    if minimum is not None:
+        candidates = (pair for pair in candidates if pair[1] >= minimum)
     # heapq.nsmallest on (-value, id) = "largest value, then smallest id".
-    best = heapq.nsmallest(
+    return heapq.nsmallest(
         k, candidates, key=lambda pair: (-pair[1], pair[0]))
-    return best

@@ -7,12 +7,22 @@ item's average) or mutually dislike (rate below it) a pair of items. Its
 normalized form divides by ``|Y_i ∪ Y_j|`` so that values are comparable
 across popularity levels — and, being in [0, 1], products of them penalise
 longer meta-paths (Definition 5's path certainty).
+
+Both functions are string-keyed adapters over the table's interned
+:class:`~repro.data.matrix.MatrixRatingStore`: the like/dislike flag of
+every rating is precomputed once per table, and each lookup is a single
+merge of two sorted integer columns instead of a fresh dict intersection
+over ``Rating`` objects. The Extender's
+:class:`~repro.core.xsim.SignificanceCache` sits directly on top and
+inherits the fast path. The original object-graph implementation is kept
+as :func:`significance_reference` for the equivalence tests and
+microbenchmarks.
 """
 
 from __future__ import annotations
 
 from repro.data.ratings import RatingTable
-from repro.errors import SimilarityError
+from repro.errors import SimilarityError  # noqa: F401  (re-exported; raised by the store)
 
 
 def significance(table: RatingTable, item_i: str, item_j: str) -> int:
@@ -21,6 +31,32 @@ def significance(table: RatingTable, item_i: str, item_j: str) -> int:
     ``S_{i,j} = |Y_{i≥ī} ∩ Y_{j≥j̄}| + |Y_{i<ī} ∩ Y_{j<j̄}|`` — co-raters
     who agree in the *direction* of their preference relative to each
     item's average rating.
+    """
+    return table.matrix().significance(item_i, item_j)
+
+
+def normalized_significance(table: RatingTable, item_i: str,
+                            item_j: str) -> float:
+    """Normalized weighted significance ``Ŝ_{i,j}`` (Definition 4).
+
+    ``Ŝ_{i,j} = S_{i,j} / |Y_i ∪ Y_j|`` ∈ [0, 1]. Raises
+    :class:`~repro.errors.SimilarityError` if neither item has any rater
+    (the quantity is undefined, and asking for it signals a caller bug).
+    """
+    return table.matrix().normalized_significance(item_i, item_j)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (pre-store object-graph path)
+# ----------------------------------------------------------------------
+
+def significance_reference(table: RatingTable, item_i: str,
+                           item_j: str) -> int:
+    """The original per-pair dict-intersection of Definition 2.
+
+    Kept as the oracle for the store-backed fast path (property tests)
+    and as the baseline the significance microbenchmark reports against.
+    Not used by any production code path.
     """
     profile_i = table.item_profile(item_i)
     profile_j = table.item_profile(item_j)
@@ -39,21 +75,3 @@ def significance(table: RatingTable, item_i: str, item_j: str) -> int:
         if likes_i == likes_j:
             count += 1
     return count
-
-
-def normalized_significance(table: RatingTable, item_i: str,
-                            item_j: str) -> float:
-    """Normalized weighted significance ``Ŝ_{i,j}`` (Definition 4).
-
-    ``Ŝ_{i,j} = S_{i,j} / |Y_i ∪ Y_j|`` ∈ [0, 1]. Raises
-    :class:`~repro.errors.SimilarityError` if neither item has any rater
-    (the quantity is undefined, and asking for it signals a caller bug).
-    """
-    users_i = table.item_users(item_i)
-    users_j = table.item_users(item_j)
-    union = len(users_i | users_j)
-    if union == 0:
-        raise SimilarityError(
-            f"normalized significance undefined: neither {item_i!r} nor "
-            f"{item_j!r} has raters")
-    return significance(table, item_i, item_j) / union

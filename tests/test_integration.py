@@ -55,6 +55,7 @@ class TestHeadlineAccuracy:
             ItemAverageRecommender(split.train.target.ratings),
             split).mae
 
+    @pytest.mark.slow
     def test_nxmap_user_based_beats_item_average(self, split,
                                                  item_average_mae):
         recommender = NXMapRecommender(
@@ -63,6 +64,7 @@ class TestHeadlineAccuracy:
         result = evaluate("NX-Map-ub", recommender, split)
         assert result.mae < item_average_mae
 
+    @pytest.mark.slow
     def test_nxmap_item_based_beats_item_average(self, split,
                                                  item_average_mae):
         recommender = NXMapRecommender(
