@@ -21,6 +21,7 @@ only has to not regress.
 from __future__ import annotations
 
 import gc
+import os
 import random
 import time
 
@@ -44,6 +45,21 @@ SIZES = [
     ("medium", 800, 500, 24),
     ("large", 1600, 900, 40),
 ]
+
+
+def selected_sizes():
+    """The sizes to run: all by default, or the comma-separated names in
+    ``REPRO_BENCH_SIZES`` (CI's bench-smoke job sets ``small`` — harness
+    correctness only, no wall-clock claims on shared runners)."""
+    raw = os.environ.get("REPRO_BENCH_SIZES", "")
+    if not raw:
+        return SIZES
+    wanted = {name.strip() for name in raw.split(",")}
+    unknown = wanted - {name for name, *_ in SIZES}
+    if unknown:
+        raise ValueError(f"unknown REPRO_BENCH_SIZES entries: "
+                         f"{sorted(unknown)}")
+    return [size for size in SIZES if size[0] in wanted]
 
 
 def _random_ratings(n_users: int, n_items: int, per_user: int,
@@ -99,11 +115,14 @@ def _reference_graph_build(table: RatingTable) -> ItemGraph:
 
 
 def _persist(name: str, header: str, lines: list[str]) -> str:
-    RESULTS_DIR.mkdir(exist_ok=True)
     backend = "numpy" if numpy_available() else "pure_python"
     rendered = "\n".join(
         [f"{header} (backend: {backend})", ""] + lines) + "\n"
-    (RESULTS_DIR / f"{name}_{backend}.txt").write_text(rendered)
+    # Size-filtered smoke runs print but never overwrite the committed
+    # full-scale results.
+    if selected_sizes() == SIZES:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}_{backend}.txt").write_text(rendered)
     print()
     print(rendered)
     return rendered
@@ -114,7 +133,7 @@ def test_graph_build_speedup():
     lines = [f"{'size':<8} {'users':>6} {'items':>6} {'ratings':>8} "
              f"{'reference_s':>12} {'indexed_s':>10} {'speedup':>8}"]
     speedups = {}
-    for name, n_users, n_items, per_user in SIZES:
+    for name, n_users, n_items, per_user in selected_sizes():
         ratings = _random_ratings(n_users, n_items, per_user, seed=7)
         # A fresh table per repeat so neither path sees another run's
         # caches; the indexed timing deliberately includes the one-off
@@ -143,7 +162,9 @@ def test_graph_build_speedup():
                      f"{indexed_s:>10.3f} {speedups[name]:>7.1f}x")
     _persist("similarity_graph_build",
              "graph build: all-pairs adjusted cosine (Eq 6)", lines)
-    if numpy_available():
+    # The wall-clock acceptance bar only means something at full scale on
+    # a quiet machine — size-filtered smoke runs check correctness only.
+    if numpy_available() and "large" in speedups:
         assert speedups["large"] >= 5.0, (
             f"graph build speedup {speedups['large']:.1f}x below the 5x "
             f"target at the largest size")
@@ -154,7 +175,7 @@ def test_significance_sweep_speedup():
     n_pairs = 2000
     lines = [f"{'size':<8} {'pairs':>6} {'reference_s':>12} "
              f"{'indexed_s':>10} {'speedup':>8}"]
-    for name, n_users, n_items, per_user in SIZES:
+    for name, n_users, n_items, per_user in selected_sizes():
         ratings = _random_ratings(n_users, n_items, per_user, seed=11)
         table = RatingTable(ratings)
         items = sorted(table.items)

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 
 from repro.data.dataset import CrossDomainDataset
 from repro.data.ratings import RatingTable
+from repro.engine.sharded_sweep import resolve_n_shards, sharded_adjacency
 from repro.similarity.graph import ItemGraph, build_similarity_graph
+from repro.similarity.significance import SignificanceTable
 
 
 @dataclass(frozen=True)
@@ -27,11 +29,16 @@ class BaselineSimilarities:
         n_homogeneous: number of same-domain edges.
         n_heterogeneous: number of cross-domain edges (the user-overlap
             similarities of §5.1).
+        significance: bulk Definition-2 counts for every co-rated pair,
+            folded into the sweep when it ran sharded (the Extender's
+            :class:`~repro.core.xsim.SignificanceCache` ingests them and
+            skips per-pair lookups). ``None`` on the unsharded path.
     """
 
     graph: ItemGraph
     n_homogeneous: int
     n_heterogeneous: int
+    significance: SignificanceTable | None = None
 
     @property
     def n_edges(self) -> int:
@@ -47,12 +54,24 @@ class Baseliner:
             paper — any common user creates a connection).
         min_abs_similarity: optional magnitude floor for edges; 0 keeps
             every nonzero similarity.
+        n_shards: partition the Eq-6 sweep into this many user shards on
+            the dataflow engine (§5.1's shard-then-merge job); ``None``
+            reads ``REPRO_SHARDS``, 1 is the single-process store path.
+            The sharded sweep additionally bulk-computes the
+            Definition-2 significance counts in the same pass.
+        shard_processes: worker pool size for the sharded sweep;
+            ``None`` reads ``REPRO_SHARD_PROCS``, 0/1 runs the shards on
+            the serial executor (same output bit for bit).
     """
 
     def __init__(self, min_common_users: int = 1,
-                 min_abs_similarity: float = 0.0) -> None:
+                 min_abs_similarity: float = 0.0,
+                 n_shards: int | None = None,
+                 shard_processes: int | None = None) -> None:
         self.min_common_users = min_common_users
         self.min_abs_similarity = min_abs_similarity
+        self.n_shards = n_shards
+        self.shard_processes = shard_processes
 
     def compute(self, data: CrossDomainDataset,
                 merged: RatingTable | None = None) -> BaselineSimilarities:
@@ -69,10 +88,23 @@ class Baseliner:
         """
         if merged is None:
             merged = data.merged()
-        graph = build_similarity_graph(
-            merged,
-            min_common_users=self.min_common_users,
-            min_abs_similarity=self.min_abs_similarity)
+        significance = None
+        if resolve_n_shards(self.n_shards) > 1:
+            result = sharded_adjacency(
+                merged, n_shards=self.n_shards,
+                processes=self.shard_processes,
+                min_common_users=self.min_common_users,
+                min_abs_similarity=self.min_abs_similarity,
+                with_significance=True)
+            graph = ItemGraph.from_adjacency(result.adjacency)
+            significance = SignificanceTable(
+                raw=result.significance, common=result.common_raters)
+        else:
+            graph = build_similarity_graph(
+                merged,
+                min_common_users=self.min_common_users,
+                min_abs_similarity=self.min_abs_similarity,
+                n_shards=1)
         domain_of = data.domain_map()
         n_homogeneous = 0
         n_heterogeneous = 0
@@ -84,4 +116,5 @@ class Baseliner:
         return BaselineSimilarities(
             graph=graph,
             n_homogeneous=n_homogeneous,
-            n_heterogeneous=n_heterogeneous)
+            n_heterogeneous=n_heterogeneous,
+            significance=significance)

@@ -67,7 +67,8 @@ class Extender:
         self.config = (config or ExtenderConfig()).validated()
 
     def extend(self, graph: ItemGraph, partition: LayerPartition,
-               table: RatingTable, source_domain: str) -> XSimMap:
+               table: RatingTable, source_domain: str,
+               significance: SignificanceCache | None = None) -> XSimMap:
         """Aggregate meta-path similarities for every source item.
 
         Args:
@@ -76,12 +77,17 @@ class Extender:
             table: the aggregated rating table (significance lookups).
             source_domain: which of the partition's two domains is the
                 mapping's source (the Generator maps source → target).
+            significance: a prewarmed cache — the pipeline hands in one
+                bulk-loaded from the sharded Baseliner sweep so dense
+                graphs skip per-pair Definition-2 lookups. Defaults to a
+                fresh lazy cache over *table*.
 
         Returns:
             The X-Sim map. Source items with no meta-path into the target
             domain are simply absent.
         """
-        significance = SignificanceCache(table)
+        if significance is None:
+            significance = SignificanceCache(table)
         adjacency = build_pruned_adjacency(graph, partition, self.config.k)
         xsim_map: XSimMap = {}
         source_items = sorted(

@@ -31,6 +31,7 @@ from repro.core.alterego import AlterEgoGenerator, ReplacementPolicy
 from repro.core.baseliner import Baseliner, BaselineSimilarities
 from repro.core.extender import Extender, ExtenderConfig, XSimMap
 from repro.core.layers import LayerPartition
+from repro.core.xsim import SignificanceCache
 from repro.data.dataset import CrossDomainDataset
 from repro.data.ratings import RatingTable
 from repro.errors import ConfigError, ReproError
@@ -68,6 +69,13 @@ class XMapConfig:
             0.8 for ib, 0.3 for ub).
         rho: PNSA failure probability.
         min_common_users: Baseliner edge threshold.
+        n_shards: shard count for the Baseliner's Eq-6 sweep on the
+            dataflow engine (``None`` reads ``REPRO_SHARDS``; 1 is the
+            single-process store path). Sharded runs also bulk-compute
+            the Definition-2 counts the Extender consumes.
+        shard_processes: worker pool size for the sharded sweep
+            (``None`` reads ``REPRO_SHARD_PROCS``; 0/1 = serial
+            executor, same output bit for bit).
         seed: randomness seed for the private mechanisms.
     """
 
@@ -81,6 +89,8 @@ class XMapConfig:
     epsilon_prime: float = 0.8
     rho: float = 0.1
     min_common_users: int = 1
+    n_shards: int | None = None
+    shard_processes: int | None = None
     seed: int = 0
 
     def validated(self) -> "XMapConfig":
@@ -98,6 +108,14 @@ class XMapConfig:
         if self.n_replacements <= 0:
             raise ConfigError(
                 f"n_replacements must be positive, got {self.n_replacements}")
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ConfigError(
+                f"n_shards must be >= 1 (or None to read REPRO_SHARDS), "
+                f"got {self.n_shards}")
+        if self.shard_processes is not None and self.shard_processes < 0:
+            raise ConfigError(
+                f"shard_processes must be >= 0 (or None to read "
+                f"REPRO_SHARD_PROCS), got {self.shard_processes}")
         ExtenderConfig(k=self.prune_k,
                        max_paths_per_item=self.max_paths_per_item).validated()
         return self
@@ -156,16 +174,27 @@ class _PipelineBase:
         # significance lookups — data.merged() builds a fresh table per
         # call, which would re-derive every profile per phase.
         merged = data.merged()
-        baseliner = Baseliner(min_common_users=self.config.min_common_users)
+        baseliner = Baseliner(
+            min_common_users=self.config.min_common_users,
+            n_shards=self.config.n_shards,
+            shard_processes=self.config.shard_processes)
         self.baseline = baseliner.compute(data, merged=merged)
         self.partition = LayerPartition.from_graph(
             self.baseline.graph, data.domain_map())
         extender = Extender(ExtenderConfig(
             k=self.config.prune_k,
             max_paths_per_item=self.config.max_paths_per_item))
+        # A sharded Baseliner run folded the Definition-2 counts into its
+        # sweep; hand them to the Extender as a prewarmed cache so dense
+        # graphs never pay per-pair significance lookups.
+        significance = None
+        if self.baseline.significance is not None:
+            significance = SignificanceCache(
+                merged, preload=self.baseline.significance)
         self.xsim_map = extender.extend(
             self.baseline.graph, self.partition, merged,
-            source_domain=data.source.name)
+            source_domain=data.source.name,
+            significance=significance)
         self.generator = self._make_generator(self.xsim_map)
         alterego_users = (sorted(set(users)) if users is not None
                           else sorted(data.source.users))

@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 
 from repro.data.ratings import RatingTable
 from repro.errors import SimilarityError
+from repro.similarity.significance import SignificanceTable
 
 
 class SignificanceCache:
@@ -33,12 +34,40 @@ class SignificanceCache:
     table's interned :class:`~repro.data.matrix.MatrixRatingStore`
     (one sorted-column merge over precomputed like/dislike flags) rather
     than re-intersecting ``Rating`` dicts pair by pair.
+
+    A :class:`~repro.similarity.significance.SignificanceTable` from the
+    sharded Baseliner sweep can be ingested up front (*preload*): every
+    co-rated pair's raw and normalized significance is then served from
+    the bulk counts and the per-pair store path only ever runs for
+    degenerate queries (self-pairs, items with no co-raters). The
+    preloaded values are exact integers and integer ratios, so lookups
+    are bit-identical with and without the preload.
     """
 
-    def __init__(self, table: RatingTable) -> None:
+    def __init__(self, table: RatingTable,
+                 preload: SignificanceTable | None = None) -> None:
         self._store = table.matrix()
         self._raw: dict[tuple[str, str], int] = {}
         self._normalized: dict[tuple[str, str], float] = {}
+        if preload is not None:
+            self._ingest(preload)
+
+    def _ingest(self, preload: SignificanceTable) -> None:
+        """Bulk-load Definition-2 counts for every co-rated pair.
+
+        Normalized significance is derived exactly as the store does it
+        (``S / (|Y_i| + |Y_j| − |Y_i ∩ Y_j|)``), from the same integers,
+        so the division yields the same float the lazy path would.
+        """
+        store = self._store
+        item_index = store.item_index
+        self._raw.update(preload.raw)
+        normalized = self._normalized
+        raw = preload.raw
+        for (item_i, item_j), common in preload.common.items():
+            union = (store.item_raters(item_index[item_i])
+                     + store.item_raters(item_index[item_j]) - common)
+            normalized[(item_i, item_j)] = raw[(item_i, item_j)] / union
 
     @staticmethod
     def _key(item_i: str, item_j: str) -> tuple[str, str]:

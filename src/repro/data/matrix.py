@@ -84,6 +84,42 @@ def _intersect_sorted(a: Sequence[int], b: Sequence[int]
     return pos_a, pos_b
 
 
+class PairAccumulation:
+    """Reduced Eq-6 pair accumulation over one user subset (one shard).
+
+    Produced by :meth:`MatrixRatingStore.pair_accumulation` and merged by
+    :meth:`MatrixRatingStore.merge_accumulations` — the unit of work the
+    engine's sharded sweep ships between processes. Pairs are encoded as
+    ``left * n_items + right`` integer keys with ``left < right``.
+
+    On the NumPy backend ``keys`` is a strictly-increasing int64 array and
+    ``sums`` / ``counts`` / ``agree`` are aligned value arrays. On the
+    pure-Python backend ``keys`` is ``None`` and the other three are dicts
+    over the same integer pair keys.
+
+    Attributes:
+        keys: unique pair keys (NumPy backend only).
+        sums: Eq-6 numerator partial sums per pair.
+        counts: co-rating contribution counts per pair (``|Y_i ∩ Y_j|``
+            restricted to the accumulated users) — exact integers.
+        agree: Definition-2 like/dislike agreement counts per pair, or
+            ``None`` when significance was not requested.
+    """
+
+    __slots__ = ("keys", "sums", "counts", "agree")
+
+    def __init__(self, keys, sums, counts, agree) -> None:
+        self.keys = keys
+        self.sums = sums
+        self.counts = counts
+        self.agree = agree
+
+    @property
+    def n_pairs(self) -> int:
+        """Distinct co-rated pairs accumulated."""
+        return len(self.sums) if self.keys is None else len(self.keys)
+
+
 class MatrixRatingStore:
     """Integer-interned, array-backed view of one :class:`RatingTable`.
 
@@ -100,6 +136,7 @@ class MatrixRatingStore:
         "item_ptr", "item_user_idx", "item_values", "item_centered",
         "item_likes", "item_centered_norms", "item_raw_norms",
         "_use_numpy", "_triu_cache", "_item_names_obj", "_like_dicts",
+        "_user_likes",
     )
 
     def __init__(self, table: "RatingTable",
@@ -113,6 +150,7 @@ class MatrixRatingStore:
         self._triu_cache: dict[int, tuple] = {}
         self._item_names_obj = None
         self._like_dicts: list[dict[int, bool] | None] | None = None
+        self._user_likes = None
 
         users = sorted(table.users)
         items = sorted(table.items)
@@ -529,11 +567,66 @@ class MatrixRatingStore:
             yield from self._all_pairs_python(min_common_users,
                                               max_profile_size)
 
-    def _pair_arrays_numpy(self, min_common_users: int,
-                           max_profile_size: int | None):
-        """The filtered Eq-6 pair sweep as three aligned arrays
-        ``(left item idx, right item idx, similarity)``, or None when no
-        user contributes a pair.
+    @property
+    def user_likes(self):
+        """Per-rating like/dislike flags in CSR (user-row) order.
+
+        The same Definition-2 comparison as :attr:`item_likes` (value at
+        or above the item's mean), but aligned with the per-user rows the
+        pair sweep batches over — what lets the sharded sweep fold the
+        significance counts into the Eq-6 pass. Built lazily and cached.
+        """
+        if self._user_likes is None:
+            if self._use_numpy:
+                self._user_likes = (
+                    self.user_values >= self.item_means[self.user_item_idx])
+            else:
+                self._user_likes = [
+                    self.user_values[k]
+                    >= self.item_means[self.user_item_idx[k]]
+                    for k in range(self.n_ratings)]
+        return self._user_likes
+
+    def eligible_users(self, max_profile_size: int | None = None,
+                       users: Sequence[int] | None = None):
+        """User indexes that contribute Eq-6 pairs, in canonical sweep
+        order: profile-length groups ascending, user index ascending
+        within a group.
+
+        *users* restricts to a subset (a shard; must be ascending) —
+        the order of the restricted sweep is the canonical order filtered
+        to the subset, so every shard accumulates exactly as the full
+        sweep would over those users.
+        """
+        if self._use_numpy:
+            lengths = _np.diff(self.user_ptr)
+            if users is None:
+                mask = lengths >= 2
+                if max_profile_size is not None:
+                    mask &= lengths <= max_profile_size
+                eligible = _np.nonzero(mask)[0]
+            else:
+                candidates = _np.asarray(users, dtype=_np.int64)
+                sub = lengths[candidates] if len(candidates) else candidates
+                mask = sub >= 2
+                if max_profile_size is not None:
+                    mask &= sub <= max_profile_size
+                eligible = candidates[mask]
+            return eligible[_np.argsort(lengths[eligible], kind="stable")]
+        ptr = self.user_ptr
+        candidates = range(len(self.users)) if users is None else users
+        eligible = [
+            u for u in candidates
+            if ptr[u + 1] - ptr[u] >= 2
+            and (max_profile_size is None
+                 or ptr[u + 1] - ptr[u] <= max_profile_size)]
+        eligible.sort(key=lambda u: (ptr[u + 1] - ptr[u], u))
+        return eligible
+
+    def _contribution_arrays_numpy(self, eligible, with_significance: bool):
+        """The batched Eq-6 fan-out over *eligible* (canonical order) as
+        aligned ``(pair key, numerator contribution[, like agreement])``
+        arrays.
 
         Users are batched by profile length so each batch is one 2-D
         gather + one broadcasted multiply instead of a per-user Python
@@ -545,17 +638,12 @@ class MatrixRatingStore:
         """
         n_items = len(self.items)
         lengths = _np.diff(self.user_ptr)
-        mask = lengths >= 2
-        if max_profile_size is not None:
-            mask &= lengths <= max_profile_size
-        eligible = _np.nonzero(mask)[0]
-        if len(eligible) == 0:
-            return None
-        eligible = eligible[_np.argsort(lengths[eligible], kind="stable")]
         group_lengths = lengths[eligible]
         starts = self.user_ptr[eligible]
+        likes_all = self.user_likes if with_significance else None
         key_parts = []
         value_parts = []
+        agree_parts = []
         distinct, group_bounds = _np.unique(group_lengths, return_index=True)
         group_bounds = list(group_bounds) + [len(eligible)]
         for g, length in enumerate(distinct.tolist()):
@@ -566,14 +654,26 @@ class MatrixRatingStore:
             rows, cols = self._triu(length)
             key_parts.append((idx[:, rows] * n_items + idx[:, cols]).ravel())
             value_parts.append((centered[:, rows] * centered[:, cols]).ravel())
+            if with_significance:
+                likes = likes_all[offsets]
+                agree_parts.append((likes[:, rows] == likes[:, cols]).ravel())
         keys = _np.concatenate(key_parts)
         values = _np.concatenate(value_parts)
-        # Two accumulation strategies with identical results (bincount
-        # adds sequentially in input order either way): a dense m²-sized
-        # accumulator when the item space is small relative to the
-        # contribution count (no sort at all), else sort-based grouping
-        # via np.unique. The 2²⁴ ceiling caps the dense accumulator at
-        # ~256 MB for the two arrays.
+        agree = _np.concatenate(agree_parts) if with_significance else None
+        return keys, values, agree
+
+    def _reduce_contributions_numpy(self, keys, values,
+                                    agree) -> PairAccumulation:
+        """Group the contribution arrays by pair key.
+
+        Two accumulation strategies with identical results (bincount
+        adds sequentially in input order either way): a dense m²-sized
+        accumulator when the item space is small relative to the
+        contribution count (no sort at all), else sort-based grouping
+        via np.unique. The 2²⁴ ceiling caps the dense accumulator at
+        ~256 MB for the two arrays.
+        """
+        n_items = len(self.items)
         if n_items * n_items <= max(1 << 20, min(4 * len(keys), 1 << 24)):
             space = n_items * n_items
             dense_counts = _np.bincount(keys, minlength=space)
@@ -581,10 +681,166 @@ class MatrixRatingStore:
             uniq = _np.nonzero(dense_counts)[0]
             counts = dense_counts[uniq]
             sums = dense_sums[uniq]
+            agree_counts = None
+            if agree is not None:
+                agree_counts = _np.bincount(
+                    keys[agree], minlength=space)[uniq]
         else:
             uniq, inverse, counts = _np.unique(
                 keys, return_inverse=True, return_counts=True)
             sums = _np.bincount(inverse, weights=values, minlength=len(uniq))
+            agree_counts = None
+            if agree is not None:
+                agree_counts = _np.bincount(
+                    inverse[agree], minlength=len(uniq))
+        return PairAccumulation(uniq, sums, counts, agree_counts)
+
+    def _accumulate_python(self, eligible,
+                           with_significance: bool) -> PairAccumulation:
+        """Dict-based per-shard accumulation (pure-Python backend), in
+        the same canonical order as the NumPy batches."""
+        n_items = len(self.items)
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        agree: dict[int, int] | None = {} if with_significance else None
+        ptr = self.user_ptr
+        idx_all = self.user_item_idx
+        centered_all = self.user_centered
+        likes_all = self.user_likes if with_significance else None
+        for u in eligible:
+            start, end = ptr[u], ptr[u + 1]
+            length = end - start
+            idx = idx_all[start:end]
+            centered = centered_all[start:end]
+            if with_significance:
+                likes = likes_all[start:end]
+                for a in range(length):
+                    base = idx[a] * n_items
+                    centered_a = centered[a]
+                    like_a = likes[a]
+                    for b in range(a + 1, length):
+                        key = base + idx[b]
+                        value = centered_a * centered[b]
+                        if key in sums:
+                            sums[key] += value
+                            counts[key] += 1
+                        else:
+                            sums[key] = value
+                            counts[key] = 1
+                        if like_a == likes[b]:
+                            agree[key] = agree.get(key, 0) + 1
+            else:
+                for a in range(length):
+                    base = idx[a] * n_items
+                    centered_a = centered[a]
+                    for b in range(a + 1, length):
+                        key = base + idx[b]
+                        value = centered_a * centered[b]
+                        if key in sums:
+                            sums[key] += value
+                            counts[key] += 1
+                        else:
+                            sums[key] = value
+                            counts[key] = 1
+        return PairAccumulation(None, sums, counts, agree)
+
+    def pair_accumulation(self, users: Sequence[int] | None = None,
+                          max_profile_size: int | None = None,
+                          with_significance: bool = False
+                          ) -> PairAccumulation:
+        """Reduced Eq-6 accumulation over *users* (one shard of the pair
+        sweep; ``None`` means every user).
+
+        With ``with_significance`` the same pass also counts Definition-2
+        like/dislike agreements per pair. Those counts equal the true
+        ``S_{i,j}`` only when no profile filter drops co-raters — i.e.
+        when *max_profile_size* is ``None`` (a user rating both i and j
+        always has a profile of length ≥ 2, so the implicit minimum never
+        excludes anyone).
+        """
+        eligible = self.eligible_users(max_profile_size, users)
+        if not self._use_numpy:
+            return self._accumulate_python(eligible, with_significance)
+        if len(eligible) == 0:
+            empty_int = _np.zeros(0, dtype=_np.int64)
+            return PairAccumulation(
+                empty_int, _np.zeros(0, dtype=_np.float64), empty_int.copy(),
+                empty_int.copy() if with_significance else None)
+        keys, values, agree = self._contribution_arrays_numpy(
+            eligible, with_significance)
+        return self._reduce_contributions_numpy(keys, values, agree)
+
+    def merge_accumulations(
+            self, parts: Sequence[PairAccumulation]) -> PairAccumulation:
+        """Merge per-shard accumulations, in the given (shard index)
+        order.
+
+        The integer counts merge exactly (addition of non-negative ints
+        is associative). The float numerator partials are added per pair
+        sequentially in part order, so for a fixed shard layout the
+        merged sums are deterministic and independent of *how* the shards
+        were executed (serial or process pool) — and a single-part merge
+        returns the part untouched, which is what makes the 1-shard sweep
+        bit-identical to the unsharded store path.
+        """
+        if len(parts) == 1:
+            return parts[0]
+        with_significance = any(part.agree is not None for part in parts)
+        if with_significance and not all(
+                part.agree is not None for part in parts):
+            raise SimilarityError(
+                "cannot merge accumulations with and without "
+                "significance counts")
+        if not self._use_numpy:
+            sums: dict[int, float] = {}
+            counts: dict[int, int] = {}
+            agree: dict[int, int] | None = {} if with_significance else None
+            for part in parts:
+                part_counts = part.counts
+                part_agree = part.agree
+                for key, value in part.sums.items():
+                    if key in sums:
+                        sums[key] += value
+                        counts[key] += part_counts[key]
+                    else:
+                        sums[key] = value
+                        counts[key] = part_counts[key]
+                if with_significance:
+                    for key, value in part_agree.items():
+                        agree[key] = agree.get(key, 0) + value
+            return PairAccumulation(None, sums, counts, agree)
+        if not parts:
+            return self.pair_accumulation(
+                users=(), with_significance=with_significance)
+        keys_cat = _np.concatenate([part.keys for part in parts])
+        sums_cat = _np.concatenate([part.sums for part in parts])
+        counts_cat = _np.concatenate([part.counts for part in parts])
+        uniq, inverse = _np.unique(keys_cat, return_inverse=True)
+        sums = _np.bincount(inverse, weights=sums_cat, minlength=len(uniq))
+        # Integer partials ride through bincount's float64 weights (exact
+        # below 2^53, far beyond any co-rater count) — an order of
+        # magnitude faster than the unbuffered np.add.at on this
+        # driver-side merge tail.
+        counts = _np.bincount(
+            inverse, weights=counts_cat,
+            minlength=len(uniq)).astype(_np.int64)
+        agree_counts = None
+        if with_significance:
+            agree_cat = _np.concatenate([part.agree for part in parts])
+            agree_counts = _np.bincount(
+                inverse, weights=agree_cat,
+                minlength=len(uniq)).astype(_np.int64)
+        return PairAccumulation(uniq, sums, counts, agree_counts)
+
+    def _pairs_from_accumulation_numpy(self, acc: PairAccumulation,
+                                       min_common_users: int):
+        """The filtered Eq-6 pairs of an accumulation as three aligned
+        arrays ``(left item idx, right item idx, similarity)``, or None
+        when no pair survives."""
+        if len(acc.keys) == 0:
+            return None
+        n_items = len(self.items)
+        uniq, sums, counts = acc.keys, acc.sums, acc.counts
         left = uniq // n_items
         right = uniq % n_items
         denominators = (self.item_centered_norms[left]
@@ -593,6 +849,70 @@ class MatrixRatingStore:
             & (denominators != 0.0)
         similarities = _np.clip(sums[keep] / denominators[keep], -1.0, 1.0)
         return left[keep], right[keep], similarities
+
+    def _iter_pairs_from_accumulation_python(self, acc: PairAccumulation,
+                                             min_common_users: int
+                                             ) -> Iterator[
+                                                 tuple[str, str, float]]:
+        """Yield the filtered ``(i, j, sim)`` pairs of a dict-backed
+        accumulation, sorted by pair key."""
+        norms = self.item_centered_norms
+        items = self.items
+        n_items = len(items)
+        sums, counts = acc.sums, acc.counts
+        for key in sorted(sums):
+            if counts[key] < min_common_users:
+                continue
+            numerator = sums[key]
+            if numerator == 0.0:
+                continue
+            left, right = divmod(key, n_items)
+            denominator = norms[left] * norms[right]
+            if denominator == 0.0:
+                continue
+            yield items[left], items[right], _clip1(numerator / denominator)
+
+    def significance_from_accumulation(
+            self, acc: PairAccumulation
+    ) -> tuple[dict[tuple[str, str], int], dict[tuple[str, str], int]]:
+        """Bulk Definition-2 counts for every co-rated pair of *acc*.
+
+        Returns ``(raw, common)``: the significance ``S_{i,j}`` and the
+        co-rater count ``|Y_i ∩ Y_j|`` keyed by ``(item_i, item_j)`` with
+        ``i < j``. Both are exact integers, so they are identical to the
+        per-pair :meth:`significance` / :meth:`common_raters` lookups
+        regardless of sharding.
+        """
+        if acc.agree is None:
+            raise SimilarityError(
+                "accumulation was built without significance counts "
+                "(pass with_significance=True)")
+        items = self.items
+        n_items = len(items)
+        raw: dict[tuple[str, str], int] = {}
+        common: dict[tuple[str, str], int] = {}
+        if self._use_numpy:
+            lefts = (acc.keys // n_items).tolist()
+            rights = (acc.keys % n_items).tolist()
+            for l_idx, r_idx, agrees, cnt in zip(
+                    lefts, rights, acc.agree.tolist(), acc.counts.tolist()):
+                pair = (items[l_idx], items[r_idx])
+                raw[pair] = agrees
+                common[pair] = cnt
+        else:
+            for key in sorted(acc.sums):
+                l_idx, r_idx = divmod(key, n_items)
+                pair = (items[l_idx], items[r_idx])
+                raw[pair] = acc.agree.get(key, 0)
+                common[pair] = acc.counts[key]
+        return raw, common
+
+    def _pair_arrays_numpy(self, min_common_users: int,
+                           max_profile_size: int | None):
+        """The unsharded filtered pair sweep (one accumulation over every
+        eligible user, then the shared filter/clip tail)."""
+        acc = self.pair_accumulation(max_profile_size=max_profile_size)
+        return self._pairs_from_accumulation_numpy(acc, min_common_users)
 
     def _all_pairs_numpy(self, min_common_users: int,
                          max_profile_size: int | None
@@ -624,16 +944,30 @@ class MatrixRatingStore:
         wholesale — per-edge dict churn was the second-largest cost of
         graph construction after the pair sweep itself.
         """
+        return self.adjacency_from_accumulation(
+            self.pair_accumulation(max_profile_size=max_profile_size),
+            min_common_users=min_common_users,
+            min_abs_similarity=min_abs_similarity)
+
+    def adjacency_from_accumulation(
+            self, acc: PairAccumulation,
+            min_common_users: int = 1,
+            min_abs_similarity: float = 0.0,
+    ) -> dict[str, dict[str, float]]:
+        """Assemble the symmetric Eq-6 adjacency from a (merged)
+        accumulation — the tail every sweep shares, whether the
+        accumulation came from one pass or from merged shards."""
         adjacency: dict[str, dict[str, float]] = {
             item: {} for item in self.items}
         if not self._use_numpy:
-            for item_i, item_j, sim in self._all_pairs_python(
-                    min_common_users, max_profile_size):
+            for item_i, item_j, sim in \
+                    self._iter_pairs_from_accumulation_python(
+                        acc, min_common_users):
                 if abs(sim) >= min_abs_similarity:
                     adjacency[item_i][item_j] = sim
                     adjacency[item_j][item_i] = sim
             return adjacency
-        arrays = self._pair_arrays_numpy(min_common_users, max_profile_size)
+        arrays = self._pairs_from_accumulation_numpy(acc, min_common_users)
         if arrays is None:
             return adjacency
         left, right, similarities = arrays
@@ -662,48 +996,9 @@ class MatrixRatingStore:
     def _all_pairs_python(self, min_common_users: int,
                           max_profile_size: int | None
                           ) -> Iterator[tuple[str, str, float]]:
-        n_items = len(self.items)
-        numerators: dict[int, float] = {}
-        counts: dict[int, int] = {}
-        ptr = self.user_ptr
-        idx_all = self.user_item_idx
-        centered_all = self.user_centered
-        lengths = [ptr[u + 1] - ptr[u] for u in range(len(self.users))]
         # Same accumulation order as the NumPy batches (length groups
         # ascending, user index ascending within a group) so the two
         # backends produce bit-identical numerator sums.
-        order = sorted(
-            (u for u in range(len(self.users))
-             if lengths[u] >= 2
-             and (max_profile_size is None or lengths[u] <= max_profile_size)),
-            key=lambda u: (lengths[u], u))
-        for u in order:
-            start, end = ptr[u], ptr[u + 1]
-            length = end - start
-            idx = idx_all[start:end]
-            centered = centered_all[start:end]
-            for a in range(length):
-                base = idx[a] * n_items
-                centered_a = centered[a]
-                for b in range(a + 1, length):
-                    key = base + idx[b]
-                    value = centered_a * centered[b]
-                    if key in numerators:
-                        numerators[key] += value
-                        counts[key] += 1
-                    else:
-                        numerators[key] = value
-                        counts[key] = 1
-        norms = self.item_centered_norms
-        items = self.items
-        for key in sorted(numerators):
-            if counts[key] < min_common_users:
-                continue
-            numerator = numerators[key]
-            if numerator == 0.0:
-                continue
-            left, right = divmod(key, n_items)
-            denominator = norms[left] * norms[right]
-            if denominator == 0.0:
-                continue
-            yield items[left], items[right], _clip1(numerator / denominator)
+        yield from self._iter_pairs_from_accumulation_python(
+            self.pair_accumulation(max_profile_size=max_profile_size),
+            min_common_users)

@@ -28,6 +28,12 @@ timeline reproduces the figure's qualitative result.
 from repro.engine.cluster import ClusterSpec, CostModel
 from repro.engine.dataset_api import DataflowContext, DistCollection
 from repro.engine.metrics import ExecutionReport, StageReport, speedup_curve
+from repro.engine.sharded_sweep import (
+    ShardedSweepResult,
+    SweepStats,
+    resolve_n_shards,
+    sharded_adjacency,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -35,6 +41,10 @@ __all__ = [
     "DataflowContext",
     "DistCollection",
     "ExecutionReport",
+    "ShardedSweepResult",
     "StageReport",
+    "SweepStats",
+    "resolve_n_shards",
+    "sharded_adjacency",
     "speedup_curve",
 ]

@@ -1,0 +1,341 @@
+"""The sharded Eq-6 pair sweep: X-Map's Baseliner as a real dataflow job.
+
+The paper runs the Baseliner as a Spark job (§5.1, Figure 4): the
+co-rating pair contributions are partitioned by key, accumulated per
+partition and merged. PR 1 vectorised that sweep but kept it
+single-process; this module makes the dataflow engine the actual
+execution substrate of the offline pipeline:
+
+* the store's interned user rows are partitioned with the engine's
+  :class:`~repro.engine.partitioner.HashPartitioner` over the *user ids*
+  (repr-stable, so every process agrees on the layout);
+* each shard runs the store's batched accumulation —
+  :meth:`~repro.data.matrix.MatrixRatingStore.pair_accumulation` — which
+  folds the Eq-6 numerators, the co-rater counts *and* the Definition-2
+  like-agreement counts into a single pass over the shard's rows (no
+  second significance sweep);
+* the per-shard bincounts are merged in shard-index order and the
+  adjacency is assembled by the same tail as the unsharded path.
+
+Shards execute on a serial in-driver executor or on a ``fork``-based
+``multiprocessing`` pool; shard tasks are submitted largest-first (the
+LPT discipline of :func:`~repro.engine.scheduler.stage_makespan`), and
+the measured per-shard durations are reported as a real
+:class:`~repro.engine.metrics.StageReport` so real runs and simulated
+runs speak the same vocabulary.
+
+Determinism contract — property-tested in ``tests/test_sharded_sweep.py``:
+
+* for a **fixed shard count**, the output is bit-identical whichever
+  executor runs the shards (the merge adds per-shard partials in shard
+  index order, never completion order);
+* with **one shard** the sweep *is* the unsharded store path —
+  bit-identical to
+  :meth:`~repro.data.matrix.MatrixRatingStore.build_adjacency`;
+* across **different shard counts** the float numerator merge order
+  changes, so similarities agree to ~1e-15 (the tests pin 1e-9) while
+  the integer significance and co-rater counts stay exactly equal.
+
+Shard count comes from the ``n_shards`` argument or the ``REPRO_SHARDS``
+environment variable (the CI matrix runs a ``REPRO_SHARDS=4`` leg);
+worker processes from ``processes`` or ``REPRO_SHARD_PROCS`` (default:
+serial).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.data.matrix import MatrixRatingStore, PairAccumulation
+from repro.data.ratings import RatingTable
+from repro.engine.cluster import ClusterSpec
+from repro.engine.metrics import StageReport
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.scheduler import stage_makespan
+from repro.errors import EngineError
+
+_SHARDS_ENV = "REPRO_SHARDS"
+_PROCS_ENV = "REPRO_SHARD_PROCS"
+
+
+def _positive_int_env(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    if raw in ("", "0"):
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EngineError(
+            f"{name} must be a positive integer, got {raw!r}") from None
+    if value < 0:
+        raise EngineError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def resolve_n_shards(n_shards: int | None = None) -> int:
+    """The effective shard count: the explicit argument, else the
+    ``REPRO_SHARDS`` environment variable, else 1 (unsharded)."""
+    if n_shards is None:
+        return _positive_int_env(_SHARDS_ENV, 1)
+    if n_shards < 1:
+        raise EngineError(f"n_shards must be >= 1, got {n_shards}")
+    return n_shards
+
+
+def resolve_processes(processes: int | None = None) -> int:
+    """The effective worker-pool size: the explicit argument, else
+    ``REPRO_SHARD_PROCS``, else 0 (serial in-driver execution)."""
+    if processes is None:
+        return _positive_int_env(_PROCS_ENV, 0)
+    if processes < 0:
+        raise EngineError(f"processes must be >= 0, got {processes}")
+    return processes
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Observability of one sharded sweep.
+
+    Attributes:
+        n_shards: shard count the layout was computed for.
+        processes: pool size used (0 = serial in-driver execution).
+        shard_users: eligible users per shard.
+        shard_costs: estimated pair contributions per shard
+            (``Σ |X_u|·(|X_u|−1)/2``) — the LPT submission weights.
+        shard_pairs: distinct co-rated pairs each shard produced.
+        durations: measured per-shard wall seconds, indexed by shard.
+        merge_seconds: wall seconds spent merging the shard bincounts.
+        report: the shard stage as an engine
+            :class:`~repro.engine.metrics.StageReport` (LPT makespan of
+            the measured durations on ``max(processes, 1)`` slots).
+    """
+
+    n_shards: int
+    processes: int
+    shard_users: tuple[int, ...]
+    shard_costs: tuple[int, ...]
+    shard_pairs: tuple[int, ...]
+    durations: tuple[float, ...]
+    merge_seconds: float
+    report: StageReport
+
+
+@dataclass(frozen=True)
+class ShardedSweepResult:
+    """Outcome of :func:`sharded_adjacency`.
+
+    Attributes:
+        adjacency: the symmetric Eq-6 adjacency (every item present,
+            isolated ones with an empty neighbor dict) —
+            :meth:`~repro.similarity.graph.ItemGraph.from_adjacency`
+            adopts it without copying.
+        significance: Definition-2 counts ``S_{i,j}`` for every co-rated
+            pair, keyed ``(i, j)`` with ``i < j`` — exact integers,
+            identical to per-pair lookups regardless of sharding. None
+            unless requested.
+        common_raters: ``|Y_i ∩ Y_j|`` for the same pairs. None unless
+            requested.
+        stats: execution observability.
+    """
+
+    adjacency: dict[str, dict[str, float]]
+    significance: Mapping[tuple[str, str], int] | None
+    common_raters: Mapping[tuple[str, str], int] | None
+    stats: SweepStats
+
+
+def shard_user_indices(store: MatrixRatingStore,
+                       n_shards: int) -> list[list[int]]:
+    """Partition the store's interned user rows into shards.
+
+    Routing hashes the *user id strings* with the engine's
+    :class:`~repro.engine.partitioner.HashPartitioner`, so the layout is
+    a pure function of (user set, shard count): stable across processes,
+    runs and backends. Each shard's index list is ascending — interning
+    is sorted, so position equals row index.
+    """
+    return HashPartitioner(n_shards).split(store.users)
+
+
+def _shard_costs(store: MatrixRatingStore,
+                 shards: Sequence[Sequence[int]],
+                 max_profile_size: int | None) -> list[int]:
+    """Estimated pair contributions per shard — the quadratic fan-out
+    ``Σ |X_u|·(|X_u|−1)/2`` over the shard's eligible users."""
+    ptr = store.user_ptr
+    costs = []
+    for shard in shards:
+        total = 0
+        for u in shard:
+            length = int(ptr[u + 1]) - int(ptr[u])
+            if length >= 2 and (max_profile_size is None
+                                or length <= max_profile_size):
+                total += length * (length - 1) // 2
+        costs.append(total)
+    return costs
+
+
+# Worker-side state for the process pool. The pool is created with the
+# ``fork`` start method, so the initializer arguments reach the workers
+# by address-space inheritance — the store's arrays are never pickled.
+_worker_store: MatrixRatingStore | None = None
+_worker_max_profile: int | None = None
+_worker_significance = False
+
+
+def _init_worker(store: MatrixRatingStore, max_profile_size: int | None,
+                 with_significance: bool) -> None:
+    global _worker_store, _worker_max_profile, _worker_significance
+    _worker_store = store
+    _worker_max_profile = max_profile_size
+    _worker_significance = with_significance
+
+
+def _run_shard(task: tuple[int, list[int]]
+               ) -> tuple[int, PairAccumulation, float]:
+    shard_id, users = task
+    start = time.perf_counter()
+    acc = _worker_store.pair_accumulation(
+        users, max_profile_size=_worker_max_profile,
+        with_significance=_worker_significance)
+    return shard_id, acc, time.perf_counter() - start
+
+
+def _fork_context():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def sharded_pair_accumulation(
+        store: MatrixRatingStore,
+        n_shards: int | None = None,
+        processes: int | None = None,
+        max_profile_size: int | None = None,
+        with_significance: bool = False,
+) -> tuple[PairAccumulation, SweepStats]:
+    """Run the partitioned Eq-6 accumulation and merge the shards.
+
+    Returns the merged :class:`~repro.data.matrix.PairAccumulation` plus
+    the sweep's :class:`SweepStats`. Shards are merged in shard-index
+    order whatever executor ran them, which is what makes the result a
+    pure function of (table, shard count).
+    """
+    n_shards = resolve_n_shards(n_shards)
+    processes = resolve_processes(processes)
+    shards = shard_user_indices(store, n_shards)
+    costs = _shard_costs(store, shards, max_profile_size)
+    # LPT submission: largest shard first, so a pool never ends with one
+    # big straggler queued behind small tasks (the same discipline the
+    # simulated scheduler applies to stage tasks).
+    submission = sorted(range(n_shards), key=lambda s: (-costs[s], s))
+    tasks = [(shard_id, shards[shard_id]) for shard_id in submission]
+
+    parts: list[PairAccumulation | None] = [None] * n_shards
+    durations = [0.0] * n_shards
+    pool_size = min(processes, n_shards) if processes > 1 else 0
+    context = _fork_context() if pool_size > 1 else None
+    if context is not None:
+        with context.Pool(
+                pool_size, initializer=_init_worker,
+                initargs=(store, max_profile_size, with_significance),
+        ) as pool:
+            for shard_id, acc, elapsed in pool.imap_unordered(
+                    _run_shard, tasks):
+                parts[shard_id] = acc
+                durations[shard_id] = elapsed
+        effective_processes = pool_size
+    else:
+        # Serial executor (also the fallback when fork is unavailable):
+        # same tasks, same submission order, same merge.
+        _init_worker(store, max_profile_size, with_significance)
+        for task in tasks:
+            shard_id, acc, elapsed = _run_shard(task)
+            parts[shard_id] = acc
+            durations[shard_id] = elapsed
+        _init_worker(None, None, False)
+        effective_processes = 0
+
+    merge_start = time.perf_counter()
+    merged = store.merge_accumulations(parts)
+    merge_seconds = time.perf_counter() - merge_start
+
+    slots = max(effective_processes, 1)
+    executor = f"pool={slots}" if effective_processes else "serial"
+    report = StageReport(
+        stage_id=0,
+        description=f"sharded Eq-6 sweep ({n_shards} shards, {executor})",
+        n_tasks=n_shards,
+        records_in=sum(len(shard) for shard in shards),
+        records_out=merged.n_pairs,
+        shuffle_records=sum(part.n_pairs for part in parts),
+        task_durations=tuple(durations),
+        makespan=stage_makespan(
+            durations, ClusterSpec(n_machines=slots, n_slots_per_machine=1)),
+    )
+    stats = SweepStats(
+        n_shards=n_shards,
+        processes=effective_processes,
+        shard_users=tuple(len(shard) for shard in shards),
+        shard_costs=tuple(costs),
+        shard_pairs=tuple(part.n_pairs for part in parts),
+        durations=tuple(durations),
+        merge_seconds=merge_seconds,
+        report=report,
+    )
+    return merged, stats
+
+
+def sharded_adjacency(
+        table: RatingTable | MatrixRatingStore,
+        n_shards: int | None = None,
+        processes: int | None = None,
+        min_common_users: int = 1,
+        min_abs_similarity: float = 0.0,
+        max_profile_size: int | None = None,
+        with_significance: bool = False,
+) -> ShardedSweepResult:
+    """The Baseliner's pair sweep as a shard-then-merge dataflow job.
+
+    Args:
+        table: the aggregated rating table (its memoized store is used)
+            or a prebuilt store.
+        n_shards: shard count; ``None`` reads ``REPRO_SHARDS`` (1 =
+            unsharded, bit-identical to the store path).
+        processes: worker pool size; ``None`` reads ``REPRO_SHARD_PROCS``
+            (0/1 = serial executor). Values > 1 fork a pool; platforms
+            without ``fork`` fall back to serial with identical output.
+        min_common_users: minimum co-raters for an edge.
+        min_abs_similarity: magnitude floor for edges.
+        max_profile_size: skew guard on profile length. Incompatible with
+            *with_significance* (dropping whales would undercount
+            Definition-2 agreements).
+        with_significance: also return the Definition-2 counts for every
+            co-rated pair, folded into the same accumulation pass.
+    """
+    if with_significance and max_profile_size is not None:
+        raise EngineError(
+            "with_significance requires max_profile_size=None: capping "
+            "profiles drops co-raters from the Definition-2 counts")
+    store = table.matrix() if isinstance(table, RatingTable) else table
+    merged, stats = sharded_pair_accumulation(
+        store, n_shards=n_shards, processes=processes,
+        max_profile_size=max_profile_size,
+        with_significance=with_significance)
+    adjacency = store.adjacency_from_accumulation(
+        merged, min_common_users=min_common_users,
+        min_abs_similarity=min_abs_similarity)
+    significance = common = None
+    if with_significance:
+        significance, common = store.significance_from_accumulation(merged)
+    return ShardedSweepResult(
+        adjacency=adjacency,
+        significance=significance,
+        common_raters=common,
+        stats=stats,
+    )

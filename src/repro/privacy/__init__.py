@@ -42,6 +42,7 @@ __all__ = [
     "exponential_sample_without_replacement",
     "item_similarity_sensitivity",
     "laplace_noise",
+    "private_neighbor_selection",
     "private_replacement",
     "user_similarity_sensitivity",
 ]

@@ -18,6 +18,8 @@ from repro.similarity.graph import ItemGraph, build_similarity_graph
 from repro.similarity.knn import top_k
 from repro.similarity.pearson import pearson_items, pearson_users
 from repro.similarity.significance import (
+    SignificanceTable,
+    bulk_significance,
     normalized_significance,
     significance,
     significance_reference,
@@ -25,10 +27,12 @@ from repro.similarity.significance import (
 
 __all__ = [
     "ItemGraph",
+    "SignificanceTable",
     "adjusted_cosine",
     "all_pairs_adjusted_cosine",
     "all_pairs_adjusted_cosine_reference",
     "build_similarity_graph",
+    "bulk_significance",
     "cosine",
     "normalized_significance",
     "pearson_items",

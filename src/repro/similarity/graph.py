@@ -162,6 +162,7 @@ def build_similarity_graph(
         min_abs_similarity: float = 0.0,
         pair_source: Callable[[RatingTable], Iterable[tuple[str, str, float]]]
         | None = None,
+        n_shards: int | None = None,
 ) -> ItemGraph:
     """Build the baseline graph ``G_ac`` from a rating table (§3.1).
 
@@ -172,11 +173,28 @@ def build_similarity_graph(
             every nonzero edge, as the paper does).
         pair_source: override the pair generator (tests inject handcrafted
             similarities; default is adjusted cosine, Eq 6).
+        n_shards: partition the Eq-6 sweep into this many user shards on
+            the dataflow engine's partitioner; ``None`` reads the
+            ``REPRO_SHARDS`` environment variable (the CI matrix runs a
+            4-shard leg), 1 is the unsharded store path. Ignored when
+            *pair_source* is given.
 
     Every item in *table* becomes a vertex even if isolated — the layer
     partitioner needs to see isolated items to classify them NN.
     """
     if pair_source is None:
+        from repro.engine.sharded_sweep import (
+            resolve_n_shards,
+            sharded_adjacency,
+        )
+
+        if resolve_n_shards(n_shards) > 1:
+            # Shard-then-merge dataflow path: hash-partitioned user rows,
+            # per-shard batched accumulation, deterministic merge.
+            return ItemGraph.from_adjacency(sharded_adjacency(
+                table, n_shards=n_shards,
+                min_common_users=min_common_users,
+                min_abs_similarity=min_abs_similarity).adjacency)
         # Bulk path: the store assembles the whole symmetric adjacency
         # (isolated items included) without a per-edge Python loop.
         return ItemGraph.from_adjacency(table.matrix().build_adjacency(

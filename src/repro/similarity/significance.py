@@ -21,8 +21,51 @@ microbenchmarks.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Mapping
+
 from repro.data.ratings import RatingTable
 from repro.errors import SimilarityError  # noqa: F401  (re-exported; raised by the store)
+
+
+@dataclass(frozen=True)
+class SignificanceTable:
+    """Bulk Definition-2 counts for every co-rated item pair.
+
+    Produced by the sharded Eq-6 sweep (the counts fold into the same
+    accumulation pass as the similarities) and ingested wholesale by the
+    Extender's :class:`~repro.core.xsim.SignificanceCache`, so dense
+    graphs never pay per-pair intersection lookups. Both mappings are
+    keyed ``(item_i, item_j)`` with ``i < j``; values are exact integers,
+    identical to the per-pair lookups regardless of shard count.
+
+    Attributes:
+        raw: ``S_{i,j}`` (Definition 2) per co-rated pair.
+        common: ``|Y_i ∩ Y_j|`` per co-rated pair (what Definition 4's
+            union denominator is derived from).
+    """
+
+    raw: Mapping[tuple[str, str], int]
+    common: Mapping[tuple[str, str], int]
+
+
+def bulk_significance(table: RatingTable,
+                      n_shards: int | None = None,
+                      processes: int | None = None) -> SignificanceTable:
+    """Definition-2 counts for *every* co-rated pair in one sweep.
+
+    Runs the engine's sharded pair accumulation with significance
+    folding enabled and discards the similarity side — the entry point
+    for callers that only need the counts (the per-pair
+    :func:`significance` stays the right tool for sparse lookups).
+    """
+    from repro.engine.sharded_sweep import sharded_adjacency
+
+    result = sharded_adjacency(
+        table, n_shards=n_shards, processes=processes,
+        with_significance=True)
+    return SignificanceTable(raw=result.significance,
+                             common=result.common_raters)
 
 
 def significance(table: RatingTable, item_i: str, item_j: str) -> int:

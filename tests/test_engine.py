@@ -1,6 +1,11 @@
 """Unit tests for the sparklite dataflow engine (repro.engine)."""
 
+import subprocess
+import sys
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.engine.cluster import ClusterSpec, CostModel
 from repro.engine.dataset_api import DataflowContext
@@ -13,6 +18,35 @@ from repro.errors import EngineError
 @pytest.fixture()
 def context():
     return DataflowContext(ClusterSpec(n_machines=2))
+
+
+#: Keys mixing every repr-stable type the engine shuffles, with their
+#: pinned FNV-1a values. Pinning exact integers is the strongest possible
+#: cross-process/cross-run guarantee: any change to repr formatting, the
+#: hash constants or the guard would break these on every platform.
+_GOLDEN_HASHES = [
+    ("u00042", 5148693919920118806),
+    (("u7", 3.5), 2188899342245529074),
+    ((1, 2.5, "x"), 17917055962576785306),
+    (0.1, 5627490830035591270),
+    (-0.0, 13250730907835653014),
+    (float("inf"), 3143526941665320968),
+    (12345, 16534377278781491704),
+    (b"bytes", 922132580873029630),
+    (None, 7393530455478880603),
+    (True, 9649694456298746757),
+]
+
+#: Hashable repr-stable scalars for the partition-assignment property.
+_scalar_keys = st.one_of(
+    st.text(max_size=8),
+    st.integers(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.none(),
+)
+_stable_keys = st.one_of(
+    _scalar_keys, st.tuples(_scalar_keys, _scalar_keys))
 
 
 class TestPartitioner:
@@ -31,6 +65,80 @@ class TestPartitioner:
     def test_equality(self):
         assert HashPartitioner(4) == HashPartitioner(4)
         assert HashPartitioner(4) != HashPartitioner(5)
+
+    def test_golden_hashes_pinned(self):
+        for key, expected in _GOLDEN_HASHES:
+            assert stable_hash(key) == expected, key
+
+    @given(key=_stable_keys, n_partitions=st.integers(1, 16))
+    def test_partition_assignment_is_value_determined(self, key,
+                                                      n_partitions):
+        # repr-stable keys (floats included: repr is the shortest
+        # round-tripping decimal, fixed since CPython 3.1) must route to
+        # one partition however many times and wherever they are hashed.
+        partitioner = HashPartitioner(n_partitions)
+        first = partitioner.partition_of(key)
+        assert 0 <= first < n_partitions
+        assert partitioner.partition_of(key) == first
+        assert stable_hash(key) == stable_hash(eval(repr(key)))
+
+    def test_assignment_identical_in_fresh_process(self):
+        # The property the sharded sweep leans on: a worker process (no
+        # shared interpreter state, fresh hash salt) computes the exact
+        # same shard layout as the driver.
+        import os
+        from pathlib import Path
+
+        import repro
+
+        keys = [key for key, _ in _GOLDEN_HASHES]
+        expected = [stable_hash(key) for key in keys]
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        script = (
+            "from repro.engine.partitioner import stable_hash\n"
+            "inf = float('inf')\n"
+            f"keys = {keys!r}\n"
+            "print([stable_hash(k) for k in keys])\n")
+        env = dict(os.environ, PYTHONPATH=src_dir, PYTHONHASHSEED="random")
+        output = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            check=True, env=env).stdout
+        assert eval(output) == expected
+
+    def test_id_based_default_repr_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(EngineError, match="id-based repr"):
+            stable_hash(Opaque())
+        with pytest.raises(EngineError, match="id-based repr"):
+            HashPartitioner(4).partition_of(("u1", Opaque()))
+
+    def test_unordered_collections_rejected(self):
+        # Set repr order follows the per-process hash salt — hashing it
+        # would shard nondeterministically, so it must raise instead.
+        with pytest.raises(EngineError, match="repr order"):
+            stable_hash(frozenset({"a", "b"}))
+        with pytest.raises(EngineError, match="repr order"):
+            HashPartitioner(4).partition_of(("u1", {"x", "y"}))
+
+    def test_value_repr_with_scary_substring_allowed(self):
+        # The guard must not reject value-typed keys whose repr merely
+        # contains the " at 0x" marker.
+        assert stable_hash("object at 0xdeadbeef") == stable_hash(
+            "object at 0xdeadbeef")
+
+    def test_assign_and_split(self):
+        partitioner = HashPartitioner(3)
+        keys = [f"u{k}" for k in range(20)]
+        assignments = partitioner.assign(keys)
+        assert assignments == [partitioner.partition_of(k) for k in keys]
+        parts = partitioner.split(keys)
+        assert sorted(sum(parts, [])) == list(range(20))
+        for part_id, positions in enumerate(parts):
+            assert positions == sorted(positions)
+            for position in positions:
+                assert assignments[position] == part_id
 
 
 class TestClusterSpec:

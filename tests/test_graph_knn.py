@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.data.ratings import Rating, RatingTable
 from repro.errors import GraphError
 from repro.similarity.graph import ItemGraph, build_similarity_graph
 from repro.similarity.knn import top_k

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cf.item_knn import ItemKNNRecommender
-from repro.cf.user_knn import UserKNNRecommender
 from repro.errors import PrivacyError
 from repro.privacy.pncf import (
     PrivateItemKNNRecommender,

@@ -1,7 +1,5 @@
 """Unit tests for the rating store (repro.data.ratings)."""
 
-import math
-
 import pytest
 
 from repro.data.ratings import Rating, RatingTable

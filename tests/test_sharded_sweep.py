@@ -1,0 +1,288 @@
+"""Equivalence and determinism tests for the sharded Eq-6 sweep.
+
+The contract (see ``repro/engine/sharded_sweep.py``):
+
+* one shard ⇒ **bit-identical** to the single-process store path
+  (``MatrixRatingStore.build_adjacency``) on both backends;
+* fixed shard count ⇒ bit-identical whichever executor runs the shards
+  (serial in-driver vs a forked ``multiprocessing`` pool);
+* any shard count ⇒ similarities agree with the store path to 1e-9
+  (only the float merge order moves), while the Definition-2
+  significance and co-rater counts stay **exactly** equal — they are
+  integer sums, which merge associatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseliner import Baseliner
+from repro.core.xsim import SignificanceCache
+from repro.data.matrix import MatrixRatingStore, numpy_available
+from repro.data.ratings import Rating, RatingTable
+from repro.engine.sharded_sweep import (
+    resolve_n_shards,
+    resolve_processes,
+    shard_user_indices,
+    sharded_adjacency,
+)
+from repro.errors import EngineError
+from repro.similarity.significance import bulk_significance
+
+# -- strategies (same shape as test_matrix_store) -----------------------
+
+_users = st.sampled_from([f"u{k}" for k in range(10)])
+_items = st.sampled_from([f"i{k}" for k in range(8)])
+_values = st.sampled_from([1.0, 1.5, 2.0, 3.0, 4.0, 4.5, 5.0])
+
+
+@st.composite
+def rating_tables(draw, min_size=4, max_size=40):
+    """Random small rating tables with unique (user, item) pairs."""
+    pairs = draw(st.lists(
+        st.tuples(_users, _items), min_size=min_size, max_size=max_size,
+        unique=True))
+    ratings = [Rating(u, i, draw(_values), timestep=k)
+               for k, (u, i) in enumerate(pairs)]
+    return RatingTable(ratings)
+
+
+_common = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+_backends = [pytest.param(True, id="numpy"),
+             pytest.param(False, id="pure-python")]
+
+
+def _store(table, use_numpy):
+    if use_numpy and not numpy_available():
+        pytest.skip("numpy fast path unavailable")
+    return MatrixRatingStore(table, use_numpy=use_numpy)
+
+
+def _max_abs_diff(left: dict, right: dict) -> float:
+    assert left.keys() == right.keys()
+    worst = 0.0
+    for item, nbrs in left.items():
+        other = right[item]
+        for j in set(nbrs) | set(other):
+            worst = max(worst, abs(nbrs.get(j, 0.0) - other.get(j, 0.0)))
+    return worst
+
+
+# -- the tentpole's correctness contract --------------------------------
+
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables())
+def test_one_shard_bit_identical_to_store_path(table, use_numpy):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(store, n_shards=1, with_significance=True)
+    assert result.adjacency == store.build_adjacency()
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 7])
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables())
+def test_sharded_matches_store_path_1e9(table, use_numpy, n_shards):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(store, n_shards=n_shards)
+    assert _max_abs_diff(result.adjacency, store.build_adjacency()) < 1e-9
+
+
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables(), min_common=st.integers(1, 3),
+       min_abs=st.sampled_from([0.0, 0.2]))
+def test_sharded_respects_edge_guards(table, use_numpy, min_common,
+                                      min_abs):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(
+        store, n_shards=3, min_common_users=min_common,
+        min_abs_similarity=min_abs)
+    reference = store.build_adjacency(
+        min_common_users=min_common, min_abs_similarity=min_abs)
+    assert _max_abs_diff(result.adjacency, reference) < 1e-9
+
+
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables(), max_profile=st.sampled_from([2, 3, 5]))
+def test_sharded_respects_profile_cap(table, use_numpy, max_profile):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(
+        store, n_shards=3, max_profile_size=max_profile)
+    reference = store.build_adjacency(max_profile_size=max_profile)
+    assert _max_abs_diff(result.adjacency, reference) < 1e-9
+
+
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables(), n_shards=st.integers(1, 7))
+def test_significance_counts_exact_for_any_shard_count(table, use_numpy,
+                                                       n_shards):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(
+        store, n_shards=n_shards, with_significance=True)
+    for (item_i, item_j), raw in result.significance.items():
+        assert item_i < item_j
+        assert raw == store.significance(item_i, item_j)
+    for (item_i, item_j), common in result.common_raters.items():
+        assert common == store.common_raters(item_i, item_j)
+    # every co-rated pair is present — exactly the nonzero-intersection
+    # pairs the per-pair path would see
+    items = sorted(table.items)
+    for a_pos, item_i in enumerate(items):
+        for item_j in items[a_pos + 1:]:
+            if store.common_raters(item_i, item_j) > 0:
+                assert (item_i, item_j) in result.common_raters
+
+
+@pytest.mark.parametrize("use_numpy", _backends)
+def test_pool_and_serial_executors_bit_identical(use_numpy):
+    # One fixed mid-sized table (a fork pool per hypothesis example
+    # would dominate the suite's runtime).
+    import random
+
+    rng = random.Random(99)
+    seen = set()
+    ratings = []
+    while len(ratings) < 1200:
+        pair = (f"u{rng.randrange(90)}", f"i{rng.randrange(70)}")
+        if pair in seen:
+            continue
+        seen.add(pair)
+        ratings.append(Rating(pair[0], pair[1],
+                              float(rng.randint(1, 5)), len(ratings)))
+    store = _store(RatingTable(ratings), use_numpy)
+    serial = sharded_adjacency(store, n_shards=5, processes=0,
+                               with_significance=True)
+    pooled = sharded_adjacency(store, n_shards=5, processes=3,
+                               with_significance=True)
+    assert serial.adjacency == pooled.adjacency
+    assert serial.significance == pooled.significance
+    assert serial.common_raters == pooled.common_raters
+    assert pooled.stats.processes in (0, 3)  # 0 only if fork unavailable
+
+
+# -- layout, stats and guards -------------------------------------------
+
+class TestShardLayout:
+    def test_layout_is_a_partition(self, tiny_table):
+        store = tiny_table.matrix()
+        shards = shard_user_indices(store, 3)
+        flat = sorted(index for shard in shards for index in shard)
+        assert flat == list(range(store.n_users))
+        for shard in shards:
+            assert shard == sorted(shard)
+
+    def test_layout_is_backend_independent(self, tiny_table):
+        if not numpy_available():
+            pytest.skip("numpy fast path unavailable")
+        fast = MatrixRatingStore(tiny_table, use_numpy=True)
+        slow = MatrixRatingStore(tiny_table, use_numpy=False)
+        assert shard_user_indices(fast, 4) == shard_user_indices(slow, 4)
+
+    def test_stats_cover_all_shards(self, tiny_table):
+        result = sharded_adjacency(tiny_table.matrix(), n_shards=3)
+        stats = result.stats
+        assert stats.n_shards == 3
+        assert len(stats.shard_users) == 3
+        assert sum(stats.shard_users) == tiny_table.matrix().n_users
+        assert len(stats.durations) == 3
+        assert stats.report.n_tasks == 3
+        assert stats.report.makespan >= max(stats.durations)
+
+    def test_empty_table(self):
+        result = sharded_adjacency(RatingTable().matrix(), n_shards=4,
+                                   with_significance=True)
+        assert result.adjacency == {}
+        assert result.significance == {}
+
+    def test_more_shards_than_users(self, tiny_table):
+        store = tiny_table.matrix()
+        result = sharded_adjacency(store, n_shards=64)
+        assert _max_abs_diff(result.adjacency,
+                             store.build_adjacency()) < 1e-9
+
+    def test_rating_table_accepted_directly(self, tiny_table):
+        by_table = sharded_adjacency(tiny_table, n_shards=2)
+        by_store = sharded_adjacency(tiny_table.matrix(), n_shards=2)
+        assert by_table.adjacency == by_store.adjacency
+
+    def test_profile_cap_incompatible_with_significance(self, tiny_table):
+        with pytest.raises(EngineError, match="max_profile_size"):
+            sharded_adjacency(tiny_table.matrix(), n_shards=2,
+                              max_profile_size=3, with_significance=True)
+
+
+class TestEnvResolution:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        monkeypatch.delenv("REPRO_SHARD_PROCS", raising=False)
+        assert resolve_n_shards(None) == 1
+        assert resolve_processes(None) == 0
+
+    def test_env_read_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "6")
+        monkeypatch.setenv("REPRO_SHARD_PROCS", "2")
+        assert resolve_n_shards(None) == 6
+        assert resolve_processes(None) == 2
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "6")
+        assert resolve_n_shards(3) == 3
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        with pytest.raises(EngineError):
+            resolve_n_shards(None)
+        with pytest.raises(EngineError):
+            resolve_n_shards(0)
+        with pytest.raises(EngineError):
+            resolve_processes(-1)
+
+
+# -- pipeline integration -----------------------------------------------
+
+class TestBaselinerIntegration:
+    def test_env_shards_produce_equivalent_baseline(self, small_trace,
+                                                    monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        reference = Baseliner().compute(small_trace)
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        sharded = Baseliner().compute(small_trace)
+        assert sharded.n_homogeneous == reference.n_homogeneous
+        assert sharded.n_heterogeneous == reference.n_heterogeneous
+        assert sharded.significance is not None
+        assert reference.significance is None
+        edges_ref = {(i, j): s for i, j, s in reference.graph.edges()}
+        edges_sharded = {(i, j): s for i, j, s in sharded.graph.edges()}
+        assert edges_ref.keys() == edges_sharded.keys()
+        for key, sim in edges_ref.items():
+            assert edges_sharded[key] == pytest.approx(sim, abs=1e-9)
+
+    def test_preloaded_cache_matches_lazy_lookups(self, small_trace):
+        merged = small_trace.merged()
+        baseline = Baseliner(n_shards=3).compute(small_trace,
+                                                 merged=merged)
+        preloaded = SignificanceCache(merged,
+                                      preload=baseline.significance)
+        lazy = SignificanceCache(merged)
+        for item_i, item_j, _ in baseline.graph.edges():
+            assert preloaded.significance(item_i, item_j) == \
+                lazy.significance(item_i, item_j)
+            assert preloaded.normalized(item_i, item_j) == \
+                lazy.normalized(item_i, item_j)
+
+    def test_bulk_significance_helper(self, tiny_table):
+        store = tiny_table.matrix()
+        table = bulk_significance(tiny_table, n_shards=2)
+        assert table.raw  # tiny_table has co-rated pairs
+        for (item_i, item_j), raw in table.raw.items():
+            assert raw == store.significance(item_i, item_j)
+            assert table.common[(item_i, item_j)] == \
+                store.common_raters(item_i, item_j)

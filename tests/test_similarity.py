@@ -1,7 +1,5 @@
 """Unit tests for the similarity metrics (repro.similarity)."""
 
-import math
-
 import pytest
 
 from repro.data.ratings import Rating, RatingTable

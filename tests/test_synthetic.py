@@ -6,7 +6,6 @@ from repro.data.synthetic import (
     MOVIELENS_GENRES,
     SyntheticConfig,
     amazon_like,
-    interstellar_scenario,
     movielens_like,
     scaled,
 )
