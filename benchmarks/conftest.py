@@ -14,6 +14,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -26,3 +27,20 @@ def record(result) -> None:
     print()
     print(rendered)
     (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(rendered + "\n")
+
+
+def record_json(name: str, backend: str, payload: dict) -> None:
+    """Merge one backend's results into ``BENCH_<name>.json``.
+
+    The machine-readable counterpart of the ``*_{backend}.txt`` tables:
+    one file per benchmark, keyed by store backend, so the perf
+    trajectory can be diffed across PRs instead of read out of prose.
+    Callers only write on full-size runs (same rule as the text files).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    data: dict = {"benchmark": name}
+    if path.exists():
+        data = json.loads(path.read_text())
+    data.setdefault("backends", {})[backend] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -62,16 +62,22 @@ class Baseliner:
         shard_processes: worker pool size for the sharded sweep;
             ``None`` reads ``REPRO_SHARD_PROCS``, 0/1 runs the shards on
             the serial executor (same output bit for bit).
+        n_edge_partitions: item-partition count for the merge + assembly
+            back half of the sharded sweep; ``None`` reads
+            ``REPRO_EDGE_PARTITIONS`` and defaults to the shard count.
+            Bit-identical output at any value.
     """
 
     def __init__(self, min_common_users: int = 1,
                  min_abs_similarity: float = 0.0,
                  n_shards: int | None = None,
-                 shard_processes: int | None = None) -> None:
+                 shard_processes: int | None = None,
+                 n_edge_partitions: int | None = None) -> None:
         self.min_common_users = min_common_users
         self.min_abs_similarity = min_abs_similarity
         self.n_shards = n_shards
         self.shard_processes = shard_processes
+        self.n_edge_partitions = n_edge_partitions
 
     def compute(self, data: CrossDomainDataset,
                 merged: RatingTable | None = None) -> BaselineSimilarities:
@@ -95,8 +101,11 @@ class Baseliner:
                 processes=self.shard_processes,
                 min_common_users=self.min_common_users,
                 min_abs_similarity=self.min_abs_similarity,
-                with_significance=True)
-            graph = ItemGraph.from_adjacency(result.adjacency)
+                with_significance=True,
+                n_edge_partitions=self.n_edge_partitions,
+                with_index=True)
+            graph = ItemGraph.from_adjacency(result.adjacency,
+                                             index=result.index)
             significance = SignificanceTable(
                 raw=result.significance, common=result.common_raters)
         else:
@@ -104,7 +113,8 @@ class Baseliner:
                 merged,
                 min_common_users=self.min_common_users,
                 min_abs_similarity=self.min_abs_similarity,
-                n_shards=1)
+                n_shards=1,
+                n_edge_partitions=self.n_edge_partitions)
         domain_of = data.domain_map()
         n_homogeneous = 0
         n_heterogeneous = 0

@@ -76,6 +76,12 @@ class XMapConfig:
         shard_processes: worker pool size for the sharded sweep
             (``None`` reads ``REPRO_SHARD_PROCS``; 0/1 = serial
             executor, same output bit for bit).
+        n_edge_partitions: item-partition count for the sweep's merge +
+            adjacency-assembly back half (``None`` reads
+            ``REPRO_EDGE_PARTITIONS`` and defaults to the shard count;
+            1 = single driver pass). Any value yields the same graph
+            bit for bit — the knob trades driver-tail latency for
+            partition-local assembly.
         seed: randomness seed for the private mechanisms.
     """
 
@@ -91,6 +97,7 @@ class XMapConfig:
     min_common_users: int = 1
     n_shards: int | None = None
     shard_processes: int | None = None
+    n_edge_partitions: int | None = None
     seed: int = 0
 
     def validated(self) -> "XMapConfig":
@@ -116,6 +123,10 @@ class XMapConfig:
             raise ConfigError(
                 f"shard_processes must be >= 0 (or None to read "
                 f"REPRO_SHARD_PROCS), got {self.shard_processes}")
+        if self.n_edge_partitions is not None and self.n_edge_partitions < 1:
+            raise ConfigError(
+                f"n_edge_partitions must be >= 1 (or None to read "
+                f"REPRO_EDGE_PARTITIONS), got {self.n_edge_partitions}")
         ExtenderConfig(k=self.prune_k,
                        max_paths_per_item=self.max_paths_per_item).validated()
         return self
@@ -177,7 +188,8 @@ class _PipelineBase:
         baseliner = Baseliner(
             min_common_users=self.config.min_common_users,
             n_shards=self.config.n_shards,
-            shard_processes=self.config.shard_processes)
+            shard_processes=self.config.shard_processes,
+            n_edge_partitions=self.config.n_edge_partitions)
         self.baseline = baseliner.compute(data, merged=merged)
         self.partition = LayerPartition.from_graph(
             self.baseline.graph, data.domain_map())

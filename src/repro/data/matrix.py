@@ -36,12 +36,13 @@ from __future__ import annotations
 
 import math
 import os
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, NamedTuple, Sequence
 
 from repro.errors import SimilarityError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.data.ratings import RatingTable
+    from repro.similarity.knn import NeighborIndex
 
 try:
     import numpy as _np
@@ -118,6 +119,21 @@ class PairAccumulation:
     def n_pairs(self) -> int:
         """Distinct co-rated pairs accumulated."""
         return len(self.sums) if self.keys is None else len(self.keys)
+
+
+class AssemblyResult(NamedTuple):
+    """Output of :meth:`MatrixRatingStore.assemble_from_partitions`.
+
+    Attributes:
+        adjacency: the symmetric string-keyed adjacency (``None`` when
+            the caller asked for the index only).
+        index: the rank-ordered
+            :class:`~repro.similarity.knn.NeighborIndex` selected during
+            assembly (``None`` unless requested).
+    """
+
+    adjacency: dict[str, dict[str, float]] | None
+    index: "NeighborIndex | None"
 
 
 class MatrixRatingStore:
@@ -850,15 +866,13 @@ class MatrixRatingStore:
         similarities = _np.clip(sums[keep] / denominators[keep], -1.0, 1.0)
         return left[keep], right[keep], similarities
 
-    def _iter_pairs_from_accumulation_python(self, acc: PairAccumulation,
-                                             min_common_users: int
-                                             ) -> Iterator[
-                                                 tuple[str, str, float]]:
-        """Yield the filtered ``(i, j, sim)`` pairs of a dict-backed
-        accumulation, sorted by pair key."""
+    def _iter_index_pairs_python(self, acc: PairAccumulation,
+                                 min_common_users: int
+                                 ) -> Iterator[tuple[int, int, float]]:
+        """Yield the filtered ``(left idx, right idx, sim)`` pairs of a
+        dict-backed accumulation, sorted by pair key."""
         norms = self.item_centered_norms
-        items = self.items
-        n_items = len(items)
+        n_items = len(self.items)
         sums, counts = acc.sums, acc.counts
         for key in sorted(sums):
             if counts[key] < min_common_users:
@@ -870,7 +884,18 @@ class MatrixRatingStore:
             denominator = norms[left] * norms[right]
             if denominator == 0.0:
                 continue
-            yield items[left], items[right], _clip1(numerator / denominator)
+            yield left, right, _clip1(numerator / denominator)
+
+    def _iter_pairs_from_accumulation_python(self, acc: PairAccumulation,
+                                             min_common_users: int
+                                             ) -> Iterator[
+                                                 tuple[str, str, float]]:
+        """Yield the filtered ``(i, j, sim)`` pairs of a dict-backed
+        accumulation, sorted by pair key."""
+        items = self.items
+        for left, right, sim in self._iter_index_pairs_python(
+                acc, min_common_users):
+            yield items[left], items[right], sim
 
     def significance_from_accumulation(
             self, acc: PairAccumulation
@@ -955,43 +980,281 @@ class MatrixRatingStore:
             min_abs_similarity: float = 0.0,
     ) -> dict[str, dict[str, float]]:
         """Assemble the symmetric Eq-6 adjacency from a (merged)
-        accumulation — the tail every sweep shares, whether the
-        accumulation came from one pass or from merged shards."""
-        adjacency: dict[str, dict[str, float]] = {
-            item: {} for item in self.items}
-        if not self._use_numpy:
-            for item_i, item_j, sim in \
-                    self._iter_pairs_from_accumulation_python(
-                        acc, min_common_users):
-                if abs(sim) >= min_abs_similarity:
-                    adjacency[item_i][item_j] = sim
-                    adjacency[item_j][item_i] = sim
-            return adjacency
-        arrays = self._pairs_from_accumulation_numpy(acc, min_common_users)
-        if arrays is None:
-            return adjacency
-        left, right, similarities = arrays
-        if min_abs_similarity > 0.0:
-            keep = _np.abs(similarities) >= min_abs_similarity
-            left, right, similarities = (
-                left[keep], right[keep], similarities[keep])
+        accumulation — the single-partition driver pass, kept as the
+        reference tail of :meth:`assemble_from_partitions`."""
+        return self.assemble_from_partitions(
+            [acc], min_common_users=min_common_users,
+            min_abs_similarity=min_abs_similarity).adjacency
+
+    def neighbor_index(self, min_common_users: int = 1,
+                       min_abs_similarity: float = 0.0,
+                       max_profile_size: int | None = None,
+                       k: int | None = None) -> "NeighborIndex":
+        """Rank-ordered :class:`~repro.similarity.knn.NeighborIndex`
+        from one unsharded Eq-6 sweep (no adjacency dicts built).
+
+        This is the serve-side entry point
+        :class:`~repro.cf.item_knn.ItemKNNRecommender` uses: rows hold
+        every nonzero-similarity neighbor (or the top-*k* when given),
+        ordered by descending similarity with the ascending-id
+        tie-break, so predictions are O(k) row scans.
+        """
+        acc = self.pair_accumulation(max_profile_size=max_profile_size)
+        return self.assemble_from_partitions(
+            [acc], min_common_users=min_common_users,
+            min_abs_similarity=min_abs_similarity,
+            with_adjacency=False, with_index=True, index_k=k).index
+
+    def split_accumulation(self, acc: PairAccumulation,
+                           owners: Sequence[int],
+                           n_partitions: int) -> list[PairAccumulation]:
+        """Split an accumulation by the partition owning each pair's
+        **left** item.
+
+        *owners* maps item index → partition id (the engine hands in a
+        :class:`~repro.engine.partitioner.HashPartitioner` assignment
+        over the item ids, so every shard and every run agrees on the
+        layout). Pair keys encode ``left * n_items + right``, so
+        ``owners[key // n_items]`` routes a pair. Splitting only moves
+        entries between containers — re-merging the parts per partition
+        in the original part order reproduces the unsplit merge bit for
+        bit, which is what keeps the partitioned assembly's similarities
+        identical to the driver pass.
+        """
+        if n_partitions == 1:
+            return [acc]
+        n_items = len(self.items)
+        if self._use_numpy:
+            owner_arr = _np.asarray(owners, dtype=_np.int64)
+            part_of = owner_arr[acc.keys // n_items] if len(acc.keys) \
+                else _np.zeros(0, dtype=_np.int64)
+            parts = []
+            for p in range(n_partitions):
+                mask = part_of == p
+                parts.append(PairAccumulation(
+                    acc.keys[mask], acc.sums[mask], acc.counts[mask],
+                    None if acc.agree is None else acc.agree[mask]))
+            return parts
+        sums: list[dict[int, float]] = [{} for _ in range(n_partitions)]
+        counts: list[dict[int, int]] = [{} for _ in range(n_partitions)]
+        agree: list[dict[int, int]] | None = (
+            None if acc.agree is None
+            else [{} for _ in range(n_partitions)])
+        acc_counts = acc.counts
+        acc_agree = acc.agree
+        for key, value in acc.sums.items():
+            p = owners[key // n_items]
+            sums[p][key] = value
+            counts[p][key] = acc_counts[key]
+            if agree is not None:
+                hits = acc_agree.get(key)
+                if hits is not None:
+                    agree[p][key] = hits
+        return [PairAccumulation(
+            None, sums[p], counts[p],
+            None if agree is None else agree[p])
+            for p in range(n_partitions)]
+
+    def assemble_from_partitions(
+            self, parts: Sequence[PairAccumulation],
+            owners: Sequence[int] | None = None,
+            min_common_users: int = 1,
+            min_abs_similarity: float = 0.0,
+            with_adjacency: bool = True,
+            with_index: bool = False,
+            index_k: int | None = None,
+    ) -> "AssemblyResult":
+        """Assemble adjacency rows (and optionally a
+        :class:`~repro.similarity.knn.NeighborIndex`) per item
+        partition.
+
+        *parts* holds one merged accumulation per partition, pairs
+        routed by their left item (:meth:`split_accumulation`); *owners*
+        is the item → partition assignment (``None`` for a single
+        partition). Each partition turns its pairs into similarities
+        locally, ships the reversed directed edges to the partition
+        owning the right endpoint, and assembles the rows of *its own*
+        items — nothing funnels through one driver-wide sort.
+
+        Determinism: every (source, target) edge appears in exactly one
+        partition and its weight comes from per-pair sums merged in
+        shard order, so the assembled adjacency equals the driver-pass
+        :meth:`adjacency_from_accumulation` output bit for bit at any
+        partition count — partitioning moves *where* a row is built,
+        never its contents. Index rows are ranked by (descending
+        weight, ascending neighbor index); with *index_k* they are
+        truncated to the top-k during partition-local assembly.
+        """
+        if len(parts) > 1:
+            if owners is None:
+                raise SimilarityError(
+                    "owners is required for multi-partition assembly")
+            if len(owners) != len(self.items):
+                raise SimilarityError(
+                    f"owners has {len(owners)} entries for "
+                    f"{len(self.items)} items")
+        if self._use_numpy:
+            return self._assemble_numpy(
+                parts, owners, min_common_users, min_abs_similarity,
+                with_adjacency, with_index, index_k)
+        return self._assemble_python(
+            parts, owners, min_common_users, min_abs_similarity,
+            with_adjacency, with_index, index_k)
+
+    def _assemble_numpy(self, parts, owners, min_common_users,
+                        min_abs_similarity, with_adjacency, with_index,
+                        index_k) -> "AssemblyResult":
+        from repro.similarity.knn import NeighborIndex
+
+        n_partitions = len(parts)
+        n_items = len(self.items)
+        empty_int = _np.zeros(0, dtype=_np.int64)
+        empty_float = _np.zeros(0, dtype=_np.float64)
+
+        # Stage A: partition-local pair extraction — the Eq-6 filter /
+        # normalise / clip tail runs on each partition's own pairs.
+        partition_edges = []
+        for acc in parts:
+            arrays = self._pairs_from_accumulation_numpy(
+                acc, min_common_users)
+            if arrays is None:
+                partition_edges.append((empty_int, empty_int, empty_float))
+                continue
+            left, right, sims = arrays
+            if min_abs_similarity > 0.0:
+                keep = _np.abs(sims) >= min_abs_similarity
+                left, right, sims = left[keep], right[keep], sims[keep]
+            partition_edges.append((left, right, sims))
+
+        # Stage B: reversed-edge exchange. Forward (left → right) edges
+        # already sit in the partition owning their source row; the
+        # reversed (right → left) edges route to owners[right]. With one
+        # partition everything stays local.
+        inboxes: list[list[tuple]] = [[] for _ in range(n_partitions)]
+        if n_partitions == 1:
+            left, right, sims = partition_edges[0]
+            inboxes[0].append((right, left, sims))
+        else:
+            owner_arr = _np.asarray(owners, dtype=_np.int64)
+            for left, right, sims in partition_edges:
+                if len(left) == 0:
+                    continue
+                dest = owner_arr[right]
+                order = _np.argsort(dest, kind="stable")
+                rev_src = right[order]
+                rev_tgt = left[order]
+                rev_wts = sims[order]
+                bounds = _np.searchsorted(
+                    dest[order], _np.arange(n_partitions + 1))
+                for p, (a, b) in enumerate(zip(bounds[:-1].tolist(),
+                                               bounds[1:].tolist())):
+                    if a != b:
+                        inboxes[p].append(
+                            (rev_src[a:b], rev_tgt[a:b], rev_wts[a:b]))
+
+        # Stage C: per-partition row assembly. Each partition sorts only
+        # its own directed edges; with an index requested the sort key
+        # adds the serving rank (descending weight, ascending target) so
+        # the top-k selection is a row-prefix slice, not a second sort.
+        adjacency = ({item: {} for item in self.items}
+                     if with_adjacency else None)
         if self._item_names_obj is None:
             self._item_names_obj = _np.asarray(self.items, dtype=object)
-        source = _np.concatenate([left, right])
-        target = _np.concatenate([right, left])
-        weight = _np.concatenate([similarities, similarities])
-        order = _np.argsort(source, kind="stable")
-        source = source[order]
-        target_names = self._item_names_obj[target[order]].tolist()
-        weights = weight[order].tolist()
-        bounds = _np.searchsorted(source, _np.arange(len(self.items) + 1))
+        degrees = _np.zeros(n_items, dtype=_np.int64) if with_index else None
+        fills = []
+        item_range = _np.arange(n_items + 1)
         items = self.items
-        for k, (start, end) in enumerate(zip(bounds[:-1].tolist(),
-                                             bounds[1:].tolist())):
-            if start != end:
-                adjacency[items[k]] = dict(
-                    zip(target_names[start:end], weights[start:end]))
-        return adjacency
+        for p in range(n_partitions):
+            fwd_left, fwd_right, fwd_sims = partition_edges[p]
+            src_parts = [fwd_left] + [m[0] for m in inboxes[p]]
+            tgt_parts = [fwd_right] + [m[1] for m in inboxes[p]]
+            wts_parts = [fwd_sims] + [m[2] for m in inboxes[p]]
+            src = _np.concatenate(src_parts)
+            if len(src) == 0:
+                continue
+            tgt = _np.concatenate(tgt_parts)
+            wts = _np.concatenate(wts_parts)
+            if with_index:
+                order = _np.lexsort((tgt, -wts, src))
+            else:
+                order = _np.argsort(src, kind="stable")
+            src = src[order]
+            tgt = tgt[order]
+            wts = wts[order]
+            bounds = _np.searchsorted(src, item_range)
+            if with_adjacency:
+                target_names = self._item_names_obj[tgt].tolist()
+                weight_list = wts.tolist()
+                for k, (start, end) in enumerate(zip(bounds[:-1].tolist(),
+                                                     bounds[1:].tolist())):
+                    if start != end:
+                        adjacency[items[k]] = dict(
+                            zip(target_names[start:end],
+                                weight_list[start:end]))
+            if with_index:
+                sizes = _np.diff(bounds)
+                if index_k is not None:
+                    sizes = _np.minimum(sizes, index_k)
+                degrees += sizes
+                fills.append((src, tgt, wts, bounds, sizes))
+
+        index = None
+        if with_index:
+            ptr = _np.zeros(n_items + 1, dtype=_np.int64)
+            _np.cumsum(degrees, out=ptr[1:])
+            total = int(ptr[-1])
+            neighbor_ids = _np.empty(total, dtype=_np.int64)
+            weights = _np.empty(total, dtype=_np.float64)
+            for src, tgt, wts, bounds, sizes in fills:
+                # Within-row rank of each directed edge; truncated rows
+                # keep only ranks below their per-item size.
+                offsets = _np.arange(len(src)) - bounds[src]
+                keep = offsets < sizes[src]
+                pos = ptr[src[keep]] + offsets[keep]
+                neighbor_ids[pos] = tgt[keep]
+                weights[pos] = wts[keep]
+            index = NeighborIndex(items, self.item_index, ptr,
+                                  neighbor_ids, weights, k=index_k)
+        return AssemblyResult(adjacency=adjacency, index=index)
+
+    def _assemble_python(self, parts, owners, min_common_users,
+                         min_abs_similarity, with_adjacency, with_index,
+                         index_k) -> "AssemblyResult":
+        from repro.similarity.knn import NeighborIndex
+
+        items = self.items
+        adjacency = ({item: {} for item in items}
+                     if with_adjacency else None)
+        rows: list[list[tuple[int, float]]] | None = (
+            [[] for _ in items] if with_index else None)
+        for acc in parts:
+            for left, right, sim in self._iter_index_pairs_python(
+                    acc, min_common_users):
+                if abs(sim) < min_abs_similarity:
+                    continue
+                if with_adjacency:
+                    adjacency[items[left]][items[right]] = sim
+                    adjacency[items[right]][items[left]] = sim
+                if with_index:
+                    rows[left].append((right, sim))
+                    rows[right].append((left, sim))
+        index = None
+        if with_index:
+            ptr = [0]
+            neighbor_ids: list[int] = []
+            weights: list[float] = []
+            for row in rows:
+                # Serving rank: descending weight, ascending neighbor
+                # index (== lexicographic id; interning is sorted).
+                row.sort(key=lambda edge: (-edge[1], edge[0]))
+                selected = row if index_k is None else row[:index_k]
+                for neighbor, weight in selected:
+                    neighbor_ids.append(neighbor)
+                    weights.append(weight)
+                ptr.append(len(neighbor_ids))
+            index = NeighborIndex(items, self.item_index, ptr,
+                                  neighbor_ids, weights, k=index_k)
+        return AssemblyResult(adjacency=adjacency, index=index)
 
     def _all_pairs_python(self, min_common_users: int,
                           max_profile_size: int | None

@@ -31,6 +31,7 @@ from repro.engine.metrics import ExecutionReport, StageReport, speedup_curve
 from repro.engine.sharded_sweep import (
     ShardedSweepResult,
     SweepStats,
+    resolve_edge_partitions,
     resolve_n_shards,
     sharded_adjacency,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ShardedSweepResult",
     "StageReport",
     "SweepStats",
+    "resolve_edge_partitions",
     "resolve_n_shards",
     "sharded_adjacency",
     "speedup_curve",

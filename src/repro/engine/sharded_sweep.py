@@ -14,8 +14,14 @@ execution substrate of the offline pipeline:
   folds the Eq-6 numerators, the co-rater counts *and* the Definition-2
   like-agreement counts into a single pass over the shard's rows (no
   second significance sweep);
-* the per-shard bincounts are merged in shard-index order and the
-  adjacency is assembled by the same tail as the unsharded path.
+* the back half is partitioned too: each shard's pair list is routed to
+  the item partition owning its **left item** (``HashPartitioner`` over
+  the item ids again), every partition merges its own bincounts in
+  shard-index order and assembles its own adjacency rows — and the
+  serving :class:`~repro.similarity.knn.NeighborIndex` — locally, so
+  nothing funnels through one driver-wide merge + sort (the tail that
+  had become the larger half of graph build, see
+  ``benchmarks/results/sharded_sweep_*``).
 
 Shards execute on a serial in-driver executor or on a ``fork``-based
 ``multiprocessing`` pool; shard tasks are submitted largest-first (the
@@ -34,20 +40,28 @@ Determinism contract — property-tested in ``tests/test_sharded_sweep.py``:
   :meth:`~repro.data.matrix.MatrixRatingStore.build_adjacency`;
 * across **different shard counts** the float numerator merge order
   changes, so similarities agree to ~1e-15 (the tests pin 1e-9) while
-  the integer significance and co-rater counts stay exactly equal.
+  the integer significance and co-rater counts stay exactly equal;
+* across **edge-partition counts** nothing moves at all: splitting pairs
+  by left item only changes *where* each per-pair sum is added, never
+  its addend order, so the assembled adjacency and index are
+  bit-identical to the single driver pass for any ``n_edge_partitions``.
 
 Shard count comes from the ``n_shards`` argument or the ``REPRO_SHARDS``
 environment variable (the CI matrix runs a ``REPRO_SHARDS=4`` leg);
 worker processes from ``processes`` or ``REPRO_SHARD_PROCS`` (default:
-serial).
+serial; asking for more workers than shards draws a ``RuntimeWarning`` —
+the extra forks are pure overhead). The assembly partition count comes
+from ``n_edge_partitions`` / ``REPRO_EDGE_PARTITIONS`` and defaults to
+the shard count.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.data.matrix import MatrixRatingStore, PairAccumulation
 from repro.data.ratings import RatingTable
@@ -57,8 +71,12 @@ from repro.engine.partitioner import HashPartitioner
 from repro.engine.scheduler import stage_makespan
 from repro.errors import EngineError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.similarity.knn import NeighborIndex
+
 _SHARDS_ENV = "REPRO_SHARDS"
 _PROCS_ENV = "REPRO_SHARD_PROCS"
+_EDGE_PARTITIONS_ENV = "REPRO_EDGE_PARTITIONS"
 
 
 def _positive_int_env(name: str, default: int) -> int:
@@ -68,8 +86,7 @@ def _positive_int_env(name: str, default: int) -> int:
     try:
         value = int(raw)
     except ValueError:
-        raise EngineError(
-            f"{name} must be a positive integer, got {raw!r}") from None
+        raise EngineError(f"{name} must be a positive integer, got {raw!r}") from None
     if value < 0:
         raise EngineError(f"{name} must be >= 0, got {value}")
     return value
@@ -95,6 +112,22 @@ def resolve_processes(processes: int | None = None) -> int:
     return processes
 
 
+def resolve_edge_partitions(
+    n_edge_partitions: int | None = None,
+    n_shards: int = 1,
+) -> int:
+    """The effective item-partition count for adjacency assembly: the
+    explicit argument, else ``REPRO_EDGE_PARTITIONS``, else the resolved
+    shard count (assembly follows the sweep's parallelism by default, so
+    a sharded run never funnels its back half through one driver pass).
+    """
+    if n_edge_partitions is None:
+        return _positive_int_env(_EDGE_PARTITIONS_ENV, n_shards)
+    if n_edge_partitions < 1:
+        raise EngineError(f"n_edge_partitions must be >= 1, got {n_edge_partitions}")
+    return n_edge_partitions
+
+
 @dataclass(frozen=True)
 class SweepStats:
     """Observability of one sharded sweep.
@@ -107,10 +140,25 @@ class SweepStats:
             (``Σ |X_u|·(|X_u|−1)/2``) — the LPT submission weights.
         shard_pairs: distinct co-rated pairs each shard produced.
         durations: measured per-shard wall seconds, indexed by shard.
-        merge_seconds: wall seconds spent merging the shard bincounts.
+        merge_seconds: wall seconds spent merging the shard bincounts
+            (summed over item partitions when assembly is partitioned —
+            each partition merges only its own pairs).
         report: the shard stage as an engine
             :class:`~repro.engine.metrics.StageReport` (LPT makespan of
             the measured durations on ``max(processes, 1)`` slots).
+        n_edge_partitions: item-partition count of the assembly stage
+            (1 = the single driver pass). The assembly fields below are
+            filled by :func:`sharded_adjacency` — length-1 tuples on
+            1-partition runs — and left at their defaults by
+            :func:`sharded_pair_accumulation`, which runs no assembly.
+        split_seconds: wall seconds spent routing each shard's pairs to
+            their owning item partition (0.0 when nothing was split).
+        partition_pairs: distinct pairs per item partition after the
+            per-partition merges.
+        partition_merge_seconds: per-partition merge wall seconds — the
+            per-task durations of the merge stage, whose max is the
+            critical path a partitioned driver would be bound by.
+        assembly_seconds: wall seconds of adjacency/index assembly.
     """
 
     n_shards: int
@@ -121,6 +169,11 @@ class SweepStats:
     durations: tuple[float, ...]
     merge_seconds: float
     report: StageReport
+    n_edge_partitions: int = 1
+    split_seconds: float = 0.0
+    partition_pairs: tuple[int, ...] = ()
+    partition_merge_seconds: tuple[float, ...] = ()
+    assembly_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -132,6 +185,10 @@ class ShardedSweepResult:
             isolated ones with an empty neighbor dict) —
             :meth:`~repro.similarity.graph.ItemGraph.from_adjacency`
             adopts it without copying.
+        index: the rank-ordered
+            :class:`~repro.similarity.knn.NeighborIndex` selected
+            per item partition during assembly — the serving handoff.
+            None unless requested.
         significance: Definition-2 counts ``S_{i,j}`` for every co-rated
             pair, keyed ``(i, j)`` with ``i < j`` — exact integers,
             identical to per-pair lookups regardless of sharding. None
@@ -145,10 +202,10 @@ class ShardedSweepResult:
     significance: Mapping[tuple[str, str], int] | None
     common_raters: Mapping[tuple[str, str], int] | None
     stats: SweepStats
+    index: "NeighborIndex | None" = None
 
 
-def shard_user_indices(store: MatrixRatingStore,
-                       n_shards: int) -> list[list[int]]:
+def shard_user_indices(store: MatrixRatingStore, n_shards: int) -> list[list[int]]:
     """Partition the store's interned user rows into shards.
 
     Routing hashes the *user id strings* with the engine's
@@ -160,9 +217,11 @@ def shard_user_indices(store: MatrixRatingStore,
     return HashPartitioner(n_shards).split(store.users)
 
 
-def _shard_costs(store: MatrixRatingStore,
-                 shards: Sequence[Sequence[int]],
-                 max_profile_size: int | None) -> list[int]:
+def _shard_costs(
+    store: MatrixRatingStore,
+    shards: Sequence[Sequence[int]],
+    max_profile_size: int | None,
+) -> list[int]:
     """Estimated pair contributions per shard — the quadratic fan-out
     ``Σ |X_u|·(|X_u|−1)/2`` over the shard's eligible users."""
     ptr = store.user_ptr
@@ -171,9 +230,11 @@ def _shard_costs(store: MatrixRatingStore,
         total = 0
         for u in shard:
             length = int(ptr[u + 1]) - int(ptr[u])
-            if length >= 2 and (max_profile_size is None
-                                or length <= max_profile_size):
-                total += length * (length - 1) // 2
+            if length < 2:
+                continue
+            if max_profile_size is not None and length > max_profile_size:
+                continue
+            total += length * (length - 1) // 2
         costs.append(total)
     return costs
 
@@ -186,21 +247,25 @@ _worker_max_profile: int | None = None
 _worker_significance = False
 
 
-def _init_worker(store: MatrixRatingStore, max_profile_size: int | None,
-                 with_significance: bool) -> None:
+def _init_worker(
+    store: MatrixRatingStore,
+    max_profile_size: int | None,
+    with_significance: bool,
+) -> None:
     global _worker_store, _worker_max_profile, _worker_significance
     _worker_store = store
     _worker_max_profile = max_profile_size
     _worker_significance = with_significance
 
 
-def _run_shard(task: tuple[int, list[int]]
-               ) -> tuple[int, PairAccumulation, float]:
+def _run_shard(task: tuple[int, list[int]]) -> tuple[int, PairAccumulation, float]:
     shard_id, users = task
     start = time.perf_counter()
     acc = _worker_store.pair_accumulation(
-        users, max_profile_size=_worker_max_profile,
-        with_significance=_worker_significance)
+        users,
+        max_profile_size=_worker_max_profile,
+        with_significance=_worker_significance,
+    )
     return shard_id, acc, time.perf_counter() - start
 
 
@@ -212,22 +277,35 @@ def _fork_context():
     return multiprocessing.get_context("fork")
 
 
-def sharded_pair_accumulation(
-        store: MatrixRatingStore,
-        n_shards: int | None = None,
-        processes: int | None = None,
-        max_profile_size: int | None = None,
-        with_significance: bool = False,
-) -> tuple[PairAccumulation, SweepStats]:
-    """Run the partitioned Eq-6 accumulation and merge the shards.
+def _warn_excess_processes(processes: int, n_shards: int) -> None:
+    """Satellite guard: asking for more workers than shards is silently
+    wasteful (the pool is clamped, but every forked worker still pays
+    startup and result-pickling overhead) — say so once per sweep."""
+    if processes > n_shards:
+        warnings.warn(
+            f"shard_processes={processes} exceeds n_shards={n_shards}: "
+            f"only {n_shards} shard tasks exist, so the pool is clamped "
+            f"to {n_shards} and the extra workers would only add fork "
+            f"overhead. On single-CPU containers prefer the serial "
+            f"executor and read max(durations) as the parallel critical "
+            f"path (see benchmarks/results/sharded_sweep_*).",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
-    Returns the merged :class:`~repro.data.matrix.PairAccumulation` plus
-    the sweep's :class:`SweepStats`. Shards are merged in shard-index
-    order whatever executor ran them, which is what makes the result a
-    pure function of (table, shard count).
+
+def _execute_shards(
+    store: MatrixRatingStore,
+    n_shards: int,
+    processes: int,
+    max_profile_size: int | None,
+    with_significance: bool,
+) -> tuple[list[list[int]], list[int], list[PairAccumulation], list[float], int]:
+    """Partition the users, submit the shard tasks (LPT) and run them.
+
+    Returns ``(shards, costs, parts, durations, effective_processes)``
+    with *parts* indexed by shard id whatever executor ran them.
     """
-    n_shards = resolve_n_shards(n_shards)
-    processes = resolve_processes(processes)
     shards = shard_user_indices(store, n_shards)
     costs = _shard_costs(store, shards, max_profile_size)
     # LPT submission: largest shard first, so a pool never ends with one
@@ -242,11 +320,11 @@ def sharded_pair_accumulation(
     context = _fork_context() if pool_size > 1 else None
     if context is not None:
         with context.Pool(
-                pool_size, initializer=_init_worker,
-                initargs=(store, max_profile_size, with_significance),
+            pool_size,
+            initializer=_init_worker,
+            initargs=(store, max_profile_size, with_significance),
         ) as pool:
-            for shard_id, acc, elapsed in pool.imap_unordered(
-                    _run_shard, tasks):
+            for shard_id, acc, elapsed in pool.imap_unordered(_run_shard, tasks):
                 parts[shard_id] = acc
                 durations[shard_id] = elapsed
         effective_processes = pool_size
@@ -260,11 +338,20 @@ def sharded_pair_accumulation(
             durations[shard_id] = elapsed
         _init_worker(None, None, False)
         effective_processes = 0
+    return shards, costs, parts, durations, effective_processes
 
-    merge_start = time.perf_counter()
-    merged = store.merge_accumulations(parts)
-    merge_seconds = time.perf_counter() - merge_start
 
+def _sweep_stats(
+    n_shards: int,
+    shards,
+    costs,
+    parts,
+    durations,
+    effective_processes: int,
+    records_out: int,
+    merge_seconds: float,
+    **assembly_fields,
+) -> SweepStats:
     slots = max(effective_processes, 1)
     executor = f"pool={slots}" if effective_processes else "serial"
     report = StageReport(
@@ -272,13 +359,15 @@ def sharded_pair_accumulation(
         description=f"sharded Eq-6 sweep ({n_shards} shards, {executor})",
         n_tasks=n_shards,
         records_in=sum(len(shard) for shard in shards),
-        records_out=merged.n_pairs,
+        records_out=records_out,
         shuffle_records=sum(part.n_pairs for part in parts),
         task_durations=tuple(durations),
         makespan=stage_makespan(
-            durations, ClusterSpec(n_machines=slots, n_slots_per_machine=1)),
+            durations,
+            ClusterSpec(n_machines=slots, n_slots_per_machine=1),
+        ),
     )
-    stats = SweepStats(
+    return SweepStats(
         n_shards=n_shards,
         processes=effective_processes,
         shard_users=tuple(len(shard) for shard in shards),
@@ -287,18 +376,62 @@ def sharded_pair_accumulation(
         durations=tuple(durations),
         merge_seconds=merge_seconds,
         report=report,
+        **assembly_fields,
+    )
+
+
+def sharded_pair_accumulation(
+    store: MatrixRatingStore,
+    n_shards: int | None = None,
+    processes: int | None = None,
+    max_profile_size: int | None = None,
+    with_significance: bool = False,
+) -> tuple[PairAccumulation, SweepStats]:
+    """Run the partitioned Eq-6 accumulation and merge the shards.
+
+    Returns the merged :class:`~repro.data.matrix.PairAccumulation` plus
+    the sweep's :class:`SweepStats`. Shards are merged in shard-index
+    order whatever executor ran them, which is what makes the result a
+    pure function of (table, shard count).
+    """
+    n_shards = resolve_n_shards(n_shards)
+    processes = resolve_processes(processes)
+    _warn_excess_processes(processes, n_shards)
+    shards, costs, parts, durations, effective_processes = _execute_shards(
+        store,
+        n_shards,
+        processes,
+        max_profile_size,
+        with_significance,
+    )
+
+    merge_start = time.perf_counter()
+    merged = store.merge_accumulations(parts)
+    merge_seconds = time.perf_counter() - merge_start
+    stats = _sweep_stats(
+        n_shards,
+        shards,
+        costs,
+        parts,
+        durations,
+        effective_processes,
+        records_out=merged.n_pairs,
+        merge_seconds=merge_seconds,
     )
     return merged, stats
 
 
 def sharded_adjacency(
-        table: RatingTable | MatrixRatingStore,
-        n_shards: int | None = None,
-        processes: int | None = None,
-        min_common_users: int = 1,
-        min_abs_similarity: float = 0.0,
-        max_profile_size: int | None = None,
-        with_significance: bool = False,
+    table: RatingTable | MatrixRatingStore,
+    n_shards: int | None = None,
+    processes: int | None = None,
+    min_common_users: int = 1,
+    min_abs_similarity: float = 0.0,
+    max_profile_size: int | None = None,
+    with_significance: bool = False,
+    n_edge_partitions: int | None = None,
+    with_index: bool = False,
+    index_k: int | None = None,
 ) -> ShardedSweepResult:
     """The Baseliner's pair sweep as a shard-then-merge dataflow job.
 
@@ -317,25 +450,106 @@ def sharded_adjacency(
             Definition-2 agreements).
         with_significance: also return the Definition-2 counts for every
             co-rated pair, folded into the same accumulation pass.
+        n_edge_partitions: item-partition count for the merge + assembly
+            back half: each shard's pairs are routed to the partition
+            owning their left item (the engine's ``HashPartitioner``
+            over item ids) and every partition merges and assembles only
+            its own rows. ``None`` reads ``REPRO_EDGE_PARTITIONS``, else
+            follows the shard count; 1 is the single driver pass. Any
+            value produces the same adjacency bit for bit — per-pair
+            partials are still added in shard order.
+        with_index: also assemble the serving
+            :class:`~repro.similarity.knn.NeighborIndex` during the same
+            partition-local pass (rows ranked once, truncated to
+            *index_k* when given).
+        index_k: per-row truncation for the index (``None`` keeps every
+            nonzero edge, still rank-ordered).
     """
     if with_significance and max_profile_size is not None:
         raise EngineError(
             "with_significance requires max_profile_size=None: capping "
-            "profiles drops co-raters from the Definition-2 counts")
+            "profiles drops co-raters from the Definition-2 counts"
+        )
     store = table.matrix() if isinstance(table, RatingTable) else table
-    merged, stats = sharded_pair_accumulation(
-        store, n_shards=n_shards, processes=processes,
-        max_profile_size=max_profile_size,
-        with_significance=with_significance)
-    adjacency = store.adjacency_from_accumulation(
-        merged, min_common_users=min_common_users,
-        min_abs_similarity=min_abs_similarity)
+    n_shards = resolve_n_shards(n_shards)
+    processes = resolve_processes(processes)
+    n_edge_partitions = resolve_edge_partitions(n_edge_partitions, n_shards)
+    _warn_excess_processes(processes, n_shards)
+    shards, costs, parts, durations, effective_processes = _execute_shards(
+        store,
+        n_shards,
+        processes,
+        max_profile_size,
+        with_significance,
+    )
+
+    # Back half: route each shard's pairs to the item partition owning
+    # their left item, merge per partition (shard order, so per-pair
+    # sums match the driver merge bit for bit), then assemble each
+    # partition's adjacency rows — and the serving index — locally.
+    split_seconds = 0.0
+    if n_edge_partitions > 1:
+        owners = HashPartitioner(n_edge_partitions).assign(store.items)
+        split_start = time.perf_counter()
+        split_parts = [
+            store.split_accumulation(part, owners, n_edge_partitions)
+            for part in parts
+        ]
+        split_seconds = time.perf_counter() - split_start
+    else:
+        owners = None
+        split_parts = [[part] for part in parts]
+
+    merged_parts: list[PairAccumulation] = []
+    partition_merge_seconds = []
+    for p in range(n_edge_partitions):
+        merge_start = time.perf_counter()
+        merged_parts.append(
+            store.merge_accumulations([split_parts[s][p] for s in range(n_shards)])
+        )
+        partition_merge_seconds.append(time.perf_counter() - merge_start)
+
+    assembly_start = time.perf_counter()
+    assembled = store.assemble_from_partitions(
+        merged_parts,
+        owners,
+        min_common_users=min_common_users,
+        min_abs_similarity=min_abs_similarity,
+        with_index=with_index,
+        index_k=index_k,
+    )
+    assembly_seconds = time.perf_counter() - assembly_start
+
     significance = common = None
     if with_significance:
-        significance, common = store.significance_from_accumulation(merged)
+        # Pairs are disjoint across partitions, so the per-partition
+        # Definition-2 dicts union into exactly the driver-pass counts.
+        significance = {}
+        common = {}
+        for merged in merged_parts:
+            raw_p, common_p = store.significance_from_accumulation(merged)
+            significance.update(raw_p)
+            common.update(common_p)
+
+    stats = _sweep_stats(
+        n_shards,
+        shards,
+        costs,
+        parts,
+        durations,
+        effective_processes,
+        records_out=sum(part.n_pairs for part in merged_parts),
+        merge_seconds=sum(partition_merge_seconds),
+        n_edge_partitions=n_edge_partitions,
+        split_seconds=split_seconds,
+        partition_pairs=tuple(part.n_pairs for part in merged_parts),
+        partition_merge_seconds=tuple(partition_merge_seconds),
+        assembly_seconds=assembly_seconds,
+    )
     return ShardedSweepResult(
-        adjacency=adjacency,
+        adjacency=assembled.adjacency,
         significance=significance,
         common_raters=common,
         stats=stats,
+        index=assembled.index,
     )

@@ -5,7 +5,8 @@
 * user–user Pearson on item-centered ratings (Eq 1, used by Algorithm 1),
 * significance weighting (Definitions 2 and 4),
 * the baseline item similarity graph ``G_ac`` (§3.1),
-* top-k neighbor selection helpers.
+* top-k neighbor selection helpers and the precomputed
+  rank-ordered ``NeighborIndex`` the serve paths scan.
 """
 
 from repro.similarity.adjusted_cosine import (
@@ -15,7 +16,7 @@ from repro.similarity.adjusted_cosine import (
 )
 from repro.similarity.cosine import cosine
 from repro.similarity.graph import ItemGraph, build_similarity_graph
-from repro.similarity.knn import top_k
+from repro.similarity.knn import NeighborIndex, top_k
 from repro.similarity.pearson import pearson_items, pearson_users
 from repro.similarity.significance import (
     SignificanceTable,
@@ -27,6 +28,7 @@ from repro.similarity.significance import (
 
 __all__ = [
     "ItemGraph",
+    "NeighborIndex",
     "SignificanceTable",
     "adjusted_cosine",
     "all_pairs_adjusted_cosine",

@@ -16,16 +16,27 @@ from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.data.ratings import RatingTable
 from repro.errors import GraphError
-from repro.similarity.knn import top_k
+from repro.similarity.knn import NeighborIndex
 
 
 class ItemGraph:
-    """Undirected weighted item–item graph."""
+    """Undirected weighted item–item graph.
 
-    __slots__ = ("_adjacency",)
+    Serve-path queries (:meth:`top_neighbors`) run over *ranked* rows —
+    neighbors ordered by descending similarity with the ascending-id
+    tie-break. A row is ranked at most once: either it comes straight
+    from a :class:`~repro.similarity.knn.NeighborIndex` assembled with
+    the graph (the Baseliner hands one over), or it is sorted lazily and
+    memoized. Mutations (:meth:`add_edge` and friends) invalidate both,
+    so the Extender's working copies stay correct.
+    """
+
+    __slots__ = ("_adjacency", "_index", "_ranked_cache")
 
     def __init__(self) -> None:
         self._adjacency: dict[str, dict[str, float]] = {}
+        self._index: NeighborIndex | None = None
+        self._ranked_cache: dict[str, list[tuple[str, float]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -37,7 +48,8 @@ class ItemGraph:
 
     @classmethod
     def from_adjacency(cls,
-                       adjacency: dict[str, dict[str, float]]) -> "ItemGraph":
+                       adjacency: dict[str, dict[str, float]],
+                       index: NeighborIndex | None = None) -> "ItemGraph":
         """Adopt a prebuilt adjacency mapping without copying.
 
         The mapping must already be symmetric (``j in adjacency[i]`` iff
@@ -45,10 +57,28 @@ class ItemGraph:
         caller keeps no reference. This is the bulk construction path the
         Baseliner uses with
         :meth:`~repro.data.matrix.MatrixRatingStore.build_adjacency`.
+
+        *index* is a :class:`~repro.similarity.knn.NeighborIndex`
+        assembled from the **same** adjacency (untruncated rows):
+        :meth:`top_neighbors` then serves ranked rows straight from its
+        flat arrays instead of sorting lazily. Truncated indexes
+        (``index.k`` set) are rejected — a graph query may ask for more
+        neighbors than a truncated row retains.
         """
+        if index is not None and index.k is not None:
+            raise GraphError(
+                f"graph-backing index must hold full rows, got one "
+                f"truncated to top-{index.k}")
         graph = cls()
         graph._adjacency = adjacency
+        graph._index = index
         return graph
+
+    def _invalidate(self) -> None:
+        """Drop ranked-row state after a mutation."""
+        self._index = None
+        if self._ranked_cache:
+            self._ranked_cache.clear()
 
     def add_edge(self, item_i: str, item_j: str, similarity: float) -> None:
         """Add (or overwrite) the undirected edge ``{i, j}``.
@@ -58,6 +88,7 @@ class ItemGraph:
         """
         if item_i == item_j:
             raise GraphError(f"self-loop on {item_i!r} is not allowed")
+        self._invalidate()
         self._adjacency.setdefault(item_i, {})[item_j] = similarity
         self._adjacency.setdefault(item_j, {})[item_i] = similarity
 
@@ -69,6 +100,7 @@ class ItemGraph:
         ``setdefault`` lookups per edge — this is what the Baseliner uses
         to materialise the millions of Eq-6 edges of ``G_ac``.
         """
+        self._invalidate()
         adjacency = self._adjacency
         get = adjacency.get
         for item_i, item_j, similarity in edges:
@@ -85,6 +117,7 @@ class ItemGraph:
 
     def remove_edge(self, item_i: str, item_j: str) -> None:
         """Remove the edge ``{i, j}`` if present."""
+        self._invalidate()
         self._adjacency.get(item_i, {}).pop(item_j, None)
         self._adjacency.get(item_j, {}).pop(item_i, None)
 
@@ -127,29 +160,73 @@ class ItemGraph:
                 if item < other:
                     yield item, other, sim
 
+    def ranked_neighbors(self, item: str) -> list[tuple[str, float]]:
+        """The full neighbor row of *item* in serving rank order
+        (descending similarity, ascending id — :func:`top_k`'s
+        tie-break).
+
+        Served from the backing
+        :class:`~repro.similarity.knn.NeighborIndex` when one was
+        assembled with the graph, else sorted once and memoized; either
+        way repeated serve-path calls never re-sort. Callers must not
+        mutate the returned list.
+        """
+        cached = self._ranked_cache.get(item)
+        if cached is None:
+            if self._index is not None:
+                cached = self._index.top(item, self._index.degree(item))
+            else:
+                cached = sorted(
+                    self._adjacency.get(item, {}).items(),
+                    key=lambda pair: (-pair[1], pair[0]))
+            self._ranked_cache[item] = cached
+        return cached
+
     def top_neighbors(self, item: str, k: int,
                       among: Iterable[str] | None = None,
                       minimum: float | None = None) -> list[tuple[str, float]]:
         """Top-k neighbors of *item*, optionally restricted to *among*.
 
-        When *among* is already a set (the layer partitioner hands in
-        frozensets) it is used as-is — no per-call set rebuild — and the
-        restriction streams straight into the selection without an
-        intermediate dict.
+        One scan in rank order: the *minimum* floor cuts the scan short
+        (rows are similarity-descending, so qualifying entries are a
+        prefix), an *among* restriction — the layer partitioner hands
+        in frozensets, used as-is — filters in stride, and the scan
+        stops as soon as k survivors are collected. Results are
+        identical to ``top_k`` over the same candidates: the row rank
+        *is* the top-k order. Index-backed graphs scan the flat arrays
+        directly (no per-item row materialisation); others scan the
+        memoized :meth:`ranked_neighbors` row.
         """
-        nbrs = self._adjacency.get(item, {})
-        if among is None:
-            return top_k(nbrs, k, minimum=minimum)
-        allowed = among if isinstance(among, (set, frozenset)) else set(among)
-        candidates = [(n, s) for n, s in nbrs.items() if n in allowed]
-        return top_k(candidates, k, minimum=minimum)
+        if k <= 0:
+            return []
+        allowed = None
+        if among is not None:
+            allowed = among if isinstance(among, (set, frozenset)) \
+                else set(among)
+        index = self._index
+        if index is not None:
+            return index.top(item, k, minimum=minimum, among=allowed)
+        ranked = self.ranked_neighbors(item)
+        if allowed is None and minimum is None:
+            return ranked[:k]
+        selected: list[tuple[str, float]] = []
+        for name, similarity in ranked:
+            if minimum is not None and similarity < minimum:
+                break
+            if allowed is not None and name not in allowed:
+                continue
+            selected.append((name, similarity))
+            if len(selected) == k:
+                break
+        return selected
 
     def degree(self, item: str) -> int:
         """Number of incident edges."""
         return len(self._adjacency.get(item, {}))
 
     def copy(self) -> "ItemGraph":
-        """Deep copy (the Extender mutates its working graph)."""
+        """Deep copy (the Extender mutates its working graph; ranked
+        state is not carried over — the copy re-ranks on demand)."""
         clone = ItemGraph()
         clone._adjacency = {
             item: dict(nbrs) for item, nbrs in self._adjacency.items()}
@@ -163,6 +240,7 @@ def build_similarity_graph(
         pair_source: Callable[[RatingTable], Iterable[tuple[str, str, float]]]
         | None = None,
         n_shards: int | None = None,
+        n_edge_partitions: int | None = None,
 ) -> ItemGraph:
     """Build the baseline graph ``G_ac`` from a rating table (§3.1).
 
@@ -178,23 +256,44 @@ def build_similarity_graph(
             ``REPRO_SHARDS`` environment variable (the CI matrix runs a
             4-shard leg), 1 is the unsharded store path. Ignored when
             *pair_source* is given.
+        n_edge_partitions: item-partition count for the merge + assembly
+            back half of the sharded path; ``None`` reads
+            ``REPRO_EDGE_PARTITIONS`` and defaults to the shard count.
+            The assembled graph is bit-identical at any value. Ignored
+            when *pair_source* is given.
 
     Every item in *table* becomes a vertex even if isolated — the layer
     partitioner needs to see isolated items to classify them NN.
+    Serve-path ranking never re-sorts either way: graphs built through
+    the sharded path carry the
+    :class:`~repro.similarity.knn.NeighborIndex` the partitioned
+    assembly selected alongside the adjacency, and the unsharded bulk
+    path keeps graph build lean (no eager ranking pass — the PR-1
+    speedup bar of ``benchmarks/test_similarity_bench.py`` guards it)
+    and lets :meth:`ItemGraph.ranked_neighbors` rank rows lazily and
+    memoize.
     """
     if pair_source is None:
         from repro.engine.sharded_sweep import (
+            resolve_edge_partitions,
             resolve_n_shards,
             sharded_adjacency,
         )
 
-        if resolve_n_shards(n_shards) > 1:
+        shards = resolve_n_shards(n_shards)
+        partitions = resolve_edge_partitions(n_edge_partitions, shards)
+        if shards > 1 or partitions > 1:
             # Shard-then-merge dataflow path: hash-partitioned user rows,
-            # per-shard batched accumulation, deterministic merge.
-            return ItemGraph.from_adjacency(sharded_adjacency(
-                table, n_shards=n_shards,
+            # per-shard batched accumulation, deterministic per-partition
+            # merge + assembly with the serving index selected in stride.
+            result = sharded_adjacency(
+                table, n_shards=shards,
+                n_edge_partitions=partitions,
                 min_common_users=min_common_users,
-                min_abs_similarity=min_abs_similarity).adjacency)
+                min_abs_similarity=min_abs_similarity,
+                with_index=True)
+            return ItemGraph.from_adjacency(result.adjacency,
+                                            index=result.index)
         # Bulk path: the store assembles the whole symmetric adjacency
         # (isolated items included) without a per-edge Python loop.
         return ItemGraph.from_adjacency(table.matrix().build_adjacency(

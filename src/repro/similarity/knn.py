@@ -1,16 +1,25 @@
-"""Top-k neighbor selection.
+"""Top-k neighbor selection and the precomputed neighbor index.
 
 Every phase of the paper ends with "keep the top-k": Algorithm 1/2's
 nearest neighbors, the Extender's per-layer pruning, the AlterEgo's
 replacement shortlists. This module centralises that selection with a
 deterministic tie-break (higher similarity first, then lexicographic id)
 so that runs are reproducible.
+
+:class:`NeighborIndex` is the serving-side counterpart: the same ranking
+rule, but applied *once* during adjacency assembly and frozen into flat
+arrays, so serve-time queries are O(k) slices and scans instead of
+per-call sorts. It is produced by
+:meth:`~repro.data.matrix.MatrixRatingStore.assemble_from_partitions`
+(per item-partition, during the sharded sweep's assembly stage) and
+consumed by :class:`~repro.cf.item_knn.ItemKNNRecommender` and
+:meth:`~repro.similarity.graph.ItemGraph.top_neighbors`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 
 def top_k(similarities: Mapping[str, float] | Iterable[tuple[str, float]],
@@ -49,3 +58,126 @@ def top_k(similarities: Mapping[str, float] | Iterable[tuple[str, float]],
     # heapq.nsmallest on (-value, id) = "largest value, then smallest id".
     return heapq.nsmallest(
         k, candidates, key=lambda pair: (-pair[1], pair[0]))
+
+
+class NeighborIndex:
+    """Per-item rank-ordered neighbor ids and weights in flat arrays.
+
+    The CSR-style layout: item *idx*'s neighbors occupy
+    ``neighbor_ids[ptr[idx]:ptr[idx+1]]`` (integer item indexes into
+    *items*) aligned with ``weights[...]``. Within a row, neighbors are
+    stored in **rank order**: descending weight, ascending neighbor
+    index. Item interning is lexicographic, so integer order equals
+    string order and a row prefix is exactly what :func:`top_k` would
+    select — the index never re-sorts at serve time.
+
+    Determinism contract (property-tested in ``tests/test_graph_knn.py``
+    and ``tests/test_sharded_sweep.py``): rows are a pure function of
+    the adjacency they were assembled from — identical across backends
+    (NumPy arrays vs plain lists hold the same values in the same
+    order), across shard counts of the sweep that produced the
+    accumulation (weights to ≤1e-9, exact at one shard), and across
+    edge-partition counts of the assembly (bit-identical: partitioning
+    moves *where* a row is assembled, never its contents).
+
+    Attributes:
+        items: interned item-id list, index order.
+        ptr: row offsets, ``len(items) + 1`` entries.
+        neighbor_ids: flat neighbor item indexes, rank order per row.
+        weights: flat neighbor weights, aligned with *neighbor_ids*.
+        k: per-row truncation applied at build time, or ``None`` when
+            rows are complete (every nonzero edge, still rank-ordered).
+            Queries for more than *k* neighbors on a truncated index
+            raise — the tail was dropped and cannot be recovered.
+    """
+
+    __slots__ = ("items", "item_index", "ptr", "neighbor_ids", "weights",
+                 "k")
+
+    def __init__(self, items: Sequence[str], item_index: Mapping[str, int],
+                 ptr, neighbor_ids, weights, k: int | None = None) -> None:
+        self.items = items
+        self.item_index = item_index
+        self.ptr = ptr
+        self.neighbor_ids = neighbor_ids
+        self.weights = weights
+        self.k = k
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_entries(self) -> int:
+        """Total stored (item, neighbor) entries (directed edges)."""
+        return len(self.neighbor_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NeighborIndex(items={self.n_items}, "
+                f"entries={self.n_entries}, k={self.k})")
+
+    def degree(self, item: str) -> int:
+        """Stored neighbors of *item* (0 for unknown items)."""
+        idx = self.item_index.get(item)
+        if idx is None:
+            return 0
+        return int(self.ptr[idx + 1]) - int(self.ptr[idx])
+
+    def row(self, idx: int):
+        """The rank-ordered ``(neighbor ids, weights)`` slices for an
+        item *index* — arrays on the NumPy backend, lists otherwise."""
+        start, end = int(self.ptr[idx]), int(self.ptr[idx + 1])
+        return self.neighbor_ids[start:end], self.weights[start:end]
+
+    def _check_k(self, k: int) -> None:
+        if self.k is not None and k > self.k:
+            raise ValueError(
+                f"index rows were truncated to top-{self.k} at build "
+                f"time; cannot serve top-{k}")
+
+    def top(self, item: str, k: int,
+            minimum: float | None = None,
+            among: "set[str] | frozenset[str] | None" = None,
+            ) -> list[tuple[str, float]]:
+        """Top-k neighbors of *item* as ``(id, weight)`` pairs.
+
+        Identical to ``top_k(candidates, k, minimum=minimum)`` over the
+        (optionally *among*-restricted) adjacency row — the rows are
+        pre-ranked with the same tie-break — but a single scan: the
+        *minimum* floor cuts it short (rows are weight-descending, so
+        qualifying entries are a prefix), the *among* membership filter
+        applies in stride, and the scan stops at k survivors. This is
+        the one ranked-row selection loop every serve path shares.
+        """
+        if k <= 0:
+            return []
+        self._check_k(k)
+        idx = self.item_index.get(item)
+        if idx is None:
+            return []
+        ids, weights = self.row(idx)
+        items = self.items
+        out: list[tuple[str, float]] = []
+        for nid, weight in zip(ids, weights):
+            if minimum is not None and weight < minimum:
+                break
+            name = items[int(nid)]
+            if among is not None and name not in among:
+                continue
+            # float() strips NumPy scalars; the bit patterns are
+            # untouched, so results compare equal across backends.
+            out.append((name, float(weight)))
+            if len(out) == k:
+                break
+        return out
+
+    def neighbor_dict(self, item: str) -> dict[str, float]:
+        """The full stored row as a ``neighbor id → weight`` dict (a
+        convenience for tests and introspection, not a hot path)."""
+        idx = self.item_index.get(item)
+        if idx is None:
+            return {}
+        ids, weights = self.row(idx)
+        items = self.items
+        return {items[int(nid)]: float(weight)
+                for nid, weight in zip(ids, weights)}

@@ -1,5 +1,7 @@
 """Unit tests for the CF substrate (repro.cf)."""
 
+import random
+
 import pytest
 
 from repro.cf.item_average import ItemAverageRecommender
@@ -11,6 +13,7 @@ from repro.cf.user_average import UserAverageRecommender
 from repro.cf.user_knn import UserKNNRecommender
 from repro.data.ratings import Rating, RatingTable
 from repro.errors import ConfigError
+from repro.similarity.knn import top_k
 
 
 class TestProtocol:
@@ -113,6 +116,123 @@ class TestItemKNN:
         rec = ItemKNNRecommender(tiny_table, k=5)
         neighbors = rec.rated_neighbors("u1", "d")
         assert {n for n, _ in neighbors} <= tiny_table.user_items("u1")
+
+    def test_index_built_lazily_and_once(self, tiny_table):
+        rec = ItemKNNRecommender(tiny_table, k=2)
+        assert rec._index is None
+        assert rec.neighbor_index() is rec.neighbor_index()
+
+    def test_unknown_user_and_item(self, tiny_table):
+        rec = ItemKNNRecommender(tiny_table, k=2)
+        assert rec.rated_neighbors("ghost", "a") == []
+        assert rec.rated_neighbors("u1", "ghost") == []
+
+    def test_unknown_user_with_positive_neighbors_present(self):
+        # The query item has positively-similar neighbors, so a
+        # rated-set lookup that accidentally matched everything (the
+        # serve path keeps per-user membership masks) would surface
+        # them for a user the table has never seen.
+        table = RatingTable([
+            Rating("u1", "a", 5.0, 0), Rating("u1", "b", 4.0, 1),
+            Rating("u2", "a", 4.0, 0), Rating("u2", "b", 3.0, 1),
+            Rating("u2", "c", 1.0, 2), Rating("u3", "b", 5.0, 0),
+            Rating("u3", "c", 4.0, 1),
+        ])
+        rec = ItemKNNRecommender(table, k=5)
+        assert any(rec.rated_neighbors("u2", "a"))
+        assert rec.rated_neighbors("ghost", "a") == []
+
+
+class TestItemKNNServingIndex:
+    """The index path (O(k) row scans) vs the per-pair path.
+
+    Given the same similarity values, the two selection algorithms must
+    agree *exactly* — neighbor lists and raw Eq-4 predictions bit for
+    bit. The legacy ``use_index=False`` path computes each similarity
+    with a per-pair dot product whose summation order differs from the
+    bulk Eq-6 accumulation by ~1e-15, so against it the contract is
+    1e-9 agreement on predictions.
+    """
+
+    def _seeded_table(self, seed=29, n_users=40, n_items=30,
+                      n_ratings=420):
+        rng = random.Random(seed)
+        seen = set()
+        ratings = []
+        while len(ratings) < n_ratings:
+            pair = (f"u{rng.randrange(n_users)}",
+                    f"i{rng.randrange(n_items)}")
+            if pair in seen:
+                continue
+            seen.add(pair)
+            ratings.append(Rating(pair[0], pair[1],
+                                  float(rng.randint(1, 5)), len(ratings)))
+        return RatingTable(ratings)
+
+    def _reference_neighbors(self, rec, adjacency, user, item):
+        """The per-pair path — iterate X_A, look up each similarity,
+        top-k — fed by the same (bulk-assembled) similarity values the
+        index rows hold."""
+        row = adjacency.get(item, {})
+        candidates = {}
+        for rated in rec.table.user_items(user):
+            if rated == item or rated not in row:
+                continue
+            sim = row[rated]
+            if sim > 0.0 or (sim != 0.0 and not rec.positive_only):
+                candidates[rated] = sim
+        return top_k(candidates, rec.k)
+
+    def _reference_raw(self, rec, neighbors, user, item):
+        numerator = 0.0
+        denominator = 0.0
+        for rated, sim in neighbors:
+            rating = rec.table.get(user, rated)
+            numerator += sim * (rating.value
+                                - rec.table.item_mean(rated))
+            denominator += abs(sim)
+        if denominator == 0.0:
+            return None
+        return rec.table.item_mean(item) + numerator / denominator
+
+    @pytest.mark.parametrize("positive_only", [True, False])
+    def test_predictions_via_index_match_per_pair_path_exactly(
+            self, positive_only):
+        table = self._seeded_table()
+        rec = ItemKNNRecommender(table, k=7, positive_only=positive_only)
+        adjacency = table.matrix().build_adjacency()
+        users = sorted(table.users)[:15]
+        items = sorted(table.items)[:15]
+        for user in users:
+            for item in items:
+                expected = self._reference_neighbors(
+                    rec, adjacency, user, item)
+                assert rec.rated_neighbors(user, item) == expected
+                assert rec._predict_raw(user, item) == \
+                    self._reference_raw(rec, expected, user, item)
+
+    def test_index_agrees_with_legacy_pairwise_path(self):
+        table = self._seeded_table(seed=31)
+        indexed = ItemKNNRecommender(table, k=7)
+        legacy = ItemKNNRecommender(table, k=7, use_index=False)
+        users = sorted(table.users)[:10]
+        items = sorted(table.items)[:10]
+        for user in users:
+            for item in items:
+                assert [n for n, _ in indexed.rated_neighbors(user, item)] \
+                    == [n for n, _ in legacy.rated_neighbors(user, item)]
+                assert indexed.predict(user, item) == pytest.approx(
+                    legacy.predict(user, item), abs=1e-9)
+
+    def test_temporal_variant_serves_from_index(self):
+        table = self._seeded_table(seed=37)
+        indexed = TemporalItemKNNRecommender(table, k=5, alpha=0.03)
+        legacy = TemporalItemKNNRecommender(table, k=5, alpha=0.03,
+                                            use_index=False)
+        user = sorted(table.users)[0]
+        for item in sorted(table.items)[:10]:
+            assert indexed.predict(user, item) == pytest.approx(
+                legacy.predict(user, item), abs=1e-9)
 
 
 class TestTemporal:

@@ -1,7 +1,11 @@
-"""Unit tests for the item graph and top-k selection."""
+"""Unit tests for the item graph, top-k selection and the serving
+index."""
+
+import random
 
 import pytest
 
+from repro.data.matrix import MatrixRatingStore, numpy_available
 from repro.errors import GraphError
 from repro.similarity.graph import ItemGraph, build_similarity_graph
 from repro.similarity.knn import top_k
@@ -105,3 +109,140 @@ class TestBuildSimilarityGraph:
         graph = build_similarity_graph(
             tiny_table, pair_source=lambda table: [("a", "b", 0.0)])
         assert graph.n_edges() == 0
+
+
+class TestNeighborIndex:
+    """The precomputed serving index: rank-ordered flat rows."""
+
+    def _store(self, table, use_numpy):
+        if use_numpy and not numpy_available():
+            pytest.skip("numpy fast path unavailable")
+        return MatrixRatingStore(table, use_numpy=use_numpy)
+
+    @pytest.mark.parametrize("use_numpy", [
+        pytest.param(True, id="numpy"),
+        pytest.param(False, id="pure-python")])
+    def test_rows_are_topk_of_adjacency(self, tiny_table, use_numpy):
+        store = self._store(tiny_table, use_numpy)
+        adjacency = store.build_adjacency()
+        index = store.neighbor_index()
+        for item in store.items:
+            full = index.top(item, len(adjacency[item]) + 1)
+            assert full == top_k(adjacency[item], len(adjacency[item]) + 1)
+            assert index.degree(item) == len(adjacency[item])
+            assert index.neighbor_dict(item) == adjacency[item]
+
+    @pytest.mark.parametrize("use_numpy", [
+        pytest.param(True, id="numpy"),
+        pytest.param(False, id="pure-python")])
+    def test_truncated_rows_are_prefixes(self, tiny_table, use_numpy):
+        store = self._store(tiny_table, use_numpy)
+        full = store.neighbor_index()
+        truncated = store.neighbor_index(k=2)
+        assert truncated.k == 2
+        for item in store.items:
+            assert truncated.top(item, 2) == full.top(item, 2)
+        with pytest.raises(ValueError, match="truncated"):
+            truncated.top(next(iter(store.items)), 3)
+
+    def test_minimum_cuts_the_scan(self, tiny_table):
+        store = tiny_table.matrix()
+        index = store.neighbor_index()
+        adjacency = store.build_adjacency()
+        for item in store.items:
+            expected = top_k(adjacency[item], 10, minimum=0.0)
+            assert index.top(item, 10, minimum=0.0) == expected
+
+    def test_unknown_item(self, tiny_table):
+        index = tiny_table.matrix().neighbor_index()
+        assert index.top("ghost", 5) == []
+        assert index.degree("ghost") == 0
+        assert index.neighbor_dict("ghost") == {}
+
+    def test_graph_rejects_truncated_index(self, tiny_table):
+        store = tiny_table.matrix()
+        adjacency = store.build_adjacency()
+        truncated = store.neighbor_index(k=1)
+        with pytest.raises(GraphError, match="full rows"):
+            ItemGraph.from_adjacency(adjacency, index=truncated)
+
+
+class TestRankedServing:
+    """top_neighbors over memoized / index-backed ranked rows."""
+
+    def _random_graph(self, seed):
+        rng = random.Random(seed)
+        graph = ItemGraph()
+        items = [f"i{n}" for n in range(12)]
+        for item in items:
+            graph.add_item(item)
+        for a in range(len(items)):
+            for b in range(a + 1, len(items)):
+                if rng.random() < 0.4:
+                    graph.add_edge(items[a], items[b],
+                                   round(rng.uniform(-1, 1), 2))
+        return graph, items
+
+    def _legacy_top_neighbors(self, graph, item, k, among=None,
+                              minimum=None):
+        nbrs = graph.neighbors(item)
+        if among is None:
+            return top_k(nbrs, k, minimum=minimum)
+        candidates = [(n, s) for n, s in nbrs.items() if n in set(among)]
+        return top_k(candidates, k, minimum=minimum)
+
+    def test_matches_legacy_selection(self):
+        graph, items = self._random_graph(3)
+        rng = random.Random(7)
+        for item in items:
+            for k in (0, 1, 3, 50):
+                for minimum in (None, 0.0, 0.5):
+                    among = None
+                    if rng.random() < 0.5:
+                        among = frozenset(rng.sample(items, 6))
+                    assert graph.top_neighbors(
+                        item, k, among=among, minimum=minimum) == \
+                        self._legacy_top_neighbors(
+                            graph, item, k, among=among, minimum=minimum)
+
+    def test_ranked_rows_memoized(self):
+        graph, items = self._random_graph(5)
+        first = graph.ranked_neighbors(items[0])
+        assert graph.ranked_neighbors(items[0]) is first
+
+    def test_mutation_invalidates_memo(self):
+        graph = ItemGraph()
+        graph.add_edge("a", "b", 0.5)
+        assert graph.top_neighbors("a", 1) == [("b", 0.5)]
+        graph.add_edge("a", "c", 0.9)
+        assert graph.top_neighbors("a", 1) == [("c", 0.9)]
+        graph.remove_edge("a", "c")
+        assert graph.top_neighbors("a", 1) == [("b", 0.5)]
+
+    def test_index_backed_graph_serves_ranked_rows(self, tiny_table):
+        # The sharded build path hands the partition-assembled index
+        # over with the graph; the memoized unsharded path must serve
+        # identical rankings (1-shard sweeps are bit-identical, so the
+        # rows agree exactly).
+        indexed = build_similarity_graph(tiny_table, n_shards=2,
+                                         n_edge_partitions=2)
+        memoized = build_similarity_graph(tiny_table, n_shards=1,
+                                          n_edge_partitions=1)
+        assert indexed._index is not None
+        assert memoized._index is None
+        for item in memoized.items:
+            got = indexed.top_neighbors(item, 3)
+            want = memoized.top_neighbors(item, 3)
+            assert [n for n, _ in got] == [n for n, _ in want]
+            for (_, sim_got), (_, sim_want) in zip(got, want):
+                assert abs(sim_got - sim_want) < 1e-9
+
+    def test_index_backed_graph_invalidates_on_mutation(self, tiny_table):
+        graph = build_similarity_graph(tiny_table, n_shards=2)
+        assert graph._index is not None
+        before = graph.top_neighbors("a", 1)
+        graph.add_edge("a", "zzz-new", 2.0)
+        assert graph._index is None
+        assert graph.top_neighbors("a", 1) == [("zzz-new", 2.0)]
+        graph.remove_edge("a", "zzz-new")
+        assert graph.top_neighbors("a", 1) == before

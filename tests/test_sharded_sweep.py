@@ -23,12 +23,14 @@ from repro.core.xsim import SignificanceCache
 from repro.data.matrix import MatrixRatingStore, numpy_available
 from repro.data.ratings import Rating, RatingTable
 from repro.engine.sharded_sweep import (
+    resolve_edge_partitions,
     resolve_n_shards,
     resolve_processes,
     shard_user_indices,
     sharded_adjacency,
 )
 from repro.errors import EngineError
+from repro.similarity.knn import top_k
 from repro.similarity.significance import bulk_significance
 
 # -- strategies (same shape as test_matrix_store) -----------------------
@@ -168,6 +170,92 @@ def test_pool_and_serial_executors_bit_identical(use_numpy):
     assert pooled.stats.processes in (0, 3)  # 0 only if fork unavailable
 
 
+# -- the partitioned assembly back half ---------------------------------
+
+@pytest.mark.parametrize("n_partitions", [1, 2, 7])
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables())
+def test_partitioned_assembly_matches_driver_path(table, use_numpy,
+                                                  n_partitions):
+    """Item-partitioned merge + assembly vs the single driver pass.
+
+    Splitting pairs by left item never reorders any per-pair addition,
+    so the adjacency and the significance counts are bit-identical to
+    the one-partition pass at any partition count — and both stay
+    within the 1e-9 contract of the unsharded store path.
+    """
+    store = _store(table, use_numpy)
+    partitioned = sharded_adjacency(
+        store, n_shards=3, n_edge_partitions=n_partitions,
+        with_significance=True)
+    driver = sharded_adjacency(
+        store, n_shards=3, n_edge_partitions=1, with_significance=True)
+    assert partitioned.adjacency == driver.adjacency
+    assert partitioned.significance == driver.significance
+    assert partitioned.common_raters == driver.common_raters
+    assert _max_abs_diff(partitioned.adjacency,
+                         store.build_adjacency()) < 1e-9
+    assert partitioned.stats.n_edge_partitions == n_partitions
+    assert len(partitioned.stats.partition_pairs) == n_partitions
+    assert sum(partitioned.stats.partition_pairs) == \
+        driver.stats.report.records_out
+
+
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables())
+def test_one_shard_one_partition_bit_identical(table, use_numpy):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(store, n_shards=1, n_edge_partitions=1)
+    assert result.adjacency == store.build_adjacency()
+
+
+@pytest.mark.parametrize("n_partitions", [1, 3])
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables())
+def test_index_selected_during_assembly(table, use_numpy, n_partitions):
+    """The NeighborIndex rows assembled per partition are exactly the
+    top-k ranking of the adjacency rows, at every partition count."""
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(
+        store, n_shards=2, n_edge_partitions=n_partitions, with_index=True)
+    assert result.index is not None
+    for item, neighbors in result.adjacency.items():
+        width = len(neighbors) + 1
+        assert result.index.top(item, width) == top_k(neighbors, width)
+        assert result.index.neighbor_dict(item) == neighbors
+
+
+@pytest.mark.parametrize("use_numpy", _backends)
+@_common
+@given(table=rating_tables(), index_k=st.sampled_from([1, 2, 5]))
+def test_index_truncation_during_assembly(table, use_numpy, index_k):
+    store = _store(table, use_numpy)
+    result = sharded_adjacency(
+        store, n_shards=2, n_edge_partitions=3, with_index=True,
+        index_k=index_k)
+    for item, neighbors in result.adjacency.items():
+        assert result.index.top(item, index_k) == top_k(neighbors, index_k)
+
+
+def test_index_not_built_unless_requested(tiny_table):
+    assert sharded_adjacency(tiny_table, n_shards=2).index is None
+
+
+def test_excess_processes_warn(tiny_table):
+    store = tiny_table.matrix()
+    with pytest.warns(RuntimeWarning, match="exceeds n_shards"):
+        sharded_adjacency(store, n_shards=2, processes=4)
+
+
+def test_matched_processes_do_not_warn(tiny_table, recwarn):
+    sharded_adjacency(tiny_table.matrix(), n_shards=2, processes=2)
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, RuntimeWarning)]
+
+
 # -- layout, stats and guards -------------------------------------------
 
 class TestShardLayout:
@@ -245,6 +333,22 @@ class TestEnvResolution:
         with pytest.raises(EngineError):
             resolve_processes(-1)
 
+    def test_edge_partitions_follow_shard_count_by_default(self,
+                                                          monkeypatch):
+        monkeypatch.delenv("REPRO_EDGE_PARTITIONS", raising=False)
+        assert resolve_edge_partitions(None, n_shards=1) == 1
+        assert resolve_edge_partitions(None, n_shards=6) == 6
+
+    def test_edge_partitions_env_and_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EDGE_PARTITIONS", "3")
+        assert resolve_edge_partitions(None, n_shards=6) == 3
+        assert resolve_edge_partitions(5, n_shards=6) == 5
+        with pytest.raises(EngineError):
+            resolve_edge_partitions(0)
+        monkeypatch.setenv("REPRO_EDGE_PARTITIONS", "few")
+        with pytest.raises(EngineError):
+            resolve_edge_partitions(None)
+
 
 # -- pipeline integration -----------------------------------------------
 
@@ -269,6 +373,29 @@ class TestBaselinerIntegration:
         merged = small_trace.merged()
         baseline = Baseliner(n_shards=3).compute(small_trace,
                                                  merged=merged)
+        preloaded = SignificanceCache(merged,
+                                      preload=baseline.significance)
+        lazy = SignificanceCache(merged)
+        for item_i, item_j, _ in baseline.graph.edges():
+            assert preloaded.significance(item_i, item_j) == \
+                lazy.significance(item_i, item_j)
+            assert preloaded.normalized(item_i, item_j) == \
+                lazy.normalized(item_i, item_j)
+
+    def test_preloaded_cache_pure_python_backend(self, small_trace,
+                                                 monkeypatch):
+        """The sharded-significance → SignificanceCache preload path on
+        the pure-Python store backend (tier-1 only exercised it on
+        NumPy before): preloaded and lazy lookups must stay
+        bit-identical there too."""
+        monkeypatch.setenv("REPRO_PURE_PYTHON", "1")
+        # data.merged() derives a fresh table per call, so its memoized
+        # store is built under the patched backend selection.
+        merged = small_trace.merged()
+        assert not merged.matrix().uses_numpy
+        baseline = Baseliner(n_shards=3).compute(small_trace,
+                                                 merged=merged)
+        assert baseline.significance is not None
         preloaded = SignificanceCache(merged,
                                       preload=baseline.significance)
         lazy = SignificanceCache(merged)
