@@ -242,5 +242,126 @@ class IncrementalAlterEgo:
             in sorted(self._state.items())
             if weight_sum > 0.0]
 
+    def current(self, item: str) -> Rating | None:
+        """The current mapped rating for one target *item* (``None``
+        when nothing maps there yet) — what the online updater reads
+        after a fold instead of rebuilding the whole profile."""
+        state = self._state.get(item)
+        if state is None:
+            return None
+        total, weight_sum, timestep = state
+        if weight_sum <= 0.0:
+            return None
+        return Rating(self.user, item, total / weight_sum, timestep)
+
     def __len__(self) -> int:
         return len(self._state)
+
+
+class OnlineAlterEgoUpdater:
+    """Streams newly arrived source ratings into the augmented target
+    table — the serving-side half of §4.3's incremental-update remark.
+
+    The offline pipeline builds the augmented table once
+    (:meth:`AlterEgoGenerator.alterego_table`). When a user then rates
+    a new source item online, this updater folds the rating into her
+    :class:`IncrementalAlterEgo` (seeded lazily from her source profile
+    as of construction), tracks which mapped target ratings changed,
+    and applies them as one small batch:
+    :meth:`flush` derives the augmented table through
+    :meth:`~repro.data.ratings.RatingTable.with_ratings`, whose delta
+    handoff appends to the table's memoized
+    :class:`~repro.data.matrix.MatrixRatingStore` instead of rebuilding
+    it. The flushed batch refreshes the *CF serving table only* —
+    mapped AlterEgo ratings never enter the Baseliner's graph (``G_ac``
+    is computed over real source ∪ target data); to keep an incremental
+    baseline in step, hand the **observed source ratings** to
+    :meth:`~repro.core.baseliner.Baseliner.update` instead.
+
+    Invariants (tested in ``tests/test_incremental.py``): after any
+    observe/flush sequence, the augmented table equals the batch
+    :meth:`~AlterEgoGenerator.alterego_table` run over the extended
+    source profiles — real target-domain ratings keep precedence
+    (footnote 6), mapped values are clipped into the target scale, and
+    re-observing a source item a user already rated raises.
+
+    Args:
+        generator: the fitted Generator (its memoised replacement sets
+            make online folds O(R)).
+        source_table: the users' source-domain profiles as of fit time.
+        target_table: the *real* target-domain table (precedence set).
+        augmented: the current augmented table (defaults to
+            *target_table*; pass the pipeline's ``augmented_target`` to
+            continue from a fitted pipeline).
+    """
+
+    def __init__(self, generator: AlterEgoGenerator,
+                 source_table: RatingTable,
+                 target_table: RatingTable,
+                 augmented: RatingTable | None = None) -> None:
+        self.generator = generator
+        self._source = source_table
+        self._target = target_table
+        self._augmented = augmented if augmented is not None else target_table
+        self._builders: dict[str, IncrementalAlterEgo] = {}
+        self._dirty: dict[str, set[str]] = {}
+
+    @property
+    def augmented(self) -> RatingTable:
+        """The augmented target table as of the last :meth:`flush`."""
+        return self._augmented
+
+    def _builder(self, user: str) -> IncrementalAlterEgo:
+        builder = self._builders.get(user)
+        if builder is None:
+            builder = self.generator.incremental(user)
+            profile = self._source.user_profile(user)
+            for item in sorted(profile):
+                builder.add(profile[item])
+            self._builders[user] = builder
+        return builder
+
+    def observe(self, rating: Rating) -> list[str]:
+        """Fold one newly arrived source rating into its user's
+        AlterEgo; returns the target items whose mapped value moved
+        (empty when the source item has no usable replacement)."""
+        self._builder(rating.user).add(rating)
+        changed = [item for item, weight
+                   in self.generator.replacements_for(rating.item)
+                   if weight > 0.0]
+        if changed:
+            self._dirty.setdefault(rating.user, set()).update(changed)
+        return changed
+
+    def pending(self) -> int:
+        """Dirty (user, target item) entries awaiting a flush."""
+        return sum(len(items) for items in self._dirty.values())
+
+    def flush(self) -> tuple[RatingTable, list[Rating]]:
+        """Apply the pending AlterEgo changes as one rating batch.
+
+        Returns ``(augmented, batch)``: the new augmented table (derived
+        with the store delta handoff) and the exact mapped ratings
+        appended / overridden — what a CF recommender over the
+        augmented table should be refreshed with. These are synthetic
+        target-domain ratings: do **not** feed them to
+        :meth:`~repro.core.baseliner.Baseliner.update` (the baseline
+        graph is computed over real data; it takes the observed source
+        ratings instead).
+        """
+        batch: list[Rating] = []
+        for user in sorted(self._dirty):
+            real_items = self._target.user_items(user)
+            builder = self._builders[user]
+            for item in sorted(self._dirty[user]):
+                if item in real_items:
+                    continue  # footnote 6: real ratings win
+                mapped = builder.current(item)
+                if mapped is None:
+                    continue
+                value = self._target.clip(mapped.value)
+                batch.append(Rating(user, item, value, mapped.timestep))
+        self._dirty.clear()
+        if batch:
+            self._augmented = self._augmented.with_ratings(batch)
+        return self._augmented, batch

@@ -12,12 +12,22 @@ Figure 1(b).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.data.dataset import CrossDomainDataset
 from repro.data.ratings import RatingTable
-from repro.engine.sharded_sweep import resolve_n_shards, sharded_adjacency
+from repro.engine.sharded_sweep import (
+    IncrementalSweep,
+    IncrementalUpdateStats,
+    resolve_n_shards,
+    sharded_adjacency,
+)
+from repro.errors import ConfigError
 from repro.similarity.graph import ItemGraph, build_similarity_graph
 from repro.similarity.significance import SignificanceTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.ratings import Rating
 
 
 @dataclass(frozen=True)
@@ -33,12 +43,18 @@ class BaselineSimilarities:
             folded into the sweep when it ran sharded (the Extender's
             :class:`~repro.core.xsim.SignificanceCache` ingests them and
             skips per-pair lookups). ``None`` on the unsharded path.
+        state: the retained
+            :class:`~repro.engine.sharded_sweep.IncrementalSweep` when
+            the Baseliner ran with ``keep_state=True`` — what
+            :meth:`Baseliner.update` appends rating batches to without
+            re-running the offline job. ``None`` otherwise.
     """
 
     graph: ItemGraph
     n_homogeneous: int
     n_heterogeneous: int
     significance: SignificanceTable | None = None
+    state: IncrementalSweep | None = None
 
     @property
     def n_edges(self) -> int:
@@ -66,18 +82,29 @@ class Baseliner:
             back half of the sharded sweep; ``None`` reads
             ``REPRO_EDGE_PARTITIONS`` and defaults to the shard count.
             Bit-identical output at any value.
+        keep_state: retain the merged accumulation alongside the graph
+            (:class:`~repro.engine.sharded_sweep.IncrementalSweep`), so
+            :meth:`update` can append rating batches incrementally. The
+            computed baseline is identical either way (bit for bit —
+            assembly content is partition-independent); note the
+            stateful build assembles in a single driver pass, so
+            *n_edge_partitions* does not apply to it (the retained
+            accumulation is partition-agnostic). The cost of the state
+            is keeping the accumulation arrays alive.
     """
 
     def __init__(self, min_common_users: int = 1,
                  min_abs_similarity: float = 0.0,
                  n_shards: int | None = None,
                  shard_processes: int | None = None,
-                 n_edge_partitions: int | None = None) -> None:
+                 n_edge_partitions: int | None = None,
+                 keep_state: bool = False) -> None:
         self.min_common_users = min_common_users
         self.min_abs_similarity = min_abs_similarity
         self.n_shards = n_shards
         self.shard_processes = shard_processes
         self.n_edge_partitions = n_edge_partitions
+        self.keep_state = keep_state
 
     def compute(self, data: CrossDomainDataset,
                 merged: RatingTable | None = None) -> BaselineSimilarities:
@@ -95,7 +122,19 @@ class Baseliner:
         if merged is None:
             merged = data.merged()
         significance = None
-        if resolve_n_shards(self.n_shards) > 1:
+        state = None
+        if self.keep_state:
+            state = IncrementalSweep(
+                merged, n_shards=self.n_shards,
+                processes=self.shard_processes,
+                min_common_users=self.min_common_users,
+                min_abs_similarity=self.min_abs_similarity,
+                with_significance=resolve_n_shards(self.n_shards) > 1)
+            graph = state.graph
+            if state.significance is not None:
+                significance = SignificanceTable(
+                    raw=state.significance, common=state.common_raters)
+        elif resolve_n_shards(self.n_shards) > 1:
             result = sharded_adjacency(
                 merged, n_shards=self.n_shards,
                 processes=self.shard_processes,
@@ -127,4 +166,55 @@ class Baseliner:
             graph=graph,
             n_homogeneous=n_homogeneous,
             n_heterogeneous=n_heterogeneous,
-            significance=significance)
+            significance=significance,
+            state=state)
+
+    def update(self, baseline: BaselineSimilarities,
+               batch: "Iterable[Rating]",
+               domain_of: Mapping[str, str],
+               ) -> tuple[BaselineSimilarities, IncrementalUpdateStats]:
+        """Append a rating *batch* to a ``keep_state=True`` baseline.
+
+        The retained :class:`~repro.engine.sharded_sweep.IncrementalSweep`
+        patches the store, accumulation, graph and serving index in
+        place of a rebuild; the edge census is adjusted from the exact
+        added/removed edge sets the update reports. *batch* must be
+        **real** merged-domain ratings (a new edge can appear between
+        two pre-existing items, so pass a domain map covering the whole
+        updated item universe — the updated dataset's
+        :meth:`~repro.data.dataset.CrossDomainDataset.domain_map` —
+        not just the batch's new items). Note the in-place semantics:
+        the sweep state mutates before the census is patched, so do not
+        retry a failed update with the same batch.
+
+        Returns the refreshed :class:`BaselineSimilarities` (the graph
+        object is the same, mutated in place) and the update's stats.
+        """
+        state = baseline.state
+        if state is None:
+            raise ConfigError(
+                "Baseliner.update needs a baseline computed with "
+                "keep_state=True (it carries the retained accumulation)")
+        stats = state.update(batch)
+        n_homogeneous = baseline.n_homogeneous
+        n_heterogeneous = baseline.n_heterogeneous
+        for item_i, item_j in stats.edges_added:
+            if domain_of[item_i] == domain_of[item_j]:
+                n_homogeneous += 1
+            else:
+                n_heterogeneous += 1
+        for item_i, item_j in stats.edges_removed:
+            if domain_of[item_i] == domain_of[item_j]:
+                n_homogeneous -= 1
+            else:
+                n_heterogeneous -= 1
+        significance = baseline.significance
+        if state.significance is not None:
+            significance = SignificanceTable(
+                raw=state.significance, common=state.common_raters)
+        return BaselineSimilarities(
+            graph=state.graph,
+            n_homogeneous=n_homogeneous,
+            n_heterogeneous=n_heterogeneous,
+            significance=significance,
+            state=state), stats

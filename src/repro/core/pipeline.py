@@ -82,6 +82,13 @@ class XMapConfig:
             1 = single driver pass). Any value yields the same graph
             bit for bit — the knob trades driver-tail latency for
             partition-local assembly.
+        incremental: keep the Baseliner's sweep state
+            (:class:`~repro.engine.sharded_sweep.IncrementalSweep`)
+            attached to the fitted pipeline's ``baseline.state``, so
+            online rating batches can be appended via
+            :meth:`~repro.core.baseliner.Baseliner.update` without
+            re-running the offline sweep. The fitted pipeline is
+            otherwise identical.
         seed: randomness seed for the private mechanisms.
     """
 
@@ -98,6 +105,7 @@ class XMapConfig:
     n_shards: int | None = None
     shard_processes: int | None = None
     n_edge_partitions: int | None = None
+    incremental: bool = False
     seed: int = 0
 
     def validated(self) -> "XMapConfig":
@@ -189,7 +197,8 @@ class _PipelineBase:
             min_common_users=self.config.min_common_users,
             n_shards=self.config.n_shards,
             shard_processes=self.config.shard_processes,
-            n_edge_partitions=self.config.n_edge_partitions)
+            n_edge_partitions=self.config.n_edge_partitions,
+            keep_state=self.config.incremental)
         self.baseline = baseliner.compute(data, merged=merged)
         self.partition = LayerPartition.from_graph(
             self.baseline.graph, data.domain_map())

@@ -34,14 +34,15 @@ point picks it up transparently.
 
 from __future__ import annotations
 
+import bisect
 import math
 import os
-from typing import TYPE_CHECKING, Iterator, NamedTuple, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple, Sequence
 
 from repro.errors import SimilarityError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.data.ratings import RatingTable
+    from repro.data.ratings import Rating, RatingTable
     from repro.similarity.knn import NeighborIndex
 
 try:
@@ -134,6 +135,89 @@ class AssemblyResult(NamedTuple):
 
     adjacency: dict[str, dict[str, float]] | None
     index: "NeighborIndex | None"
+
+
+class StoreDelta:
+    """What one :meth:`MatrixRatingStore.append_ratings` batch changed.
+
+    Everything downstream of an append consumes this record: the delta
+    Eq-6 re-accumulation reads the touched flags, the accumulation fold
+    remaps old pair keys through :attr:`item_map`, and the
+    ``NeighborIndex`` row refresh rebuilds exactly the rows the batch
+    could have moved.
+
+    Interning stays sorted across an append: new users and items are
+    *inserted* at their lexicographic positions, so both maps are
+    strictly increasing and every invariant that rides on
+    "integer order == string order" (pair-key ordering, serving
+    tie-breaks) survives untouched.
+
+    Attributes:
+        n_old_items: item count of the base store (old pair keys encode
+            ``left * n_old_items + right``).
+        user_map: old user index → new user index, strictly increasing.
+        item_map: old item index → new item index, strictly increasing.
+        touched_users: new-space indexes (ascending) of users with
+            ratings in the batch — their means, and so every centered
+            value they contribute, moved.
+        touched_items: new-space indexes (ascending) of every item in a
+            touched user's post-append profile — the blast radius of
+            the user-mean changes (Eq-6 numerators and item centered
+            norms can only change inside this set).
+        batch_items: new-space indexes (ascending) of the items rated in
+            the batch — their item means, and so the Definition-2 like
+            flags of *all* their raters, moved. Always a subset of
+            *touched_items*.
+        new_users: user ids interned by this batch, ascending.
+        new_items: item ids interned by this batch, ascending.
+    """
+
+    __slots__ = ("n_old_items", "user_map", "item_map", "touched_users",
+                 "touched_items", "batch_items", "new_users", "new_items")
+
+    def __init__(self, n_old_items, user_map, item_map, touched_users,
+                 touched_items, batch_items, new_users, new_items) -> None:
+        self.n_old_items = n_old_items
+        self.user_map = user_map
+        self.item_map = item_map
+        self.touched_users = touched_users
+        self.touched_items = touched_items
+        self.batch_items = batch_items
+        self.new_users = new_users
+        self.new_items = new_items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StoreDelta(touched_users={len(self.touched_users)}, "
+                f"touched_items={len(self.touched_items)}, "
+                f"new_users={len(self.new_users)}, "
+                f"new_items={len(self.new_items)})")
+
+
+def _insert_map(old_names: Sequence[str],
+                inserted: Sequence[str]) -> list[int]:
+    """New index of each old position after inserting *inserted* (sorted,
+    disjoint from *old_names*) into the sorted *old_names* list."""
+    out = [0] * len(old_names)
+    j = 0
+    n_inserted = len(inserted)
+    for k, name in enumerate(old_names):
+        while j < n_inserted and inserted[j] < name:
+            j += 1
+        out[k] = k + j
+    return out
+
+
+def _list_insert(base: list, positions: Sequence[int], values: list) -> list:
+    """``np.insert`` for plain lists: *positions* are non-decreasing
+    offsets into *base*; equal positions insert in the given order."""
+    out: list = []
+    prev = 0
+    for pos, value in zip(positions, values):
+        out.extend(base[prev:pos])
+        out.append(value)
+        prev = pos
+    out.extend(base[prev:])
+    return out
 
 
 class MatrixRatingStore:
@@ -711,14 +795,26 @@ class MatrixRatingStore:
                     inverse[agree], minlength=len(uniq))
         return PairAccumulation(uniq, sums, counts, agree_counts)
 
-    def _accumulate_python(self, eligible,
-                           with_significance: bool) -> PairAccumulation:
+    def _accumulate_python(self, eligible, with_significance: bool,
+                           pair_flags=None) -> PairAccumulation:
         """Dict-based per-shard accumulation (pure-Python backend), in
-        the same canonical order as the NumPy batches."""
+        the same canonical order as the NumPy batches.
+
+        *pair_flags* (the delta re-accumulation's restriction) is an
+        ``(in_touched, in_batch)`` pair of per-item boolean lists:
+        contributions are kept only for pairs with both endpoints
+        touched, or — when *in_batch* is given — at least one endpoint
+        in the batch (the like-flag blast radius). Filtering skips
+        pairs, never reorders them, so the kept pairs accumulate
+        exactly as the unrestricted sweep would.
+        """
         n_items = len(self.items)
         sums: dict[int, float] = {}
         counts: dict[int, int] = {}
         agree: dict[int, int] | None = {} if with_significance else None
+        in_touched = in_batch = None
+        if pair_flags is not None:
+            in_touched, in_batch = pair_flags
         ptr = self.user_ptr
         idx_all = self.user_item_idx
         centered_all = self.user_centered
@@ -731,11 +827,19 @@ class MatrixRatingStore:
             if with_significance:
                 likes = likes_all[start:end]
                 for a in range(length):
-                    base = idx[a] * n_items
+                    idx_a = idx[a]
+                    base = idx_a * n_items
                     centered_a = centered[a]
                     like_a = likes[a]
                     for b in range(a + 1, length):
-                        key = base + idx[b]
+                        idx_b = idx[b]
+                        if in_touched is not None and not (
+                                (in_touched[idx_a] and in_touched[idx_b])
+                                or (in_batch is not None
+                                    and (in_batch[idx_a]
+                                         or in_batch[idx_b]))):
+                            continue
+                        key = base + idx_b
                         value = centered_a * centered[b]
                         if key in sums:
                             sums[key] += value
@@ -747,10 +851,15 @@ class MatrixRatingStore:
                             agree[key] = agree.get(key, 0) + 1
             else:
                 for a in range(length):
-                    base = idx[a] * n_items
+                    idx_a = idx[a]
+                    base = idx_a * n_items
                     centered_a = centered[a]
                     for b in range(a + 1, length):
-                        key = base + idx[b]
+                        idx_b = idx[b]
+                        if in_touched is not None and not (
+                                in_touched[idx_a] and in_touched[idx_b]):
+                            continue
+                        key = base + idx_b
                         value = centered_a * centered[b]
                         if key in sums:
                             sums[key] += value
@@ -847,6 +956,824 @@ class MatrixRatingStore:
                 inverse, weights=agree_cat,
                 minlength=len(uniq)).astype(_np.int64)
         return PairAccumulation(uniq, sums, counts, agree_counts)
+
+    # ------------------------------------------------------------------
+    # Incremental updates (append a rating batch without a rebuild)
+    # ------------------------------------------------------------------
+
+    def _bisect_column(self, column, start: int, end: int,
+                       needle: int) -> int:
+        """Leftmost position of *needle* in the strictly-increasing
+        ``column[start:end]`` slice, as an absolute offset."""
+        if self._use_numpy:
+            return start + int(_np.searchsorted(column[start:end], needle))
+        return bisect.bisect_left(column, needle, start, end)
+
+    def append_ratings(self, batch: "Iterable[Rating]"
+                       ) -> tuple["MatrixRatingStore", "StoreDelta"]:
+        """A new store with *batch* appended, plus the
+        :class:`StoreDelta` describing what moved.
+
+        New users and items are interned at their sorted positions
+        (interning stays lexicographic — every downstream tie-break and
+        pair-key ordering survives), the CSR/CSC arrays are patched in
+        place of a rebuild, and means / centered values / norms / like
+        flags are recomputed **only** for the rows and columns the batch
+        could have moved. A ``(user, item)`` pair already present has
+        its value replaced (the :meth:`RatingTable.with_ratings`
+        override semantics); duplicate pairs inside *batch* keep the
+        last value, matching the table's merge.
+
+        Equality contract (property-tested in
+        ``tests/test_incremental.py``): the appended store is
+        **bit-identical** to ``MatrixRatingStore(table.with_ratings(
+        batch))`` on the same backend — untouched scalars are copied,
+        touched ones recomputed with the exact operations (``math.fsum``
+        means and norms, element-wise IEEE centering) the constructor
+        uses. The base store is never mutated.
+        """
+        merged_batch: dict[tuple[str, str], float] = {}
+        for rating in batch:
+            merged_batch[(rating.user, rating.item)] = float(rating.value)
+
+        old_users, old_items = self.users, self.items
+        new_user_names = sorted(
+            {u for u, _ in merged_batch} - self.user_index.keys())
+        new_item_names = sorted(
+            {i for _, i in merged_batch} - self.item_index.keys())
+        users_new = (sorted(old_users + new_user_names)
+                     if new_user_names else old_users)
+        items_new = (sorted(old_items + new_item_names)
+                     if new_item_names else old_items)
+        user_map = _insert_map(old_users, new_user_names)
+        item_map = _insert_map(old_items, new_item_names)
+        user_index_new = {u: k for k, u in enumerate(users_new)}
+        item_index_new = {i: k for k, i in enumerate(items_new)}
+
+        # Classify the batch: value replacements patch in place, new
+        # pairs become (sorted) insertion records with their offsets
+        # into the *old* arrays — np.insert / _list_insert semantics.
+        replacements_csr: list[tuple[int, float]] = []
+        replacements_csc: list[tuple[int, float]] = []
+        inserts: list[tuple[int, int, float]] = []
+        for (u_name, i_name), value in merged_batch.items():
+            u_old = self.user_index.get(u_name)
+            i_old = self.item_index.get(i_name)
+            if u_old is not None and i_old is not None:
+                start, end = self._user_row(u_old)
+                pos = self._bisect_column(
+                    self.user_item_idx, start, end, i_old)
+                if pos < end and int(self.user_item_idx[pos]) == i_old:
+                    replacements_csr.append((pos, value))
+                    cstart, cend = self._item_col(i_old)
+                    cpos = self._bisect_column(
+                        self.item_user_idx, cstart, cend, u_old)
+                    replacements_csc.append((cpos, value))
+                    continue
+            inserts.append(
+                (user_index_new[u_name], item_index_new[i_name], value))
+
+        imap_get = item_map.__getitem__
+        umap_get = user_map.__getitem__
+        csr_inserts = sorted(inserts)
+        csc_inserts = sorted((i, u, value) for u, i, value in inserts)
+        csr_positions: list[int] = []
+        for u_new, i_new, _ in csr_inserts:
+            u_old = self.user_index.get(users_new[u_new])
+            if u_old is None:
+                rank = bisect.bisect_left(old_users, users_new[u_new])
+                csr_positions.append(int(self.user_ptr[rank]))
+                continue
+            start, end = self._user_row(u_old)
+            # Position of the new item id among the row's remapped ids.
+            pos = start
+            while pos < end and imap_get(
+                    int(self.user_item_idx[pos])) < i_new:
+                pos += 1
+            csr_positions.append(pos)
+        csc_positions: list[int] = []
+        for i_new, u_new, _ in csc_inserts:
+            i_old = self.item_index.get(items_new[i_new])
+            if i_old is None:
+                rank = bisect.bisect_left(old_items, items_new[i_new])
+                csc_positions.append(int(self.item_ptr[rank]))
+                continue
+            start, end = self._item_col(i_old)
+            pos = start
+            while pos < end and umap_get(
+                    int(self.item_user_idx[pos])) < u_new:
+                pos += 1
+            csc_positions.append(pos)
+
+        touched_users = sorted(
+            {user_index_new[u] for u, _ in merged_batch})
+        batch_items = sorted(
+            {item_index_new[i] for _, i in merged_batch})
+        n_new = self.n_ratings + len(inserts)
+
+        new = MatrixRatingStore.__new__(MatrixRatingStore)
+        new._use_numpy = self._use_numpy
+        new._triu_cache = {}
+        new._item_names_obj = None
+        new._like_dicts = None
+        new._user_likes = None
+        new.users = users_new
+        new.items = items_new
+        new.user_index = user_index_new
+        new.item_index = item_index_new
+        new.n_ratings = n_new
+        new.global_mean = self.global_mean
+
+        if self._use_numpy:
+            self._append_arrays_numpy(
+                new, user_map, item_map, replacements_csr, replacements_csc,
+                csr_positions, csr_inserts, csc_positions, csc_inserts,
+                touched_users, batch_items)
+        else:
+            self._append_arrays_python(
+                new, user_map, item_map, replacements_csr, replacements_csc,
+                csr_positions, csr_inserts, csc_positions, csc_inserts,
+                touched_users, batch_items)
+
+        # Touched items: everything in a touched user's new profile.
+        touched_set: set[int] = set()
+        for u in touched_users:
+            start, end = new._user_row(u)
+            row = new.user_item_idx[start:end]
+            touched_set.update(
+                row.tolist() if self._use_numpy else row)
+        touched_items = sorted(touched_set)
+
+        new._finalise_append(touched_users, touched_items, batch_items, n_new)
+        delta = StoreDelta(
+            n_old_items=len(old_items), user_map=user_map,
+            item_map=item_map, touched_users=touched_users,
+            touched_items=touched_items, batch_items=batch_items,
+            new_users=tuple(new_user_names), new_items=tuple(new_item_names))
+        return new, delta
+
+    def _append_arrays_numpy(self, new, user_map, item_map,
+                             replacements_csr, replacements_csc,
+                             csr_positions, csr_inserts,
+                             csc_positions, csc_inserts,
+                             touched_users, batch_items) -> None:
+        """Patch the CSR/CSC arrays of the appended store (NumPy)."""
+        imap = _np.asarray(item_map, dtype=_np.int64)
+        umap = _np.asarray(user_map, dtype=_np.int64)
+        n_users_new = len(new.users)
+        n_items_new = len(new.items)
+        csr_pos = _np.asarray(csr_positions, dtype=_np.int64)
+        csc_pos = _np.asarray(csc_positions, dtype=_np.int64)
+        csr_item_ids = _np.asarray(
+            [i for _, i, _ in csr_inserts], dtype=_np.int64)
+        csr_values = _np.asarray(
+            [v for _, _, v in csr_inserts], dtype=_np.float64)
+        csc_user_ids = _np.asarray(
+            [u for _, u, _ in csc_inserts], dtype=_np.int64)
+        csc_values = _np.asarray(
+            [v for _, _, v in csc_inserts], dtype=_np.float64)
+
+        remapped_idx = (imap[self.user_item_idx]
+                        if self.n_ratings else self.user_item_idx)
+        new.user_item_idx = _np.insert(remapped_idx, csr_pos, csr_item_ids)
+        values = self.user_values.copy()
+        for pos, value in replacements_csr:
+            values[pos] = value
+        new.user_values = _np.insert(values, csr_pos, csr_values)
+        new.user_centered = _np.insert(self.user_centered, csr_pos, 0.0)
+        new.user_item_centered = _np.insert(
+            self.user_item_centered, csr_pos, 0.0)
+
+        lengths = _np.zeros(n_users_new, dtype=_np.int64)
+        lengths[umap] = _np.diff(self.user_ptr)
+        for u_new, _, _ in csr_inserts:
+            lengths[u_new] += 1
+        user_ptr = _np.zeros(n_users_new + 1, dtype=_np.int64)
+        _np.cumsum(lengths, out=user_ptr[1:])
+        new.user_ptr = user_ptr
+
+        user_means = _np.empty(n_users_new, dtype=_np.float64)
+        user_means[umap] = self.user_means
+        new.user_means = user_means
+
+        remapped_users = (umap[self.item_user_idx]
+                          if self.n_ratings else self.item_user_idx)
+        new.item_user_idx = _np.insert(remapped_users, csc_pos, csc_user_ids)
+        col_values = self.item_values.copy()
+        for pos, value in replacements_csc:
+            col_values[pos] = value
+        new.item_values = _np.insert(col_values, csc_pos, csc_values)
+        new.item_centered = _np.insert(self.item_centered, csc_pos, 0.0)
+        new.item_likes = _np.insert(self.item_likes, csc_pos, False)
+
+        col_lengths = _np.zeros(n_items_new, dtype=_np.int64)
+        col_lengths[imap] = _np.diff(self.item_ptr)
+        for i_new, _, _ in csc_inserts:
+            col_lengths[i_new] += 1
+        item_ptr = _np.zeros(n_items_new + 1, dtype=_np.int64)
+        _np.cumsum(col_lengths, out=item_ptr[1:])
+        new.item_ptr = item_ptr
+
+        item_means = _np.empty(n_items_new, dtype=_np.float64)
+        item_means[imap] = self.item_means
+        new.item_means = item_means
+        norms = _np.empty(n_items_new, dtype=_np.float64)
+        norms[imap] = self.item_centered_norms
+        new.item_centered_norms = norms
+        raw_norms = _np.empty(n_items_new, dtype=_np.float64)
+        raw_norms[imap] = self.item_raw_norms
+        new.item_raw_norms = raw_norms
+        user_norms = _np.empty(n_users_new, dtype=_np.float64)
+        user_norms[umap] = self.user_item_centered_norms
+        new.user_item_centered_norms = user_norms
+
+    def _append_arrays_python(self, new, user_map, item_map,
+                              replacements_csr, replacements_csc,
+                              csr_positions, csr_inserts,
+                              csc_positions, csc_inserts,
+                              touched_users, batch_items) -> None:
+        """Patch the CSR/CSC lists of the appended store (fallback)."""
+        n_users_new = len(new.users)
+        n_items_new = len(new.items)
+        csr_item_ids = [i for _, i, _ in csr_inserts]
+        csr_values = [v for _, _, v in csr_inserts]
+        csc_user_ids = [u for _, u, _ in csc_inserts]
+        csc_values = [v for _, _, v in csc_inserts]
+
+        remapped_idx = [item_map[x] for x in self.user_item_idx]
+        new.user_item_idx = _list_insert(
+            remapped_idx, csr_positions, csr_item_ids)
+        values = list(self.user_values)
+        for pos, value in replacements_csr:
+            values[pos] = value
+        new.user_values = _list_insert(values, csr_positions, csr_values)
+        new.user_centered = _list_insert(
+            list(self.user_centered), csr_positions, [0.0] * len(csr_values))
+        new.user_item_centered = _list_insert(
+            list(self.user_item_centered), csr_positions,
+            [0.0] * len(csr_values))
+
+        lengths = [0] * n_users_new
+        for k in range(len(self.users)):
+            lengths[user_map[k]] = self.user_ptr[k + 1] - self.user_ptr[k]
+        for u_new, _, _ in csr_inserts:
+            lengths[u_new] += 1
+        user_ptr = [0] * (n_users_new + 1)
+        for k in range(n_users_new):
+            user_ptr[k + 1] = user_ptr[k] + lengths[k]
+        new.user_ptr = user_ptr
+
+        user_means = [0.0] * n_users_new
+        for k in range(len(self.users)):
+            user_means[user_map[k]] = self.user_means[k]
+        new.user_means = user_means
+
+        remapped_users = [user_map[x] for x in self.item_user_idx]
+        new.item_user_idx = _list_insert(
+            remapped_users, csc_positions, csc_user_ids)
+        col_values = list(self.item_values)
+        for pos, value in replacements_csc:
+            col_values[pos] = value
+        new.item_values = _list_insert(col_values, csc_positions, csc_values)
+        new.item_centered = _list_insert(
+            list(self.item_centered), csc_positions,
+            [0.0] * len(csc_values))
+        new.item_likes = _list_insert(
+            list(self.item_likes), csc_positions,
+            [False] * len(csc_values))
+
+        col_lengths = [0] * n_items_new
+        for k in range(len(self.items)):
+            col_lengths[item_map[k]] = self.item_ptr[k + 1] - self.item_ptr[k]
+        for i_new, _, _ in csc_inserts:
+            col_lengths[i_new] += 1
+        item_ptr = [0] * (n_items_new + 1)
+        for k in range(n_items_new):
+            item_ptr[k + 1] = item_ptr[k] + col_lengths[k]
+        new.item_ptr = item_ptr
+
+        item_means = [0.0] * n_items_new
+        norms = [0.0] * n_items_new
+        raw_norms = [0.0] * n_items_new
+        for k in range(len(self.items)):
+            item_means[item_map[k]] = self.item_means[k]
+            norms[item_map[k]] = self.item_centered_norms[k]
+            raw_norms[item_map[k]] = self.item_raw_norms[k]
+        new.item_means = item_means
+        new.item_centered_norms = norms
+        new.item_raw_norms = raw_norms
+        user_norms = [0.0] * n_users_new
+        for k in range(len(self.users)):
+            user_norms[user_map[k]] = self.user_item_centered_norms[k]
+        new.user_item_centered_norms = user_norms
+
+    def _finalise_append(self, touched_users, touched_items, batch_items,
+                         n_new: int) -> None:
+        """Recompute the derived scalars the batch moved, on the *new*
+        store (self), with the exact operations the constructor uses —
+        ``math.fsum`` means/norms and element-wise IEEE centering — so
+        the appended store is bit-identical to a rebuild."""
+        use_numpy = self._use_numpy
+
+        def _seq(values):
+            return values.tolist() if use_numpy else values
+
+        # User means first — centered values feed off them.
+        for u in touched_users:
+            start, end = self._user_row(u)
+            values = _seq(self.user_values[start:end])
+            mean = math.fsum(values) / len(values)
+            self.user_means[u] = mean
+            if use_numpy:
+                self.user_centered[start:end] = \
+                    self.user_values[start:end] - mean
+            else:
+                for p in range(start, end):
+                    self.user_centered[p] = self.user_values[p] - mean
+
+        # Item means for the batch's items (only their columns changed).
+        for i in batch_items:
+            start, end = self._item_col(i)
+            values = _seq(self.item_values[start:end])
+            self.item_means[i] = math.fsum(values) / len(values)
+
+        # CSC centered values follow the touched users' new means: a
+        # touched user's ratings all live in touched-item columns.
+        for i in touched_items:
+            start, end = self._item_col(i)
+            if use_numpy:
+                self.item_centered[start:end] = (
+                    self.item_values[start:end]
+                    - self.user_means[self.item_user_idx[start:end]])
+            else:
+                for p in range(start, end):
+                    self.item_centered[p] = (
+                        self.item_values[p]
+                        - self.user_means[self.item_user_idx[p]])
+            seg = self.item_centered[start:end]
+            self.item_centered_norms[i] = math.sqrt(math.fsum(
+                _seq(seg * seg) if use_numpy else [c * c for c in seg]))
+
+        # Like flags and raw norms follow the batch items' new means.
+        for i in batch_items:
+            start, end = self._item_col(i)
+            mean = self.item_means[i]
+            if use_numpy:
+                self.item_likes[start:end] = \
+                    self.item_values[start:end] >= mean
+            else:
+                for p in range(start, end):
+                    self.item_likes[p] = self.item_values[p] >= mean
+            seg = self.item_values[start:end]
+            self.item_raw_norms[i] = math.sqrt(math.fsum(
+                _seq(seg * seg) if use_numpy else [v * v for v in seg]))
+
+        # Eq-1 centering (value − item mean) for every rating of a
+        # batch item, then the affected users' norms: the touched users
+        # (row membership changed) plus every rater of a batch item.
+        affected_users = set(touched_users)
+        if use_numpy:
+            in_batch = _np.zeros(len(self.items), dtype=bool)
+            in_batch[batch_items] = True
+            mask = in_batch[self.user_item_idx] if n_new else \
+                _np.zeros(0, dtype=bool)
+            self.user_item_centered[mask] = (
+                self.user_values[mask]
+                - self.item_means[self.user_item_idx[mask]])
+        else:
+            in_batch_list = [False] * len(self.items)
+            for i in batch_items:
+                in_batch_list[i] = True
+            for p in range(n_new):
+                idx = self.user_item_idx[p]
+                if in_batch_list[idx]:
+                    self.user_item_centered[p] = (
+                        self.user_values[p] - self.item_means[idx])
+        for i in batch_items:
+            start, end = self._item_col(i)
+            col_users = self.item_user_idx[start:end]
+            affected_users.update(_seq(col_users))
+        for u in sorted(affected_users):
+            start, end = self._user_row(u)
+            seg = self.user_item_centered[start:end]
+            self.user_item_centered_norms[u] = math.sqrt(math.fsum(
+                _seq(seg * seg) if use_numpy else [c * c for c in seg]))
+
+        # fsum is exact whatever the order, so summing the patched value
+        # column equals the rebuild's sum over the table bit for bit.
+        # (An empty store keeps the base's scale-midpoint global mean,
+        # copied before this runs.)
+        if n_new:
+            self.global_mean = math.fsum(_seq(self.user_values)) / n_new
+
+    def delta_candidates(self, delta: "StoreDelta",
+                         with_significance: bool = False):
+        """Ascending user indexes that can contribute to the pairs
+        *delta* touched — users with ≥2 touched items in their profile,
+        plus (with significance) raters of a batch item.
+
+        One O(ratings) scan; the sharded delta computes this once and
+        intersects per shard instead of re-scanning per shard.
+        """
+        if self._use_numpy:
+            n_items = len(self.items)
+            if self.n_ratings == 0 or not delta.touched_items:
+                return _np.zeros(0, dtype=_np.int64)
+            flags_it = _np.zeros(n_items, dtype=bool)
+            flags_it[delta.touched_items] = True
+            hits = _np.concatenate((
+                [0], _np.cumsum(flags_it[self.user_item_idx],
+                                dtype=_np.int64)))
+            it_count = hits[self.user_ptr[1:]] - hits[self.user_ptr[:-1]]
+            candidate = it_count >= 2
+            if with_significance:
+                flags_ib = _np.zeros(n_items, dtype=bool)
+                if delta.batch_items:
+                    flags_ib[delta.batch_items] = True
+                ib_hits = _np.concatenate((
+                    [0], _np.cumsum(flags_ib[self.user_item_idx],
+                                    dtype=_np.int64)))
+                ib_count = (ib_hits[self.user_ptr[1:]]
+                            - ib_hits[self.user_ptr[:-1]])
+                candidate |= (ib_count >= 1) \
+                    & (_np.diff(self.user_ptr) >= 2)
+            return _np.nonzero(candidate)[0]
+        flags_it_list = [False] * len(self.items)
+        for i in delta.touched_items:
+            flags_it_list[i] = True
+        flags_ib_list = None
+        if with_significance:
+            flags_ib_list = [False] * len(self.items)
+            for i in delta.batch_items:
+                flags_ib_list[i] = True
+        ptr = self.user_ptr
+        idx_all = self.user_item_idx
+        candidates: list[int] = []
+        for u in range(len(self.users)):
+            start, end = ptr[u], ptr[u + 1]
+            if end - start < 2:
+                continue
+            it_hits = 0
+            ib_hits = 0
+            for p in range(start, end):
+                idx = idx_all[p]
+                if flags_it_list[idx]:
+                    it_hits += 1
+                if flags_ib_list is not None and flags_ib_list[idx]:
+                    ib_hits += 1
+            if it_hits >= 2 or ib_hits >= 1:
+                candidates.append(u)
+        return candidates
+
+    def delta_pair_accumulation(self, delta: "StoreDelta",
+                                users: Sequence[int] | None = None,
+                                with_significance: bool = False,
+                                candidates=None) -> PairAccumulation:
+        """Eq-6 re-accumulation restricted to the pairs *delta* touched.
+
+        Called on the **appended** store. Recomputes, from scratch and
+        in the canonical sweep order, every pair whose numerator, count
+        or Definition-2 agreement the batch could have moved: pairs with
+        both endpoints in ``delta.touched_items`` (a touched user's
+        centered values feed them), plus — with significance — pairs
+        with an endpoint in ``delta.batch_items`` (their item means
+        moved, flipping like flags of *untouched* co-raters too).
+
+        Contributing users are exactly the full sweep's for those pairs,
+        visited in the same canonical order; a pair receives at most one
+        contribution per user, so per-pair sums see the same addends in
+        the same sequence and folding the result over the old
+        accumulation (:meth:`apply_accumulation_delta`) reproduces a
+        from-scratch sweep **bit for bit** — even though each user's
+        contributions are generated from the *touched sub-profile* (the
+        fan-out is quadratic in ``|X_u ∩ touched|``, not ``|X_u|``,
+        which is what keeps a small batch's delta far below a full
+        sweep). *users* restricts to one shard (ascending indexes):
+        per-shard deltas merged in shard order equal the sharded rebuild
+        the same way. *candidates* is an optional precomputed
+        :meth:`delta_candidates` result — the sharded delta passes it
+        so the O(ratings) candidate scan runs once per update, not once
+        per shard.
+        """
+        n_items = len(self.items)
+        if candidates is None:
+            candidates = self.delta_candidates(delta, with_significance)
+        if self._use_numpy:
+            flags_it = _np.zeros(n_items, dtype=bool)
+            if delta.touched_items:
+                flags_it[delta.touched_items] = True
+            flags_ib = None
+            if with_significance:
+                flags_ib = _np.zeros(n_items, dtype=bool)
+                if delta.batch_items:
+                    flags_ib[delta.batch_items] = True
+            empty_int = _np.zeros(0, dtype=_np.int64)
+            empty = PairAccumulation(
+                empty_int, _np.zeros(0, dtype=_np.float64),
+                empty_int.copy(),
+                empty_int.copy() if with_significance else None)
+            if self.n_ratings == 0 or not delta.touched_items:
+                return empty
+            candidates = _np.asarray(candidates, dtype=_np.int64)
+            if users is not None:
+                candidates = _np.intersect1d(
+                    candidates, _np.asarray(users, dtype=_np.int64),
+                    assume_unique=True)
+            eligible = self.eligible_users(users=candidates)
+            if len(eligible) == 0:
+                return empty
+            ptr = self.user_ptr
+            idx_all = self.user_item_idx
+            centered_all = self.user_centered
+            likes_all = self.user_likes if with_significance else None
+            key_parts = []
+            value_parts = []
+            agree_parts = []
+            for u in eligible.tolist():
+                start, end = int(ptr[u]), int(ptr[u + 1])
+                idx = idx_all[start:end]
+                if with_significance and flags_ib[idx].any():
+                    # A batch item's mean moved, so *every* pair through
+                    # it is affected — full fan-out, then the pair mask.
+                    rows, cols = self._triu(end - start)
+                    ids_a = idx[rows]
+                    ids_b = idx[cols]
+                    keep = (flags_it[ids_a] & flags_it[ids_b]) \
+                        | flags_ib[ids_a] | flags_ib[ids_b]
+                    ids_a, ids_b = ids_a[keep], ids_b[keep]
+                    centered = centered_all[start:end]
+                    values = (centered[rows] * centered[cols])[keep]
+                    likes = likes_all[start:end]
+                    agrees = (likes[rows] == likes[cols])[keep]
+                else:
+                    # Only both-touched pairs are affected: the fan-out
+                    # is quadratic in the touched sub-profile.
+                    sub = _np.nonzero(flags_it[idx])[0]
+                    if len(sub) < 2:
+                        continue
+                    rows, cols = self._triu(len(sub))
+                    ids_a = idx[sub][rows]
+                    ids_b = idx[sub][cols]
+                    centered = centered_all[start:end][sub]
+                    values = centered[rows] * centered[cols]
+                    agrees = None
+                    if with_significance:
+                        likes = likes_all[start:end][sub]
+                        agrees = likes[rows] == likes[cols]
+                key_parts.append(ids_a * n_items + ids_b)
+                value_parts.append(values)
+                if with_significance:
+                    agree_parts.append(agrees)
+            if not key_parts:
+                return empty
+            return self._reduce_contributions_numpy(
+                _np.concatenate(key_parts),
+                _np.concatenate(value_parts),
+                _np.concatenate(agree_parts) if with_significance else None)
+        flags_it_list = [False] * n_items
+        for i in delta.touched_items:
+            flags_it_list[i] = True
+        flags_ib_list = None
+        if with_significance:
+            flags_ib_list = [False] * n_items
+            for i in delta.batch_items:
+                flags_ib_list[i] = True
+        if users is not None:
+            shard = set(users)
+            candidates = [u for u in candidates if u in shard]
+        eligible = self.eligible_users(users=candidates)
+        return self._accumulate_python(
+            eligible, with_significance,
+            pair_flags=(flags_it_list, flags_ib_list))
+
+    def apply_accumulation_delta(self, acc: PairAccumulation,
+                                 delta_acc: PairAccumulation,
+                                 delta: "StoreDelta") -> PairAccumulation:
+        """Fold a :meth:`delta_pair_accumulation` result over the
+        retained accumulation of the base store.
+
+        Old pair keys are remapped through ``delta.item_map`` (strictly
+        increasing, so sorted key order survives), every pair the delta
+        recomputed is dropped from the old side, and the delta's entries
+        take their place — the merged accumulation equals a from-scratch
+        sweep over the appended store bit for bit. Called on the
+        **appended** store.
+        """
+        with_significance = delta_acc.agree is not None
+        if (acc.agree is not None) != with_significance:
+            raise SimilarityError(
+                "cannot fold a delta accumulation with significance "
+                "counts into one without (or vice versa)")
+        n_old = delta.n_old_items
+        n_new = len(self.items)
+        if self._use_numpy:
+            flags_it = _np.zeros(n_new, dtype=bool)
+            if delta.touched_items:
+                flags_it[delta.touched_items] = True
+            flags_ib = None
+            if with_significance:
+                flags_ib = _np.zeros(n_new, dtype=bool)
+                if delta.batch_items:
+                    flags_ib[delta.batch_items] = True
+            if len(acc.keys):
+                imap = _np.asarray(delta.item_map, dtype=_np.int64)
+                left = imap[acc.keys // n_old]
+                right = imap[acc.keys % n_old]
+                keys = left * n_new + right
+                affected = flags_it[left] & flags_it[right]
+                if with_significance:
+                    affected |= flags_ib[left] | flags_ib[right]
+                keep = ~affected
+                kept_keys = keys[keep]
+                kept_sums = acc.sums[keep]
+                kept_counts = acc.counts[keep]
+                kept_agree = (acc.agree[keep]
+                              if with_significance else None)
+            else:
+                kept_keys = acc.keys
+                kept_sums = acc.sums
+                kept_counts = acc.counts
+                kept_agree = acc.agree
+            pos = _np.searchsorted(kept_keys, delta_acc.keys)
+            return PairAccumulation(
+                _np.insert(kept_keys, pos, delta_acc.keys),
+                _np.insert(kept_sums, pos, delta_acc.sums),
+                _np.insert(kept_counts, pos, delta_acc.counts),
+                _np.insert(kept_agree, pos, delta_acc.agree)
+                if with_significance else None)
+        flags_it_list = [False] * n_new
+        for i in delta.touched_items:
+            flags_it_list[i] = True
+        flags_ib_list = [False] * n_new
+        if with_significance:
+            for i in delta.batch_items:
+                flags_ib_list[i] = True
+        imap_list = delta.item_map
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        agree: dict[int, int] | None = {} if with_significance else None
+        acc_counts = acc.counts
+        acc_agree = acc.agree
+        for key, value in acc.sums.items():
+            old_left, old_right = divmod(key, n_old)
+            left = imap_list[old_left]
+            right = imap_list[old_right]
+            if (flags_it_list[left] and flags_it_list[right]) or \
+                    flags_ib_list[left] or flags_ib_list[right]:
+                continue
+            new_key = left * n_new + right
+            sums[new_key] = value
+            counts[new_key] = acc_counts[key]
+            if with_significance:
+                hits = acc_agree.get(key)
+                if hits is not None:
+                    agree[new_key] = hits
+        sums.update(delta_acc.sums)
+        counts.update(delta_acc.counts)
+        if with_significance:
+            agree.update(delta_acc.agree)
+        return PairAccumulation(None, sums, counts, agree)
+
+    def assemble_row_refresh(self, acc: PairAccumulation,
+                             delta: "StoreDelta",
+                             extra_rows: Sequence[int] = (),
+                             min_common_users: int = 1,
+                             min_abs_similarity: float = 0.0,
+                             with_index: bool = True):
+        """Re-assemble only the adjacency rows an append could have
+        moved.
+
+        *acc* is the already-folded full accumulation of the appended
+        store. The affected rows are the touched items (their norms —
+        so every incident weight — moved), every current partner of a
+        touched item, and *extra_rows* (the caller passes the touched
+        items' *pre-update* partners, so rows that lost their last edge
+        are refreshed to empty too).
+
+        Returns ``(rows, index_update, affected)``: *rows* maps item
+        name → complete new neighbor dict (possibly empty), *affected*
+        is the ascending index list the rows cover, and *index_update*
+        is the ``(sizes, neighbor ids, weights)`` flat-row bundle
+        :meth:`NeighborIndex.updated` splices — per-row sizes aligned
+        with *affected*, ids/weights concatenated in row order (``None``
+        when the index was not requested). Row contents are
+        bit-identical to what :meth:`assemble_from_partitions` would
+        build for those items.
+        """
+        items = self.items
+        if self._use_numpy:
+            n_items = len(items)
+            flags_it = _np.zeros(n_items, dtype=bool)
+            if delta.touched_items:
+                flags_it[delta.touched_items] = True
+            # Affected rows first, from the raw pair keys (cheap key
+            # arithmetic); the Eq-6 filter/normalise/clip tail then runs
+            # only on the affected subset — element-wise, so the kept
+            # weights are bit-identical to the full assembly's.
+            in_r = flags_it.copy()
+            if acc.n_pairs:
+                left_all = acc.keys // n_items
+                right_all = acc.keys % n_items
+                touch = flags_it[left_all] | flags_it[right_all]
+                in_r[left_all[touch]] = True
+                in_r[right_all[touch]] = True
+            if len(extra_rows):
+                in_r[_np.asarray(extra_rows, dtype=_np.int64)] = True
+            if acc.n_pairs:
+                emask = in_r[left_all] | in_r[right_all]
+                left = left_all[emask]
+                right = right_all[emask]
+                sums = acc.sums[emask]
+                counts = acc.counts[emask]
+                denominators = (self.item_centered_norms[left]
+                                * self.item_centered_norms[right])
+                keep = (counts >= min_common_users) & (sums != 0.0) \
+                    & (denominators != 0.0)
+                left, right = left[keep], right[keep]
+                sims = _np.clip(
+                    sums[keep] / denominators[keep], -1.0, 1.0)
+                if min_abs_similarity > 0.0:
+                    keep = _np.abs(sims) >= min_abs_similarity
+                    left, right, sims = left[keep], right[keep], sims[keep]
+            else:
+                left = _np.zeros(0, dtype=_np.int64)
+                right = left.copy()
+                sims = _np.zeros(0, dtype=_np.float64)
+            fwd = in_r[left]
+            rev = in_r[right]
+            src = _np.concatenate([left[fwd], right[rev]])
+            tgt = _np.concatenate([right[fwd], left[rev]])
+            wts = _np.concatenate([sims[fwd], sims[rev]])
+            order = _np.lexsort((tgt, -wts, src))
+            src, tgt, wts = src[order], tgt[order], wts[order]
+            affected = _np.nonzero(in_r)[0]
+            starts = _np.searchsorted(src, affected)
+            ends = _np.searchsorted(src, affected + 1)
+            if self._item_names_obj is None:
+                self._item_names_obj = _np.asarray(items, dtype=object)
+            rows: dict[str, dict[str, float]] = {}
+            tgt_names = self._item_names_obj[tgt].tolist() if len(tgt) \
+                else []
+            wts_list = wts.tolist()
+            for k, i in enumerate(affected.tolist()):
+                a, b = int(starts[k]), int(ends[k])
+                rows[items[i]] = dict(zip(tgt_names[a:b], wts_list[a:b]))
+            index_update = None
+            if with_index:
+                # tgt/wts are already the affected rows' rank-ordered
+                # contents concatenated in row order — hand them over
+                # wholesale, no per-row slicing.
+                index_update = (ends - starts, tgt, wts)
+            return rows, index_update, affected.tolist()
+        flags_it_list = [False] * len(items)
+        for i in delta.touched_items:
+            flags_it_list[i] = True
+        # Key order is irrelevant here — only the per-row rank sort
+        # below is observable — so iterate the accumulation unsorted
+        # instead of paying _iter_index_pairs_python's global sort.
+        norms = self.item_centered_norms
+        n_items = len(items)
+        counts_map = acc.counts
+        pairs = []
+        for key, numerator in acc.sums.items():
+            if counts_map[key] < min_common_users or numerator == 0.0:
+                continue
+            left, right = divmod(key, n_items)
+            denominator = norms[left] * norms[right]
+            if denominator == 0.0:
+                continue
+            sim = _clip1(numerator / denominator)
+            if abs(sim) >= min_abs_similarity:
+                pairs.append((left, right, sim))
+        in_r = list(flags_it_list)
+        for left, right, _ in pairs:
+            if flags_it_list[left] or flags_it_list[right]:
+                in_r[left] = True
+                in_r[right] = True
+        for i in extra_rows:
+            in_r[i] = True
+        row_lists: dict[int, list[tuple[int, float]]] = {
+            i: [] for i in range(len(items)) if in_r[i]}
+        for left, right, sim in pairs:
+            if in_r[left]:
+                row_lists[left].append((right, sim))
+            if in_r[right]:
+                row_lists[right].append((left, sim))
+        rows = {}
+        affected_list = sorted(row_lists)
+        sizes: list[int] = []
+        flat_ids: list[int] = []
+        flat_wts: list[float] = []
+        for i in affected_list:
+            row = row_lists[i]
+            row.sort(key=lambda edge: (-edge[1], edge[0]))
+            rows[items[i]] = {items[t]: w for t, w in row}
+            if with_index:
+                sizes.append(len(row))
+                flat_ids.extend(t for t, _ in row)
+                flat_wts.extend(w for _, w in row)
+        index_update = (sizes, flat_ids, flat_wts) if with_index else None
+        return rows, index_update, affected_list
 
     def _pairs_from_accumulation_numpy(self, acc: PairAccumulation,
                                        min_common_users: int):

@@ -68,7 +68,8 @@ class RatingTable:
     """
 
     __slots__ = ("_by_user", "_by_item", "_scale", "_n", "_user_mean_cache",
-                 "_item_mean_cache", "_global_mean_cache", "_matrix_cache")
+                 "_item_mean_cache", "_global_mean_cache", "_matrix_cache",
+                 "_matrix_delta_base")
 
     def __init__(self, ratings: Iterable[Rating] = (),
                  scale: tuple[float, float] = DEFAULT_SCALE) -> None:
@@ -98,6 +99,7 @@ class RatingTable:
         self._item_mean_cache: dict[str, float] = {}
         self._global_mean_cache: float | None = None
         self._matrix_cache = None
+        self._matrix_delta_base = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -219,24 +221,114 @@ class RatingTable:
         point, so one pipeline run derives the per-user/per-item arrays,
         means and norms exactly once. Tables are immutable, which is what
         makes the memoization sound.
+
+        A table derived through :meth:`with_ratings` / :meth:`merged_with`
+        from a table whose store was already built carries a **delta
+        handoff**: the first :meth:`matrix` call appends the batch to the
+        parent's memoized store
+        (:meth:`~repro.data.matrix.MatrixRatingStore.append_ratings` —
+        bit-identical to a fresh build, property-tested) instead of
+        re-interning and re-summing the whole table. This is what keeps
+        online AlterEgo appends from paying a full store rebuild.
         """
         if self._matrix_cache is None:
-            from repro.data.matrix import MatrixRatingStore
-            self._matrix_cache = MatrixRatingStore(self)
+            handoff = self._matrix_delta_base
+            self._matrix_delta_base = None
+            if handoff is not None:
+                base_store, batch = handoff
+                self._matrix_cache = base_store.append_ratings(batch)[0]
+            else:
+                from repro.data.matrix import MatrixRatingStore
+                self._matrix_cache = MatrixRatingStore(self)
         return self._matrix_cache
 
     # ------------------------------------------------------------------
     # Derivation (immutable-style updates)
     # ------------------------------------------------------------------
 
+    #: A derived table hands its parent's memoized store off for an
+    #: incremental append only when the batch is small relative to the
+    #: table — appending a comparable-size batch touches most rows and
+    #: a fresh build is the faster (and equal) path.
+    _DELTA_HANDOFF_RATIO = 4
+
+    def _arm_delta_handoff(self, derived: "RatingTable",
+                           batch: tuple[Rating, ...]) -> "RatingTable":
+        """Attach the (store, batch) delta handoff to a derived table
+        when this table's store is built and the batch is small."""
+        if (self._matrix_cache is not None
+                and len(batch) * self._DELTA_HANDOFF_RATIO <= self._n):
+            derived._matrix_delta_base = (self._matrix_cache, batch)
+        return derived
+
+    def _append_derive(self, batch: tuple[Rating, ...]) -> "RatingTable":
+        """Derive the appended table in O(batch), not O(table).
+
+        Untouched per-user profiles and per-item columns are *shared*
+        with this table (they are never mutated after construction —
+        every derivation builds new dicts — so sharing is safe); only
+        the profiles and columns the batch touches are copied. The
+        result is indistinguishable from the O(N) merge-and-rebuild
+        path: same entries, same override semantics, same validation.
+        """
+        lo, hi = self._scale
+        by_user = dict(self._by_user)
+        by_item = dict(self._by_item)
+        touched_profiles: dict[str, dict[str, Rating]] = {}
+        touched_columns: dict[str, dict[str, Rating]] = {}
+        n = self._n
+        for r in batch:
+            if not lo <= r.value <= hi:
+                raise DataError(
+                    f"rating {r.value} by {r.user!r} for {r.item!r} "
+                    f"outside scale [{lo}, {hi}]")
+            profile = touched_profiles.get(r.user)
+            if profile is None:
+                profile = dict(by_user.get(r.user, ()))
+                touched_profiles[r.user] = profile
+                by_user[r.user] = profile
+            column = touched_columns.get(r.item)
+            if column is None:
+                column = dict(by_item.get(r.item, ()))
+                touched_columns[r.item] = column
+                by_item[r.item] = column
+            if r.item not in profile:
+                n += 1
+            profile[r.item] = r
+            column[r.user] = r
+        table = RatingTable.__new__(RatingTable)
+        table._by_user = by_user
+        table._by_item = by_item
+        table._scale = self._scale
+        table._n = n
+        table._user_mean_cache = {}
+        table._item_mean_cache = {}
+        table._global_mean_cache = None
+        table._matrix_cache = None
+        table._matrix_delta_base = None
+        return table
+
     def with_ratings(self, ratings: Iterable[Rating]) -> "RatingTable":
         """Return a new table with *ratings* added (or overriding existing
         (user, item) entries — used when appending an AlterEgo to a real
-        target profile, footnote 6)."""
+        target profile, footnote 6).
+
+        Small batches derive in O(batch): untouched profiles are shared
+        with this table instead of re-merged, and if this table's
+        :meth:`matrix` store is already built the derived table inherits
+        it through the incremental append path instead of rebuilding —
+        the two halves of what keeps an online append from paying
+        table-sized work.
+        """
+        batch = tuple(ratings)
+        if len(batch) * self._DELTA_HANDOFF_RATIO <= self._n:
+            return self._arm_delta_handoff(self._append_derive(batch), batch)
         merged: dict[tuple[str, str], Rating] = {
             (r.user, r.item): r for r in self}
-        for r in ratings:
+        for r in batch:
             merged[(r.user, r.item)] = r
+        # No handoff here: this branch is exactly the batches too large
+        # for the ratio guard, where a fresh store build wins anyway.
         return RatingTable(merged.values(), scale=self._scale)
 
     def without_users(self, users: Iterable[str]) -> "RatingTable":
@@ -276,21 +368,25 @@ class RatingTable:
         """Union of two tables (used by the Baseliner, §5.1, to treat the
         source and target domains as a single aggregated domain).
 
-        The tables must not disagree on any (user, item) pair.
+        The tables must not disagree on any (user, item) pair. When this
+        table's :meth:`matrix` store is built and *other* is small, the
+        merged table inherits it through the incremental append path.
         """
         if other.scale != self._scale:
             raise DataError(
                 f"cannot merge tables with scales {self._scale} and {other.scale}")
         combined: dict[tuple[str, str], Rating] = {
             (r.user, r.item): r for r in self}
-        for r in other:
+        batch = tuple(other)
+        for r in batch:
             key = (r.user, r.item)
             existing = combined.get(key)
             if existing is not None and existing != r:
                 raise DataError(
                     f"conflicting ratings for {key!r}: {existing} vs {r}")
             combined[key] = r
-        return RatingTable(combined.values(), scale=self._scale)
+        return self._arm_delta_handoff(
+            RatingTable(combined.values(), scale=self._scale), batch)
 
     def clip(self, value: float) -> float:
         """Clamp *value* into the rating scale (used on predictions)."""

@@ -59,16 +59,15 @@ class ItemGraph:
         :meth:`~repro.data.matrix.MatrixRatingStore.build_adjacency`.
 
         *index* is a :class:`~repro.similarity.knn.NeighborIndex`
-        assembled from the **same** adjacency (untruncated rows):
-        :meth:`top_neighbors` then serves ranked rows straight from its
-        flat arrays instead of sorting lazily. Truncated indexes
-        (``index.k`` set) are rejected — a graph query may ask for more
-        neighbors than a truncated row retains.
+        assembled from the **same** adjacency: :meth:`top_neighbors`
+        then serves ranked rows straight from its flat arrays instead
+        of sorting lazily. A truncated index (``index.k`` set) is
+        accepted as an accelerator: queries it can answer exactly are
+        served from it, and anything it cannot (more than ``k``
+        neighbors wanted, or an *among* restriction that runs past the
+        truncation cut) falls back to the adjacency scan — never a
+        wrong or short answer.
         """
-        if index is not None and index.k is not None:
-            raise GraphError(
-                f"graph-backing index must hold full rows, got one "
-                f"truncated to top-{index.k}")
         graph = cls()
         graph._adjacency = adjacency
         graph._index = index
@@ -167,14 +166,21 @@ class ItemGraph:
 
         Served from the backing
         :class:`~repro.similarity.knn.NeighborIndex` when one was
-        assembled with the graph, else sorted once and memoized; either
-        way repeated serve-path calls never re-sort. Callers must not
-        mutate the returned list.
+        assembled with the graph **and** its stored row is complete — a
+        truncated row is never memoized as the full row (the index may
+        hold fewer neighbors than :meth:`degree` reports; caching it
+        would freeze an inconsistent view of the graph). Otherwise the
+        adjacency row is sorted once and memoized; either way repeated
+        serve-path calls never re-sort. Callers must not mutate the
+        returned list.
         """
         cached = self._ranked_cache.get(item)
         if cached is None:
-            if self._index is not None:
-                cached = self._index.top(item, self._index.degree(item))
+            index = self._index
+            if index is not None and (
+                    index.k is None
+                    or index.degree(item) >= self.degree(item)):
+                cached = index.top(item, index.degree(item))
             else:
                 cached = sorted(
                     self._adjacency.get(item, {}).items(),
@@ -195,7 +201,11 @@ class ItemGraph:
         identical to ``top_k`` over the same candidates: the row rank
         *is* the top-k order. Index-backed graphs scan the flat arrays
         directly (no per-item row materialisation); others scan the
-        memoized :meth:`ranked_neighbors` row.
+        memoized :meth:`ranked_neighbors` row. A *truncated* backing
+        index is used only when its scan is provably exact (enough
+        survivors collected, or the stored row covers the full
+        adjacency degree); anything else falls back to the adjacency
+        scan rather than raising or under-serving.
         """
         if k <= 0:
             return []
@@ -205,7 +215,11 @@ class ItemGraph:
                 else set(among)
         index = self._index
         if index is not None:
-            return index.top(item, k, minimum=minimum, among=allowed)
+            selected, exact = index.scan(
+                item, k, minimum=minimum, among=allowed,
+                full_degree=self.degree(item))
+            if exact:
+                return selected
         ranked = self.ranked_neighbors(item)
         if allowed is None and minimum is None:
             return ranked[:k]
@@ -225,12 +239,48 @@ class ItemGraph:
         return len(self._adjacency.get(item, {}))
 
     def copy(self) -> "ItemGraph":
-        """Deep copy (the Extender mutates its working graph; ranked
-        state is not carried over — the copy re-ranks on demand)."""
+        """Deep copy (the Extender mutates its working graph).
+
+        The backing :class:`~repro.similarity.knn.NeighborIndex` is
+        immutable and rides along, so an unmutated copy keeps O(k)
+        serving; the first mutation on the clone invalidates its
+        reference without touching the original. The lazily-memoized
+        ranked rows are not carried — the copy re-ranks on demand.
+        """
         clone = ItemGraph()
         clone._adjacency = {
             item: dict(nbrs) for item, nbrs in self._adjacency.items()}
+        clone._index = self._index
         return clone
+
+    def apply_delta(self, rows: Mapping[str, dict[str, float]],
+                    new_items: Iterable[str] = (),
+                    index: NeighborIndex | None = None) -> None:
+        """Adopt re-assembled adjacency rows in place — the incremental
+        update path's targeted alternative to mutate-and-
+        :meth:`_invalidate`.
+
+        *rows* maps item → complete new neighbor dict (adopted without
+        copying; the caller keeps no reference) and must leave the
+        adjacency symmetric — both endpoints of every changed edge have
+        to appear in *rows*, which is what
+        :meth:`~repro.data.matrix.MatrixRatingStore.assemble_row_refresh`
+        guarantees. *new_items* become vertices (isolated unless a row
+        says otherwise); *index* replaces the backing index wholesale
+        (``None`` drops it — pass the
+        :meth:`~repro.similarity.knn.NeighborIndex.updated` splice to
+        keep O(k) serving). Only the replaced rows' memoized rankings
+        are invalidated; untouched rows keep their cache.
+        """
+        adjacency = self._adjacency
+        for item in new_items:
+            adjacency.setdefault(item, {})
+        cache = self._ranked_cache
+        for item, row in rows.items():
+            adjacency[item] = row
+            if cache:
+                cache.pop(item, None)
+        self._index = index
 
 
 def build_similarity_graph(

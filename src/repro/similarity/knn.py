@@ -21,6 +21,11 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Mapping, Sequence
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
 
 def top_k(similarities: Mapping[str, float] | Iterable[tuple[str, float]],
           k: int,
@@ -148,19 +153,52 @@ class NeighborIndex:
         qualifying entries are a prefix), the *among* membership filter
         applies in stride, and the scan stops at k survivors. This is
         the one ranked-row selection loop every serve path shares.
+
+        On a truncated index, asking for more than :attr:`k` raises —
+        and an *among*-restricted query can run out of stored entries
+        even below that bound. Callers that must degrade gracefully
+        (e.g. :meth:`~repro.similarity.graph.ItemGraph.top_neighbors`)
+        use :meth:`scan`, which reports whether the answer is exact
+        instead of guessing.
         """
         if k <= 0:
             return []
         self._check_k(k)
+        return self.scan(item, k, minimum=minimum, among=among)[0]
+
+    def scan(self, item: str, k: int,
+             minimum: float | None = None,
+             among: "set[str] | frozenset[str] | None" = None,
+             full_degree: int | None = None,
+             ) -> tuple[list[tuple[str, float]], bool]:
+        """Rank-ordered row scan that reports whether the result is
+        exact.
+
+        Like :meth:`top`, but never raises on truncated rows: returns
+        ``(selection, exact)``. *exact* is ``True`` when the selection
+        provably equals ``top_k`` over the **full** adjacency row — the
+        scan collected *k* survivors, stopped at the *minimum* floor
+        (qualifying entries are a prefix of the full row too), or the
+        stored row is complete (the index is untruncated, or
+        *full_degree* — the adjacency degree the caller knows — shows
+        nothing was cut for this item). A truncated row that runs dry
+        before any of those returns ``exact=False``: qualifying
+        neighbors past the truncation cut are unrecoverable from the
+        index, and the caller must fall back to the adjacency.
+        """
+        if k <= 0:
+            return [], True
         idx = self.item_index.get(item)
         if idx is None:
-            return []
+            return [], True
         ids, weights = self.row(idx)
+        complete = self.k is None or (
+            full_degree is not None and len(ids) >= full_degree)
         items = self.items
         out: list[tuple[str, float]] = []
         for nid, weight in zip(ids, weights):
             if minimum is not None and weight < minimum:
-                break
+                return out, True
             name = items[int(nid)]
             if among is not None and name not in among:
                 continue
@@ -168,8 +206,95 @@ class NeighborIndex:
             # untouched, so results compare equal across backends.
             out.append((name, float(weight)))
             if len(out) == k:
-                break
-        return out
+                return out, True
+        return out, complete
+
+    def updated(self, items: Sequence[str], item_index: Mapping[str, int],
+                updated_rows: Sequence[int], row_sizes, row_ids,
+                row_weights, item_map=None) -> "NeighborIndex":
+        """A new index over *items* with the given rows replaced.
+
+        This is the incremental-update splice: *item_map* maps this
+        index's item indexes into the new interning (``None`` when the
+        item set did not change — the map is strictly increasing, as
+        :meth:`~repro.data.matrix.MatrixRatingStore.append_ratings`
+        guarantees). *updated_rows* are the ascending new-space indexes
+        being replaced; their rank-ordered contents arrive as one flat
+        bundle — per-row *row_sizes* aligned with *updated_rows*, and
+        *row_ids* / *row_weights* concatenated in row order, exactly as
+        :meth:`~repro.data.matrix.MatrixRatingStore.assemble_row_refresh`
+        emits them (no per-row slicing on either side). Rows not
+        updated are carried over with their neighbor ids remapped;
+        remapping is monotone, so carried rows keep their rank order
+        (descending weight, ascending neighbor index) without
+        re-sorting. New items without an update get empty rows.
+
+        The result is bit-identical to re-assembling the whole index
+        from the updated adjacency — copying flat arrays is cheap; it
+        is the per-row ranking work this avoids.
+        """
+        n_new = len(items)
+        use_numpy = _np is not None and isinstance(
+            self.neighbor_ids, _np.ndarray)
+        if use_numpy:
+            n_old = self.n_items
+            imap = (_np.arange(n_old, dtype=_np.int64) if item_map is None
+                    else _np.asarray(item_map, dtype=_np.int64))
+            old_sizes = _np.diff(self.ptr)
+            owner_new = _np.repeat(imap, old_sizes)
+            ids_new = (imap[self.neighbor_ids] if self.n_entries
+                       else self.neighbor_ids)
+            upd_idx = _np.asarray(updated_rows, dtype=_np.int64)
+            upd_sizes = _np.asarray(row_sizes, dtype=_np.int64)
+            updated_flag = _np.zeros(n_new, dtype=bool)
+            if len(upd_idx):
+                updated_flag[upd_idx] = True
+            keep = ~updated_flag[owner_new] if len(owner_new) else \
+                _np.zeros(0, dtype=bool)
+            kept_owner = owner_new[keep]
+            # Both sides are owner-sorted and owner-disjoint, so the
+            # splice is a sorted merge (np.insert) — no re-sort.
+            upd_owner = _np.repeat(upd_idx, upd_sizes)
+            pos = _np.searchsorted(kept_owner, upd_owner)
+            neighbor_ids = _np.insert(
+                ids_new[keep], pos, _np.asarray(row_ids, dtype=_np.int64))
+            weights = _np.insert(
+                self.weights[keep], pos,
+                _np.asarray(row_weights, dtype=_np.float64))
+            sizes_new = _np.zeros(n_new, dtype=_np.int64)
+            sizes_new[imap] = old_sizes
+            sizes_new[upd_idx] = upd_sizes
+            ptr = _np.zeros(n_new + 1, dtype=_np.int64)
+            _np.cumsum(sizes_new, out=ptr[1:])
+            return NeighborIndex(items, item_index, ptr, neighbor_ids,
+                                 weights, k=self.k)
+        imap_list = (list(range(self.n_items)) if item_map is None
+                     else item_map)
+        reverse = [-1] * n_new
+        for old, new_idx in enumerate(imap_list):
+            reverse[new_idx] = old
+        row_bounds = [0]
+        for size in row_sizes:
+            row_bounds.append(row_bounds[-1] + size)
+        updated_at = {idx: k for k, idx in enumerate(updated_rows)}
+        ptr = [0]
+        neighbor_ids: list[int] = []
+        weights: list[float] = []
+        for idx in range(n_new):
+            slot = updated_at.get(idx)
+            if slot is not None:
+                start, end = row_bounds[slot], row_bounds[slot + 1]
+                neighbor_ids.extend(int(n) for n in row_ids[start:end])
+                weights.extend(float(w) for w in row_weights[start:end])
+            elif reverse[idx] >= 0:
+                start = self.ptr[reverse[idx]]
+                end = self.ptr[reverse[idx] + 1]
+                neighbor_ids.extend(
+                    imap_list[n] for n in self.neighbor_ids[start:end])
+                weights.extend(self.weights[start:end])
+            ptr.append(len(neighbor_ids))
+        return NeighborIndex(items, item_index, ptr, neighbor_ids,
+                             weights, k=self.k)
 
     def neighbor_dict(self, item: str) -> dict[str, float]:
         """The full stored row as a ``neighbor id → weight`` dict (a
