@@ -1,0 +1,126 @@
+"""Serving smoke: build → snapshot → serve from a *fresh process* → diff.
+
+Driver mode (what CI's serving-smoke job runs)::
+
+    python scripts/serving_smoke.py <trace_dir> <snapshot_dir>
+
+fits the deterministic item-mode pipeline on the trace in-process,
+saves a :class:`~repro.serving.snapshot.ModelSnapshot`, computes
+reference predictions and Top-N lists from the in-memory pipeline, then
+re-invokes this script in a **fresh interpreter** (twice: once on the
+NumPy backend, once under ``REPRO_PURE_PYTHON=1`` — the cross-backend
+leg) to serve the same probes from the loaded snapshot, and diffs:
+every prediction must agree within 1e-9 (they are bit-identical in
+practice) and every Top-N list must match item for item.
+
+Serve mode (the fresh process)::
+
+    python scripts/serving_smoke.py --serve <snapshot_dir> <probes.json> <out.json>
+
+loads the snapshot cold — no trace, no pipeline — and answers the
+probes through a :class:`~repro.serving.service.RecommendationService`
+(Top-N via the batched path, so the vectorized pass is exercised
+end-to-end in the restarted server).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+TOLERANCE = 1e-9
+N_PROBE_USERS = 25
+N_PROBE_ITEMS = 25
+TOP_N = 5
+
+
+def _serve(snapshot_dir: str, probes_path: str, out_path: str) -> int:
+    from repro.serving.service import RecommendationService
+    from repro.serving.snapshot import ModelSnapshot
+
+    probes = json.loads(Path(probes_path).read_text(encoding="utf-8"))
+    snapshot = ModelSnapshot.load(snapshot_dir)
+    service = RecommendationService(snapshot)
+    users = probes["users"]
+    responses = service.recommend_batch(users, n=probes["top_n"])
+    out = {
+        "backend": snapshot.backend,
+        "predict": {
+            f"{user}\t{item}": service.predict(user, item)
+            for user in users for item in probes["items"]},
+        "topn": {user: response
+                 for user, response in zip(users, responses)},
+    }
+    Path(out_path).write_text(json.dumps(out), encoding="utf-8")
+    return 0
+
+
+def _drive(trace_dir: str, snapshot_dir: str) -> int:
+    from repro.core.pipeline import NXMapRecommender, XMapConfig
+    from repro.data.loaders import read_cross_domain
+
+    data = read_cross_domain(trace_dir, "movies", "books")
+    pipeline = NXMapRecommender(XMapConfig(mode="item", cf_k=10)).fit(data)
+    pipeline.snapshot().save(snapshot_dir, overwrite=True)
+
+    users = sorted(data.source.users)[:N_PROBE_USERS]
+    items = sorted(data.target.ratings.items)[:N_PROBE_ITEMS]
+    probes = {"users": users, "items": items, "top_n": TOP_N}
+    probes_path = Path(snapshot_dir) / "smoke_probes.json"
+    probes_path.write_text(json.dumps(probes), encoding="utf-8")
+
+    reference_predict = {
+        f"{user}\t{item}": pipeline.predict(user, item)
+        for user in users for item in items}
+    reference_topn = {user: pipeline.recommend(user, n=TOP_N)
+                      for user in users}
+
+    failures = 0
+    for label, overrides in (("numpy", {"REPRO_PURE_PYTHON": ""}),
+                             ("pure-python", {"REPRO_PURE_PYTHON": "1"})):
+        out_path = Path(snapshot_dir) / f"smoke_served_{label}.json"
+        env = {**os.environ, **overrides}
+        subprocess.run(
+            [sys.executable, __file__, "--serve", snapshot_dir,
+             str(probes_path), str(out_path)],
+            check=True, env=env)
+        served = json.loads(out_path.read_text(encoding="utf-8"))
+        worst = 0.0
+        for key, want in reference_predict.items():
+            got = served["predict"][key]
+            worst = max(worst, abs(got - want))
+        topn_ok = all(
+            [tuple(pair) for pair in served["topn"][user]]
+            == [(item, score) for item, score in reference_topn[user]]
+            or (
+                [item for item, _ in served["topn"][user]]
+                == [item for item, _ in reference_topn[user]]
+                and all(abs(got[1] - want[1]) <= TOLERANCE
+                        for got, want in zip(served["topn"][user],
+                                             reference_topn[user]))
+            )
+            for user in users)
+        ok = worst <= TOLERANCE and topn_ok
+        failures += 0 if ok else 1
+        print(f"serving-smoke[{label}]: backend={served['backend']} "
+              f"max|Δpredict|={worst:.3e} topn={'ok' if topn_ok else 'MISMATCH'} "
+              f"-> {'PASS' if ok else 'FAIL'}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) == 5 and argv[1] == "--serve":
+        return _serve(argv[2], argv[3], argv[4])
+    if len(argv) == 3:
+        return _drive(argv[1], argv[2])
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

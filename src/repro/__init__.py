@@ -43,6 +43,11 @@ from repro.data import (
     sparsity_split,
 )
 from repro.errors import ReproError
+from repro.serving import (
+    ModelRegistry,
+    ModelSnapshot,
+    RecommendationService,
+)
 
 __version__ = "1.0.0"
 
@@ -52,9 +57,12 @@ __all__ = [
     "Dataset",
     "ItemAverageRecommender",
     "ItemKNNRecommender",
+    "ModelRegistry",
+    "ModelSnapshot",
     "NXMapRecommender",
     "Rating",
     "RatingTable",
+    "RecommendationService",
     "Recommender",
     "ReproError",
     "SyntheticConfig",

@@ -55,6 +55,11 @@ class ItemKNNRecommender(BaseRecommender):
             prediction and amortised over every serve-time call;
             ``False`` keeps the lazy per-pair reference path (each
             similarity computed on demand and cached).
+        index: a prebuilt (untruncated, same item universe) serving
+            index to adopt instead of building one lazily — what a
+            loaded :class:`~repro.serving.snapshot.ModelSnapshot`
+            injects so a restarted server's first prediction never
+            pays a sweep.
 
     For a prediction (A, i), only items in ``X_A`` can contribute to the
     Eq 4 sum (the term needs ``r_{A,j}``), so Phase 1 selects the top-k
@@ -64,15 +69,35 @@ class ItemKNNRecommender(BaseRecommender):
 
     def __init__(self, table: RatingTable, k: int = 50,
                  positive_only: bool = True,
-                 use_index: bool = True) -> None:
+                 use_index: bool = True,
+                 index: NeighborIndex | None = None) -> None:
         if k <= 0:
             raise ConfigError(f"k must be positive, got {k}")
+        if index is not None:
+            if index.k is not None:
+                # Phase 1 restricts to the user's rated items, which can
+                # sit arbitrarily deep in a row — a truncated row would
+                # silently under-select the neighborhood.
+                raise ConfigError(
+                    f"a serving index for ItemKNNRecommender must hold "
+                    f"complete rows; this one was truncated to "
+                    f"top-{index.k} at build time")
+            if not use_index:
+                raise ConfigError(
+                    "use_index=False contradicts an injected serving "
+                    "index; drop one of the two")
+            if list(index.items) != table.matrix().items:
+                # A foreign index would slice another universe's rows —
+                # plausible-looking, silently wrong neighborhoods.
+                raise ConfigError(
+                    "the injected serving index was built over a "
+                    "different item universe than the table")
         super().__init__(table)
         self.k = k
         self.positive_only = positive_only
         self.use_index = use_index
         self._sim_cache: dict[tuple[str, str], float] = {}
-        self._index: NeighborIndex | None = None
+        self._index: NeighborIndex | None = index
         self._rated_cache: dict[str, object] = {}
 
     def item_similarity(self, item_i: str, item_j: str) -> float:

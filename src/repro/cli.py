@@ -7,12 +7,24 @@ Subcommands::
     python -m repro.cli stats     --data traces/      # dataset overview
     python -m repro.cli evaluate  --data traces/ --system nx-ub
     python -m repro.cli recommend --data traces/ --user o00002 -n 10
+    python -m repro.cli snapshot save --data traces/ --out model/
+    python -m repro.cli snapshot info --snapshot model/
+    python -m repro.cli serve --snapshot model/ --user o00002 --user o00005
+    python -m repro.cli recommend --snapshot model/ --user o00002
 
 ``generate`` writes a seeded Amazon-style two-domain trace as CSVs (the
 same format :mod:`repro.data.loaders` reads, so real dumps drop in);
 ``evaluate`` runs the cold-start protocol and prints MAE/RMSE;
 ``recommend`` fits the chosen pipeline and prints Top-N target items for
 one user — the "what you might like to read after watching…" query.
+
+The ``snapshot`` / ``serve`` commands split offline from online the way
+a production deployment does: ``snapshot save`` fits the deterministic
+item-mode pipeline once and freezes it to a directory
+(:class:`~repro.serving.snapshot.ModelSnapshot`); ``serve`` — and
+``recommend --snapshot`` — answer requests from the loaded artifact
+through a :class:`~repro.serving.service.RecommendationService`,
+without re-running any offline phase.
 """
 
 from __future__ import annotations
@@ -29,6 +41,8 @@ from repro.data.stats import summarize_cross_domain
 from repro.data.synthetic import SyntheticConfig, amazon_like
 from repro.evaluation.harness import evaluate as evaluate_system
 from repro.errors import ReproError
+from repro.serving.service import RecommendationService
+from repro.serving.snapshot import ModelSnapshot
 
 #: system name → (pipeline class, mode)
 _SYSTEMS = {
@@ -65,13 +79,51 @@ def _build_parser() -> argparse.ArgumentParser:
 
     recommend = commands.add_parser(
         "recommend", help="Top-N target-domain items for one user")
-    recommend.add_argument("--data", required=True)
+    recommend.add_argument("--data", default=None,
+                           help="trace directory (optional with "
+                                "--snapshot: titles come from it)")
+    recommend.add_argument("--snapshot", default=None,
+                           help="serve from a saved model snapshot "
+                                "instead of rebuilding the pipeline")
     recommend.add_argument("--user", required=True)
+    # None defaults so --snapshot can reject explicit pipeline flags
+    # (the snapshot's system/k/seed are baked in at save time).
     recommend.add_argument("--system", choices=list(_SYSTEMS),
-                           default="nx-ub")
+                           default=None, help="pipeline system "
+                           "(default nx-ub; not valid with --snapshot)")
     recommend.add_argument("-n", type=int, default=10)
-    recommend.add_argument("--k", type=int, default=50)
-    recommend.add_argument("--seed", type=int, default=0)
+    recommend.add_argument("--k", type=int, default=None,
+                           help="neighborhood size (default 50; not "
+                                "valid with --snapshot)")
+    recommend.add_argument("--seed", type=int, default=None)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="save / inspect serving model snapshots")
+    snapshot_actions = snapshot.add_subparsers(dest="action", required=True)
+    save = snapshot_actions.add_parser(
+        "save", help="fit the deterministic item-mode pipeline on a "
+                     "trace and freeze it to a snapshot directory")
+    save.add_argument("--data", required=True, help="trace directory")
+    save.add_argument("--out", required=True, help="snapshot directory")
+    save.add_argument("--k", type=int, default=50,
+                      help="Eq-4 neighborhood size served with")
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument("--force", action="store_true",
+                      help="overwrite an existing snapshot in --out "
+                           "(unsafe while any process serves from it)")
+    info = snapshot_actions.add_parser(
+        "info", help="summarise a snapshot directory")
+    info.add_argument("--snapshot", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="batched Top-N for several users from a snapshot")
+    serve.add_argument("--snapshot", required=True)
+    serve.add_argument("--user", action="append", required=True,
+                       dest="users", metavar="USER",
+                       help="user to serve (repeatable)")
+    serve.add_argument("--data", default=None,
+                       help="trace directory for item titles (optional)")
+    serve.add_argument("-n", type=int, default=10)
     return parser
 
 
@@ -83,6 +135,15 @@ def _make_pipeline(system: str, k: int, seed: int):
     pipeline_cls, mode = _SYSTEMS[system]
     config = XMapConfig(mode=mode, cf_k=k, seed=seed)
     return pipeline_cls(config)
+
+
+def _title_lookup(data_dir: str | None):
+    """Item id → display title, from the trace when one is given."""
+    if data_dir is None:
+        return lambda item: item
+    data = _load(data_dir)
+    titles = {**data.source.item_titles, **data.target.item_titles}
+    return lambda item: titles.get(item, item)
 
 
 def _cmd_generate(args) -> int:
@@ -117,16 +178,95 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_recommend(args) -> int:
+    if args.snapshot is not None:
+        if args.system is not None or args.k is not None \
+                or args.seed is not None:
+            print("error: --system/--k/--seed are baked into a snapshot "
+                  "at save time and cannot be overridden when serving "
+                  "from one", file=sys.stderr)
+            return 2
+        return _recommend_from_snapshot(args)
+    if args.data is None:
+        print("error: recommend needs --data (or --snapshot)",
+              file=sys.stderr)
+        return 2
+    system = args.system or "nx-ub"
+    k = 50 if args.k is None else args.k
+    seed = 0 if args.seed is None else args.seed
     data = _load(args.data)
     if args.user not in data.source.users:
         print(f"unknown user {args.user!r} (no source-domain ratings)",
               file=sys.stderr)
         return 2
-    recommender = _make_pipeline(args.system, args.k, args.seed).fit(
+    recommender = _make_pipeline(system, k, seed).fit(
         data, users=[args.user])
-    print(f"{args.system} recommendations for {args.user}:")
+    print(f"{system} recommendations for {args.user}:")
     for item, score in recommender.recommend(args.user, n=args.n):
         print(f"  {data.target.title_of(item)}  (predicted {score:.2f})")
+    return 0
+
+
+def _recommend_from_snapshot(args) -> int:
+    snapshot = ModelSnapshot.load(args.snapshot)
+    if args.user not in snapshot.store.user_index:
+        print(f"unknown user {args.user!r} (not in the snapshot's "
+              f"serving table)", file=sys.stderr)
+        return 2
+    title_of = _title_lookup(args.data)
+    service = RecommendationService(snapshot)
+    print(f"snapshot v{snapshot.version} recommendations for {args.user}:")
+    for item, score in service.recommend(args.user, n=args.n):
+        print(f"  {title_of(item)}  (predicted {score:.2f})")
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    if args.action == "save":
+        data = _load(args.data)
+        pipeline = _make_pipeline("nx-ib", args.k, args.seed).fit(data)
+        snapshot = pipeline.snapshot()
+        path = snapshot.save(args.out, overwrite=args.force)
+        print(f"saved model snapshot to {path}")
+        print(f"  users={snapshot.n_users} items={snapshot.n_items} "
+              f"ratings={snapshot.n_ratings} k={snapshot.cf_k} "
+              f"index_entries={snapshot.index.n_entries} "
+              f"mapping={len(snapshot.item_mapping())}")
+        return 0
+    snapshot = ModelSnapshot.load(args.snapshot)
+    significance = snapshot.significance
+    print(f"model snapshot at {args.snapshot}")
+    print(f"  version={snapshot.version} backend={snapshot.backend}")
+    print(f"  users={snapshot.n_users} items={snapshot.n_items} "
+          f"ratings={snapshot.n_ratings}")
+    print(f"  serving: k={snapshot.cf_k} "
+          f"positive_only={snapshot.positive_only} "
+          f"scale=[{snapshot.scale[0]:g}, {snapshot.scale[1]:g}]")
+    print(f"  index: entries={snapshot.index.n_entries} "
+          f"truncation={snapshot.index.k}")
+    print(f"  significance pairs="
+          f"{len(significance.raw) if significance else 0} "
+          f"alterego sources="
+          f"{len(snapshot.alterego) if snapshot.alterego else 0}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    snapshot = ModelSnapshot.load(args.snapshot)
+    unknown = [user for user in args.users
+               if user not in snapshot.store.user_index]
+    if unknown:
+        print(f"unknown users {unknown!r} (not in the snapshot's "
+              f"serving table)", file=sys.stderr)
+        return 2
+    title_of = _title_lookup(args.data)
+    service = RecommendationService(snapshot)
+    responses = service.recommend_batch(args.users, n=args.n)
+    print(f"snapshot v{snapshot.version}: batched top-{args.n} for "
+          f"{len(args.users)} users")
+    for user, response in zip(args.users, responses):
+        print(f"{user}:")
+        for item, score in response:
+            print(f"  {title_of(item)}  (predicted {score:.2f})")
     return 0
 
 
@@ -135,6 +275,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "evaluate": _cmd_evaluate,
     "recommend": _cmd_recommend,
+    "snapshot": _cmd_snapshot,
+    "serve": _cmd_serve,
 }
 
 

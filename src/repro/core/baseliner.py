@@ -61,6 +61,31 @@ class BaselineSimilarities:
         """Total number of baseline similarity edges."""
         return self.n_homogeneous + self.n_heterogeneous
 
+    def serving_registry(self, cf_k: int = 50,
+                         positive_only: bool = True):
+        """A hot-swap :class:`~repro.serving.registry.ModelRegistry`
+        over the retained sweep state (requires ``keep_state=True``).
+
+        The registry's :meth:`~repro.serving.registry.ModelRegistry.update`
+        appends rating batches through the same
+        :class:`~repro.engine.sharded_sweep.IncrementalSweep` splice
+        :meth:`Baseliner.update` uses and publishes each result as the
+        next immutable version, so the merged-domain similarity model
+        serves traffic while staying online-updatable. Note the shared
+        writer: driving the sweep through the registry does not patch
+        this object's edge census (serving does not read it) — keep
+        using :meth:`Baseliner.update` when the census matters.
+        """
+        from repro.serving.registry import ModelRegistry
+
+        if self.state is None:
+            raise ConfigError(
+                "serving_registry needs a baseline computed with "
+                "keep_state=True (it publishes through the retained "
+                "IncrementalSweep)")
+        return ModelRegistry(sweep=self.state, cf_k=cf_k,
+                             positive_only=positive_only)
+
 
 class Baseliner:
     """Computes the baseline similarities of §5.1.

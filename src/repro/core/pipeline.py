@@ -245,6 +245,23 @@ class _PipelineBase:
             raise ReproError("call fit(data) before reading the item mapping")
         return self.generator.item_mapping()
 
+    def snapshot(self, version: int = 0):
+        """Freeze the fitted model into a
+        :class:`~repro.serving.snapshot.ModelSnapshot`.
+
+        Captures the serving store and index, the Baseliner's bulk
+        significance (when the sharded sweep produced one) and the
+        Generator's replacement sets; ``snapshot().save(directory)``
+        then persists everything a restarted server needs — loading it
+        serves predictions bit-identical to this fitted pipeline
+        without re-running any offline phase. Deterministic item-mode
+        pipelines only (see
+        :meth:`~repro.serving.snapshot.ModelSnapshot.from_pipeline`).
+        """
+        from repro.serving.snapshot import ModelSnapshot
+
+        return ModelSnapshot.from_pipeline(self, version=version)
+
 
 class NXMapRecommender(_PipelineBase):
     """The non-private pipeline (NX-Map, §4).

@@ -579,6 +579,11 @@ class IncrementalUpdateStats:
         edges_added / edges_removed: undirected edges that appeared /
             vanished, as ``(i, j)`` with ``i < j`` — what lets the
             Baseliner patch its edge census without a recount.
+        affected_items: item ids (ascending) whose adjacency /
+            ``NeighborIndex`` rows were re-assembled — the exact
+            blast radius a serving-side row cache must evict
+            (``n_affected_rows`` is its length).
+        batch_users: user ids (ascending) with ratings in the batch.
     """
 
     n_batch: int
@@ -595,6 +600,8 @@ class IncrementalUpdateStats:
     total_seconds: float
     edges_added: tuple[tuple[str, str], ...]
     edges_removed: tuple[tuple[str, str], ...]
+    affected_items: tuple[str, ...] = ()
+    batch_users: tuple[str, ...] = ()
 
 
 class IncrementalSweep:
@@ -791,6 +798,8 @@ class IncrementalSweep:
             total_seconds=time.perf_counter() - started,
             edges_added=edges_added,
             edges_removed=edges_removed,
+            affected_items=tuple(new_store.items[i] for i in affected),
+            batch_users=tuple(sorted({r.user for r in batch})),
         )
 
 

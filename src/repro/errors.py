@@ -45,3 +45,9 @@ class EngineError(ReproError):
 class EvaluationError(ReproError):
     """An evaluation protocol could not be applied to the given dataset
     (e.g. no overlapping users to hide)."""
+
+
+class ServingError(ReproError):
+    """The serving subsystem was driven incorrectly (corrupt or
+    incompatible snapshot directories, publishing to a retired registry
+    version, serving requests a truncated index cannot answer)."""

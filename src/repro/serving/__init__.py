@@ -1,0 +1,25 @@
+"""The serving subsystem: snapshots, the hot-swap registry, the service.
+
+The offline pipeline (Baseliner → Extender → Generator → Recommender)
+produces one model per run; this package is how that model reaches
+traffic. :class:`~repro.serving.snapshot.ModelSnapshot` freezes
+everything serving needs into immutable, versioned artifacts with
+zero-copy save/load to a directory, so a restarted server never re-runs
+the sweep; :class:`~repro.serving.registry.ModelRegistry` publishes
+snapshots atomically and lets the incremental-update path splice the
+next version in while readers stay pinned to a coherent one;
+:class:`~repro.serving.service.RecommendationService` answers batched
+multi-user Top-N requests as vectorized passes over the pinned index,
+with delta-aware caches in front.
+"""
+
+from repro.serving.registry import ModelRegistry, PinnedModel
+from repro.serving.service import RecommendationService
+from repro.serving.snapshot import ModelSnapshot
+
+__all__ = [
+    "ModelRegistry",
+    "ModelSnapshot",
+    "PinnedModel",
+    "RecommendationService",
+]

@@ -1,0 +1,652 @@
+"""Immutable, versioned model snapshots with zero-copy save/load.
+
+A :class:`ModelSnapshot` captures everything the serving side needs to
+answer predictions without re-running any offline job: the interned
+:class:`~repro.data.matrix.MatrixRatingStore` arrays of the serving
+table, the rank-ordered :class:`~repro.similarity.knn.NeighborIndex`
+flat rows (from which the symmetric adjacency is a pure function — see
+:meth:`ModelSnapshot.graph`), the bulk Definition-2
+:class:`~repro.similarity.significance.SignificanceTable` when the
+build produced one, and the Generator's AlterEgo replacement mapping.
+
+Snapshots are immutable: nothing in this module mutates a captured
+array, and the incremental-update path never mutates them either
+(:meth:`~repro.data.matrix.MatrixRatingStore.append_ratings` and
+:meth:`~repro.similarity.knn.NeighborIndex.updated` both return new
+objects), which is what makes the registry's hot swap safe for pinned
+readers.
+
+On-disk format (one directory per snapshot)::
+
+    MANIFEST.json        # written last — its presence marks a complete
+                         # snapshot; scalars, flags and the array table
+    users.txt, items.txt # interned id lists, newline-delimited
+    <name>.bin           # one raw little-endian array per entry in the
+                         # manifest's "arrays" table (int64 / float64 /
+                         # byte-per-bool)
+    sig_items.txt        # significance vocabulary (optional; the
+                         # significance pairs may reference items — the
+                         # merged domain's — outside the serving store)
+    alterego.json        # source item → [[target, weight], ...]
+
+The array encoding is deliberately backend-neutral: the NumPy backend
+loads every ``.bin`` as a read-only ``np.memmap`` (zero copies, the
+page cache is the working set), the pure-Python backend
+(``REPRO_PURE_PYTHON=1``) reads the same bytes through ``array.array``.
+Either backend loads snapshots written by the other, and a save → load
+round trip is **bit-identical** per backend — floats travel as their
+exact IEEE-754 bytes, never through decimal text (property-tested in
+``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array as _pyarray
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.data.matrix import MatrixRatingStore, numpy_available
+from repro.data.ratings import DEFAULT_SCALE, Rating, RatingTable
+from repro.errors import ServingError
+from repro.similarity.knn import NeighborIndex
+from repro.similarity.significance import SignificanceTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cf.item_knn import ItemKNNRecommender
+    from repro.engine.sharded_sweep import IncrementalSweep
+    from repro.similarity.graph import ItemGraph
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+_MANIFEST = "MANIFEST.json"
+_FORMAT = "xmap-model-snapshot"
+_FORMAT_VERSION = 1
+
+#: (manifest name, store attribute, element kind) for every store array.
+_STORE_ARRAYS: tuple[tuple[str, str], ...] = (
+    ("user_ptr", "i8"),
+    ("user_item_idx", "i8"),
+    ("user_values", "f8"),
+    ("user_centered", "f8"),
+    ("user_item_centered", "f8"),
+    ("user_means", "f8"),
+    ("user_item_centered_norms", "f8"),
+    ("item_ptr", "i8"),
+    ("item_user_idx", "i8"),
+    ("item_values", "f8"),
+    ("item_centered", "f8"),
+    ("item_likes", "b1"),
+    ("item_means", "f8"),
+    ("item_centered_norms", "f8"),
+    ("item_raw_norms", "f8"),
+)
+#: Store array names alone (tests iterate these for equality checks).
+STORE_ARRAY_NAMES = tuple(name for name, _ in _STORE_ARRAYS)
+
+_INDEX_ARRAYS: tuple[tuple[str, str], ...] = (
+    ("index_ptr", "i8"),
+    ("index_neighbor_ids", "i8"),
+    ("index_weights", "f8"),
+)
+_SIG_ARRAYS: tuple[tuple[str, str], ...] = (
+    ("sig_left", "i8"),
+    ("sig_right", "i8"),
+    ("sig_raw", "i8"),
+    ("sig_common", "i8"),
+)
+
+_NP_DTYPES = {"i8": "<i8", "f8": "<f8", "b1": "|b1"}
+_PY_TYPECODES = {"i8": "q", "f8": "d"}
+
+
+def _dump_array(path: Path, values, kind: str) -> None:
+    """Write *values* as raw little-endian bytes (exact float bits)."""
+    if _np is not None and isinstance(values, _np.ndarray):
+        if isinstance(values, _np.memmap):
+            # Saving a loaded snapshot (possibly into its own
+            # directory): materialise first — tofile truncates the
+            # target, and writing a file while it is the array's own
+            # backing store would fault mid-read.
+            values = _np.array(values)
+        values.astype(_np.dtype(_NP_DTYPES[kind]), copy=False).tofile(path)
+        return
+    if kind == "b1":
+        path.write_bytes(bytes(bytearray(
+            1 if value else 0 for value in values)))
+        return
+    buffer = _pyarray(_PY_TYPECODES[kind], values)
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        buffer.byteswap()
+    path.write_bytes(buffer.tobytes())
+
+
+def _read_array(path: Path, kind: str, size: int, use_numpy: bool):
+    """Read one raw array back — a read-only ``np.memmap`` on the NumPy
+    backend (zero-copy; the OS pages it in on demand), a plain list on
+    the pure-Python one. Length is validated against the manifest."""
+    if use_numpy:
+        dtype = _np.dtype(_NP_DTYPES[kind])
+        if size == 0:
+            return _np.zeros(0, dtype=dtype)
+        try:
+            data = _np.memmap(path, dtype=dtype, mode="r")
+        except (OSError, ValueError) as exc:
+            raise ServingError(f"cannot map snapshot array {path}: {exc}") \
+                from exc
+        if len(data) != size:
+            raise ServingError(
+                f"snapshot array {path.name} has {len(data)} entries, "
+                f"manifest says {size}")
+        return data
+    raw = path.read_bytes()
+    if kind == "b1":
+        out = [bool(byte) for byte in raw]
+    else:
+        buffer = _pyarray(_PY_TYPECODES[kind])
+        buffer.frombytes(raw)
+        if sys.byteorder == "big":  # pragma: no cover - LE everywhere
+            buffer.byteswap()
+        out = buffer.tolist()
+    if len(out) != size:
+        raise ServingError(
+            f"snapshot array {path.name} has {len(out)} entries, "
+            f"manifest says {size}")
+    return out
+
+
+def _dump_ids(path: Path, ids: Sequence[str], what: str) -> None:
+    for name in ids:
+        # The same line-break definition the reader's splitlines() uses
+        # (\n, \r, \v, \f, \x1c-\x1e, \x85, U+2028/29, ...): anything it
+        # would split is rejected at save time, not load time.
+        if name and name.splitlines() != [name]:
+            raise ServingError(
+                f"cannot snapshot {what} id {name!r}: ids with line "
+                f"breaks are not representable in the id files")
+    path.write_text(
+        "".join(f"{name}\n" for name in ids), encoding="utf-8")
+
+
+def _read_ids(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    return text.splitlines()
+
+
+def _array_length(values) -> int:
+    return len(values)
+
+
+def _store_from_arrays(users: list[str], items: list[str],
+                       arrays: Mapping[str, object], n_ratings: int,
+                       global_mean: float,
+                       use_numpy: bool) -> MatrixRatingStore:
+    """Rebuild a :class:`MatrixRatingStore` from loaded arrays — the
+    constructor's end state without the construction pass."""
+    store = MatrixRatingStore.__new__(MatrixRatingStore)
+    store._use_numpy = use_numpy
+    store._triu_cache = {}
+    store._item_names_obj = None
+    store._like_dicts = None
+    store._user_likes = None
+    store.users = users
+    store.items = items
+    store.user_index = {user: k for k, user in enumerate(users)}
+    store.item_index = {item: k for k, item in enumerate(items)}
+    store.n_ratings = n_ratings
+    store.global_mean = global_mean
+    for name, _ in _STORE_ARRAYS:
+        setattr(store, name, arrays[name])
+    return store
+
+
+class ModelSnapshot:
+    """One immutable, versioned serving model.
+
+    Instances wrap — never copy — the store and index they were built
+    from; the heavyweight construction paths are the ``from_*``
+    classmethods and :meth:`load`. Derived views (:meth:`table`,
+    :meth:`graph`, :meth:`recommender`) are materialised lazily and
+    memoized; since they are pure functions of immutable state, the
+    memoization is safe under concurrent readers.
+
+    Attributes:
+        version: the registry-assigned version number (0 until
+            published; :meth:`~repro.serving.registry.ModelRegistry.publish`
+            stamps it exactly once).
+        store: the serving table's interned array store.
+        index: the rank-ordered neighbor index over the same items.
+        cf_k: the Eq-4 neighborhood size requests are served with.
+        positive_only: the recommender's neighbor filter (see
+            :class:`~repro.cf.item_knn.ItemKNNRecommender`).
+        scale: the rating scale predictions are clipped into.
+        alterego: source item → ``((target, weight), ...)`` replacement
+            sets (the Generator's item mapping), or ``None``.
+    """
+
+    __slots__ = ("version", "store", "index", "cf_k", "positive_only",
+                 "scale", "alterego", "_significance", "_sig_parts",
+                 "_table", "_graph", "_recommender")
+
+    def __init__(self, store: MatrixRatingStore, index: NeighborIndex,
+                 cf_k: int = 50, positive_only: bool = True,
+                 scale: tuple[float, float] = DEFAULT_SCALE,
+                 version: int = 0,
+                 significance: SignificanceTable | None = None,
+                 alterego: Mapping[str, Sequence[tuple[str, float]]]
+                 | None = None,
+                 table: RatingTable | None = None) -> None:
+        if cf_k <= 0:
+            raise ServingError(f"cf_k must be positive, got {cf_k}")
+        self.version = version
+        self.store = store
+        self.index = index
+        self.cf_k = cf_k
+        self.positive_only = positive_only
+        self.scale = (float(scale[0]), float(scale[1]))
+        self.alterego = (
+            None if alterego is None else
+            {source: tuple((target, float(weight))
+                           for target, weight in replacements)
+             for source, replacements in alterego.items()})
+        self._significance = significance
+        self._sig_parts = None
+        self._table = table
+        self._graph = None
+        self._recommender = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: RatingTable, k: int = 50,
+                   positive_only: bool = True,
+                   version: int = 0) -> "ModelSnapshot":
+        """Snapshot a single-domain rating table: its memoized store
+        plus a freshly assembled (untruncated) neighbor index."""
+        store = table.matrix()
+        return cls(store, store.neighbor_index(), cf_k=k,
+                   positive_only=positive_only, scale=table.scale,
+                   version=version, table=table)
+
+    @classmethod
+    def from_sweep(cls, sweep: "IncrementalSweep", cf_k: int = 50,
+                   positive_only: bool = True,
+                   version: int = 0) -> "ModelSnapshot":
+        """Snapshot an :class:`~repro.engine.sharded_sweep.IncrementalSweep`'s
+        current state — what the registry republishes after every
+        :meth:`~repro.engine.sharded_sweep.IncrementalSweep.update`.
+
+        O(1): the sweep's store and index are adopted by reference, and
+        an update replaces both with new objects instead of mutating
+        them, so earlier snapshots stay coherent. (The sweep's *graph*
+        is mutated in place and is deliberately not captured;
+        :meth:`graph` re-derives an equal one from the index on demand.)
+        """
+        if sweep.index is None:
+            raise ServingError(
+                "cannot snapshot a sweep built with with_index=False: "
+                "serving needs the NeighborIndex rows")
+        return cls(sweep.store, sweep.index, cf_k=cf_k,
+                   positive_only=positive_only, scale=sweep.table.scale,
+                   version=version, table=sweep.table)
+
+    @classmethod
+    def from_pipeline(cls, pipeline, version: int = 0) -> "ModelSnapshot":
+        """Snapshot a fitted deterministic item-mode pipeline.
+
+        Captures the augmented-target recommender's store and index
+        (the arrays every online prediction reads), the Baseliner's
+        bulk significance table when the sharded sweep produced one,
+        and the Generator's full replacement sets. Restricted to
+        pipelines whose recommender is exactly
+        :class:`~repro.cf.item_knn.ItemKNNRecommender` on the index
+        path — temporal decay needs per-rating timesteps the store does
+        not carry, and the private recommenders are randomized, so
+        neither can honour the snapshot's bit-identical-serving
+        contract.
+        """
+        from repro.cf.item_knn import ItemKNNRecommender
+
+        recommender: ItemKNNRecommender = pipeline._require_fitted()
+        if type(recommender) is not ItemKNNRecommender \
+                or not recommender.use_index:
+            raise ServingError(
+                f"only the deterministic item-mode pipeline "
+                f"(ItemKNNRecommender on the index path) can be "
+                f"snapshotted; got {type(recommender).__name__}")
+        index = recommender.neighbor_index()
+        table = recommender.table
+        alterego = None
+        if pipeline.generator is not None:
+            generator = pipeline.generator
+            alterego = {
+                source: tuple(generator.replacements_for(source))
+                for source in sorted(generator.xsim_map)}
+        significance = None
+        if pipeline.baseline is not None:
+            significance = pipeline.baseline.significance
+        return cls(table.matrix(), index, cf_k=pipeline.config.cf_k,
+                   positive_only=recommender.positive_only,
+                   scale=table.scale, version=version,
+                   significance=significance, alterego=alterego,
+                   table=table)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        return self.store.n_users
+
+    @property
+    def n_items(self) -> int:
+        return self.store.n_items
+
+    @property
+    def n_ratings(self) -> int:
+        return self.store.n_ratings
+
+    @property
+    def backend(self) -> str:
+        return "numpy" if self.store.uses_numpy else "python"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ModelSnapshot(version={self.version}, "
+                f"users={self.n_users}, items={self.n_items}, "
+                f"ratings={self.n_ratings}, k={self.cf_k}, "
+                f"backend={self.backend})")
+
+    @property
+    def significance(self) -> SignificanceTable | None:
+        """The bulk Definition-2 table, decoded lazily after a load
+        (the pair census can be large; serving never reads it)."""
+        if self._significance is None and self._sig_parts is not None:
+            vocabulary, left, right, raw_counts, common_counts = \
+                self._sig_parts
+            raw: dict[tuple[str, str], int] = {}
+            common: dict[tuple[str, str], int] = {}
+            for l_idx, r_idx, agree, cnt in zip(left, right, raw_counts,
+                                                common_counts):
+                pair = (vocabulary[int(l_idx)], vocabulary[int(r_idx)])
+                raw[pair] = int(agree)
+                common[pair] = int(cnt)
+            self._significance = SignificanceTable(raw=raw, common=common)
+            self._sig_parts = None
+        return self._significance
+
+    def item_mapping(self) -> dict[str, str]:
+        """Source item → primary replacement (head of each AlterEgo
+        replacement set); empty when no mapping was captured."""
+        if self.alterego is None:
+            return {}
+        return {source: replacements[0][0]
+                for source, replacements in self.alterego.items()
+                if replacements}
+
+    # ------------------------------------------------------------------
+    # Derived serving views (lazy, memoized)
+    # ------------------------------------------------------------------
+
+    def table(self) -> RatingTable:
+        """The serving :class:`~repro.data.ratings.RatingTable`.
+
+        Captured by reference when the snapshot was built in-process;
+        reconstructed from the store's CSR arrays after a load. The
+        reconstruction carries no timesteps (the store does not keep
+        them) — irrelevant to the snapshot-servable recommenders, which
+        never read them — and adopts the loaded store as the table's
+        memoized matrix, so nothing is re-interned.
+        """
+        if self._table is None:
+            store = self.store
+            items = store.items
+            idx_column = store.user_item_idx
+            value_column = store.user_values
+            ratings = []
+            for u, user in enumerate(store.users):
+                start, end = store._user_row(u)
+                for p in range(start, end):
+                    ratings.append(Rating(
+                        user, items[int(idx_column[p])],
+                        float(value_column[p])))
+            table = RatingTable(ratings, scale=self.scale)
+            table._matrix_cache = store
+            self._table = table
+        return self._table
+
+    def graph(self) -> "ItemGraph":
+        """The symmetric adjacency as an
+        :class:`~repro.similarity.graph.ItemGraph`, re-derived from the
+        index rows (adjacency row = stored row, as dicts; every item a
+        vertex). Only an **untruncated** index determines the adjacency
+        — a top-k build dropped the tail for good, and asking for the
+        graph then raises instead of under-serving.
+        """
+        if self._graph is None:
+            from repro.similarity.graph import ItemGraph
+
+            index = self.index
+            if index.k is not None:
+                raise ServingError(
+                    f"the snapshot index was truncated to top-{index.k} "
+                    f"at build time; the full adjacency is not "
+                    f"recoverable from it")
+            items = self.store.items
+            adjacency: dict[str, dict[str, float]] = {}
+            for idx, item in enumerate(items):
+                ids, weights = index.row(idx)
+                adjacency[item] = {
+                    items[int(neighbor)]: float(weight)
+                    for neighbor, weight in zip(ids, weights)}
+            self._graph = ItemGraph.from_adjacency(adjacency, index=index)
+        return self._graph
+
+    def recommender(self) -> "ItemKNNRecommender":
+        """The Algorithm-2 recommender over this snapshot — the
+        serving index injected, so the first prediction never pays a
+        sweep. Needs complete index rows: a truncated snapshot (a
+        related-items-only tier) raises here, up front, rather than
+        per request inside the recommender."""
+        if self._recommender is None:
+            if self.index.k is not None:
+                raise ServingError(
+                    f"this snapshot's index rows were truncated to "
+                    f"top-{self.index.k} at build time; Top-N/predict "
+                    f"serving needs complete rows (similar_items-style "
+                    f"row queries still work)")
+            from repro.cf.item_knn import ItemKNNRecommender
+
+            self._recommender = ItemKNNRecommender(
+                self.table(), k=self.cf_k,
+                positive_only=self.positive_only, index=self.index)
+        return self._recommender
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory, overwrite: bool = False) -> Path:
+        """Write the snapshot to *directory* (created if missing).
+
+        Arrays are written first and ``MANIFEST.json`` last, so a
+        directory with a manifest is a complete snapshot — an
+        interrupted save is detectable (and :meth:`load` refuses it).
+        Returns the directory path.
+
+        A directory already holding a snapshot is refused unless
+        *overwrite* is set: overwriting rewrites the very files a live
+        reader's arrays may be memory-mapped from, so it is only safe
+        when no process is serving from the directory (re-saving a
+        snapshot into its own directory is handled — the writer's own
+        maps are materialised first — but other processes' are
+        invisible here). The zero-downtime path is a fresh directory
+        per version.
+        """
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest_path = path / _MANIFEST
+        if manifest_path.exists():
+            if not overwrite:
+                raise ServingError(
+                    f"{path} already holds a snapshot; pass "
+                    f"overwrite=True only if no live process is "
+                    f"serving from it (its loaded arrays map these "
+                    f"files), or save each version to a fresh "
+                    f"directory")
+            # Dropped first so a partially overwritten directory can
+            # never pass for the previous complete snapshot.
+            manifest_path.unlink()
+        store = self.store
+        _dump_ids(path / "users.txt", store.users, "user")
+        _dump_ids(path / "items.txt", store.items, "item")
+        arrays: dict[str, dict[str, object]] = {}
+
+        def _emit(name: str, kind: str, values) -> None:
+            _dump_array(path / f"{name}.bin", values, kind)
+            arrays[name] = {"kind": kind, "size": _array_length(values)}
+
+        for name, kind in _STORE_ARRAYS:
+            _emit(name, kind, getattr(store, name))
+        _emit("index_ptr", "i8", self.index.ptr)
+        _emit("index_neighbor_ids", "i8", self.index.neighbor_ids)
+        _emit("index_weights", "f8", self.index.weights)
+
+        significance = self.significance
+        with_significance = significance is not None
+        if with_significance:
+            vocabulary = sorted({name for pair in significance.raw
+                                 for name in pair})
+            vocabulary_index = {name: k for k, name in enumerate(vocabulary)}
+            _dump_ids(path / "sig_items.txt", vocabulary, "significance")
+            pairs = sorted(significance.raw)
+            _emit("sig_left", "i8",
+                  [vocabulary_index[left] for left, _ in pairs])
+            _emit("sig_right", "i8",
+                  [vocabulary_index[right] for _, right in pairs])
+            _emit("sig_raw", "i8",
+                  [int(significance.raw[pair]) for pair in pairs])
+            _emit("sig_common", "i8",
+                  [int(significance.common[pair]) for pair in pairs])
+
+        if self.alterego is not None:
+            (path / "alterego.json").write_text(json.dumps(
+                {source: [[target, weight]
+                          for target, weight in replacements]
+                 for source, replacements in sorted(self.alterego.items())},
+                indent=0, sort_keys=True) + "\n", encoding="utf-8")
+
+        manifest = {
+            "format": _FORMAT,
+            "format_version": _FORMAT_VERSION,
+            "byte_order": "little",
+            "backend_written": self.backend,
+            "version": self.version,
+            "cf_k": self.cf_k,
+            "positive_only": self.positive_only,
+            "scale": [self.scale[0], self.scale[1]],
+            "n_users": store.n_users,
+            "n_items": store.n_items,
+            "n_ratings": store.n_ratings,
+            "global_mean": store.global_mean,
+            "index_k": self.index.k,
+            "with_significance": with_significance,
+            "with_alterego": self.alterego is not None,
+            "arrays": arrays,
+        }
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, directory, use_numpy: bool | None = None
+             ) -> "ModelSnapshot":
+        """Load a snapshot directory written by :meth:`save`.
+
+        *use_numpy* selects the in-memory backend (default: whatever
+        :func:`~repro.data.matrix.numpy_available` says — so
+        ``REPRO_PURE_PYTHON=1`` loads any snapshot into plain lists);
+        the on-disk bytes are backend-neutral, so either backend loads
+        snapshots written by the other and serves identical
+        predictions.
+        """
+        path = Path(directory)
+        manifest_path = path / _MANIFEST
+        if not manifest_path.exists():
+            raise ServingError(
+                f"{path} is not a model snapshot (no {_MANIFEST}; an "
+                f"interrupted save leaves none — re-save the snapshot)")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ServingError(
+                f"corrupt snapshot manifest {manifest_path}: {exc}") from exc
+        if manifest.get("format") != _FORMAT:
+            raise ServingError(
+                f"{path} is not a model snapshot "
+                f"(format={manifest.get('format')!r})")
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise ServingError(
+                f"snapshot format version "
+                f"{manifest.get('format_version')!r} is not supported "
+                f"(this build reads version {_FORMAT_VERSION})")
+        if manifest.get("byte_order") != "little":  # pragma: no cover
+            raise ServingError(
+                "snapshot byte order must be little-endian")
+        if use_numpy is None:
+            use_numpy = numpy_available()
+        elif use_numpy and _np is None:  # pragma: no cover - baked in
+            raise ServingError(
+                "use_numpy=True requested but numpy is not installed")
+
+        entries = manifest["arrays"]
+
+        def _fetch(name: str):
+            entry = entries.get(name)
+            if entry is None:
+                raise ServingError(
+                    f"snapshot {path} is missing array {name!r}")
+            return _read_array(path / f"{name}.bin", entry["kind"],
+                               entry["size"], use_numpy)
+
+        users = _read_ids(path / "users.txt")
+        items = _read_ids(path / "items.txt")
+        if len(users) != manifest["n_users"] \
+                or len(items) != manifest["n_items"]:
+            raise ServingError(
+                f"snapshot {path} id files disagree with the manifest "
+                f"({len(users)}/{manifest['n_users']} users, "
+                f"{len(items)}/{manifest['n_items']} items)")
+        arrays = {name: _fetch(name) for name, _ in _STORE_ARRAYS}
+        store = _store_from_arrays(
+            users, items, arrays, manifest["n_ratings"],
+            float(manifest["global_mean"]), use_numpy)
+        index = NeighborIndex(
+            items, store.item_index, _fetch("index_ptr"),
+            _fetch("index_neighbor_ids"), _fetch("index_weights"),
+            k=manifest["index_k"])
+
+        scale = tuple(float(bound) for bound in manifest["scale"])
+        snapshot = cls(store, index, cf_k=int(manifest["cf_k"]),
+                       positive_only=bool(manifest["positive_only"]),
+                       scale=scale, version=int(manifest["version"]))
+        if manifest.get("with_significance"):
+            snapshot._sig_parts = (
+                _read_ids(path / "sig_items.txt"),
+                _fetch("sig_left"), _fetch("sig_right"),
+                _fetch("sig_raw"), _fetch("sig_common"))
+        if manifest.get("with_alterego"):
+            mapping = json.loads(
+                (path / "alterego.json").read_text(encoding="utf-8"))
+            snapshot.alterego = {
+                source: tuple((target, float(weight))
+                              for target, weight in replacements)
+                for source, replacements in mapping.items()}
+        return snapshot

@@ -296,6 +296,25 @@ class NeighborIndex:
         return NeighborIndex(items, item_index, ptr, neighbor_ids,
                              weights, k=self.k)
 
+    def row_owners(self):
+        """Flat-entry → owning item index map (``owners[t]`` is the row
+        that ``neighbor_ids[t]`` / ``weights[t]`` belong to).
+
+        The expansion the batched serving pass scatter-adds by — an
+        int64 array on the NumPy backend, a list otherwise. Pure
+        function of :attr:`ptr`; callers cache it per index (the
+        service keys it by published version).
+        """
+        if _np is not None and isinstance(self.neighbor_ids, _np.ndarray):
+            return _np.repeat(
+                _np.arange(self.n_items, dtype=_np.int64),
+                _np.diff(self.ptr))
+        owners: list[int] = []
+        for idx in range(self.n_items):
+            owners.extend(
+                [idx] * (int(self.ptr[idx + 1]) - int(self.ptr[idx])))
+        return owners
+
     def neighbor_dict(self, item: str) -> dict[str, float]:
         """The full stored row as a ``neighbor id → weight`` dict (a
         convenience for tests and introspection, not a hot path)."""

@@ -57,3 +57,68 @@ class TestRecommend:
         assert main(["recommend", "--data", str(trace_dir),
                      "--user", "nobody"]) == 2
         assert "unknown user" in capsys.readouterr().err
+
+    def test_needs_data_or_snapshot(self, capsys):
+        assert main(["recommend", "--user", "o00000"]) == 2
+        assert "--data" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(trace_dir, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("model")
+    code = main(["snapshot", "save", "--data", str(trace_dir),
+                 "--out", str(directory), "--k", "10"])
+    assert code == 0
+    return directory
+
+
+class TestSnapshotServing:
+    def test_save_writes_manifest(self, snapshot_dir):
+        assert (snapshot_dir / "MANIFEST.json").exists()
+        assert (snapshot_dir / "index_weights.bin").exists()
+
+    def test_info(self, snapshot_dir, capsys):
+        assert main(["snapshot", "info",
+                     "--snapshot", str(snapshot_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "serving: k=10" in out
+        assert "index: entries=" in out
+
+    def test_recommend_from_snapshot_matches_rebuild(
+            self, trace_dir, snapshot_dir, capsys):
+        # The snapshot was fitted for every source user, so serving any
+        # of them needs no pipeline rebuild.
+        assert main(["recommend", "--snapshot", str(snapshot_dir),
+                     "--user", "o00000", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendations for o00000" in out
+        assert out.count("predicted") == 3
+
+    def test_recommend_from_snapshot_unknown_user(
+            self, snapshot_dir, capsys):
+        assert main(["recommend", "--snapshot", str(snapshot_dir),
+                     "--user", "nobody"]) == 2
+        assert "unknown user" in capsys.readouterr().err
+
+    def test_recommend_from_snapshot_rejects_pipeline_flags(
+            self, snapshot_dir, capsys):
+        # The snapshot's system/k/seed are frozen at save time; an
+        # explicit override must fail loudly, not be silently ignored.
+        assert main(["recommend", "--snapshot", str(snapshot_dir),
+                     "--user", "o00000", "--system", "nx-ub"]) == 2
+        assert "baked into a snapshot" in capsys.readouterr().err
+        assert main(["recommend", "--snapshot", str(snapshot_dir),
+                     "--user", "o00000", "--k", "20"]) == 2
+
+    def test_serve_batch(self, trace_dir, snapshot_dir, capsys):
+        assert main(["serve", "--snapshot", str(snapshot_dir),
+                     "--user", "o00000", "--user", "o00001",
+                     "--data", str(trace_dir), "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batched top-2 for 2 users" in out
+        assert "o00001:" in out
+
+    def test_serve_unknown_user(self, snapshot_dir, capsys):
+        assert main(["serve", "--snapshot", str(snapshot_dir),
+                     "--user", "nobody"]) == 2
+        assert "unknown users" in capsys.readouterr().err

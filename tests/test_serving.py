@@ -1,0 +1,622 @@
+"""The serving subsystem: snapshots, the hot-swap registry, the service.
+
+Contracts under test:
+
+* **Snapshot round trip** — save → load is bit-identical per backend
+  (every store array, the index flat rows, the significance census,
+  the AlterEgo mapping), and a snapshot written by one backend loads
+  under the other with value-equal arrays and identical predictions.
+* **Registry hot swap** — publishes are atomic, pinned readers keep a
+  coherent version while updates land (checked under a real thread),
+  superseded versions are retired once unpinned.
+* **Service** — the batched vectorized pass returns exactly the
+  per-request path's responses; the ranked-row cache's invalidation is
+  delta-targeted (an update evicts precisely the census'
+  ``affected_items``), the response cache is version-scoped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from tempfile import TemporaryDirectory
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseliner import Baseliner
+from repro.core.pipeline import NXMapRecommender, XMapConfig
+from repro.data.matrix import MatrixRatingStore, numpy_available
+from repro.data.ratings import Rating, RatingTable
+from repro.data.synthetic import SyntheticConfig, amazon_like
+from repro.engine.sharded_sweep import IncrementalSweep
+from repro.errors import ConfigError, ServingError
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import LRUCache, RecommendationService
+from repro.serving.snapshot import STORE_ARRAY_NAMES, ModelSnapshot
+from repro.similarity.significance import SignificanceTable
+
+_BACKENDS = [pytest.param(True, id="numpy"),
+             pytest.param(False, id="pure-python")]
+
+_common = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+_users = st.sampled_from([f"u{k}" for k in range(9)])
+_items = st.sampled_from([f"i{k}" for k in range(9)])
+_values = st.sampled_from([1.0, 1.5, 2.0, 3.0, 4.0, 4.5, 5.0])
+
+
+@st.composite
+def tables(draw, min_size=2, max_size=30):
+    pairs = draw(st.lists(st.tuples(_users, _items), min_size=min_size,
+                          max_size=max_size, unique=True))
+    return RatingTable([
+        Rating(user, item, draw(_values), timestep=k)
+        for k, (user, item) in enumerate(pairs)])
+
+
+def _aslist(values):
+    return values.tolist() if hasattr(values, "tolist") else list(values)
+
+
+def _snapshot(table: RatingTable, use_numpy: bool, k: int = 10,
+              **kwargs) -> ModelSnapshot:
+    if use_numpy and not numpy_available():
+        pytest.skip("numpy fast path unavailable")
+    store = MatrixRatingStore(table, use_numpy=use_numpy)
+    return ModelSnapshot(store, store.neighbor_index(), cf_k=k,
+                         scale=table.scale, **kwargs)
+
+
+def assert_snapshots_equal(got: ModelSnapshot, want: ModelSnapshot) -> None:
+    """Bit-identical equality over everything a snapshot captures."""
+    assert got.store.users == want.store.users
+    assert got.store.items == want.store.items
+    assert got.store.n_ratings == want.store.n_ratings
+    assert got.store.global_mean == want.store.global_mean
+    for name in STORE_ARRAY_NAMES:
+        assert _aslist(getattr(got.store, name)) \
+            == _aslist(getattr(want.store, name)), name
+    assert _aslist(got.index.ptr) == _aslist(want.index.ptr)
+    assert _aslist(got.index.neighbor_ids) \
+        == _aslist(want.index.neighbor_ids)
+    assert _aslist(got.index.weights) == _aslist(want.index.weights)
+    assert got.index.k == want.index.k
+    assert got.cf_k == want.cf_k
+    assert got.positive_only == want.positive_only
+    assert got.scale == want.scale
+    if want.significance is None:
+        assert got.significance is None
+    else:
+        assert dict(got.significance.raw) == dict(want.significance.raw)
+        assert dict(got.significance.common) \
+            == dict(want.significance.common)
+    assert got.alterego == want.alterego
+
+
+def _probe_pairs(table: RatingTable):
+    users = sorted(table.users)
+    items = sorted(table.items)
+    return [(user, item) for user in users[:6] for item in items[:6]]
+
+
+# ----------------------------------------------------------------------
+# Snapshot round trips
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("use_numpy", _BACKENDS)
+@_common
+@given(table=tables())
+def test_snapshot_roundtrip_bit_identical(table, use_numpy):
+    snapshot = _snapshot(table, use_numpy)
+    with TemporaryDirectory() as directory:
+        snapshot.save(directory)
+        loaded = ModelSnapshot.load(directory, use_numpy=use_numpy)
+        assert_snapshots_equal(loaded, snapshot)
+        reference = snapshot.recommender()
+        served = loaded.recommender()
+        for user, item in _probe_pairs(table):
+            assert served.predict(user, item) \
+                == reference.predict(user, item)
+
+
+@pytest.mark.parametrize("writer_numpy,reader_numpy", [
+    pytest.param(True, False, id="numpy-to-pure-python"),
+    pytest.param(False, True, id="pure-python-to-numpy"),
+])
+@_common
+@given(table=tables())
+def test_snapshot_loads_across_backends(table, writer_numpy, reader_numpy):
+    if not numpy_available():
+        pytest.skip("numpy fast path unavailable")
+    snapshot = _snapshot(table, writer_numpy)
+    with TemporaryDirectory() as directory:
+        snapshot.save(directory)
+        loaded = ModelSnapshot.load(directory, use_numpy=reader_numpy)
+        assert loaded.store.uses_numpy == reader_numpy
+        assert_snapshots_equal(loaded, snapshot)
+        reference = snapshot.recommender()
+        served = loaded.recommender()
+        for user, item in _probe_pairs(table):
+            assert served.predict(user, item) \
+                == reference.predict(user, item)
+
+
+@pytest.mark.parametrize("use_numpy", _BACKENDS)
+def test_snapshot_extras_roundtrip(tiny_table, use_numpy):
+    significance = SignificanceTable(
+        raw={("a", "b"): 2, ("b", "m-only"): 1},
+        common={("a", "b"): 3, ("b", "m-only"): 1})
+    alterego = {"m1": (("a", 0.75), ("b", 0.25)), "m2": (("d", 1.0),)}
+    snapshot = _snapshot(tiny_table, use_numpy,
+                         significance=significance, alterego=alterego)
+    with TemporaryDirectory() as directory:
+        snapshot.save(directory)
+        loaded = ModelSnapshot.load(directory, use_numpy=use_numpy)
+        assert_snapshots_equal(loaded, snapshot)
+        assert loaded.item_mapping() == {"m1": "a", "m2": "d"}
+
+
+@pytest.mark.parametrize("use_numpy", _BACKENDS)
+def test_snapshot_table_and_graph_match_sources(tiny_table, use_numpy):
+    snapshot = _snapshot(tiny_table, use_numpy)
+    with TemporaryDirectory() as directory:
+        snapshot.save(directory)
+        loaded = ModelSnapshot.load(directory, use_numpy=use_numpy)
+    # The reconstructed table holds exactly the original ratings (sans
+    # timesteps) and adopts the loaded store instead of re-interning.
+    table = loaded.table()
+    assert table.users == tiny_table.users
+    assert table.items == tiny_table.items
+    assert len(table) == len(tiny_table)
+    for rating in tiny_table:
+        assert table.value(rating.user, rating.item) == rating.value
+    assert table.matrix() is loaded.store
+    # The derived graph equals the graph assembled with the adjacency.
+    adjacency = MatrixRatingStore(
+        tiny_table, use_numpy=use_numpy).build_adjacency()
+    graph = loaded.graph()
+    assert set(graph.items) == set(adjacency)
+    for item, row in adjacency.items():
+        assert dict(graph.neighbors(item)) == row
+
+
+def test_snapshot_resave_into_own_directory(tiny_table, tmp_path):
+    """Re-saving a loaded snapshot over itself must not fault through
+    its own memmaps (regression: tofile truncated the backing files)."""
+    ModelSnapshot.from_table(tiny_table, k=5).save(tmp_path)
+    loaded = ModelSnapshot.load(tmp_path)
+    # Occupied directories are refused by default: overwriting rewrites
+    # files another process may have memory-mapped.
+    with pytest.raises(ServingError, match="already holds"):
+        loaded.save(tmp_path)
+    loaded.save(tmp_path, overwrite=True)
+    again = ModelSnapshot.load(tmp_path)
+    assert_snapshots_equal(again, loaded)
+
+
+def test_snapshot_rejects_unicode_line_break_ids(tmp_path):
+    """Every id the reader's splitlines() would split is rejected at
+    save time — not discovered as a count mismatch at load time."""
+    for bad in ("a\nb", "a\rb", "a\x0bb", "a\x85b", "a b"):
+        table = RatingTable([Rating("u1", bad, 3.0),
+                             Rating("u1", "ok", 4.0),
+                             Rating("u2", bad, 2.0),
+                             Rating("u2", "ok", 5.0)])
+        with pytest.raises(ServingError, match="line"):
+            ModelSnapshot.from_table(table, k=2).save(tmp_path / "s")
+
+
+def test_snapshot_rejects_missing_or_corrupt(tmp_path):
+    with pytest.raises(ServingError, match="not a model snapshot"):
+        ModelSnapshot.load(tmp_path)
+    (tmp_path / "MANIFEST.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(ServingError, match="corrupt"):
+        ModelSnapshot.load(tmp_path)
+    (tmp_path / "MANIFEST.json").write_text(
+        '{"format": "something-else"}', encoding="utf-8")
+    with pytest.raises(ServingError, match="not a model snapshot"):
+        ModelSnapshot.load(tmp_path)
+
+
+def test_truncated_index_guards(tiny_table):
+    store = tiny_table.matrix()
+    truncated = store.neighbor_index(k=1)
+    snapshot = ModelSnapshot(store, truncated, cf_k=1)
+    # A truncated index dropped its tails for good: neither the full
+    # adjacency nor an exact Eq-4 recommender is recoverable from it.
+    with pytest.raises(ServingError, match="truncated"):
+        snapshot.graph()
+    from repro.cf.item_knn import ItemKNNRecommender
+    with pytest.raises(ConfigError, match="complete rows"):
+        ItemKNNRecommender(tiny_table, k=1, index=truncated)
+    with pytest.raises(ServingError, match="truncated"):
+        snapshot.recommender()
+    with pytest.raises(ServingError, match="truncated"):
+        RecommendationService(snapshot).recommend_batch(["u1"], 2)
+    # similar_items still serves what the truncated rows can answer,
+    # and refuses to over-promise beyond the truncation cut.
+    service = RecommendationService(snapshot)
+    assert service.similar_items("a", k=1) == truncated.top("a", 1)
+    with pytest.raises(ValueError, match="truncated"):
+        service.similar_items("a", k=2)
+
+
+# ----------------------------------------------------------------------
+# Pipeline snapshots
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fitted_pipeline():
+    data = amazon_like(SyntheticConfig(
+        n_users_source=60, n_users_target=60, n_overlap=25,
+        n_items_source=50, n_items_target=50,
+        ratings_per_user=10.0, seed=13))
+    pipeline = NXMapRecommender(XMapConfig(
+        mode="item", prune_k=8, cf_k=10, n_shards=2)).fit(data)
+    return data, pipeline
+
+
+def test_pipeline_snapshot_serves_bit_identically(fitted_pipeline):
+    data, pipeline = fitted_pipeline
+    snapshot = pipeline.snapshot()
+    assert snapshot.significance is not None  # sharded run folded it in
+    assert snapshot.alterego
+    with TemporaryDirectory() as directory:
+        snapshot.save(directory)
+        loaded = ModelSnapshot.load(directory)
+    assert_snapshots_equal(loaded, snapshot)
+    assert loaded.item_mapping() == pipeline.item_mapping()
+    service = RecommendationService(loaded)
+    users = sorted(data.source.users)[:8]
+    items = sorted(data.target.ratings.items)[:8]
+    for user in users:
+        assert service.recommend(user, 5) == pipeline.recommend(user, 5)
+        for item in items:
+            assert service.predict(user, item) \
+                == pipeline.predict(user, item)
+
+
+def test_pipeline_snapshot_rejects_non_item_modes(fitted_pipeline):
+    data, _ = fitted_pipeline
+    pipeline = NXMapRecommender(XMapConfig(
+        mode="user", prune_k=8, cf_k=10)).fit(
+            data, users=sorted(data.source.users)[:5])
+    with pytest.raises(ServingError, match="item-mode"):
+        pipeline.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def _micro_table(seed_items=("a", "b", "c", "d")):
+    ratings = []
+    for u in range(8):
+        for pos, item in enumerate(seed_items):
+            if (u + pos) % 3 != 0:
+                ratings.append(Rating(
+                    f"u{u}", item, float(1 + (u * 2 + pos) % 5)))
+    return RatingTable(ratings)
+
+
+def test_registry_publish_pin_retire(tiny_table):
+    first = ModelSnapshot.from_table(tiny_table, k=5)
+    registry = ModelRegistry(snapshot=first)
+    assert registry.current_version() == 1
+    pinned = registry.pin()
+    assert pinned.version == 1
+    second = _snapshot(tiny_table, numpy_available(), k=5)
+    assert registry.publish(second) == 2
+    # v1 stays retained (and coherent) while pinned; new readers get v2.
+    assert registry.versions() == [1, 2]
+    assert registry.current() is second
+    assert registry.reader_count(1) == 1
+    pinned.release()
+    pinned.release()  # idempotent
+    assert registry.versions() == [2]
+    assert registry.reader_count() == 0
+    with pytest.raises(ServingError, match="already published"):
+        registry.publish(second)
+
+
+def test_registry_honours_preassigned_versions(tiny_table, tmp_path):
+    """A loaded snapshot keeps its persisted version through publish
+    (regression: publish restamped every snapshot from 1)."""
+    snapshot = ModelSnapshot.from_table(tiny_table, k=5, version=7)
+    snapshot.save(tmp_path)
+    loaded = ModelSnapshot.load(tmp_path)
+    registry = ModelRegistry(snapshot=loaded)
+    assert registry.current_version() == 7
+    assert loaded.version == 7
+    # The next unversioned publish continues from there...
+    follow_up = _snapshot(tiny_table, numpy_available(), k=5)
+    assert registry.publish(follow_up) == 8
+    # ...and a stale pre-assigned version cannot move the registry back.
+    stale = ModelSnapshot.from_table(tiny_table, k=5, version=3)
+    with pytest.raises(ServingError, match="behind"):
+        registry.publish(stale)
+
+
+def test_registry_requires_a_model():
+    registry = ModelRegistry()
+    with pytest.raises(ServingError, match="no published model"):
+        registry.current()
+    with pytest.raises(ServingError, match="no writer sweep"):
+        registry.update([Rating("u", "i", 3.0)])
+
+
+def test_registry_update_publishes_spliced_versions():
+    table = _micro_table()
+    # n_shards pinned: the reference below is the unsharded store path,
+    # and the bit-identity contract holds per shard count.
+    registry = ModelRegistry(
+        sweep=IncrementalSweep(table, n_shards=1, with_index=True), cf_k=5)
+    pinned = registry.pin()
+    probes = [(f"u{k}", item) for k in range(8) for item in "abcd"]
+    before = {pair: pinned.snapshot.recommender().predict(*pair)
+              for pair in probes}
+
+    batch = [Rating("u0", "e", 5.0), Rating("u9", "a", 2.0)]
+    version, stats = registry.update(batch)
+    assert version == 2
+    assert stats.batch_users == ("u0", "u9")
+    assert len(stats.affected_items) == stats.n_affected_rows
+    assert list(stats.affected_items) == sorted(stats.affected_items)
+
+    # The pinned reader still serves the pre-update model, bit for bit.
+    for pair, want in before.items():
+        assert pinned.snapshot.recommender().predict(*pair) == want
+    # The new version equals a from-scratch model on the updated table.
+    fresh = ModelSnapshot.from_table(table.with_ratings(batch), k=5)
+    current = registry.current()
+    assert current.version == 2
+    served = current.recommender()
+    reference = fresh.recommender()
+    for user in list(fresh.store.users):
+        assert served.recommend(user, 3) == reference.recommend(user, 3)
+    pinned.release()
+    assert registry.versions() == [2]
+
+
+@pytest.mark.parametrize("n_shards", [1, 2])
+def test_registry_hot_swap_under_threaded_reader(n_shards):
+    """A reader thread pinning versions mid-publish always observes a
+    coherent model: every prediction read under one pin equals the
+    from-scratch value for *some* prefix of the update stream."""
+    table = _micro_table()
+    registry = ModelRegistry(
+        sweep=IncrementalSweep(table, n_shards=n_shards, with_index=True),
+        cf_k=5)
+    batches = [
+        [Rating("u0", "e", 5.0), Rating("u1", "a", 1.0)],
+        [Rating("u9", "e", 4.0), Rating("u2", "b", 2.0)],
+        [Rating("u3", "f", 3.0)],
+        [Rating("u9", "f", 1.5), Rating("u4", "c", 4.5)],
+    ]
+    probes = [(f"u{k}", item) for k in range(5) for item in "abce"]
+
+    def _fresh(state: RatingTable) -> dict:
+        # A from-scratch sweep at the same shard count — the incremental
+        # splice is bit-identical to it (tests/test_incremental.py).
+        reference = ModelSnapshot.from_sweep(IncrementalSweep(
+            state, n_shards=n_shards, with_index=True), cf_k=5
+        ).recommender()
+        return {pair: reference.predict(*pair) for pair in probes}
+
+    # Ground truth per version: predictions of a fresh model after each
+    # prefix of the update stream.
+    expected = {1: _fresh(table)}
+    state = table
+    for prefix, batch in enumerate(batches, start=2):
+        state = state.with_ratings(batch)
+        expected[prefix] = _fresh(state)
+
+    failures: list = []
+    seen_versions: list[int] = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        while not stop.is_set():
+            with registry.pin() as pinned:
+                version = pinned.version
+                seen_versions.append(version)
+                recommender = pinned.snapshot.recommender()
+                first = [recommender.predict(*pair) for pair in probes]
+                time.sleep(0.001)  # let a publish land mid-request
+                second = [recommender.predict(*pair) for pair in probes]
+                if first != second:
+                    failures.append(("torn read", version))
+                want = [expected[version][pair] for pair in probes]
+                if first != want:
+                    failures.append(("wrong model", version))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for batch in batches:
+            registry.update(batch)
+            time.sleep(0.003)
+    finally:
+        stop.set()
+        thread.join()
+    assert not failures, failures[:3]
+    assert seen_versions, "reader never pinned a version"
+    assert seen_versions == sorted(seen_versions)  # swaps are monotone
+    assert registry.current_version() == len(batches) + 1
+
+
+def test_baseliner_serving_registry(two_domain_micro):
+    baseline = Baseliner(n_shards=1, keep_state=True).compute(
+        two_domain_micro)
+    registry = baseline.serving_registry(cf_k=5)
+    service = RecommendationService(registry)
+    merged = two_domain_micro.merged()
+    reference = ModelSnapshot.from_table(merged, k=5).recommender()
+    users = sorted(merged.users)
+    assert service.recommend_batch(users, 3) \
+        == [reference.recommend(user, 3) for user in users]
+    version, _ = registry.update([Rating("s1", "b3", 4.0)])
+    assert version == 2
+    stateless = Baseliner().compute(two_domain_micro)
+    with pytest.raises(ConfigError, match="keep_state"):
+        stateless.serving_registry()
+
+
+# ----------------------------------------------------------------------
+# Service
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("use_numpy", _BACKENDS)
+@_common
+@given(table=tables(min_size=4))
+def test_batched_equals_per_request(table, use_numpy):
+    snapshot = _snapshot(table, use_numpy, k=3)
+    service = RecommendationService(snapshot, response_cache_size=0)
+    users = sorted(table.users) + ["nobody"]
+    batched = service.recommend_batch(users, 4)
+    reference = snapshot.recommender()
+    assert batched == [reference.recommend(user, 4) for user in users]
+
+
+@pytest.mark.parametrize("use_numpy", _BACKENDS)
+def test_batched_mixes_cache_hits_and_misses(tiny_table, use_numpy):
+    snapshot = _snapshot(tiny_table, use_numpy, k=5)
+    service = RecommendationService(snapshot)
+    users = sorted(tiny_table.users)
+    warm = service.recommend(users[0], 3)  # prime one response
+    batched = service.recommend_batch(users, 3)
+    assert batched[0] == warm
+    assert service.stats()["response_cache"]["hits"] == 1
+    again = service.recommend_batch(users, 3)
+    assert again == batched
+    assert service.stats()["response_cache"]["hits"] == 1 + len(users)
+
+
+def test_row_cache_eviction_is_delta_targeted():
+    # Two co-rating islands: an update inside one cannot move any row
+    # of the other, so its census is a strict subset of the catalogue.
+    ratings = []
+    for cluster, item_group in enumerate((("a", "b", "c"), ("x", "y", "z"))):
+        for u in range(4):
+            for pos, item in enumerate(item_group):
+                ratings.append(Rating(
+                    f"c{cluster}u{u}", item,
+                    float(1 + (u * 2 + pos) % 5)))
+    table = RatingTable(ratings)
+    registry = ModelRegistry(
+        sweep=IncrementalSweep(table, n_shards=1, with_index=True), cf_k=5)
+    service = RecommendationService(registry)
+    items = sorted(table.items)
+    for item in items:
+        service.similar_items(item, k=3)
+    assert service.stats()["row_cache"]["size"] == len(items)
+
+    batch = [Rating("c0u0", "a", 5.0)]
+    _, stats = registry.update(batch)
+    affected = set(stats.affected_items)
+    assert affected and affected < set(registry.current().store.items)
+    survivors = set(items) - affected
+    assert survivors, "update unexpectedly touched every row"
+    for item in survivors:
+        assert item in service._row_cache
+    for item in affected:
+        assert item not in service._row_cache
+
+    # Post-eviction rows are recomputed from the new version and match
+    # a from-scratch index; surviving entries were exactly unchanged.
+    fresh = ModelSnapshot.from_table(table.with_ratings(batch), k=5)
+    for item in items:
+        want = fresh.index.top(item, fresh.index.degree(item))
+        assert service.similar_items(item, k=len(want) + 1) == want
+
+
+def test_plain_publish_clears_all_caches(tiny_table):
+    snapshot = ModelSnapshot.from_table(tiny_table, k=5)
+    registry = ModelRegistry(snapshot=snapshot)
+    service = RecommendationService(registry)
+    service.similar_items("a", k=2)
+    service.recommend("u1", 2)
+    assert service.stats()["row_cache"]["size"] == 1
+    assert service.stats()["response_cache"]["size"] == 1
+    registry.publish(_snapshot(tiny_table, numpy_available(), k=5))
+    assert service.stats()["row_cache"]["size"] == 0
+    assert service.stats()["response_cache"]["size"] == 0
+
+
+def test_similar_items_filters(tiny_table):
+    snapshot = ModelSnapshot.from_table(tiny_table, k=5)
+    service = RecommendationService(snapshot)
+    index = snapshot.index
+    full = index.top("a", index.degree("a"))
+    assert service.similar_items("a", k=2) == full[:2]
+    assert service.similar_items("a", k=len(full), minimum=0.0) \
+        == [pair for pair in full if pair[1] >= 0.0]
+    assert service.similar_items("a", k=0) == []
+    assert service.similar_items("missing", k=3) == []
+
+
+def test_service_close_detaches_from_registry(tiny_table):
+    registry = ModelRegistry(snapshot=ModelSnapshot.from_table(
+        tiny_table, k=5))
+    service = RecommendationService(registry)
+    survivor = RecommendationService(registry)
+    service.recommend("u1", 2)
+    service.close()
+    service.close()  # idempotent
+    # A closed service keeps serving but no longer caches (it would
+    # never see the invalidations), and publishes no longer walk it.
+    assert service.recommend("u1", 2)
+    assert service.stats()["response_cache"]["size"] == 0
+    survivor.recommend("u1", 2)
+    registry.publish(_snapshot(tiny_table, numpy_available(), k=5))
+    assert survivor.stats()["response_cache"]["size"] == 0  # invalidated
+    registry.unsubscribe(service._on_publish)  # unknown → no-op
+
+
+def test_injected_index_must_match_item_universe(tiny_table):
+    from repro.cf.item_knn import ItemKNNRecommender
+
+    other = RatingTable([Rating("u1", "zz", 3.0), Rating("u2", "zz", 4.0),
+                         Rating("u1", "yy", 2.0), Rating("u2", "yy", 5.0)])
+    foreign = other.matrix().neighbor_index()
+    with pytest.raises(ConfigError, match="item universe"):
+        ItemKNNRecommender(tiny_table, k=2, index=foreign)
+    with pytest.raises(ConfigError, match="contradicts"):
+        ItemKNNRecommender(tiny_table, k=2, use_index=False,
+                           index=tiny_table.matrix().neighbor_index())
+
+
+def test_lru_put_if_respects_invalidation_generation():
+    cache = LRUCache(4)
+    generation = cache.generation
+    assert cache.put_if("a", 1, generation)
+    cache.evict(["a"])  # bumps the generation
+    assert not cache.put_if("a", "stale", generation)
+    assert cache.get("a") is None
+    assert cache.put_if("a", 2, cache.generation)
+    assert cache.get("a") == 2
+    cache.clear()
+    assert not cache.put_if("b", 3, generation + 1)
+
+
+def test_lru_cache_bounds_and_counters():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert (cache.hits, cache.misses) == (3, 1)
+    assert cache.evict(["a", "zz"]) == 1
+    cache.clear()
+    assert len(cache) == 0
+    disabled = LRUCache(0)
+    disabled.put("a", 1)
+    assert disabled.get("a") is None
+    with pytest.raises(ServingError):
+        LRUCache(-1)
