@@ -39,6 +39,33 @@ N_PROBE_ITEMS = 25
 TOP_N = 5
 
 
+def diff_serving(reference_predict: dict, reference_topn: dict,
+                 served_predict: dict, served_topn: dict,
+                 tolerance: float = TOLERANCE) -> tuple[float, bool]:
+    """Diff served responses against references (shared with the
+    crash-recovery smoke in ``crash_smoke.py``).
+
+    *reference_topn* maps user → [(item, score), ...];
+    *served_topn* may hold lists instead of tuples (JSON round trip).
+    Returns ``(worst_abs_prediction_delta, topn_ok)`` where ``topn_ok``
+    requires identical item lists and scores within *tolerance*.
+    """
+    worst = 0.0
+    for key, want in reference_predict.items():
+        worst = max(worst, abs(served_predict[key] - want))
+    topn_ok = all(
+        [tuple(pair) for pair in served_topn[user]]
+        == [(item, score) for item, score in reference]
+        or (
+            [item for item, _ in served_topn[user]]
+            == [item for item, _ in reference]
+            and all(abs(got[1] - want[1]) <= tolerance
+                    for got, want in zip(served_topn[user], reference))
+        )
+        for user, reference in reference_topn.items())
+    return worst, topn_ok
+
+
 def _serve(snapshot_dir: str, probes_path: str, out_path: str) -> int:
     from repro.serving.service import RecommendationService
     from repro.serving.snapshot import ModelSnapshot
@@ -90,21 +117,9 @@ def _drive(trace_dir: str, snapshot_dir: str) -> int:
              str(probes_path), str(out_path)],
             check=True, env=env)
         served = json.loads(out_path.read_text(encoding="utf-8"))
-        worst = 0.0
-        for key, want in reference_predict.items():
-            got = served["predict"][key]
-            worst = max(worst, abs(got - want))
-        topn_ok = all(
-            [tuple(pair) for pair in served["topn"][user]]
-            == [(item, score) for item, score in reference_topn[user]]
-            or (
-                [item for item, _ in served["topn"][user]]
-                == [item for item, _ in reference_topn[user]]
-                and all(abs(got[1] - want[1]) <= TOLERANCE
-                        for got, want in zip(served["topn"][user],
-                                             reference_topn[user]))
-            )
-            for user in users)
+        worst, topn_ok = diff_serving(
+            reference_predict, reference_topn,
+            served["predict"], served["topn"])
         ok = worst <= TOLERANCE and topn_ok
         failures += 0 if ok else 1
         print(f"serving-smoke[{label}]: backend={served['backend']} "

@@ -42,6 +42,11 @@ from repro.data import (
     overlap_fraction_split,
     sparsity_split,
 )
+from repro.durability import (
+    CheckpointPolicy,
+    DurableSweep,
+    RatingLog,
+)
 from repro.errors import ReproError
 from repro.serving import (
     ModelRegistry,
@@ -53,14 +58,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlterEgoGenerator",
+    "CheckpointPolicy",
     "CrossDomainDataset",
     "Dataset",
+    "DurableSweep",
     "ItemAverageRecommender",
     "ItemKNNRecommender",
     "ModelRegistry",
     "ModelSnapshot",
     "NXMapRecommender",
     "Rating",
+    "RatingLog",
     "RatingTable",
     "RecommendationService",
     "Recommender",

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro.cli snapshot info --snapshot model/
     python -m repro.cli serve --snapshot model/ --user o00002 --user o00005
     python -m repro.cli recommend --snapshot model/ --user o00002
+    python -m repro.cli log-info --store store/
+    python -m repro.cli recover  --store store/ --user o00002
 
 ``generate`` writes a seeded Amazon-style two-domain trace as CSVs (the
 same format :mod:`repro.data.loaders` reads, so real dumps drop in);
@@ -25,6 +27,13 @@ item-mode pipeline once and freezes it to a directory
 ``recommend --snapshot`` — answer requests from the loaded artifact
 through a :class:`~repro.serving.service.RecommendationService`,
 without re-running any offline phase.
+
+The ``log-info`` / ``recover`` commands are the operator's view of a
+durable store directory (:class:`~repro.durability.manager.DurableSweep`):
+``log-info`` diagnoses the write-ahead log segment by segment without
+modifying anything; ``recover`` runs the real crash-recovery path —
+checkpoint snapshot + log-tail replay, torn tails repaired — prints the
+recovery report, and can serve Top-N from the recovered model.
 """
 
 from __future__ import annotations
@@ -124,6 +133,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data", default=None,
                        help="trace directory for item titles (optional)")
     serve.add_argument("-n", type=int, default=10)
+
+    log_info = commands.add_parser(
+        "log-info", help="diagnose a durable store's write-ahead log")
+    log_info.add_argument("--store", required=True,
+                          help="durable store directory (or its wal/ "
+                               "subdirectory directly)")
+
+    recover = commands.add_parser(
+        "recover", help="rebuild a durable store after a crash and "
+                        "report what was replayed")
+    recover.add_argument("--store", required=True,
+                         help="durable store directory")
+    recover.add_argument("--user", action="append", default=None,
+                         dest="users", metavar="USER",
+                         help="also serve Top-N for this user from the "
+                              "recovered model (repeatable)")
+    recover.add_argument("-n", type=int, default=10)
+    recover.add_argument("--shards", type=int, default=None,
+                         help="override the persisted shard count")
     return parser
 
 
@@ -270,6 +298,77 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_log_info(args) -> int:
+    from pathlib import Path
+
+    from repro.durability.log import RatingLog
+
+    store = Path(args.store)
+    wal_dir = store / "wal" if (store / "wal").is_dir() else store
+    if not wal_dir.is_dir():
+        print(f"error: {store} has no write-ahead log directory",
+              file=sys.stderr)
+        return 2
+    log = RatingLog(wal_dir, readonly=True)
+    try:
+        info = log.info()
+    finally:
+        log.close()
+    print(f"write-ahead log at {info.directory}")
+    print(f"  last_seq={info.last_seq} durable_seq={info.durable_seq} "
+          f"records={info.n_records} bytes={info.total_bytes}")
+    for segment in info.segments:
+        status = f"TORN: {segment.defect}" if segment.torn else "ok"
+        print(f"  {segment.path.name}: seq {segment.first_seq}.."
+              f"{segment.last_seq} records={segment.n_records} "
+              f"bytes={segment.size_bytes} "
+              f"(valid {segment.valid_bytes})  [{status}]")
+    if not info.segments:
+        print("  (no segments)")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.durability.manager import DurableSweep
+    from repro.serving.registry import ModelRegistry
+
+    durable = DurableSweep.recover(args.store, n_shards=args.shards)
+    try:
+        report = durable.last_recovery
+        print(f"recovered durable store at {args.store}")
+        print(f"  checkpoint seq={report.checkpoint_seq} "
+              f"snapshot={report.snapshot_path.name}")
+        print(f"  replayed {report.replayed_batches} batches "
+              f"({report.replayed_ratings} ratings) past the watermark "
+              f"in {report.seconds:.3f}s")
+        for repair in report.log_repairs:
+            print(f"  log repair: {repair}")
+        print(f"  store: users={durable.store.n_users} "
+              f"items={durable.store.n_items} "
+              f"ratings={durable.store.n_ratings} "
+              f"applied_seq={durable.applied_seq}")
+        if args.users:
+            registry = ModelRegistry(sweep=durable, cf_k=durable.cf_k,
+                                     positive_only=durable.positive_only)
+            snapshot = registry.current()
+            unknown = [user for user in args.users
+                       if user not in snapshot.store.user_index]
+            if unknown:
+                print(f"unknown users {unknown!r} (not in the recovered "
+                      f"serving table)", file=sys.stderr)
+                return 2
+            service = RecommendationService(snapshot)
+            for user, response in zip(
+                    args.users,
+                    service.recommend_batch(args.users, n=args.n)):
+                print(f"{user}:")
+                for item, score in response:
+                    print(f"  {item}  (predicted {score:.2f})")
+    finally:
+        durable.close()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -277,6 +376,8 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
+    "log-info": _cmd_log_info,
+    "recover": _cmd_recover,
 }
 
 

@@ -1,0 +1,55 @@
+"""Durability: write-ahead rating log, checkpoints, crash recovery.
+
+Three layers, bottom up:
+
+* :mod:`repro.durability.faults` — named crash points and the
+  deterministic :class:`~repro.durability.faults.CrashInjector`
+  (raise-or-``SIGKILL``) the whole layer is tested under.
+* :mod:`repro.durability.log` — :class:`~repro.durability.log.RatingLog`,
+  the append-only CRC-framed segment-rotated batch log with fsync group
+  commit and torn-tail repair.
+* :mod:`repro.durability.manager` —
+  :class:`~repro.durability.manager.DurableSweep`, which writes every
+  update through the log, checkpoints
+  :class:`~repro.serving.snapshot.ModelSnapshot`\\ s on a
+  :class:`~repro.durability.manager.CheckpointPolicy`, prunes the log
+  below the watermark, and recovers bit-identically after any crash.
+
+The manager's names are exported lazily (PEP 562): the snapshot writer
+imports the fault hooks from this package, and an eager manager import
+would close that cycle back through :mod:`repro.serving.snapshot`
+mid-initialisation.
+"""
+
+from __future__ import annotations
+
+from repro.durability.faults import (
+    CrashInjector,
+    InjectedCrash,
+    crash_point,
+    injected_crashes,
+)
+from repro.durability.log import LogInfo, LogRecord, RatingLog, SegmentInfo
+
+_MANAGER_EXPORTS = ("CheckpointPolicy", "DurableSweep", "RecoveryReport")
+
+__all__ = [
+    "CrashInjector",
+    "InjectedCrash",
+    "crash_point",
+    "injected_crashes",
+    "LogInfo",
+    "LogRecord",
+    "RatingLog",
+    "SegmentInfo",
+    *_MANAGER_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _MANAGER_EXPORTS:
+        from repro.durability import manager
+
+        return getattr(manager, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,161 @@
+"""Deterministic fault injection for the durability layer.
+
+Every dangerous filesystem transition in the write-ahead log, the
+snapshot writer and the checkpoint manager is bracketed by **named
+crash points** — :func:`crash_point` calls that are free no-ops in
+production and become deterministic process deaths under test. Two
+death modes are supported:
+
+* **raise** — the default: the Nth visited crash point raises
+  :class:`InjectedCrash`. The test harness catches it, abandons every
+  in-memory object (exactly what a real crash does to them) and drives
+  recovery against whatever bytes made it to disk. ``InjectedCrash``
+  derives from :class:`BaseException` so no library-level
+  ``except Exception`` can accidentally "survive" a simulated crash.
+* **kill** — the crash point delivers a real ``SIGKILL`` to the
+  current process (``os.kill(os.getpid(), SIGKILL)``). Combined with
+  the environment activation below, a *subprocess* writer dies by an
+  actual uncatchable kill -9 at a chosen point, torn buffers and all —
+  the strongest crash model a single machine offers.
+
+Activation is either in-process (:func:`install` / the
+:func:`injected_crashes` context manager) or via the environment for
+subprocess tests::
+
+    REPRO_CRASH_POINT="*:17"       # die at the 17th crash point hit
+    REPRO_CRASH_POINT="wal.fsync:2"  # ... the 2nd wal.fsync visit
+    REPRO_CRASH_KILL=1             # die by SIGKILL instead of raising
+
+Crash points additionally let the writer produce **torn frames**
+through its normal code path: when an injector is active
+(:func:`is_active`), the log flushes mid-frame around a crash point,
+so dying there leaves a genuinely half-written record on disk rather
+than an all-or-nothing buffer drop.
+
+The injector records every visit, so a test can first run a scenario
+with a pure recorder (``after=None``) to enumerate its crash points,
+then sweep *every* index deterministically — the property harness in
+``tests/test_durability.py`` does exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+_POINT_ENV = "REPRO_CRASH_POINT"
+_KILL_ENV = "REPRO_CRASH_KILL"
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at a named crash point.
+
+    Deliberately **not** a :class:`ReproError` (nor an
+    :class:`Exception`): library code must never catch it, the same way
+    it cannot catch a power loss.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected crash at {point!r} (hit #{hit})")
+        self.point = point
+        self.hit = hit
+
+
+class CrashInjector:
+    """Counts crash-point visits and dies on the chosen one.
+
+    Args:
+        at: crash-point name to arm, or ``"*"``/``None`` for any point.
+        after: die on the Nth matching visit (1-based); ``None`` never
+            dies — the injector is then a pure recorder, used to
+            enumerate a scenario's crash points.
+        kill: die by ``SIGKILL`` instead of raising
+            :class:`InjectedCrash` (only meaningful in a subprocess).
+    """
+
+    def __init__(self, at: str | None = None, after: int | None = 1,
+                 kill: bool = False) -> None:
+        if after is not None and after < 1:
+            raise ValueError(f"after must be >= 1, got {after}")
+        self.at = None if at in (None, "*") else at
+        self.after = after
+        self.kill = kill
+        self.visits: list[str] = []
+        self.matched = 0
+
+    def visit(self, point: str) -> None:
+        self.visits.append(point)
+        if self.at is not None and point != self.at:
+            return
+        self.matched += 1
+        if self.after is not None and self.matched == self.after:
+            if self.kill:  # pragma: no cover - kills the test process
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedCrash(point, self.matched)
+
+
+_injector: CrashInjector | None = None
+_env_checked = False
+
+
+def install(injector: CrashInjector) -> None:
+    """Arm *injector* for every subsequent :func:`crash_point` call."""
+    global _injector
+    _injector = injector
+
+
+def uninstall() -> None:
+    global _injector
+    _injector = None
+
+
+class injected_crashes:
+    """``with injected_crashes(after=n) as injector: ...`` — arm an
+    injector for the block, uninstall on exit (crash included)."""
+
+    def __init__(self, at: str | None = None, after: int | None = 1,
+                 kill: bool = False) -> None:
+        self.injector = CrashInjector(at=at, after=after, kill=kill)
+
+    def __enter__(self) -> CrashInjector:
+        install(self.injector)
+        return self.injector
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall()
+
+
+def _from_environment() -> None:
+    """Arm an injector from ``REPRO_CRASH_POINT`` once per process —
+    the activation path for kill -9 subprocess writers."""
+    global _env_checked
+    _env_checked = True
+    raw = os.environ.get(_POINT_ENV, "")
+    if not raw:
+        return
+    at, _, count = raw.partition(":")
+    try:
+        after = int(count) if count else 1
+    except ValueError:
+        raise ValueError(
+            f"{_POINT_ENV} must look like 'point:count', got {raw!r}"
+        ) from None
+    install(CrashInjector(
+        at=at, after=after,
+        kill=os.environ.get(_KILL_ENV, "") not in ("", "0")))
+
+
+def is_active() -> bool:
+    """Whether any injector is armed — writers only split frame writes
+    (to expose torn-tail crash points) when one is."""
+    if not _env_checked:
+        _from_environment()
+    return _injector is not None
+
+
+def crash_point(point: str) -> None:
+    """Declare a crash point; dies here when an armed injector says so."""
+    if not _env_checked:
+        _from_environment()
+    if _injector is not None:
+        _injector.visit(point)

@@ -584,6 +584,8 @@ class IncrementalUpdateStats:
             blast radius a serving-side row cache must evict
             (``n_affected_rows`` is its length).
         batch_users: user ids (ascending) with ratings in the batch.
+        wal_seq: the batch's write-ahead-log sequence number when the
+            sweep has a ``wal`` attached, else ``None``.
     """
 
     n_batch: int
@@ -602,6 +604,7 @@ class IncrementalUpdateStats:
     edges_removed: tuple[tuple[str, str], ...]
     affected_items: tuple[str, ...] = ()
     batch_users: tuple[str, ...] = ()
+    wal_seq: int | None = None
 
 
 class IncrementalSweep:
@@ -644,6 +647,13 @@ class IncrementalSweep:
             :func:`sharded_adjacency`.
         with_significance: also maintain the bulk Definition-2 counts.
         with_index: keep a serving index attached to the graph.
+        wal: a :class:`~repro.durability.log.RatingLog` to append every
+            update batch to **before** applying it — the write-ahead
+            discipline: after a crash the log always holds at least
+            what the in-memory state absorbed, so replaying it over the
+            last checkpoint reconstructs the sweep exactly
+            (:mod:`repro.durability.manager`). ``None`` (the default)
+            keeps the sweep purely in-memory.
     """
 
     def __init__(
@@ -655,9 +665,11 @@ class IncrementalSweep:
         min_abs_similarity: float = 0.0,
         with_significance: bool = False,
         with_index: bool = True,
+        wal=None,
     ) -> None:
         from repro.similarity.graph import ItemGraph
 
+        self.wal = wal
         self.n_shards = resolve_n_shards(n_shards)
         self.min_common_users = min_common_users
         self.min_abs_similarity = min_abs_similarity
@@ -692,9 +704,17 @@ class IncrementalSweep:
 
     def update(self, batch: "Iterable[Rating]") -> IncrementalUpdateStats:
         """Append *batch* and patch the store, accumulation, graph,
-        index and significance counts in place of a rebuild."""
+        index and significance counts in place of a rebuild.
+
+        With a ``wal`` attached, the batch is logged (and acknowledged
+        by the log's group-commit discipline) before any in-memory
+        state moves — log-then-apply, never the reverse.
+        """
         started = time.perf_counter()
         batch = list(batch)
+        wal_seq = None
+        if self.wal is not None:
+            wal_seq = self.wal.append(batch)
         new_table = self.table.with_ratings(batch)
 
         append_start = time.perf_counter()
@@ -800,6 +820,7 @@ class IncrementalSweep:
             edges_removed=edges_removed,
             affected_items=tuple(new_store.items[i] for i in affected),
             batch_users=tuple(sorted({r.user for r in batch})),
+            wal_seq=wal_seq,
         )
 
 

@@ -51,3 +51,9 @@ class ServingError(ReproError):
     """The serving subsystem was driven incorrectly (corrupt or
     incompatible snapshot directories, publishing to a retired registry
     version, serving requests a truncated index cannot answer)."""
+
+
+class DurabilityError(ReproError):
+    """The durability layer was driven incorrectly (invalid write-ahead
+    log configuration, appending to a readonly log, recovering a
+    directory that holds no durable store)."""

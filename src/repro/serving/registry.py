@@ -22,6 +22,17 @@ subscribers (the service's caches use it for delta-targeted eviction).
 Retention: superseded versions are dropped as soon as their last pin is
 released, so memory holds the current model plus whatever in-flight
 requests still reference.
+
+Durability: a registry whose writer is a
+:class:`~repro.durability.manager.DurableSweep` gets the write-ahead
+discipline for free — :meth:`ModelRegistry.update` hands the batch to
+the durable sweep, which logs it before any in-memory state moves and
+checkpoints on its policy. After a crash,
+:meth:`ModelRegistry.recover` rebuilds the whole writer from the
+directory (last checkpoint snapshot + log-tail replay) and publishes
+the recovered state as version 1; the responses it serves are within
+1e-9 of the uninterrupted registry's (bit-identical per backend —
+property-tested in ``tests/test_durability.py``).
 """
 
 from __future__ import annotations
@@ -86,7 +97,10 @@ class ModelRegistry:
             current state becomes version 1 and :meth:`update` appends
             rating batches through it (mutually exclusive with
             *snapshot*; a sweep-less registry is read-only and serves
-            whatever :meth:`publish` hands it).
+            whatever :meth:`publish` hands it). A
+            :class:`~repro.durability.manager.DurableSweep` is accepted
+            here too: updates are then write-ahead logged and
+            checkpointed before they publish.
         cf_k / positive_only: serving parameters stamped on snapshots
             the registry derives from the sweep.
 
@@ -96,6 +110,25 @@ class ModelRegistry:
     serialized against each other by an internal writer lock, so two
     writer threads won't interleave a sweep update with a publish).
     """
+
+    @classmethod
+    def recover(cls, directory, **recover_kwargs) -> "ModelRegistry":
+        """Rebuild a registry from a crashed durable store *directory*.
+
+        Runs :meth:`~repro.durability.manager.DurableSweep.recover`
+        (checkpoint snapshot + write-ahead-log tail replay, torn tails
+        repaired) and publishes the recovered model as this registry's
+        version 1, with the durable sweep attached as the writer so
+        subsequent :meth:`update` calls keep the same crash-safety.
+        Serving parameters (``cf_k``, ``positive_only``) come from the
+        store's persisted configuration; *recover_kwargs* pass through
+        to ``DurableSweep.recover`` (e.g. ``n_shards``, ``use_numpy``).
+        """
+        from repro.durability.manager import DurableSweep
+
+        durable = DurableSweep.recover(directory, **recover_kwargs)
+        return cls(sweep=durable, cf_k=durable.cf_k,
+                   positive_only=durable.positive_only)
 
     def __init__(self, snapshot: ModelSnapshot | None = None,
                  sweep: "IncrementalSweep | None" = None,

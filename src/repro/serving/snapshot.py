@@ -42,6 +42,7 @@ exact IEEE-754 bytes, never through decimal text (property-tested in
 from __future__ import annotations
 
 import json
+import os
 import sys
 from array import array as _pyarray
 from pathlib import Path
@@ -49,6 +50,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.data.matrix import MatrixRatingStore, numpy_available
 from repro.data.ratings import DEFAULT_SCALE, Rating, RatingTable
+from repro.durability.faults import crash_point
 from repro.errors import ServingError
 from repro.similarity.knn import NeighborIndex
 from repro.similarity.significance import SignificanceTable
@@ -102,10 +104,33 @@ _SIG_ARRAYS: tuple[tuple[str, str], ...] = (
 
 _NP_DTYPES = {"i8": "<i8", "f8": "<f8", "b1": "|b1"}
 _PY_TYPECODES = {"i8": "q", "f8": "d"}
+_ITEM_SIZES = {"i8": 8, "f8": 8, "b1": 1}
+
+
+def _fsync_file(path: Path) -> None:
+    """fsync an already-written file's bytes to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory entry so created/renamed names survive a
+    power loss (POSIX requires syncing the parent directory)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _dump_array(path: Path, values, kind: str) -> None:
-    """Write *values* as raw little-endian bytes (exact float bits)."""
+    """Write *values* as raw little-endian bytes (exact float bits),
+    fsynced — the manifest only means "complete" if every array it
+    names is on stable storage before the manifest is."""
+    crash_point("snapshot.array.write")
     if _np is not None and isinstance(values, _np.ndarray):
         if isinstance(values, _np.memmap):
             # Saving a loaded snapshot (possibly into its own
@@ -114,21 +139,44 @@ def _dump_array(path: Path, values, kind: str) -> None:
             # backing store would fault mid-read.
             values = _np.array(values)
         values.astype(_np.dtype(_NP_DTYPES[kind]), copy=False).tofile(path)
-        return
-    if kind == "b1":
+    elif kind == "b1":
         path.write_bytes(bytes(bytearray(
             1 if value else 0 for value in values)))
-        return
-    buffer = _pyarray(_PY_TYPECODES[kind], values)
-    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
-        buffer.byteswap()
-    path.write_bytes(buffer.tobytes())
+    else:
+        buffer = _pyarray(_PY_TYPECODES[kind], values)
+        if sys.byteorder == "big":  # pragma: no cover - LE everywhere
+            buffer.byteswap()
+        path.write_bytes(buffer.tobytes())
+    crash_point("snapshot.array.fsync")
+    _fsync_file(path)
+
+
+def _validate_array_bytes(path: Path, kind: str, size: int) -> None:
+    """The corruption guard: the file must exist and hold exactly the
+    manifest-declared ``size`` × itemsize bytes, otherwise loading
+    would fail later inside a memmap/struct with a far less useful
+    message (or, worse, partially succeed)."""
+    expected = size * _ITEM_SIZES[kind]
+    try:
+        actual = path.stat().st_size
+    except FileNotFoundError:
+        raise ServingError(
+            f"snapshot array file {path.name} is missing — the "
+            f"snapshot directory is incomplete or was corrupted"
+        ) from None
+    if actual != expected:
+        raise ServingError(
+            f"snapshot array {path.name} holds {actual} bytes but the "
+            f"manifest declares {size} {kind} entries "
+            f"({expected} bytes) — the file is truncated or corrupt")
 
 
 def _read_array(path: Path, kind: str, size: int, use_numpy: bool):
     """Read one raw array back — a read-only ``np.memmap`` on the NumPy
     backend (zero-copy; the OS pages it in on demand), a plain list on
-    the pure-Python one. Length is validated against the manifest."""
+    the pure-Python one. Byte length is validated against the manifest
+    before anything is mapped or decoded."""
+    _validate_array_bytes(path, kind, size)
     if use_numpy:
         dtype = _np.dtype(_NP_DTYPES[kind])
         if size == 0:
@@ -168,8 +216,10 @@ def _dump_ids(path: Path, ids: Sequence[str], what: str) -> None:
             raise ServingError(
                 f"cannot snapshot {what} id {name!r}: ids with line "
                 f"breaks are not representable in the id files")
+    crash_point("snapshot.ids.write")
     path.write_text(
         "".join(f"{name}\n" for name in ids), encoding="utf-8")
+    _fsync_file(path)
 
 
 def _read_ids(path: Path) -> list[str]:
@@ -478,7 +528,12 @@ class ModelSnapshot:
         Arrays are written first and ``MANIFEST.json`` last, so a
         directory with a manifest is a complete snapshot — an
         interrupted save is detectable (and :meth:`load` refuses it).
-        Returns the directory path.
+        The ordering holds across **power loss**, not just process
+        death: every array/id file is fsynced before the manifest is
+        written (to a temp name, fsynced, then atomically renamed into
+        place), and the directory entries are fsynced last, so a
+        manifest that survives a crash proves every byte it names
+        survived too. Returns the directory path.
 
         A directory already holding a snapshot is refused unless
         *overwrite* is set: overwriting rewrites the very files a live
@@ -500,9 +555,12 @@ class ModelSnapshot:
                     f"serving from it (its loaded arrays map these "
                     f"files), or save each version to a fresh "
                     f"directory")
-            # Dropped first so a partially overwritten directory can
-            # never pass for the previous complete snapshot.
+            # Dropped first — durably — so a partially overwritten
+            # directory can never pass for the previous complete
+            # snapshot, even across a power loss mid-overwrite.
+            crash_point("snapshot.manifest.unlink")
             manifest_path.unlink()
+            _fsync_dir(path)
         store = self.store
         _dump_ids(path / "users.txt", store.users, "user")
         _dump_ids(path / "items.txt", store.items, "item")
@@ -536,11 +594,13 @@ class ModelSnapshot:
                   [int(significance.common[pair]) for pair in pairs])
 
         if self.alterego is not None:
+            crash_point("snapshot.alterego.write")
             (path / "alterego.json").write_text(json.dumps(
                 {source: [[target, weight]
                           for target, weight in replacements]
                  for source, replacements in sorted(self.alterego.items())},
                 indent=0, sort_keys=True) + "\n", encoding="utf-8")
+            _fsync_file(path / "alterego.json")
 
         manifest = {
             "format": _FORMAT,
@@ -560,9 +620,20 @@ class ModelSnapshot:
             "with_alterego": self.alterego is not None,
             "arrays": arrays,
         }
-        manifest_path.write_text(
+        # The completeness marker lands last, atomically: temp file,
+        # fsync its bytes, rename into place, fsync the directory so
+        # the name itself is durable.
+        tmp_path = path / (_MANIFEST + ".tmp")
+        crash_point("snapshot.manifest.write")
+        tmp_path.write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
+        crash_point("snapshot.manifest.fsync")
+        _fsync_file(tmp_path)
+        crash_point("snapshot.manifest.rename")
+        os.replace(tmp_path, manifest_path)
+        crash_point("snapshot.dir.fsync")
+        _fsync_dir(path)
         return path
 
     @classmethod

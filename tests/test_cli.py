@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import main
+from repro.data.ratings import Rating, RatingTable
+from repro.durability.manager import CheckpointPolicy, DurableSweep
 
 
 @pytest.fixture(scope="module")
@@ -122,3 +124,55 @@ class TestSnapshotServing:
         assert main(["serve", "--snapshot", str(snapshot_dir),
                      "--user", "nobody"]) == 2
         assert "unknown users" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def durable_store_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("durable") / "store"
+    table = RatingTable([
+        Rating(f"u{k // 4}", f"i{k % 4}", float(1 + k % 5), timestep=k)
+        for k in range(20)])
+    durable = DurableSweep(directory, table, n_shards=2, cf_k=5,
+                           policy=CheckpointPolicy(max_batches=2))
+    for round_ in range(3):
+        durable.update([Rating(f"u{5 + round_}", f"i{7 + round_}",
+                               3.0, timestep=100 + round_)])
+    durable.close()
+    return directory
+
+
+class TestDurabilityCommands:
+    def test_log_info(self, durable_store_dir, capsys):
+        assert main(["log-info", "--store", str(durable_store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "write-ahead log at" in out
+        assert "last_seq=3" in out
+        assert "segment-" in out
+
+    def test_log_info_on_wal_directory_directly(self, durable_store_dir,
+                                                capsys):
+        assert main(["log-info", "--store",
+                     str(durable_store_dir / "wal")]) == 0
+        assert "write-ahead log at" in capsys.readouterr().out
+
+    def test_log_info_missing_directory(self, tmp_path, capsys):
+        assert main(["log-info", "--store", str(tmp_path / "nope")]) == 2
+        assert "no write-ahead log" in capsys.readouterr().err
+
+    def test_recover_reports_and_serves(self, durable_store_dir, capsys):
+        assert main(["recover", "--store", str(durable_store_dir),
+                     "--user", "u0", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered durable store" in out
+        assert "replayed" in out
+        assert "u0:" in out
+        assert out.count("predicted") == 2
+
+    def test_recover_unknown_user(self, durable_store_dir, capsys):
+        assert main(["recover", "--store", str(durable_store_dir),
+                     "--user", "nobody"]) == 2
+        assert "unknown users" in capsys.readouterr().err
+
+    def test_recover_not_a_store(self, tmp_path, capsys):
+        assert main(["recover", "--store", str(tmp_path)]) == 1
+        assert "not a durable store" in capsys.readouterr().err

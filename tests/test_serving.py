@@ -221,6 +221,30 @@ def test_snapshot_rejects_missing_or_corrupt(tmp_path):
         ModelSnapshot.load(tmp_path)
 
 
+def test_snapshot_rejects_truncated_array_file(tmp_path, tiny_table):
+    """A .bin whose byte length disagrees with the manifest fails the
+    load with a clear diagnosis — not a downstream memmap/struct error
+    (or, worse, a partially wrong model)."""
+    ModelSnapshot.from_table(tiny_table, k=2).save(tmp_path / "s")
+    target = tmp_path / "s" / "user_values.bin"
+    whole = target.read_bytes()
+    target.write_bytes(whole[:len(whole) - 3])
+    with pytest.raises(ServingError, match="truncated or corrupt"):
+        ModelSnapshot.load(tmp_path / "s")
+    target.write_bytes(whole + b"\x00" * 8)  # too long is corrupt too
+    with pytest.raises(ServingError, match="truncated or corrupt"):
+        ModelSnapshot.load(tmp_path / "s")
+    target.write_bytes(whole)
+    ModelSnapshot.load(tmp_path / "s")  # restored: loads again
+
+
+def test_snapshot_rejects_missing_array_file(tmp_path, tiny_table):
+    ModelSnapshot.from_table(tiny_table, k=2).save(tmp_path / "s")
+    (tmp_path / "s" / "index_weights.bin").unlink()
+    with pytest.raises(ServingError, match="missing"):
+        ModelSnapshot.load(tmp_path / "s")
+
+
 def test_truncated_index_guards(tiny_table):
     store = tiny_table.matrix()
     truncated = store.neighbor_index(k=1)
