@@ -1,0 +1,245 @@
+"""Gateway macrobenchmark: the networked serving fleet under load.
+
+Unlike ``test_service_bench.py`` (in-process calls against a pinned
+registry), this measures the full topology the gateway PR ships: an
+asyncio HTTP front end coalescing single-user requests into batched
+windows over a fleet of **worker subprocesses**, each memmapping the
+same published :class:`~repro.serving.watch.SnapshotCatalog` version.
+
+Three load levels per size, in order:
+
+* **serial** — one client, strictly sequential ``/recommend`` calls:
+  every request pays a full HTTP + frame round trip and an unshared
+  single-user scoring pass. This is the un-batched floor.
+* **closed** — C keep-alive clients back-to-back. Concurrent arrivals
+  land in the same coalescing window and are answered by one
+  ``recommend_batch_pinned`` pass per worker dispatch, so this level
+  is where batching shows up as throughput. On the NumPy backend the
+  largest size must clear **≥3× the serial qps** — the acceptance bar
+  for the gateway PR.
+* **poisson** — an open-loop Poisson arrival stream at ~60% of the
+  measured closed-loop capacity **while the registry publishes
+  incremental updates** through the live catalog. Latency is charged
+  from the scheduled arrival (coordinated-omission-free), so the
+  p99/p999 tail includes any stall caused by workers remapping the
+  new version mid-stream; the report's ``versions`` list proves the
+  publishes really landed inside the measurement window.
+
+Worker response caches are **off** so repeat users recompute — the
+serial-vs-closed comparison measures batching, not memoisation. Row
+caches stay on (both levels share them equally; that is the production
+configuration).
+
+Results go to ``benchmarks/results/gateway_{backend}.txt`` and the
+machine-readable ``BENCH_gateway.json`` (full-size runs only; CI's
+bench-smoke leg runs the smallest size for harness correctness).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from conftest import RESULTS_DIR, record_json
+from test_similarity_bench import SIZES, _random_ratings, selected_sizes
+
+from repro.data.matrix import numpy_available
+from repro.data.ratings import Rating, RatingTable
+from repro.engine.sharded_sweep import IncrementalSweep
+from repro.gateway import GatewayServer, WorkerPool
+from repro.gateway.loadgen import (
+    run_closed_loop,
+    run_open_loop,
+    run_serial_baseline,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.watch import SnapshotCatalog
+
+TOP_N = 10
+CF_K = 50
+N_WORKERS = 2
+N_REQUEST_USERS = 200
+
+#: per-backend load knobs — the pure-Python backend serves every
+#: request through the reference loop, so it gets a lighter stream
+#: (same rule as the service bench).
+KNOBS = {
+    "numpy": {
+        "serial_requests": 120,
+        "concurrency": 16,
+        "requests_per_client": 30,
+        "poisson_duration_s": 4.0,
+    },
+    "pure_python": {
+        "serial_requests": 30,
+        "concurrency": 8,
+        "requests_per_client": 10,
+        "poisson_duration_s": 4.0,
+    },
+}
+
+#: incremental publishes fired during the poisson window.
+N_PUBLISHES = 2
+
+
+def _publish_batch(round_id: int) -> list[Rating]:
+    """An onboarding-shaped batch (new user, new items): cheap to
+    apply, but it still bumps the catalog version, so every worker
+    must remap mid-stream."""
+    user = f"pubu{round_id:03d}"
+    return [
+        Rating(user, f"pubi{round_id:03d}x{j}",
+               float(1 + (round_id + j) % 5), 900_000 + round_id * 10 + j)
+        for j in range(4)
+    ]
+
+
+async def _bench_one_size(work: Path, registry, users: list[str],
+                          pure_python: bool, knobs: dict) -> dict:
+    """Serial → closed → poisson-under-publishes against one fleet."""
+    pool = WorkerPool(
+        work / "catalog", n_workers=N_WORKERS, pure_python=pure_python,
+        poll_interval=0.1, response_cache_size=0)
+    await pool.start()
+    server = GatewayServer(pool)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    # Dedicated executor: the loadgen entry points block (they manage
+    # their own client threads internally) and the publisher must not
+    # queue behind them on the default pool.
+    executor = ThreadPoolExecutor(max_workers=4)
+    try:
+        serial = await loop.run_in_executor(
+            executor, run_serial_baseline, server.host, server.port,
+            users, TOP_N, knobs["serial_requests"])
+        closed = await loop.run_in_executor(
+            executor, run_closed_loop, server.host, server.port,
+            users, TOP_N, knobs["concurrency"],
+            knobs["requests_per_client"])
+
+        # Open loop at ~60% of measured capacity — loaded but
+        # sustainable, so the tail reflects serving jitter (publish
+        # stalls included), not an unstable queue blowing up.
+        rate = max(5.0, 0.6 * closed["qps"])
+        duration = knobs["poisson_duration_s"]
+        stop = threading.Event()
+        published: list[int] = []
+
+        def publisher() -> None:
+            # Front-load the publishes (first at duration/4): enough
+            # post-publish traffic must remain in the window for the
+            # new version to show up in responses even when CPU
+            # oversubscription delays worker convergence.
+            interval = duration / (N_PUBLISHES + 2)
+            for round_id in range(1, N_PUBLISHES + 1):
+                if stop.wait(interval):
+                    return
+                version, _stats = registry.update(_publish_batch(round_id))
+                published.append(version)
+
+        publish_future = loop.run_in_executor(executor, publisher)
+        try:
+            poisson = await loop.run_in_executor(
+                executor, lambda: run_open_loop(
+                    server.host, server.port, users, TOP_N,
+                    rate_qps=rate, duration_s=duration,
+                    max_workers=16, seed=11))
+        finally:
+            stop.set()
+            await publish_future
+        poisson["versions_published_during_run"] = published
+        stats = pool.stats()
+    finally:
+        await server.close()
+        await pool.close()
+        executor.shutdown(wait=False)
+    return {"serial": serial, "closed": closed, "poisson": poisson,
+            "pool": stats}
+
+
+def test_gateway_throughput_and_tail_latency():
+    backend = "numpy" if numpy_available() else "pure_python"
+    knobs = KNOBS[backend]
+    lines = [f"{'size':<8} {'qps(serial)':>11} {'qps(closed)':>11} "
+             f"{'speedup':>8} {'p50ms':>7} {'p99ms':>7} {'p999ms':>8} "
+             f"{'publishes':>9} {'restarts':>8}"]
+    payload_sizes = []
+    speedups = {}
+    for name, n_users, n_items, per_user in selected_sizes():
+        table = RatingTable(_random_ratings(n_users, n_items, per_user,
+                                            seed=7))
+        sweep = IncrementalSweep(table, n_shards=1, with_index=True)
+        registry = ModelRegistry(sweep=sweep, cf_k=CF_K)
+        users = sorted(table.users)[:N_REQUEST_USERS]
+
+        work = Path(tempfile.mkdtemp(prefix="gateway-bench-"))
+        catalog = SnapshotCatalog(work / "catalog")
+        catalog.attach(registry)
+        try:
+            report = asyncio.run(_bench_one_size(
+                work, registry, users, backend == "pure_python", knobs))
+        finally:
+            catalog.detach()
+            shutil.rmtree(work, ignore_errors=True)
+
+        serial, closed = report["serial"], report["closed"]
+        poisson = report["poisson"]
+        assert serial["errors"] == 0 and closed["errors"] == 0, name
+        assert poisson["errors"] == 0, name
+        # The publishes landed inside the poisson window: responses
+        # span more than the initial version.
+        assert len(poisson["versions"]) >= 2, (
+            poisson["versions"], poisson["versions_published_during_run"],
+            poisson["n_requests"])
+        speedup = closed["qps"] / serial["qps"]
+        speedups[name] = speedup
+        tail = poisson["latency_ms"]
+        lines.append(
+            f"{name:<8} {serial['qps']:>11.1f} {closed['qps']:>11.1f} "
+            f"{speedup:>7.1f}x {tail['p50']:>7.1f} {tail['p99']:>7.1f} "
+            f"{tail['p999']:>8.1f} "
+            f"{len(report['poisson']['versions_published_during_run']):>9} "
+            f"{report['pool']['n_restarts']:>8}")
+        payload_sizes.append({
+            "name": name,
+            "n_users": n_users,
+            "n_items": n_items,
+            "n_ratings": n_users * per_user,
+            "top_n": TOP_N,
+            "n_workers": N_WORKERS,
+            "closed_vs_serial_speedup": round(speedup, 2),
+            "levels": {
+                "serial": serial,
+                "closed": closed,
+                "poisson": poisson,
+            },
+            "pool": report["pool"],
+        })
+
+    rendered = "\n".join(
+        [f"gateway fleet: {N_WORKERS} workers, coalesced Top-{TOP_N} "
+         f"over HTTP (backend: {backend}, k={CF_K}); poisson tail "
+         f"measured during live publishes", ""] + lines) + "\n"
+    if selected_sizes() == SIZES:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"gateway_{backend}.txt").write_text(rendered)
+        record_json("gateway", backend, {
+            "k": CF_K,
+            "n_workers": N_WORKERS,
+            "top_n": TOP_N,
+            "sizes": payload_sizes,
+        })
+    print()
+    print(rendered)
+    # The wall-clock acceptance bar only means something at full scale
+    # on a quiet machine — size-filtered smoke runs check correctness.
+    if numpy_available() and "large" in speedups:
+        assert speedups["large"] >= 3.0, (
+            f"closed-loop gateway throughput {speedups['large']:.1f}x "
+            f"below the 3x target over the serial baseline at the "
+            f"largest size")

@@ -2,7 +2,12 @@
 
 Driver mode (what CI's crash-recovery job runs)::
 
-    python scripts/crash_smoke.py <work_dir> [seed]
+    python scripts/crash_smoke.py [work_dir] [seed] [--keep]
+
+The work directory defaults to a fresh temp dir; it is removed at exit
+(even on failure) unless ``--keep`` is passed — CI passes an explicit
+directory **with** ``--keep`` because a later step inspects the killed
+store, while repeated local runs leave nothing behind.
 
 generates a deterministic rating plan (a base table plus a stream of
 append batches), then for each backend leg (NumPy and
@@ -32,11 +37,15 @@ reference must replay.
 
 from __future__ import annotations
 
+import argparse
+import atexit
 import json
 import os
 import random
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -210,11 +219,24 @@ def main(argv: list[str]) -> int:
         return _writer(argv[2], argv[3])
     if len(argv) == 4 and argv[1] == "--check":
         return _check(argv[2], argv[3])
-    if len(argv) in (2, 3):
-        seed = int(argv[2]) if len(argv) == 3 else None
-        return _drive(argv[1], seed)
-    print(__doc__, file=sys.stderr)
-    return 2
+    parser = argparse.ArgumentParser(
+        description="crash smoke: SIGKILL a durable writer mid-stream, "
+                    "recover, diff served predictions")
+    parser.add_argument("work_dir", nargs="?", default=None,
+                        help="working directory (default: fresh temp "
+                             "dir, removed at exit)")
+    parser.add_argument("seed", nargs="?", type=int, default=None,
+                        help="plan/kill-timing seed (printed by every "
+                             "run for reproduction)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the working directory (CI passes "
+                             "this when a later step inspects the "
+                             "killed store)")
+    args = parser.parse_args(argv[1:])
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="crash-smoke-")
+    if not args.keep:
+        atexit.register(shutil.rmtree, work_dir, ignore_errors=True)
+    return _drive(work_dir, args.seed)
 
 
 if __name__ == "__main__":

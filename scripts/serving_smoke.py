@@ -2,7 +2,12 @@
 
 Driver mode (what CI's serving-smoke job runs)::
 
-    python scripts/serving_smoke.py <trace_dir> <snapshot_dir>
+    python scripts/serving_smoke.py <trace_dir> [snapshot_dir] [--keep]
+
+The snapshot directory defaults to a fresh temp dir; it is removed at
+exit (even on failure) unless ``--keep`` is passed — CI passes an
+explicit directory **with** ``--keep`` because a later step serves
+from it, while repeated local runs leave nothing behind.
 
 fits the deterministic item-mode pipeline on the trace in-process,
 saves a :class:`~repro.serving.snapshot.ModelSnapshot`, computes
@@ -25,10 +30,14 @@ end-to-end in the restarted server).
 
 from __future__ import annotations
 
+import argparse
+import atexit
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -131,10 +140,22 @@ def _drive(trace_dir: str, snapshot_dir: str) -> int:
 def main(argv: list[str]) -> int:
     if len(argv) == 5 and argv[1] == "--serve":
         return _serve(argv[2], argv[3], argv[4])
-    if len(argv) == 3:
-        return _drive(argv[1], argv[2])
-    print(__doc__, file=sys.stderr)
-    return 2
+    parser = argparse.ArgumentParser(
+        description="serving smoke: build, snapshot, re-serve from a "
+                    "fresh process on both backends, diff")
+    parser.add_argument("trace_dir", help="trace directory to fit on")
+    parser.add_argument("snapshot_dir", nargs="?", default=None,
+                        help="snapshot directory (default: fresh temp "
+                             "dir, removed at exit)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the snapshot directory (CI passes "
+                             "this when a later step serves from it)")
+    args = parser.parse_args(argv[1:])
+    snapshot_dir = (args.snapshot_dir
+                    or tempfile.mkdtemp(prefix="serving-smoke-"))
+    if not args.keep:
+        atexit.register(shutil.rmtree, snapshot_dir, ignore_errors=True)
+    return _drive(args.trace_dir, snapshot_dir)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ Subcommands::
     python -m repro.cli recommend --snapshot model/ --user o00002
     python -m repro.cli log-info --store store/
     python -m repro.cli recover  --store store/ --user o00002
+    python -m repro.cli serve-http --watch model/ --workers 2 --port 8080
+    python -m repro.cli bench-gateway --watch model/ --workers 2
 
 ``generate`` writes a seeded Amazon-style two-domain trace as CSVs (the
 same format :mod:`repro.data.loaders` reads, so real dumps drop in);
@@ -34,6 +36,15 @@ durable store directory (:class:`~repro.durability.manager.DurableSweep`):
 modifying anything; ``recover`` runs the real crash-recovery path —
 checkpoint snapshot + log-tail replay, torn tails repaired — prints the
 recovery report, and can serve Top-N from the recovered model.
+
+``serve-http`` is the networked deployment: an asyncio HTTP gateway
+(:class:`~repro.gateway.server.GatewayServer`) over N worker processes
+that each memmap the snapshot source named by ``--watch`` (a single
+snapshot directory, a :class:`~repro.serving.watch.SnapshotCatalog`,
+or a durable store) and follow new versions as they are published.
+``bench-gateway`` starts the same topology against an ephemeral port
+and drives it with the load generator (serial baseline, closed-loop
+capacity, Poisson open-loop tail latency), printing a JSON report.
 """
 
 from __future__ import annotations
@@ -152,7 +163,56 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("-n", type=int, default=10)
     recover.add_argument("--shards", type=int, default=None,
                          help="override the persisted shard count")
+
+    serve_http = commands.add_parser(
+        "serve-http", help="asyncio HTTP gateway over a multi-process "
+                           "worker fleet watching a snapshot source")
+    _add_fleet_arguments(serve_http)
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8080,
+                            help="listen port (0 for ephemeral)")
+
+    bench_gateway = commands.add_parser(
+        "bench-gateway", help="start a gateway fleet on an ephemeral "
+                              "port and measure it under load")
+    _add_fleet_arguments(bench_gateway)
+    bench_gateway.add_argument("-n", type=int, default=10,
+                               help="Top-N size per request")
+    bench_gateway.add_argument("--serial-requests", type=int, default=200,
+                               help="requests in the un-batched "
+                                    "single-client baseline")
+    bench_gateway.add_argument("--concurrency", type=int, default=16,
+                               help="closed-loop client count")
+    bench_gateway.add_argument("--requests-per-client", type=int,
+                               default=50)
+    bench_gateway.add_argument("--rate", type=float, default=100.0,
+                               help="Poisson open-loop arrival rate "
+                                    "(qps; 0 disables the open loop)")
+    bench_gateway.add_argument("--duration", type=float, default=5.0,
+                               help="Poisson open-loop duration (s)")
     return parser
+
+
+def _add_fleet_arguments(parser) -> None:
+    """The knobs shared by every command that starts a worker fleet."""
+    parser.add_argument("--watch", required=True,
+                        help="snapshot source directory every worker "
+                             "watches (snapshot, catalog, or durable "
+                             "store)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--pure-python", action="store_true",
+                        help="run workers on the pure-Python backend")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="flush a coalescing window at this many "
+                             "pending requests")
+    parser.add_argument("--max-delay", type=float, default=0.002,
+                        help="flush a partial window after this many "
+                             "seconds")
+    parser.add_argument("--poll-interval", type=float, default=0.2,
+                        help="idle watcher poll period inside workers")
+    parser.add_argument("--response-cache-size", type=int, default=1024,
+                        help="per-worker Top-N response cache entries "
+                             "(0 disables)")
 
 
 def _load(directory: str):
@@ -369,6 +429,96 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _make_pool_and_server(args, port: int = 0, host: str = "127.0.0.1"):
+    """A (pool, server) pair from the shared fleet arguments — workers
+    are not yet spawned, the port not yet bound."""
+    from repro.gateway import GatewayServer, WorkerPool
+
+    pool = WorkerPool(
+        args.watch, n_workers=args.workers,
+        pure_python=args.pure_python,
+        poll_interval=args.poll_interval,
+        response_cache_size=args.response_cache_size)
+    server = GatewayServer(pool, host=host, port=port,
+                           max_batch=args.max_batch,
+                           max_delay=args.max_delay)
+    return pool, server
+
+
+def _cmd_serve_http(args) -> int:
+    import asyncio
+
+    async def run() -> None:
+        pool, server = _make_pool_and_server(
+            args, port=args.port, host=args.host)
+        await pool.start()
+        try:
+            await server.start()
+            print(f"gateway listening on http://{args.host}:"
+                  f"{server.port} ({args.workers} workers, model "
+                  f"v{pool.fleet_version}, watching {args.watch})",
+                  flush=True)
+            await server.serve_forever()
+        finally:
+            await server.close()
+            await pool.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    return 0
+
+
+def _cmd_bench_gateway(args) -> int:
+    import asyncio
+    import json
+
+    from repro.gateway import loadgen
+    from repro.serving.watch import RegistryWatcher
+
+    watcher = RegistryWatcher(args.watch)
+    if watcher.poll() is None:
+        print(f"error: no loadable model under {args.watch}",
+              file=sys.stderr)
+        return 2
+    users = list(watcher.registry.current().store.users)
+    if not users:
+        print("error: the model serves no users", file=sys.stderr)
+        return 2
+
+    async def run() -> dict:
+        pool, server = _make_pool_and_server(args)
+        await pool.start()
+        await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            levels = {}
+            levels["serial"] = await loop.run_in_executor(
+                None, lambda: loadgen.run_serial_baseline(
+                    server.host, server.port, users, args.n,
+                    args.serial_requests))
+            levels["closed"] = await loop.run_in_executor(
+                None, lambda: loadgen.run_closed_loop(
+                    server.host, server.port, users, args.n,
+                    args.concurrency, args.requests_per_client))
+            if args.rate > 0:
+                levels["poisson"] = await loop.run_in_executor(
+                    None, lambda: loadgen.run_open_loop(
+                        server.host, server.port, users, args.n,
+                        args.rate, args.duration))
+            return {"workers": args.workers,
+                    "model_version": pool.fleet_version,
+                    "pool": pool.stats(), "levels": levels}
+        finally:
+            await server.close()
+            await pool.close()
+
+    report = asyncio.run(run())
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -378,6 +528,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "log-info": _cmd_log_info,
     "recover": _cmd_recover,
+    "serve-http": _cmd_serve_http,
+    "bench-gateway": _cmd_bench_gateway,
 }
 
 

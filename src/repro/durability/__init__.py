@@ -51,5 +51,4 @@ def __getattr__(name: str):
         from repro.durability import manager
 
         return getattr(manager, name)
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

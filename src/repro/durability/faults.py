@@ -73,8 +73,9 @@ class CrashInjector:
             :class:`InjectedCrash` (only meaningful in a subprocess).
     """
 
-    def __init__(self, at: str | None = None, after: int | None = 1,
-                 kill: bool = False) -> None:
+    def __init__(
+        self, at: str | None = None, after: int | None = 1, kill: bool = False
+    ) -> None:
         if after is not None and after < 1:
             raise ValueError(f"after must be >= 1, got {after}")
         self.at = None if at in (None, "*") else at
@@ -113,8 +114,9 @@ class injected_crashes:
     """``with injected_crashes(after=n) as injector: ...`` — arm an
     injector for the block, uninstall on exit (crash included)."""
 
-    def __init__(self, at: str | None = None, after: int | None = 1,
-                 kill: bool = False) -> None:
+    def __init__(
+        self, at: str | None = None, after: int | None = 1, kill: bool = False
+    ) -> None:
         self.injector = CrashInjector(at=at, after=after, kill=kill)
 
     def __enter__(self) -> CrashInjector:
@@ -140,9 +142,8 @@ def _from_environment() -> None:
         raise ValueError(
             f"{_POINT_ENV} must look like 'point:count', got {raw!r}"
         ) from None
-    install(CrashInjector(
-        at=at, after=after,
-        kill=os.environ.get(_KILL_ENV, "") not in ("", "0")))
+    kill = os.environ.get(_KILL_ENV, "") not in ("", "0")
+    install(CrashInjector(at=at, after=after, kill=kill))
 
 
 def is_active() -> bool:

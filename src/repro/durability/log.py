@@ -94,13 +94,17 @@ def _fsync_dir(path: Path) -> None:
 def _encode_batch(ratings: Iterable[Rating]) -> bytes:
     return json.dumps(
         [[r.user, r.item, r.value, r.timestep] for r in ratings],
-        separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+        separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")
 
 
 def _decode_batch(payload: bytes) -> tuple[Rating, ...]:
-    return tuple(Rating(user, item, float(value), int(timestep))
-                 for user, item, value, timestep in json.loads(
-                     payload.decode("utf-8")))
+    records = json.loads(payload.decode("utf-8"))
+    return tuple(
+        Rating(user, item, float(value), int(timestep))
+        for user, item, value, timestep in records
+    )
 
 
 class LogRecord(NamedTuple):
@@ -145,8 +149,9 @@ def _scan_segment(path: Path, first_seq: int) -> SegmentInfo:
     data = path.read_bytes()
     size = len(data)
     if size < len(SEGMENT_MAGIC) or not data.startswith(SEGMENT_MAGIC):
-        return SegmentInfo(path, first_seq, first_seq - 1, 0, size,
-                           0, "bad or torn segment magic")
+        return SegmentInfo(
+            path, first_seq, first_seq - 1, 0, size, 0, "bad or torn segment magic"
+        )
     offset = len(SEGMENT_MAGIC)
     expected = first_seq
     n_records = 0
@@ -163,25 +168,34 @@ def _scan_segment(path: Path, first_seq: int) -> SegmentInfo:
         if end > size:
             defect = f"torn frame payload at byte {offset}"
             break
-        payload = data[offset + _HEADER.size:end]
+        payload = data[offset + _HEADER.size : end]
         if crc32(_CRC_PREFIX.pack(seq, length) + payload) != crc:
             defect = f"crc mismatch at byte {offset}"
             break
         if seq != expected:
-            defect = (f"sequence gap at byte {offset} "
-                      f"(got {seq}, expected {expected})")
+            defect = (
+                f"sequence gap at byte {offset} "
+                f"(got {seq}, expected {expected})"
+            )
             break
         offset = end
         expected = seq + 1
         n_records += 1
-    return SegmentInfo(path, first_seq, expected - 1, n_records, size,
-                       offset if defect is None else offset, defect)
+    return SegmentInfo(
+        path,
+        first_seq,
+        expected - 1,
+        n_records,
+        size,
+        offset if defect is None else offset,
+        defect,
+    )
 
 
 def _list_segments(directory: Path) -> list[tuple[int, Path]]:
     found = []
     for path in directory.glob(_SEGMENT_GLOB):
-        stem = path.name[len("segment-"):-len(".wal")]
+        stem = path.name[len("segment-") : -len(".wal")]
         try:
             found.append((int(stem), path))
         except ValueError:
@@ -218,15 +232,19 @@ class RatingLog:
     :attr:`repairs` for the recovery report.
     """
 
-    def __init__(self, directory, *, segment_bytes: int = 4 << 20,
-                 group_commit: int = 1, fsync: bool = True,
-                 readonly: bool = False) -> None:
+    def __init__(
+        self,
+        directory,
+        *,
+        segment_bytes: int = 4 << 20,
+        group_commit: int = 1,
+        fsync: bool = True,
+        readonly: bool = False,
+    ) -> None:
         if segment_bytes < 1:
-            raise DurabilityError(
-                f"segment_bytes must be >= 1, got {segment_bytes}")
+            raise DurabilityError(f"segment_bytes must be >= 1, got {segment_bytes}")
         if group_commit < 1:
-            raise DurabilityError(
-                f"group_commit must be >= 1, got {group_commit}")
+            raise DurabilityError(f"group_commit must be >= 1, got {group_commit}")
         self.directory = Path(directory)
         self.segment_bytes = segment_bytes
         self.group_commit = group_commit
@@ -248,28 +266,29 @@ class RatingLog:
             if truncate_from is not None:
                 repairs.append(
                     f"dropping segment {path.name}: follows a "
-                    f"corrupt/torn record")
+                    f"corrupt/torn record"
+                )
                 continue
             if pos and first_seq != self._segments[-1].last_seq + 1:
                 repairs.append(
                     f"dropping segment {path.name}: sequence gap after "
-                    f"{self._segments[-1].path.name}")
+                    f"{self._segments[-1].path.name}"
+                )
                 truncate_from = pos
                 continue
             info = _scan_segment(path, first_seq)
             if info.torn:
                 repairs.append(
                     f"truncating {path.name} to {info.valid_bytes} "
-                    f"bytes ({info.n_records} records): {info.defect}")
+                    f"bytes ({info.n_records} records): {info.defect}"
+                )
                 truncate_from = pos + 1
             self._segments.append(info)
 
-        if not readonly and (repairs or any(
-                s.torn for s in self._segments)):
+        if not readonly and (repairs or any(s.torn for s in self._segments)):
             self._repair(names, truncate_from)
         self.repairs = tuple(repairs)
-        self.last_seq = (self._segments[-1].last_seq
-                         if self._segments else 0)
+        self.last_seq = self._segments[-1].last_seq if self._segments else 0
         # Post-repair, every surviving record is on disk; after a
         # read-write open the history below last_seq is durable.
         self.durable_seq = self.last_seq
@@ -278,8 +297,7 @@ class RatingLog:
     # Repair / scanning
     # ------------------------------------------------------------------
 
-    def _repair(self, names: list[tuple[int, Path]],
-                truncate_from: int | None) -> None:
+    def _repair(self, names: list[tuple[int, Path]], truncate_from: int | None) -> None:
         """Make disk match the validated prefix: truncate the first
         torn segment to its valid bytes, delete everything after.
 
@@ -309,9 +327,14 @@ class RatingLog:
                 handle.flush()
                 os.fsync(handle.fileno())
             self._segments[pos] = SegmentInfo(
-                info.path, info.first_seq, info.last_seq,
-                info.n_records, max(info.valid_bytes, len(SEGMENT_MAGIC)),
-                max(info.valid_bytes, len(SEGMENT_MAGIC)), None)
+                info.path,
+                info.first_seq,
+                info.last_seq,
+                info.n_records,
+                max(info.valid_bytes, len(SEGMENT_MAGIC)),
+                max(info.valid_bytes, len(SEGMENT_MAGIC)),
+                None,
+            )
         faults.crash_point("wal.repair.dirsync")
         _fsync_dir(self.directory)
 
@@ -328,19 +351,21 @@ class RatingLog:
         the segment is over budget."""
         if self._segments:
             active = self._segments[-1]
-            if (self._file is not None
-                    and active.size_bytes + frame_bytes
-                    > self.segment_bytes
-                    and active.n_records > 0):
+            if (
+                self._file is not None
+                and active.size_bytes + frame_bytes > self.segment_bytes
+                and active.n_records > 0
+            ):
                 self.sync()
                 faults.crash_point("wal.rotate.close")
                 self._file.close()
                 self._file = None
         if self._file is None:
-            if (not self._segments
-                    or self._segments[-1].size_bytes + frame_bytes
-                    > self.segment_bytes
-                    and self._segments[-1].n_records > 0):
+            if (
+                not self._segments
+                or self._segments[-1].size_bytes + frame_bytes > self.segment_bytes
+                and self._segments[-1].n_records > 0
+            ):
                 first_seq = self.last_seq + 1
                 path = self.directory / _segment_name(first_seq)
                 faults.crash_point("wal.rotate.create")
@@ -349,15 +374,21 @@ class RatingLog:
                 self._file.flush()
                 faults.crash_point("wal.rotate.dirsync")
                 _fsync_dir(self.directory)
-                self._segments.append(SegmentInfo(
-                    path, first_seq, first_seq - 1, 0,
-                    len(SEGMENT_MAGIC), len(SEGMENT_MAGIC), None))
+                fresh = SegmentInfo(
+                    path,
+                    first_seq,
+                    first_seq - 1,
+                    0,
+                    len(SEGMENT_MAGIC),
+                    len(SEGMENT_MAGIC),
+                    None,
+                )
+                self._segments.append(fresh)
             else:
                 self._file = open(self._segments[-1].path, "ab")
         return self._file
 
-    def append(self, ratings: Iterable[Rating],
-               sync: bool | None = None) -> int:
+    def append(self, ratings: Iterable[Rating], sync: bool | None = None) -> int:
         """Append one batch; returns its sequence number.
 
         The frame reaches the OS before this returns (a crash of *this
@@ -368,10 +399,8 @@ class RatingLog:
         self._require_writable()
         payload = _encode_batch(ratings)
         seq = self.last_seq + 1
-        frame = (_HEADER.pack(seq, len(payload),
-                              crc32(_CRC_PREFIX.pack(seq, len(payload))
-                                    + payload))
-                 + payload)
+        crc = crc32(_CRC_PREFIX.pack(seq, len(payload)) + payload)
+        frame = _HEADER.pack(seq, len(payload), crc) + payload
         handle = self._active_file(len(frame))
         faults.crash_point("wal.append.write")
         if faults.is_active() and len(frame) > 1:
@@ -388,9 +417,14 @@ class RatingLog:
         handle.flush()
         active = self._segments[-1]
         self._segments[-1] = SegmentInfo(
-            active.path, active.first_seq, seq,
-            active.n_records + 1, active.size_bytes + len(frame),
-            active.valid_bytes + len(frame), None)
+            active.path,
+            active.first_seq,
+            seq,
+            active.n_records + 1,
+            active.size_bytes + len(frame),
+            active.valid_bytes + len(frame),
+            None,
+        )
         self.last_seq = seq
         self._pending += 1
         if sync or (sync is None and self._pending >= self.group_commit):
@@ -428,8 +462,7 @@ class RatingLog:
             offset = len(SEGMENT_MAGIC)
             while offset < len(data):
                 seq, length, _ = _HEADER.unpack_from(data, offset)
-                payload = data[offset + _HEADER.size:
-                               offset + _HEADER.size + length]
+                payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
                 offset += _HEADER.size + length
                 if seq > after_seq:
                     yield LogRecord(seq, _decode_batch(payload))
@@ -441,8 +474,7 @@ class RatingLog:
         number of segments deleted."""
         self._require_writable()
         deleted = 0
-        while len(self._segments) > 1 \
-                and self._segments[0].last_seq <= upto_seq:
+        while len(self._segments) > 1 and self._segments[0].last_seq <= upto_seq:
             info = self._segments.pop(0)
             faults.crash_point("wal.prune.unlink")
             info.path.unlink()
@@ -476,9 +508,10 @@ class RatingLog:
             handle.flush()
             os.fsync(handle.fileno())
         _fsync_dir(self.directory)
-        self._segments = [SegmentInfo(
-            path, seq + 1, seq, 0, len(SEGMENT_MAGIC),
-            len(SEGMENT_MAGIC), None)]
+        fresh = SegmentInfo(
+            path, seq + 1, seq, 0, len(SEGMENT_MAGIC), len(SEGMENT_MAGIC), None
+        )
+        self._segments = [fresh]
         self.last_seq = seq
         self.durable_seq = seq
         self._pending = 0
@@ -512,7 +545,9 @@ class RatingLog:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"RatingLog({str(self.directory)!r}, "
-                f"segments={len(self._segments)}, "
-                f"last_seq={self.last_seq}, "
-                f"durable_seq={self.durable_seq})")
+        return (
+            f"RatingLog({str(self.directory)!r}, "
+            f"segments={len(self._segments)}, "
+            f"last_seq={self.last_seq}, "
+            f"durable_seq={self.durable_seq})"
+        )

@@ -94,27 +94,27 @@ class CheckpointPolicy:
     max_staleness_seconds: float | None = None
 
     def __post_init__(self) -> None:
-        for name in ("max_log_bytes", "max_batches",
-                     "max_staleness_seconds"):
+        for name in ("max_log_bytes", "max_batches", "max_staleness_seconds"):
             value = getattr(self, name)
             if value is not None and value <= 0:
-                raise DurabilityError(
-                    f"{name} must be positive or None, got {value}")
+                raise DurabilityError(f"{name} must be positive or None, got {value}")
 
-    def due(self, *, log_bytes: int, batches: int,
-            staleness_seconds: float) -> bool:
-        if self.max_log_bytes is not None \
-                and log_bytes >= self.max_log_bytes:
+    def due(self, *, log_bytes: int, batches: int, staleness_seconds: float) -> bool:
+        if self.max_log_bytes is not None and log_bytes >= self.max_log_bytes:
             return True
         if self.max_batches is not None and batches >= self.max_batches:
             return True
-        return (self.max_staleness_seconds is not None
-                and staleness_seconds >= self.max_staleness_seconds)
+        return (
+            self.max_staleness_seconds is not None
+            and staleness_seconds >= self.max_staleness_seconds
+        )
 
     def as_dict(self) -> dict:
-        return {"max_log_bytes": self.max_log_bytes,
-                "max_batches": self.max_batches,
-                "max_staleness_seconds": self.max_staleness_seconds}
+        return {
+            "max_log_bytes": self.max_log_bytes,
+            "max_batches": self.max_batches,
+            "max_staleness_seconds": self.max_staleness_seconds,
+        }
 
 
 @dataclass(frozen=True)
@@ -152,40 +152,55 @@ class DurableSweep:
     policy running underneath.
     """
 
-    def __init__(self, directory, table: "RatingTable | None" = None, *,
-                 n_shards: int | None = None,
-                 processes: int | None = None,
-                 min_common_users: int = 1,
-                 min_abs_similarity: float = 0.0,
-                 with_significance: bool = False,
-                 cf_k: int = 50, positive_only: bool = True,
-                 policy: CheckpointPolicy | None = None,
-                 group_commit: int = 1,
-                 segment_bytes: int = 4 << 20,
-                 fsync: bool = True) -> None:
+    def __init__(
+        self,
+        directory,
+        table: "RatingTable | None" = None,
+        *,
+        n_shards: int | None = None,
+        processes: int | None = None,
+        min_common_users: int = 1,
+        min_abs_similarity: float = 0.0,
+        with_significance: bool = False,
+        cf_k: int = 50,
+        positive_only: bool = True,
+        policy: CheckpointPolicy | None = None,
+        group_commit: int = 1,
+        segment_bytes: int = 4 << 20,
+        fsync: bool = True,
+    ) -> None:
         directory = Path(directory)
         if (directory / CHECKPOINT_FILE).exists():
             raise DurabilityError(
                 f"{directory} already holds a durable store; open it "
-                f"with DurableSweep.recover() instead")
+                f"with DurableSweep.recover() instead"
+            )
         if table is None:
             raise DurabilityError(
                 "creating a durable store needs the initial rating "
-                "table (recover() re-opens an existing directory)")
+                "table (recover() re-opens an existing directory)"
+            )
         directory.mkdir(parents=True, exist_ok=True)
         self.directory = directory
         self.cf_k = cf_k
         self.positive_only = positive_only
         self.policy = policy if policy is not None else CheckpointPolicy()
-        self.log = RatingLog(directory / _WAL_DIR,
-                             segment_bytes=segment_bytes,
-                             group_commit=group_commit, fsync=fsync)
+        self.log = RatingLog(
+            directory / _WAL_DIR,
+            segment_bytes=segment_bytes,
+            group_commit=group_commit,
+            fsync=fsync,
+        )
         self.sweep = IncrementalSweep(
-            table, n_shards=n_shards, processes=processes,
+            table,
+            n_shards=n_shards,
+            processes=processes,
             min_common_users=min_common_users,
             min_abs_similarity=min_abs_similarity,
-            with_significance=with_significance, with_index=True,
-            wal=self.log)
+            with_significance=with_significance,
+            with_index=True,
+            wal=self.log,
+        )
         self.applied_seq = self.log.last_seq
         self.last_recovery: RecoveryReport | None = None
         self._batches_since_checkpoint = 0
@@ -243,11 +258,12 @@ class DurableSweep:
         stats = self.sweep.update(batch)
         self.applied_seq = self.log.last_seq
         self._batches_since_checkpoint += 1
+        staleness = time.monotonic() - self._last_checkpoint_monotonic
         if self.policy.due(
-                log_bytes=self.log.total_bytes,
-                batches=self._batches_since_checkpoint,
-                staleness_seconds=(time.monotonic()
-                                   - self._last_checkpoint_monotonic)):
+            log_bytes=self.log.total_bytes,
+            batches=self._batches_since_checkpoint,
+            staleness_seconds=staleness,
+        ):
             self.checkpoint()
         return stats
 
@@ -263,7 +279,8 @@ class DurableSweep:
         snapshot_dir = self.directory / _SNAPSHOT_DIR / _checkpoint_name(seq)
         faults.crash_point("checkpoint.snapshot.save")
         ModelSnapshot.from_sweep(
-            self.sweep, cf_k=self.cf_k,
+            self.sweep,
+            cf_k=self.cf_k,
             positive_only=self.positive_only,
         ).save(snapshot_dir, overwrite=True)
 
@@ -317,12 +334,17 @@ class DurableSweep:
     # ------------------------------------------------------------------
 
     @classmethod
-    def recover(cls, directory, *, n_shards: int | None = None,
-                processes: int | None = None,
-                use_numpy: bool | None = None,
-                policy: CheckpointPolicy | None = None,
-                group_commit: int | None = None,
-                fsync: bool | None = None) -> "DurableSweep":
+    def recover(
+        cls,
+        directory,
+        *,
+        n_shards: int | None = None,
+        processes: int | None = None,
+        use_numpy: bool | None = None,
+        policy: CheckpointPolicy | None = None,
+        group_commit: int | None = None,
+        fsync: bool | None = None,
+    ) -> "DurableSweep":
         """Rebuild the pre-crash sweep from *directory*.
 
         Loads the pointed-to checkpoint snapshot, rebuilds the
@@ -346,7 +368,8 @@ class DurableSweep:
         if not pointer_path.exists():
             raise DurabilityError(
                 f"{directory} is not a durable store (no "
-                f"{CHECKPOINT_FILE})")
+                f"{CHECKPOINT_FILE})"
+            )
         try:
             pointer = json.loads(pointer_path.read_text(encoding="utf-8"))
         except ValueError as exc:
@@ -356,23 +379,29 @@ class DurableSweep:
         if pointer.get("format") != _FORMAT:
             raise DurabilityError(
                 f"{directory} is not a durable store "
-                f"(format={pointer.get('format')!r})")
+                f"(format={pointer.get('format')!r})"
+            )
         if pointer.get("format_version") != _FORMAT_VERSION:
             raise DurabilityError(
                 f"durable store format version "
                 f"{pointer.get('format_version')!r} is not supported "
-                f"(this build reads version {_FORMAT_VERSION})")
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
         config = pointer["config"]
         checkpoint_seq = int(pointer["applied_seq"])
         snapshot_path = directory / pointer["snapshot"]
 
         snapshot = ModelSnapshot.load(snapshot_path, use_numpy=use_numpy)
+        if group_commit is None:
+            group_commit = int(config["group_commit"])
+        if fsync is None:
+            fsync = bool(config["fsync"])
         log = RatingLog(
             directory / _WAL_DIR,
             segment_bytes=int(config["segment_bytes"]),
-            group_commit=(int(config["group_commit"])
-                          if group_commit is None else group_commit),
-            fsync=bool(config["fsync"]) if fsync is None else fsync)
+            group_commit=group_commit,
+            fsync=fsync,
+        )
         if log.last_seq < checkpoint_seq:
             # Only possible when fsync was off (or the disk dropped
             # synced writes): frames below the watermark vanished. They
@@ -384,19 +413,21 @@ class DurableSweep:
         instance.directory = directory
         instance.cf_k = int(config["cf_k"])
         instance.positive_only = bool(config["positive_only"])
-        instance.policy = (
-            policy if policy is not None
-            else CheckpointPolicy(**config["policy"]))
+        if policy is None:
+            policy = CheckpointPolicy(**config["policy"])
+        instance.policy = policy
         instance.log = log
+        if n_shards is None:
+            n_shards = int(config["n_shards"])
         instance.sweep = IncrementalSweep(
             snapshot.table(),
-            n_shards=(int(config["n_shards"])
-                      if n_shards is None else n_shards),
+            n_shards=n_shards,
             processes=processes,
             min_common_users=int(config["min_common_users"]),
             min_abs_similarity=float(config["min_abs_similarity"]),
             with_significance=bool(config["with_significance"]),
-            with_index=True)
+            with_index=True,
+        )
         replayed_batches = 0
         replayed_ratings = 0
         for record in log.replay(after_seq=checkpoint_seq):
@@ -415,7 +446,8 @@ class DurableSweep:
             replayed_batches=replayed_batches,
             replayed_ratings=replayed_ratings,
             log_repairs=log.repairs,
-            seconds=time.perf_counter() - started)
+            seconds=time.perf_counter() - started,
+        )
         return instance
 
     # ------------------------------------------------------------------
@@ -445,6 +477,8 @@ class DurableSweep:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"DurableSweep({str(self.directory)!r}, "
-                f"applied_seq={self.applied_seq}, "
-                f"n_shards={self.sweep.n_shards})")
+        return (
+            f"DurableSweep({str(self.directory)!r}, "
+            f"applied_seq={self.applied_seq}, "
+            f"n_shards={self.sweep.n_shards})"
+        )

@@ -57,3 +57,22 @@ class DurabilityError(ReproError):
     """The durability layer was driven incorrectly (invalid write-ahead
     log configuration, appending to a readonly log, recovering a
     directory that holds no durable store)."""
+
+
+class StaleModelError(ServingError):
+    """A version-pinned request required a model version the local
+    registry has not converged on yet (the gateway's version handshake
+    turns this into a refresh-and-retry, never a torn response)."""
+
+    def __init__(self, version: int, min_version: int) -> None:
+        super().__init__(
+            f"the pinned model is at version {version} but the request "
+            f"requires at least version {min_version}"
+        )
+        self.version = version
+        self.min_version = min_version
+
+
+class GatewayError(ReproError):
+    """The networked serving tier failed a request (no live worker,
+    worker death exhausted the retry budget, malformed wire frames)."""

@@ -1,0 +1,41 @@
+"""The networked serving tier: HTTP gateway over a worker fleet.
+
+This package is the first multi-process layer of the system — the
+point where the in-process serving stack (`repro.serving`) becomes a
+topology::
+
+            clients (HTTP/1.1 keep-alive)
+                      │
+              GatewayServer            asyncio, stdlib only
+          coalesce → batch windows     (max_batch / max_delay)
+                      │
+               WorkerPool              checkout routing, retries,
+          version handshake (min_version), restart-on-death
+              │              │
+         worker proc …  worker proc    fresh interpreters over a
+         RegistryWatcher → memmapped   socketpair; each watches the
+         ModelSnapshot → Recommendation shared snapshot source and
+         Service (version-pinned)       serves one pinned version
+              └──────┬───────┘
+            shared snapshot source     SnapshotCatalog / DurableSweep
+            (page cache shared)        store / plain snapshot dir
+
+Guarantees, in one line each: every response is computed under exactly
+one model version (pinning); no response is ever computed from a model
+older than one the fleet already served (the ``min_version``
+handshake → monotonic reads); worker death is retried or cleanly
+failed, never hung (checkout + timeout + monitor restart).
+"""
+
+# repro.gateway.worker is deliberately NOT imported here: the package
+# must stay importable before ``python -m repro.gateway.worker`` runs
+# the module as ``__main__`` (importing it from the package first makes
+# runpy execute a second copy).
+from repro.gateway.server import GatewayServer
+from repro.gateway.supervisor import WorkerHandle, WorkerPool
+
+__all__ = [
+    "GatewayServer",
+    "WorkerHandle",
+    "WorkerPool",
+]

@@ -1,0 +1,331 @@
+"""The asyncio HTTP front end: coalescing concurrent requests.
+
+:class:`GatewayServer` is a stdlib-only HTTP/1.1 server (keep-alive,
+JSON responses) in front of a
+:class:`~repro.gateway.supervisor.WorkerPool`. Its job is the batching
+economics the service layer already proved in-process
+(``BENCH_service.json``: one vectorized ``recommend_batch`` pass is an
+order of magnitude cheaper per user than per-request serving): many
+concurrent ``/recommend`` clients are coalesced into one worker call.
+
+The window is two-knobbed, both per-server:
+
+* ``max_batch`` — a flush fires the moment this many requests are
+  pending (a full window never waits);
+* ``max_delay`` — the first request of a window starts a timer; a
+  partial window flushes when it expires, so a lone request pays at
+  most ``max_delay`` extra latency.
+
+Flushes group pending requests by ``n`` (one worker call serves one
+batch shape) and dispatch each group as its own task, so a second
+window can fill — and route to a second worker — while the first is
+still being scored: batching and multi-process parallelism compose
+rather than serialise.
+
+Endpoints::
+
+    GET /recommend?user=alice&n=10      one user (coalesced)
+    POST /recommend {"users": [...], "n": 10}   explicit batch
+    GET /similar_items?item=tt0111161&k=10&minimum=0.2
+    GET /healthz
+
+Every data response carries the model ``version`` that computed it —
+single-valued by construction (the worker pinned exactly one version
+for the whole batch), which is what the smoke gate asserts when it
+diffs gateway responses against an in-process reference during a live
+publish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import GatewayError
+from repro.gateway.supervisor import WorkerPool
+
+DEFAULT_MAX_BATCH = 32
+DEFAULT_MAX_DELAY = 0.002
+_MAX_HEAD_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Batcher:
+    """Coalesce single-user recommend requests into worker batches.
+
+    Single-threaded by construction — every method runs on the event
+    loop — so the pending list needs no lock; the flush path just has
+    to be careful to detach the list before awaiting anything.
+    """
+
+    def __init__(
+        self, pool: WorkerPool, max_batch: int, max_delay: float
+    ) -> None:
+        if max_batch < 1:
+            raise GatewayError(f"max_batch must be >= 1, got {max_batch}")
+        self.pool = pool
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.n_flushes = 0
+        self.n_coalesced = 0
+        self._pending: list[tuple[str, int, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+
+    async def submit(self, user: str, n: int) -> tuple[int, list]:
+        """One user's Top-N through the current window; resolves to
+        ``(version, recommendations)``."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((user, n, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_delay, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        window, self._pending = self._pending, []
+        self.n_flushes += 1
+        self.n_coalesced += len(window)
+        groups: dict[int, list[tuple[str, asyncio.Future]]] = {}
+        for user, n, future in window:
+            groups.setdefault(n, []).append((user, future))
+        for n, group in groups.items():
+            asyncio.ensure_future(self._dispatch(n, group))
+
+    async def _dispatch(
+        self, n: int, group: list[tuple[str, asyncio.Future]]
+    ) -> None:
+        users = [user for user, _ in group]
+        try:
+            response = await self.pool.call(
+                "recommend", {"users": users, "n": n}
+            )
+        except Exception as exc:
+            for _, future in group:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        version = response["version"]
+        for (_, future), result in zip(group, response["results"]):
+            if not future.done():
+                future.set_result((version, result))
+
+
+class GatewayServer:
+    """The networked serving front end (see the module docstring)."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+    ) -> None:
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.batcher = _Batcher(pool, max_batch, max_delay)
+        self.n_http_requests = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting (workers must already be started);
+        :attr:`port` holds the bound port afterwards (0 → ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=_MAX_HEAD_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, target, headers, body = request
+                self.n_http_requests += 1
+                status, payload = await self._route(method, target, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except asyncio.CancelledError:
+            # Loop shutdown with a keep-alive connection parked in
+            # read: finish quietly instead of surfacing a cancelled
+            # handler task.
+            return
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict, bytes] | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, _http_version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, separator, value = line.partition(":")
+            if separator:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        if length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   503: "Service Unavailable"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
+        split = urlsplit(target)
+        path = split.path
+        query = {
+            name: values[-1]
+            for name, values in parse_qs(split.query).items()
+        }
+        if body:
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except ValueError:
+                return 400, {"error": "request body is not valid JSON"}
+            if not isinstance(parsed, dict):
+                return 400, {"error": "request body must be an object"}
+            query = {**parsed, **query}
+        try:
+            if path == "/healthz":
+                return await self._healthz()
+            if path == "/recommend":
+                return await self._recommend(query)
+            if path == "/similar_items":
+                return await self._similar_items(query)
+        except GatewayError as exc:
+            return 503, {"error": str(exc)}
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": f"bad request: {exc}"}
+        return 404, {"error": f"no such endpoint: {path}"}
+
+    async def _healthz(self) -> tuple[int, dict]:
+        stats = self.pool.stats()
+        healthy = stats["alive"] > 0
+        payload = {
+            "status": "ok" if healthy else "unavailable",
+            "version": stats["fleet_version"],
+            "workers": stats,
+            "http_requests": self.n_http_requests,
+            "batch": {
+                "flushes": self.batcher.n_flushes,
+                "coalesced": self.batcher.n_coalesced,
+            },
+        }
+        return (200 if healthy else 503), payload
+
+    async def _recommend(self, query: dict) -> tuple[int, dict]:
+        n = int(query.get("n", 10))
+        users = query.get("users")
+        if users is not None:
+            if not isinstance(users, list) or not users:
+                return 400, {"error": "'users' must be a non-empty list"}
+            response = await self.pool.call(
+                "recommend", {"users": users, "n": n}
+            )
+            return 200, {
+                "version": response["version"],
+                "users": users,
+                "recommendations": response["results"],
+            }
+        user = query.get("user")
+        if not user:
+            return 400, {"error": "missing 'user' (or 'users') parameter"}
+        version, result = await self.batcher.submit(str(user), n)
+        return 200, {
+            "version": version,
+            "user": user,
+            "recommendations": result,
+        }
+
+    async def _similar_items(self, query: dict) -> tuple[int, dict]:
+        item = query.get("item")
+        if not item:
+            return 400, {"error": "missing 'item' parameter"}
+        params: dict = {"item": str(item), "k": int(query.get("k", 10))}
+        if query.get("minimum") is not None:
+            params["minimum"] = float(query["minimum"])
+        response = await self.pool.call("similar_items", params)
+        return 200, {
+            "version": response["version"],
+            "item": item,
+            "neighbors": response["results"],
+        }

@@ -1,0 +1,402 @@
+"""The worker fleet supervisor: spawn, route, retry, restart.
+
+The :class:`WorkerPool` owns N worker subprocesses. Each worker is a
+**fresh interpreter** (no fork — the parent's asyncio loop, locks, and
+numpy state never leak into a child) connected over a ``socketpair``
+inherited as a file descriptor, so worker death is observable as plain
+EOF on the pair — no PID polling, no signals.
+
+Routing is checkout-based: one request occupies one worker at a time
+(workers are single-threaded; their parallelism is process-level), and
+a worker returns to the idle queue the moment its response arrives.
+Three failure modes are handled distinctly:
+
+* **death mid-flight** (EOF/torn frame): the request is retried on
+  another worker — every gateway method is an idempotent read, so the
+  retry is safe — while the worker's monitor task spawns a
+  replacement;
+* **hang** (no frame within ``call_timeout``): the worker is killed
+  (which turns the hang into a death) and the request retried;
+* **stale model** (a worker answers behind the fleet's
+  ``min_version``): retried after a short pause — the worker polls its
+  watcher on demand, so one round trip is normally enough.
+
+The pool carries the fleet-wide version handshake: every successful
+response advances :attr:`fleet_version` (the highest version any
+worker has served), and every read request is stamped with it as
+``min_version``. The result is **monotonic reads across the fleet** —
+once any client has seen version ``v``, no later response is computed
+from an older model, even though workers converge independently. This
+per-request version floor is the seam a partially replicated fleet
+will later widen into a version *vector* across item partitions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.errors import GatewayError
+from repro.gateway.protocol import read_frame, write_frame
+
+DEFAULT_CALL_TIMEOUT = 30.0
+DEFAULT_STALE_BACKOFF = 0.05
+
+
+def _worker_pythonpath() -> str:
+    """A PYTHONPATH under which ``import repro`` resolves to the same
+    package the supervisor is running."""
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if not existing:
+        return package_root
+    if package_root in existing.split(os.pathsep):
+        return existing
+    return package_root + os.pathsep + existing
+
+
+class WorkerHandle:
+    """One live worker subprocess and its frame stream."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        proc: subprocess.Popen,
+        sock: socket.socket,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.sock = sock
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+        self.n_calls = 0
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    async def call(self, payload: dict, timeout: float) -> dict:
+        """One request/response round trip. Any failure mode —
+        timeout, EOF, torn frame — is surfaced as
+        :class:`~repro.errors.GatewayError` after the worker has been
+        killed, so the caller only ever retries against a dead
+        (restarting) worker, never a desynchronised one."""
+        self.n_calls += 1
+        try:
+            write_frame(self.writer, payload)
+            await self.writer.drain()
+            response = await asyncio.wait_for(
+                read_frame(self.reader), timeout
+            )
+        except asyncio.TimeoutError:
+            self.kill()
+            raise GatewayError(
+                f"worker {self.worker_id} (pid {self.pid}) gave no "
+                f"response within {timeout:.1f}s; killed"
+            ) from None
+        except (ConnectionError, OSError, GatewayError) as exc:
+            self.kill()
+            raise GatewayError(
+                f"worker {self.worker_id} (pid {self.pid}) died "
+                f"mid-request: {exc}"
+            ) from exc
+        if response is None:
+            self.kill()
+            raise GatewayError(
+                f"worker {self.worker_id} (pid {self.pid}) closed its "
+                f"stream mid-request"
+            )
+        return response
+
+    def kill(self) -> None:
+        """Tear the worker down (idempotent); its monitor task sees the
+        exit and spawns a replacement."""
+        self.alive = False
+        if self.proc.poll() is None:
+            self.proc.kill()
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class WorkerPool:
+    """Spawn and supervise N gateway workers over one snapshot source.
+
+    Args:
+        watch: the shared snapshot source directory every worker
+            watches (a :class:`~repro.serving.watch.SnapshotCatalog`
+            root, a durable store, or a single snapshot directory).
+        n_workers: fleet size.
+        pure_python: run workers on the pure-Python backend.
+        call_timeout: per-request ceiling before a worker is declared
+            hung and killed.
+        retries: extra attempts for a request whose worker died or
+            answered stale (reads are idempotent, so retrying is safe).
+        poll_interval: idle watcher poll period inside each worker.
+        worker_env: extra environment for worker processes (the fault
+            harness injects ``REPRO_CRASH_POINT`` here).
+    """
+
+    def __init__(
+        self,
+        watch,
+        n_workers: int = 2,
+        pure_python: bool = False,
+        call_timeout: float = DEFAULT_CALL_TIMEOUT,
+        retries: int = 2,
+        poll_interval: float = 0.2,
+        load_timeout: float = 30.0,
+        row_cache_size: int = 4096,
+        response_cache_size: int = 1024,
+        worker_env: dict[str, str] | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise GatewayError(f"n_workers must be >= 1, got {n_workers}")
+        self.watch = Path(watch)
+        self.n_workers = n_workers
+        self.pure_python = pure_python
+        self.call_timeout = call_timeout
+        self.retries = retries
+        self.poll_interval = poll_interval
+        self.load_timeout = load_timeout
+        self.row_cache_size = row_cache_size
+        self.response_cache_size = response_cache_size
+        self.worker_env = dict(worker_env or {})
+        #: highest model version any worker has served — the fleet's
+        #: monotonic-read floor.
+        self.fleet_version = 0
+        self.n_restarts = 0
+        self.n_calls = 0
+        self._idle: asyncio.Queue[WorkerHandle] = asyncio.Queue()
+        self._handles: list[WorkerHandle] = []
+        self._monitors: list[asyncio.Task] = []
+        self._next_id = 0
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the fleet and block until every worker answers a
+        health check (its model is loaded and mapped)."""
+        for _ in range(self.n_workers):
+            handle = await self._spawn()
+            self._handles.append(handle)
+            self._monitors.append(
+                asyncio.create_task(self._monitor(handle))
+            )
+            self._idle.put_nowait(handle)
+
+    async def _spawn(self) -> WorkerHandle:
+        worker_id = self._next_id
+        self._next_id += 1
+        parent_sock, child_sock = socket.socketpair()
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.gateway.worker",
+            "--fd",
+            str(child_sock.fileno()),
+            "--watch",
+            str(self.watch),
+            "--poll-interval",
+            str(self.poll_interval),
+            "--load-timeout",
+            str(self.load_timeout),
+            "--row-cache-size",
+            str(self.row_cache_size),
+            "--response-cache-size",
+            str(self.response_cache_size),
+        ]
+        if self.pure_python:
+            argv.append("--pure-python")
+        env = dict(os.environ)
+        env.update(self.worker_env)
+        env["PYTHONPATH"] = _worker_pythonpath()
+        proc = subprocess.Popen(
+            argv, pass_fds=[child_sock.fileno()], env=env
+        )
+        child_sock.close()
+        parent_sock.setblocking(False)
+        try:
+            reader, writer = await asyncio.open_connection(
+                sock=parent_sock
+            )
+        except Exception:
+            proc.kill()
+            parent_sock.close()
+            raise
+        handle = WorkerHandle(worker_id, proc, parent_sock, reader, writer)
+        # The worker only enters its frame loop once its model is
+        # loaded, so the first health round trip doubles as readiness.
+        response = await handle.call(
+            {"method": "health"}, self.load_timeout + self.call_timeout
+        )
+        self._note_version(response)
+        return handle
+
+    async def _monitor(self, handle: WorkerHandle) -> None:
+        """Wait out one worker's life; replace it when it dies. Only
+        monitors spawn replacements, so a death observed by both a
+        caller and the monitor still yields exactly one new worker."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, handle.proc.wait)
+        handle.alive = False
+        try:
+            handle.writer.close()
+        except Exception:
+            pass
+        if self._closing:
+            return
+        self.n_restarts += 1
+        try:
+            replacement = await self._spawn()
+        except (GatewayError, OSError):
+            # A replacement that cannot come up (source vanished,
+            # fork limits) leaves the fleet one short; the next death
+            # or close() accounts for it.
+            return
+        self._handles.append(replacement)
+        self._monitors.append(
+            asyncio.create_task(self._monitor(replacement))
+        )
+        self._idle.put_nowait(replacement)
+
+    async def close(self) -> None:
+        """Kill the fleet and cancel the monitors (idempotent)."""
+        self._closing = True
+        for task in self._monitors:
+            task.cancel()
+        for task in self._monitors:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._monitors.clear()
+        for handle in self._handles:
+            handle.kill()
+            handle.proc.wait()
+        self._handles.clear()
+        while not self._idle.empty():
+            self._idle.get_nowait()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _checkout(self) -> WorkerHandle:
+        deadline = (
+            asyncio.get_running_loop().time() + self.call_timeout
+        )
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise GatewayError(
+                    "no live worker became available within "
+                    f"{self.call_timeout:.1f}s"
+                )
+            try:
+                handle = await asyncio.wait_for(
+                    self._idle.get(), remaining
+                )
+            except asyncio.TimeoutError:
+                raise GatewayError(
+                    "no live worker became available within "
+                    f"{self.call_timeout:.1f}s"
+                ) from None
+            if handle.alive and handle.proc.poll() is None:
+                return handle
+            # A corpse left in the queue by a death; skip it — its
+            # monitor already arranged the replacement.
+
+    def _release(self, handle: WorkerHandle) -> None:
+        if handle.alive and handle.proc.poll() is None:
+            self._idle.put_nowait(handle)
+
+    def _note_version(self, response: dict) -> None:
+        version = response.get("version")
+        if isinstance(version, int) and version > self.fleet_version:
+            self.fleet_version = version
+
+    async def call(
+        self,
+        method: str,
+        params: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Route one request to the fleet and return the worker's
+        response payload, retrying across deaths and staleness. Raises
+        :class:`~repro.errors.GatewayError` when the retry budget is
+        exhausted, and for non-retryable worker errors."""
+        self.n_calls += 1
+        timeout = self.call_timeout if timeout is None else timeout
+        params = dict(params or {})
+        last_error: GatewayError | None = None
+        for _attempt in range(self.retries + 1):
+            if method in ("recommend", "similar_items"):
+                # The handshake: no response may be computed from a
+                # model older than the newest the fleet has served.
+                params["min_version"] = self.fleet_version
+            try:
+                handle = await self._checkout()
+            except GatewayError as exc:
+                last_error = exc
+                break
+            try:
+                response = await handle.call(
+                    {"method": method, "params": params}, timeout
+                )
+            except GatewayError as exc:
+                last_error = exc
+                continue  # the worker is dead; retry on another
+            finally:
+                self._release(handle)
+            if response.get("ok"):
+                self._note_version(response)
+                return response
+            error = response.get("error") or {}
+            message = error.get("message", "worker error")
+            if error.get("retryable"):
+                last_error = GatewayError(
+                    f"worker {handle.worker_id}: {message}"
+                )
+                await asyncio.sleep(DEFAULT_STALE_BACKOFF)
+                continue
+            raise GatewayError(
+                f"worker {handle.worker_id}: {message}"
+            )
+        raise GatewayError(
+            f"request {method!r} failed after {self.retries + 1} "
+            f"attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def alive_workers(self) -> list[int]:
+        return [
+            handle.pid
+            for handle in self._handles
+            if handle.alive and handle.proc.poll() is None
+        ]
+
+    def stats(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "alive": len(self.alive_workers()),
+            "fleet_version": self.fleet_version,
+            "n_calls": self.n_calls,
+            "n_restarts": self.n_restarts,
+        }

@@ -1,0 +1,255 @@
+"""The serving worker process: one memmapped model, one frame loop.
+
+A worker is spawned by the :class:`~repro.gateway.supervisor.WorkerPool`
+as a fresh interpreter (``python -m repro.gateway.worker``) holding one
+end of a ``socketpair`` on an inherited file descriptor. It builds a
+:class:`~repro.serving.watch.RegistryWatcher` over the shared snapshot
+source — on the NumPy backend the model arrays are memory-mapped, so N
+workers on one host share the bytes through the page cache — then
+answers length-prefixed JSON requests strictly one at a time.
+
+Convergence is two-speed:
+
+* **idle**: the socket read times out every ``--poll-interval`` seconds
+  and the worker polls its watcher, so a quiet worker still follows the
+  publisher;
+* **on demand**: every request carries the gateway's ``min_version``
+  handshake. A worker that pins an older version polls once and retries
+  immediately; if the source still has not caught up it answers a
+  *retryable* ``stale`` error rather than serving the old model — the
+  fleet never goes backwards in time from a client's point of view.
+
+``repro.durability.faults.crash_point("gateway.worker.request")`` runs
+once per request, so the PR-6 fault harness can SIGKILL a worker
+mid-flight (``REPRO_CRASH_POINT=gateway.worker.request:3``) and the
+supervisor's restart/retry path gets exercised by real process death.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+
+from repro.durability.faults import crash_point
+from repro.errors import GatewayError, ReproError, StaleModelError
+from repro.gateway.protocol import recv_frame, send_frame
+from repro.serving.service import RecommendationService
+from repro.serving.watch import RegistryWatcher
+
+DEFAULT_POLL_INTERVAL = 0.2
+DEFAULT_LOAD_TIMEOUT = 30.0
+
+
+def _error_response(kind: str, message: str, retryable: bool, **extra) -> dict:
+    return {
+        "ok": False,
+        "error": {
+            "type": kind,
+            "message": message,
+            "retryable": retryable,
+            **extra,
+        },
+    }
+
+
+class WorkerApp:
+    """The request handlers, separated from the socket loop so tests
+    can drive them directly."""
+
+    def __init__(
+        self,
+        watcher: RegistryWatcher,
+        service: RecommendationService,
+    ) -> None:
+        self.watcher = watcher
+        self.service = service
+        self.n_requests = 0
+
+    def handle(self, frame: dict) -> dict | None:
+        """The response for one request frame; ``None`` means a clean
+        shutdown was requested."""
+        self.n_requests += 1
+        method = frame.get("method")
+        params = frame.get("params") or {}
+        crash_point("gateway.worker.request")
+        if method == "shutdown":
+            return None
+        try:
+            if method == "health":
+                return self._health()
+            if method == "poll":
+                self.watcher.poll()
+                return {"ok": True, "version": self.watcher.version}
+            if method == "recommend":
+                return self._recommend(params)
+            if method == "similar_items":
+                return self._similar_items(params)
+        except StaleModelError as exc:
+            return _error_response(
+                "stale",
+                str(exc),
+                retryable=True,
+                version=exc.version,
+                min_version=exc.min_version,
+            )
+        except ReproError as exc:
+            return _error_response(type(exc).__name__, str(exc), retryable=False)
+        return _error_response(
+            "unknown_method",
+            f"worker does not understand method {method!r}",
+            retryable=False,
+        )
+
+    def _health(self) -> dict:
+        return {
+            "ok": True,
+            "version": self.watcher.version,
+            "pid": os.getpid(),
+            "n_requests": self.n_requests,
+            "n_loads": self.watcher.n_loads,
+        }
+
+    def _fresh(self, min_version: int) -> None:
+        """Converge before serving a request that requires a newer
+        model than the local registry holds."""
+        if min_version > self.watcher.version:
+            self.watcher.poll()
+
+    def _recommend(self, params: dict) -> dict:
+        users = params.get("users")
+        if not isinstance(users, list) or not users:
+            raise GatewayError("recommend needs a non-empty 'users' list")
+        n = int(params.get("n", 10))
+        min_version = int(params.get("min_version", 0))
+        self._fresh(min_version)
+        version, results = self.service.recommend_batch_pinned(
+            users, n, min_version=min_version
+        )
+        return {"ok": True, "version": version, "results": results}
+
+    def _similar_items(self, params: dict) -> dict:
+        item = params.get("item")
+        if not isinstance(item, str):
+            raise GatewayError("similar_items needs an 'item' string")
+        k = int(params.get("k", 10))
+        minimum = params.get("minimum")
+        if minimum is not None:
+            minimum = float(minimum)
+        min_version = int(params.get("min_version", 0))
+        self._fresh(min_version)
+        version, row = self.service.similar_items_pinned(
+            item, k, minimum=minimum, min_version=min_version
+        )
+        return {"ok": True, "version": version, "results": row}
+
+
+def wait_for_model(
+    watcher: RegistryWatcher,
+    timeout: float = DEFAULT_LOAD_TIMEOUT,
+    interval: float = 0.05,
+) -> int:
+    """Poll until the source publishes a first version; the worker must
+    not accept traffic while its registry is empty."""
+    deadline = time.monotonic() + timeout
+    while True:
+        version = watcher.poll()
+        if version is not None:
+            return version
+        if watcher.version > 0:
+            return watcher.version
+        if time.monotonic() >= deadline:
+            raise GatewayError(
+                f"no model appeared under {watcher.source} within "
+                f"{timeout:.1f}s"
+            )
+        time.sleep(interval)
+
+
+def serve(
+    sock: socket.socket,
+    app: WorkerApp,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+) -> None:
+    """The frame loop: strictly one request, one response. Returns on
+    clean EOF (the supervisor hung up) or an explicit shutdown.
+
+    The watcher polls on two paths: the socket read times out every
+    ``poll_interval`` when the worker is idle, and a **busy** worker
+    polls between requests once the interval has elapsed — a saturated
+    fleet must still converge on new versions, or the version handshake
+    would start bouncing every request once one worker got ahead.
+    """
+    sock.settimeout(poll_interval)
+    last_poll = time.monotonic()
+    while True:
+        try:
+            frame = recv_frame(sock)
+        except socket.timeout:
+            app.watcher.poll()
+            last_poll = time.monotonic()
+            continue
+        except GatewayError:
+            return
+        if frame is None:
+            return
+        response = app.handle(frame)
+        if response is None:
+            return
+        try:
+            send_frame(sock, response)
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        if time.monotonic() - last_poll >= poll_interval:
+            app.watcher.poll()
+            last_poll = time.monotonic()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway.worker",
+        description="one serving worker of a gateway fleet",
+    )
+    parser.add_argument(
+        "--fd",
+        type=int,
+        required=True,
+        help="inherited socketpair file descriptor",
+    )
+    parser.add_argument(
+        "--watch",
+        required=True,
+        help="snapshot source directory (catalog, durable store, or "
+        "single snapshot)",
+    )
+    parser.add_argument("--pure-python", action="store_true")
+    parser.add_argument(
+        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL
+    )
+    parser.add_argument(
+        "--load-timeout", type=float, default=DEFAULT_LOAD_TIMEOUT
+    )
+    parser.add_argument("--row-cache-size", type=int, default=4096)
+    parser.add_argument("--response-cache-size", type=int, default=1024)
+    args = parser.parse_args(argv)
+
+    sock = socket.socket(fileno=args.fd)
+    use_numpy = False if args.pure_python else None
+    watcher = RegistryWatcher(args.watch, use_numpy=use_numpy)
+    wait_for_model(watcher, timeout=args.load_timeout)
+    service = RecommendationService(
+        watcher.registry,
+        row_cache_size=args.row_cache_size,
+        response_cache_size=args.response_cache_size,
+    )
+    try:
+        serve(sock, WorkerApp(watcher, service), args.poll_interval)
+    finally:
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

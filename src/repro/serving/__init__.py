@@ -16,10 +16,13 @@ with delta-aware caches in front.
 from repro.serving.registry import ModelRegistry, PinnedModel
 from repro.serving.service import RecommendationService
 from repro.serving.snapshot import ModelSnapshot
+from repro.serving.watch import RegistryWatcher, SnapshotCatalog
 
 __all__ = [
     "ModelRegistry",
     "ModelSnapshot",
     "PinnedModel",
     "RecommendationService",
+    "RegistryWatcher",
+    "SnapshotCatalog",
 ]

@@ -65,8 +65,9 @@ class PinnedModel:
 
     __slots__ = ("_registry", "version", "snapshot", "_released")
 
-    def __init__(self, registry: "ModelRegistry", version: int,
-                 snapshot: ModelSnapshot) -> None:
+    def __init__(
+        self, registry: "ModelRegistry", version: int, snapshot: ModelSnapshot
+    ) -> None:
         self._registry = registry
         self.version = version
         self.snapshot = snapshot
@@ -127,16 +128,22 @@ class ModelRegistry:
         from repro.durability.manager import DurableSweep
 
         durable = DurableSweep.recover(directory, **recover_kwargs)
-        return cls(sweep=durable, cf_k=durable.cf_k,
-                   positive_only=durable.positive_only)
+        return cls(
+            sweep=durable, cf_k=durable.cf_k, positive_only=durable.positive_only
+        )
 
-    def __init__(self, snapshot: ModelSnapshot | None = None,
-                 sweep: "IncrementalSweep | None" = None,
-                 cf_k: int = 50, positive_only: bool = True) -> None:
+    def __init__(
+        self,
+        snapshot: ModelSnapshot | None = None,
+        sweep: "IncrementalSweep | None" = None,
+        cf_k: int = 50,
+        positive_only: bool = True,
+    ) -> None:
         if snapshot is not None and sweep is not None:
             raise ServingError(
                 "pass either an initial snapshot or a writer sweep, "
-                "not both (the sweep's state becomes the first version)")
+                "not both (the sweep's state becomes the first version)"
+            )
         self._lock = threading.Lock()
         self._write_lock = threading.Lock()
         self._versions: dict[int, ModelSnapshot] = {}
@@ -148,8 +155,9 @@ class ModelRegistry:
         self._cf_k = cf_k
         self._positive_only = positive_only
         if sweep is not None:
-            self.publish(ModelSnapshot.from_sweep(
-                sweep, cf_k=cf_k, positive_only=positive_only))
+            self.publish(
+                ModelSnapshot.from_sweep(sweep, cf_k=cf_k, positive_only=positive_only)
+            )
         elif snapshot is not None:
             self.publish(snapshot)
 
@@ -173,8 +181,7 @@ class ModelRegistry:
         with self._lock:
             snapshot = self._current
             if snapshot is None:
-                raise ServingError(
-                    "the registry has no published model yet")
+                raise ServingError("the registry has no published model yet")
             version = snapshot.version
             self._pins[version] = self._pins.get(version, 0) + 1
         return PinnedModel(self, version, snapshot)
@@ -191,9 +198,11 @@ class ModelRegistry:
     def _retire_locked(self) -> None:
         current = self._current
         current_version = current.version if current is not None else None
-        for version in [v for v in self._versions
-                        if v != current_version
-                        and self._pins.get(v, 0) == 0]:
+        for version in [
+            v
+            for v in self._versions
+            if v != current_version and self._pins.get(v, 0) == 0
+        ]:
             del self._versions[version]
 
     def versions(self) -> list[int]:
@@ -212,8 +221,9 @@ class ModelRegistry:
     # Writer side
     # ------------------------------------------------------------------
 
-    def publish(self, snapshot: ModelSnapshot,
-                stats: "IncrementalUpdateStats | None" = None) -> int:
+    def publish(
+        self, snapshot: ModelSnapshot, stats: "IncrementalUpdateStats | None" = None
+    ) -> int:
         """Publish *snapshot* as the next version and return its number.
 
         The swap is a single reference assignment under the registry
@@ -229,11 +239,11 @@ class ModelRegistry:
         are strictly monotone either way.
         """
         with self._lock:
-            if any(existing is snapshot
-                   for existing in self._versions.values()):
+            if any(existing is snapshot for existing in self._versions.values()):
                 raise ServingError(
                     "this snapshot object is already published; "
-                    "publish a new ModelSnapshot per version")
+                    "publish a new ModelSnapshot per version"
+                )
             if snapshot.version > 0:
                 version = snapshot.version
                 if version < self._next_version:
@@ -241,7 +251,8 @@ class ModelRegistry:
                         f"cannot publish version {version} behind the "
                         f"registry (next version is "
                         f"{self._next_version}); clear the snapshot's "
-                        f"version to have one assigned")
+                        f"version to have one assigned"
+                    )
             else:
                 version = self._next_version
             self._next_version = version + 1
@@ -254,8 +265,9 @@ class ModelRegistry:
             callback(version, snapshot, stats)
         return version
 
-    def update(self, batch: "Iterable[Rating]"
-               ) -> "tuple[int, IncrementalUpdateStats]":
+    def update(
+        self, batch: "Iterable[Rating]"
+    ) -> "tuple[int, IncrementalUpdateStats]":
         """Append a rating *batch* through the attached sweep and
         publish the spliced result as the next version.
 
@@ -266,12 +278,13 @@ class ModelRegistry:
         if self._sweep is None:
             raise ServingError(
                 "this registry has no writer sweep attached; construct "
-                "it with ModelRegistry(sweep=...) to publish updates")
+                "it with ModelRegistry(sweep=...) to publish updates"
+            )
         with self._write_lock:
             stats = self._sweep.update(batch)
             snapshot = ModelSnapshot.from_sweep(
-                self._sweep, cf_k=self._cf_k,
-                positive_only=self._positive_only)
+                self._sweep, cf_k=self._cf_k, positive_only=self._positive_only
+            )
             version = self.publish(snapshot, stats=stats)
         return version, stats
 
@@ -298,7 +311,9 @@ class ModelRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         current = self._current
-        return (f"ModelRegistry(current="
-                f"{current.version if current else None}, "
-                f"retained={len(self._versions)}, "
-                f"writer={'sweep' if self._sweep else 'none'})")
+        return (
+            f"ModelRegistry(current="
+            f"{current.version if current else None}, "
+            f"retained={len(self._versions)}, "
+            f"writer={'sweep' if self._sweep else 'none'})"
+        )

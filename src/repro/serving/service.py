@@ -44,7 +44,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.errors import ServingError
+from repro.errors import ServingError, StaleModelError
 from repro.serving.registry import ModelRegistry
 from repro.serving.snapshot import ModelSnapshot
 
@@ -69,8 +69,7 @@ class LRUCache:
     service's publish contract needs.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "generation", "_data",
-                 "_lock")
+    __slots__ = ("maxsize", "hits", "misses", "generation", "_data", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 0:
@@ -148,6 +147,27 @@ class LRUCache:
         return key in self._data
 
 
+def _slice_row(
+    row: list[tuple[str, float]],
+    k: int,
+    minimum: float | None,
+) -> list[tuple[str, float]]:
+    """Slice a materialised weight-descending neighbor row to a
+    (k, minimum) request — the per-request half of the row cache."""
+    if k <= 0:
+        return []
+    if minimum is None:
+        return row[:k]
+    selected = []
+    for name, weight in row:
+        if weight < minimum:
+            break  # rows are weight-descending
+        selected.append((name, weight))
+        if len(selected) == k:
+            break
+    return selected
+
+
 class RecommendationService:
     """Batched multi-user Top-N serving over pinned model versions.
 
@@ -161,9 +181,12 @@ class RecommendationService:
         response_cache_size: LRU capacity of the Top-N response cache.
     """
 
-    def __init__(self, model: ModelRegistry | ModelSnapshot,
-                 row_cache_size: int = 4096,
-                 response_cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        model: ModelRegistry | ModelSnapshot,
+        row_cache_size: int = 4096,
+        response_cache_size: int = 1024,
+    ) -> None:
         if isinstance(model, ModelSnapshot):
             model = ModelRegistry(snapshot=model)
         self.registry = model
@@ -196,8 +219,12 @@ class RecommendationService:
     # Cache invalidation (registry subscriber)
     # ------------------------------------------------------------------
 
-    def _on_publish(self, version: int, snapshot: ModelSnapshot,
-                    stats: "IncrementalUpdateStats | None") -> None:
+    def _on_publish(
+        self,
+        version: int,
+        snapshot: ModelSnapshot,
+        stats: "IncrementalUpdateStats | None",
+    ) -> None:
         """Invalidate after a publish — delta-targeted when the census
         is known, wholesale otherwise (see the module docstring for the
         contract). Both invalidations bump their cache's generation
@@ -236,8 +263,9 @@ class RecommendationService:
         self.n_users_served += 1
         return result
 
-    def recommend_batch(self, users: Sequence[str], n: int = 10
-                        ) -> list[list[tuple[str, float]]]:
+    def recommend_batch(
+        self, users: Sequence[str], n: int = 10
+    ) -> list[list[tuple[str, float]]]:
         """Top-N for many users against **one** pinned version.
 
         Returns one result list per user, aligned with *users* —
@@ -259,17 +287,16 @@ class RecommendationService:
             generation = self._response_cache.generation
             with self.registry.pin() as pinned:
                 snapshot = pinned.snapshot
-                computed = self._batch_topn(
-                    snapshot, [user for _, user in missing], n)
+                computed = self._batch_topn(snapshot, [user for _, user in missing], n)
             for (position, user), result in zip(missing, computed):
                 self._response_cache.put_if((user, n), result, generation)
                 results[position] = result
         self.n_users_served += len(users)
         return results
 
-    def similar_items(self, item: str, k: int = 10,
-                      minimum: float | None = None
-                      ) -> list[tuple[str, float]]:
+    def similar_items(
+        self, item: str, k: int = 10, minimum: float | None = None
+    ) -> list[tuple[str, float]]:
         """The rank-ordered neighbor row of *item* (a related-items
         endpoint), served through the ranked-row cache.
 
@@ -291,18 +318,84 @@ class RecommendationService:
                 # computed its row from the pinned (now superseded)
                 # version, caching it would outlive the eviction.
                 self._row_cache.put_if(item, row, generation)
-        if k <= 0:
-            return []
-        if minimum is None:
-            return row[:k]
-        selected = []
-        for name, weight in row:
-            if weight < minimum:
-                break  # rows are weight-descending
-            selected.append((name, weight))
-            if len(selected) == k:
-                break
-        return selected
+        return _slice_row(row, k, minimum)
+
+    # ------------------------------------------------------------------
+    # Version-pinned request paths (the gateway's entry points)
+    # ------------------------------------------------------------------
+    #
+    # The plain paths above answer "the current version, whichever that
+    # is". A networked fleet needs two stronger properties per request:
+    # the caller must LEARN which version answered (so a gateway can
+    # enforce monotonic reads across workers), and a request must be
+    # REFUSABLE when the local model is known-behind (``min_version``)
+    # so the caller can refresh-and-retry instead of silently reading
+    # stale data. Cache keys on these paths are version-scoped — the
+    # 3-tuple/2-tuple shapes cannot collide with the plain paths' keys
+    # — so a response can never mix entries from two versions, even
+    # when a publish lands mid-request.
+
+    def recommend_batch_pinned(
+        self,
+        users: Sequence[str],
+        n: int = 10,
+        min_version: int = 0,
+    ) -> tuple[int, list[list[tuple[str, float]]]]:
+        """Top-N for many users against one pinned version, reported.
+
+        Returns ``(version, results)`` where every result — including
+        cache hits — was computed under exactly that version. Raises
+        :class:`~repro.errors.StaleModelError` when the current version
+        is behind *min_version* (the caller polls its watcher and
+        retries).
+        """
+        self.n_requests += 1
+        generation = self._response_cache.generation
+        with self.registry.pin() as pinned:
+            version = pinned.version
+            if version < min_version:
+                raise StaleModelError(version, min_version)
+            snapshot = pinned.snapshot
+            results: list[list[tuple[str, float]] | None] = [None] * len(users)
+            missing: list[tuple[int, str]] = []
+            for position, user in enumerate(users):
+                cached = self._response_cache.get((version, user, n))
+                if cached is not None:
+                    results[position] = cached
+                else:
+                    missing.append((position, user))
+            if missing:
+                computed = self._batch_topn(snapshot, [user for _, user in missing], n)
+                for (position, user), result in zip(missing, computed):
+                    self._response_cache.put_if((version, user, n), result, generation)
+                    results[position] = result
+        self.n_users_served += len(users)
+        return version, results
+
+    def similar_items_pinned(
+        self,
+        item: str,
+        k: int = 10,
+        minimum: float | None = None,
+        min_version: int = 0,
+    ) -> tuple[int, list[tuple[str, float]]]:
+        """:meth:`similar_items`, version-reported and refusable — the
+        gateway-facing twin of :meth:`recommend_batch_pinned`."""
+        self.n_requests += 1
+        generation = self._row_cache.generation
+        with self.registry.pin() as pinned:
+            version = pinned.version
+            if version < min_version:
+                raise StaleModelError(version, min_version)
+            index = pinned.snapshot.index
+            if k > 0:
+                index._check_k(k)
+            key = (version, item)
+            row = self._row_cache.get(key)
+            if row is None:
+                row = index.top(item, index.degree(item))
+                self._row_cache.put_if(key, row, generation)
+        return version, _slice_row(row, k, minimum)
 
     # ------------------------------------------------------------------
     # Observability
@@ -351,14 +444,15 @@ class RecommendationService:
         # keeps them (owner, rank)-ascending within each group.
         transpose = _np.argsort(index.neighbor_ids, kind="stable")
         transpose_ptr = _np.searchsorted(
-            index.neighbor_ids[transpose],
-            _np.arange(index.n_items + 1))
+            index.neighbor_ids[transpose], _np.arange(index.n_items + 1)
+        )
         layout = (owners, transpose, transpose_ptr)
         self._layout = (version, layout)
         return layout
 
-    def _batch_topn(self, snapshot: ModelSnapshot, users: Sequence[str],
-                    n: int) -> list[list[tuple[str, float]]]:
+    def _batch_topn(
+        self, snapshot: ModelSnapshot, users: Sequence[str], n: int
+    ) -> list[list[tuple[str, float]]]:
         store = snapshot.store
         # The vectorized pass needs the NumPy backend; the pure-Python
         # store is served by the reference path, identically. (Top-N
@@ -385,8 +479,7 @@ class RecommendationService:
             rated = _np.zeros(n_items, dtype=bool)
             values = _np.zeros(n_items, dtype=_np.float64)
             if u is not None:
-                start, end = int(store.user_ptr[u]), \
-                    int(store.user_ptr[u + 1])
+                start, end = int(store.user_ptr[u]), int(store.user_ptr[u + 1])
                 row_idx = store.user_item_idx[start:end]
                 rated[row_idx] = True
                 values[row_idx] = store.user_values[start:end]
@@ -395,10 +488,15 @@ class RecommendationService:
                 # index (Σ_j |row(j)| work, not one pass over every
                 # entry) and restore flat order, which is (owner, rank)
                 # order: the same sequence the per-request scan visits.
-                positions = _np.concatenate([
-                    transpose[transpose_ptr[j]:transpose_ptr[j + 1]]
-                    for j in row_idx.tolist()]) if end > start else \
-                    _np.zeros(0, dtype=_np.int64)
+                if end > start:
+                    positions = _np.concatenate(
+                        [
+                            transpose[transpose_ptr[j] : transpose_ptr[j + 1]]
+                            for j in row_idx.tolist()
+                        ]
+                    )
+                else:
+                    positions = _np.zeros(0, dtype=_np.int64)
                 positions.sort()
             else:
                 positions = _np.zeros(0, dtype=_np.int64)
@@ -412,10 +510,10 @@ class RecommendationService:
             if len(positions):
                 position_owners = owners[positions]
                 offsets = _np.arange(len(positions), dtype=_np.int64)
-                run_start = _np.where(
-                    _np.concatenate((
-                        [True], position_owners[1:] != position_owners[:-1])),
-                    offsets, 0)
+                breaks = _np.concatenate(
+                    ([True], position_owners[1:] != position_owners[:-1])
+                )
+                run_start = _np.where(breaks, offsets, 0)
                 rank = offsets - _np.maximum.accumulate(run_start)
                 keep = rank < k
                 kept = positions[keep]
@@ -431,19 +529,20 @@ class RecommendationService:
             # the per-request predict loop: bit-identical numerators.
             deviations = values[kept_neighbors] - item_means[kept_neighbors]
             numerators = _np.bincount(
-                kept_owners, weights=kept_weights * deviations,
-                minlength=n_items)
+                kept_owners, weights=kept_weights * deviations, minlength=n_items
+            )
             denominators = _np.bincount(
-                kept_owners, weights=_np.abs(kept_weights),
-                minlength=n_items)
+                kept_owners, weights=_np.abs(kept_weights), minlength=n_items
+            )
 
             # Prediction with the fallback chain: candidates without
             # signal fall back to their item mean (every catalogue item
             # has one), then everything clips into the scale.
             scores = _np.array(item_means, dtype=_np.float64, copy=True)
             signal = denominators != 0.0
-            scores[signal] = item_means[signal] \
-                + numerators[signal] / denominators[signal]
+            scores[signal] = (
+                item_means[signal] + numerators[signal] / denominators[signal]
+            )
             scores = _np.minimum(hi, _np.maximum(lo, scores))
 
             # Top-N with the (-score, ascending id) tie-break: interning
@@ -452,7 +551,10 @@ class RecommendationService:
             order = _np.argsort(-scores, kind="stable")
             candidates = order[~rated[order]][:n]
             scores_list = scores[candidates].tolist()
-            results.append([
-                (items[int(idx)], score)
-                for idx, score in zip(candidates.tolist(), scores_list)])
+            results.append(
+                [
+                    (items[int(idx)], score)
+                    for idx, score in zip(candidates.tolist(), scores_list)
+                ]
+            )
         return results

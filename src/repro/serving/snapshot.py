@@ -140,8 +140,7 @@ def _dump_array(path: Path, values, kind: str) -> None:
             values = _np.array(values)
         values.astype(_np.dtype(_NP_DTYPES[kind]), copy=False).tofile(path)
     elif kind == "b1":
-        path.write_bytes(bytes(bytearray(
-            1 if value else 0 for value in values)))
+        path.write_bytes(bytes(bytearray(1 if value else 0 for value in values)))
     else:
         buffer = _pyarray(_PY_TYPECODES[kind], values)
         if sys.byteorder == "big":  # pragma: no cover - LE everywhere
@@ -168,7 +167,8 @@ def _validate_array_bytes(path: Path, kind: str, size: int) -> None:
         raise ServingError(
             f"snapshot array {path.name} holds {actual} bytes but the "
             f"manifest declares {size} {kind} entries "
-            f"({expected} bytes) — the file is truncated or corrupt")
+            f"({expected} bytes) — the file is truncated or corrupt"
+        )
 
 
 def _read_array(path: Path, kind: str, size: int, use_numpy: bool):
@@ -184,12 +184,12 @@ def _read_array(path: Path, kind: str, size: int, use_numpy: bool):
         try:
             data = _np.memmap(path, dtype=dtype, mode="r")
         except (OSError, ValueError) as exc:
-            raise ServingError(f"cannot map snapshot array {path}: {exc}") \
-                from exc
+            raise ServingError(f"cannot map snapshot array {path}: {exc}") from exc
         if len(data) != size:
             raise ServingError(
                 f"snapshot array {path.name} has {len(data)} entries, "
-                f"manifest says {size}")
+                f"manifest says {size}"
+            )
         return data
     raw = path.read_bytes()
     if kind == "b1":
@@ -203,7 +203,8 @@ def _read_array(path: Path, kind: str, size: int, use_numpy: bool):
     if len(out) != size:
         raise ServingError(
             f"snapshot array {path.name} has {len(out)} entries, "
-            f"manifest says {size}")
+            f"manifest says {size}"
+        )
     return out
 
 
@@ -215,10 +216,10 @@ def _dump_ids(path: Path, ids: Sequence[str], what: str) -> None:
         if name and name.splitlines() != [name]:
             raise ServingError(
                 f"cannot snapshot {what} id {name!r}: ids with line "
-                f"breaks are not representable in the id files")
+                f"breaks are not representable in the id files"
+            )
     crash_point("snapshot.ids.write")
-    path.write_text(
-        "".join(f"{name}\n" for name in ids), encoding="utf-8")
+    path.write_text("".join(f"{name}\n" for name in ids), encoding="utf-8")
     _fsync_file(path)
 
 
@@ -231,10 +232,14 @@ def _array_length(values) -> int:
     return len(values)
 
 
-def _store_from_arrays(users: list[str], items: list[str],
-                       arrays: Mapping[str, object], n_ratings: int,
-                       global_mean: float,
-                       use_numpy: bool) -> MatrixRatingStore:
+def _store_from_arrays(
+    users: list[str],
+    items: list[str],
+    arrays: Mapping[str, object],
+    n_ratings: int,
+    global_mean: float,
+    use_numpy: bool,
+) -> MatrixRatingStore:
     """Rebuild a :class:`MatrixRatingStore` from loaded arrays — the
     constructor's end state without the construction pass."""
     store = MatrixRatingStore.__new__(MatrixRatingStore)
@@ -278,18 +283,33 @@ class ModelSnapshot:
             sets (the Generator's item mapping), or ``None``.
     """
 
-    __slots__ = ("version", "store", "index", "cf_k", "positive_only",
-                 "scale", "alterego", "_significance", "_sig_parts",
-                 "_table", "_graph", "_recommender")
+    __slots__ = (
+        "version",
+        "store",
+        "index",
+        "cf_k",
+        "positive_only",
+        "scale",
+        "alterego",
+        "_significance",
+        "_sig_parts",
+        "_table",
+        "_graph",
+        "_recommender",
+    )
 
-    def __init__(self, store: MatrixRatingStore, index: NeighborIndex,
-                 cf_k: int = 50, positive_only: bool = True,
-                 scale: tuple[float, float] = DEFAULT_SCALE,
-                 version: int = 0,
-                 significance: SignificanceTable | None = None,
-                 alterego: Mapping[str, Sequence[tuple[str, float]]]
-                 | None = None,
-                 table: RatingTable | None = None) -> None:
+    def __init__(
+        self,
+        store: MatrixRatingStore,
+        index: NeighborIndex,
+        cf_k: int = 50,
+        positive_only: bool = True,
+        scale: tuple[float, float] = DEFAULT_SCALE,
+        version: int = 0,
+        significance: SignificanceTable | None = None,
+        alterego: Mapping[str, Sequence[tuple[str, float]]] | None = None,
+        table: RatingTable | None = None,
+    ) -> None:
         if cf_k <= 0:
             raise ServingError(f"cf_k must be positive, got {cf_k}")
         self.version = version
@@ -298,11 +318,15 @@ class ModelSnapshot:
         self.cf_k = cf_k
         self.positive_only = positive_only
         self.scale = (float(scale[0]), float(scale[1]))
-        self.alterego = (
-            None if alterego is None else
-            {source: tuple((target, float(weight))
-                           for target, weight in replacements)
-             for source, replacements in alterego.items()})
+        if alterego is None:
+            self.alterego = None
+        else:
+            self.alterego = {
+                source: tuple(
+                    (target, float(weight)) for target, weight in replacements
+                )
+                for source, replacements in alterego.items()
+            }
         self._significance = significance
         self._sig_parts = None
         self._table = table
@@ -314,20 +338,34 @@ class ModelSnapshot:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_table(cls, table: RatingTable, k: int = 50,
-                   positive_only: bool = True,
-                   version: int = 0) -> "ModelSnapshot":
+    def from_table(
+        cls,
+        table: RatingTable,
+        k: int = 50,
+        positive_only: bool = True,
+        version: int = 0,
+    ) -> "ModelSnapshot":
         """Snapshot a single-domain rating table: its memoized store
         plus a freshly assembled (untruncated) neighbor index."""
         store = table.matrix()
-        return cls(store, store.neighbor_index(), cf_k=k,
-                   positive_only=positive_only, scale=table.scale,
-                   version=version, table=table)
+        return cls(
+            store,
+            store.neighbor_index(),
+            cf_k=k,
+            positive_only=positive_only,
+            scale=table.scale,
+            version=version,
+            table=table,
+        )
 
     @classmethod
-    def from_sweep(cls, sweep: "IncrementalSweep", cf_k: int = 50,
-                   positive_only: bool = True,
-                   version: int = 0) -> "ModelSnapshot":
+    def from_sweep(
+        cls,
+        sweep: "IncrementalSweep",
+        cf_k: int = 50,
+        positive_only: bool = True,
+        version: int = 0,
+    ) -> "ModelSnapshot":
         """Snapshot an :class:`~repro.engine.sharded_sweep.IncrementalSweep`'s
         current state — what the registry republishes after every
         :meth:`~repro.engine.sharded_sweep.IncrementalSweep.update`.
@@ -341,10 +379,17 @@ class ModelSnapshot:
         if sweep.index is None:
             raise ServingError(
                 "cannot snapshot a sweep built with with_index=False: "
-                "serving needs the NeighborIndex rows")
-        return cls(sweep.store, sweep.index, cf_k=cf_k,
-                   positive_only=positive_only, scale=sweep.table.scale,
-                   version=version, table=sweep.table)
+                "serving needs the NeighborIndex rows"
+            )
+        return cls(
+            sweep.store,
+            sweep.index,
+            cf_k=cf_k,
+            positive_only=positive_only,
+            scale=sweep.table.scale,
+            version=version,
+            table=sweep.table,
+        )
 
     @classmethod
     def from_pipeline(cls, pipeline, version: int = 0) -> "ModelSnapshot":
@@ -364,12 +409,12 @@ class ModelSnapshot:
         from repro.cf.item_knn import ItemKNNRecommender
 
         recommender: ItemKNNRecommender = pipeline._require_fitted()
-        if type(recommender) is not ItemKNNRecommender \
-                or not recommender.use_index:
+        if type(recommender) is not ItemKNNRecommender or not recommender.use_index:
             raise ServingError(
                 f"only the deterministic item-mode pipeline "
                 f"(ItemKNNRecommender on the index path) can be "
-                f"snapshotted; got {type(recommender).__name__}")
+                f"snapshotted; got {type(recommender).__name__}"
+            )
         index = recommender.neighbor_index()
         table = recommender.table
         alterego = None
@@ -377,15 +422,22 @@ class ModelSnapshot:
             generator = pipeline.generator
             alterego = {
                 source: tuple(generator.replacements_for(source))
-                for source in sorted(generator.xsim_map)}
+                for source in sorted(generator.xsim_map)
+            }
         significance = None
         if pipeline.baseline is not None:
             significance = pipeline.baseline.significance
-        return cls(table.matrix(), index, cf_k=pipeline.config.cf_k,
-                   positive_only=recommender.positive_only,
-                   scale=table.scale, version=version,
-                   significance=significance, alterego=alterego,
-                   table=table)
+        return cls(
+            table.matrix(),
+            index,
+            cf_k=pipeline.config.cf_k,
+            positive_only=recommender.positive_only,
+            scale=table.scale,
+            version=version,
+            significance=significance,
+            alterego=alterego,
+            table=table,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -408,22 +460,24 @@ class ModelSnapshot:
         return "numpy" if self.store.uses_numpy else "python"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"ModelSnapshot(version={self.version}, "
-                f"users={self.n_users}, items={self.n_items}, "
-                f"ratings={self.n_ratings}, k={self.cf_k}, "
-                f"backend={self.backend})")
+        return (
+            f"ModelSnapshot(version={self.version}, "
+            f"users={self.n_users}, items={self.n_items}, "
+            f"ratings={self.n_ratings}, k={self.cf_k}, "
+            f"backend={self.backend})"
+        )
 
     @property
     def significance(self) -> SignificanceTable | None:
         """The bulk Definition-2 table, decoded lazily after a load
         (the pair census can be large; serving never reads it)."""
         if self._significance is None and self._sig_parts is not None:
-            vocabulary, left, right, raw_counts, common_counts = \
-                self._sig_parts
+            vocabulary, left, right, raw_counts, common_counts = self._sig_parts
             raw: dict[tuple[str, str], int] = {}
             common: dict[tuple[str, str], int] = {}
-            for l_idx, r_idx, agree, cnt in zip(left, right, raw_counts,
-                                                common_counts):
+            for l_idx, r_idx, agree, cnt in zip(
+                left, right, raw_counts, common_counts
+            ):
                 pair = (vocabulary[int(l_idx)], vocabulary[int(r_idx)])
                 raw[pair] = int(agree)
                 common[pair] = int(cnt)
@@ -436,9 +490,11 @@ class ModelSnapshot:
         replacement set); empty when no mapping was captured."""
         if self.alterego is None:
             return {}
-        return {source: replacements[0][0]
-                for source, replacements in self.alterego.items()
-                if replacements}
+        return {
+            source: replacements[0][0]
+            for source, replacements in self.alterego.items()
+            if replacements
+        }
 
     # ------------------------------------------------------------------
     # Derived serving views (lazy, memoized)
@@ -463,9 +519,9 @@ class ModelSnapshot:
             for u, user in enumerate(store.users):
                 start, end = store._user_row(u)
                 for p in range(start, end):
-                    ratings.append(Rating(
-                        user, items[int(idx_column[p])],
-                        float(value_column[p])))
+                    ratings.append(
+                        Rating(user, items[int(idx_column[p])], float(value_column[p]))
+                    )
             table = RatingTable(ratings, scale=self.scale)
             table._matrix_cache = store
             self._table = table
@@ -487,14 +543,16 @@ class ModelSnapshot:
                 raise ServingError(
                     f"the snapshot index was truncated to top-{index.k} "
                     f"at build time; the full adjacency is not "
-                    f"recoverable from it")
+                    f"recoverable from it"
+                )
             items = self.store.items
             adjacency: dict[str, dict[str, float]] = {}
             for idx, item in enumerate(items):
                 ids, weights = index.row(idx)
                 adjacency[item] = {
                     items[int(neighbor)]: float(weight)
-                    for neighbor, weight in zip(ids, weights)}
+                    for neighbor, weight in zip(ids, weights)
+                }
             self._graph = ItemGraph.from_adjacency(adjacency, index=index)
         return self._graph
 
@@ -510,12 +568,16 @@ class ModelSnapshot:
                     f"this snapshot's index rows were truncated to "
                     f"top-{self.index.k} at build time; Top-N/predict "
                     f"serving needs complete rows (similar_items-style "
-                    f"row queries still work)")
+                    f"row queries still work)"
+                )
             from repro.cf.item_knn import ItemKNNRecommender
 
             self._recommender = ItemKNNRecommender(
-                self.table(), k=self.cf_k,
-                positive_only=self.positive_only, index=self.index)
+                self.table(),
+                k=self.cf_k,
+                positive_only=self.positive_only,
+                index=self.index,
+            )
         return self._recommender
 
     # ------------------------------------------------------------------
@@ -554,7 +616,8 @@ class ModelSnapshot:
                     f"overwrite=True only if no live process is "
                     f"serving from it (its loaded arrays map these "
                     f"files), or save each version to a fresh "
-                    f"directory")
+                    f"directory"
+                )
             # Dropped first — durably — so a partially overwritten
             # directory can never pass for the previous complete
             # snapshot, even across a power loss mid-overwrite.
@@ -579,27 +642,26 @@ class ModelSnapshot:
         significance = self.significance
         with_significance = significance is not None
         if with_significance:
-            vocabulary = sorted({name for pair in significance.raw
-                                 for name in pair})
+            vocabulary = sorted({name for pair in significance.raw for name in pair})
             vocabulary_index = {name: k for k, name in enumerate(vocabulary)}
             _dump_ids(path / "sig_items.txt", vocabulary, "significance")
             pairs = sorted(significance.raw)
-            _emit("sig_left", "i8",
-                  [vocabulary_index[left] for left, _ in pairs])
-            _emit("sig_right", "i8",
-                  [vocabulary_index[right] for _, right in pairs])
-            _emit("sig_raw", "i8",
-                  [int(significance.raw[pair]) for pair in pairs])
-            _emit("sig_common", "i8",
-                  [int(significance.common[pair]) for pair in pairs])
+            _emit("sig_left", "i8", [vocabulary_index[left] for left, _ in pairs])
+            _emit("sig_right", "i8", [vocabulary_index[right] for _, right in pairs])
+            _emit("sig_raw", "i8", [int(significance.raw[pair]) for pair in pairs])
+            _emit(
+                "sig_common", "i8", [int(significance.common[pair]) for pair in pairs]
+            )
 
         if self.alterego is not None:
             crash_point("snapshot.alterego.write")
-            (path / "alterego.json").write_text(json.dumps(
-                {source: [[target, weight]
-                          for target, weight in replacements]
-                 for source, replacements in sorted(self.alterego.items())},
-                indent=0, sort_keys=True) + "\n", encoding="utf-8")
+            payload = {
+                source: [[target, weight] for target, weight in replacements]
+                for source, replacements in sorted(self.alterego.items())
+            }
+            (path / "alterego.json").write_text(
+                json.dumps(payload, indent=0, sort_keys=True) + "\n", encoding="utf-8"
+            )
             _fsync_file(path / "alterego.json")
 
         manifest = {
@@ -626,8 +688,8 @@ class ModelSnapshot:
         tmp_path = path / (_MANIFEST + ".tmp")
         crash_point("snapshot.manifest.write")
         tmp_path.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8")
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         crash_point("snapshot.manifest.fsync")
         _fsync_file(tmp_path)
         crash_point("snapshot.manifest.rename")
@@ -637,8 +699,7 @@ class ModelSnapshot:
         return path
 
     @classmethod
-    def load(cls, directory, use_numpy: bool | None = None
-             ) -> "ModelSnapshot":
+    def load(cls, directory, use_numpy: bool | None = None) -> "ModelSnapshot":
         """Load a snapshot directory written by :meth:`save`.
 
         *use_numpy* selects the in-memory backend (default: whatever
@@ -653,71 +714,91 @@ class ModelSnapshot:
         if not manifest_path.exists():
             raise ServingError(
                 f"{path} is not a model snapshot (no {_MANIFEST}; an "
-                f"interrupted save leaves none — re-save the snapshot)")
+                f"interrupted save leaves none — re-save the snapshot)"
+            )
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except ValueError as exc:
             raise ServingError(
-                f"corrupt snapshot manifest {manifest_path}: {exc}") from exc
+                f"corrupt snapshot manifest {manifest_path}: {exc}"
+            ) from exc
         if manifest.get("format") != _FORMAT:
             raise ServingError(
                 f"{path} is not a model snapshot "
-                f"(format={manifest.get('format')!r})")
+                f"(format={manifest.get('format')!r})"
+            )
         if manifest.get("format_version") != _FORMAT_VERSION:
             raise ServingError(
                 f"snapshot format version "
                 f"{manifest.get('format_version')!r} is not supported "
-                f"(this build reads version {_FORMAT_VERSION})")
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
         if manifest.get("byte_order") != "little":  # pragma: no cover
-            raise ServingError(
-                "snapshot byte order must be little-endian")
+            raise ServingError("snapshot byte order must be little-endian")
         if use_numpy is None:
             use_numpy = numpy_available()
         elif use_numpy and _np is None:  # pragma: no cover - baked in
-            raise ServingError(
-                "use_numpy=True requested but numpy is not installed")
+            raise ServingError("use_numpy=True requested but numpy is not installed")
 
         entries = manifest["arrays"]
 
         def _fetch(name: str):
             entry = entries.get(name)
             if entry is None:
-                raise ServingError(
-                    f"snapshot {path} is missing array {name!r}")
-            return _read_array(path / f"{name}.bin", entry["kind"],
-                               entry["size"], use_numpy)
+                raise ServingError(f"snapshot {path} is missing array {name!r}")
+            return _read_array(
+                path / f"{name}.bin", entry["kind"], entry["size"], use_numpy
+            )
 
         users = _read_ids(path / "users.txt")
         items = _read_ids(path / "items.txt")
-        if len(users) != manifest["n_users"] \
-                or len(items) != manifest["n_items"]:
+        if len(users) != manifest["n_users"] or len(items) != manifest["n_items"]:
             raise ServingError(
                 f"snapshot {path} id files disagree with the manifest "
                 f"({len(users)}/{manifest['n_users']} users, "
-                f"{len(items)}/{manifest['n_items']} items)")
+                f"{len(items)}/{manifest['n_items']} items)"
+            )
         arrays = {name: _fetch(name) for name, _ in _STORE_ARRAYS}
         store = _store_from_arrays(
-            users, items, arrays, manifest["n_ratings"],
-            float(manifest["global_mean"]), use_numpy)
+            users,
+            items,
+            arrays,
+            manifest["n_ratings"],
+            float(manifest["global_mean"]),
+            use_numpy,
+        )
         index = NeighborIndex(
-            items, store.item_index, _fetch("index_ptr"),
-            _fetch("index_neighbor_ids"), _fetch("index_weights"),
-            k=manifest["index_k"])
+            items,
+            store.item_index,
+            _fetch("index_ptr"),
+            _fetch("index_neighbor_ids"),
+            _fetch("index_weights"),
+            k=manifest["index_k"],
+        )
 
         scale = tuple(float(bound) for bound in manifest["scale"])
-        snapshot = cls(store, index, cf_k=int(manifest["cf_k"]),
-                       positive_only=bool(manifest["positive_only"]),
-                       scale=scale, version=int(manifest["version"]))
+        snapshot = cls(
+            store,
+            index,
+            cf_k=int(manifest["cf_k"]),
+            positive_only=bool(manifest["positive_only"]),
+            scale=scale,
+            version=int(manifest["version"]),
+        )
         if manifest.get("with_significance"):
             snapshot._sig_parts = (
                 _read_ids(path / "sig_items.txt"),
-                _fetch("sig_left"), _fetch("sig_right"),
-                _fetch("sig_raw"), _fetch("sig_common"))
+                _fetch("sig_left"),
+                _fetch("sig_right"),
+                _fetch("sig_raw"),
+                _fetch("sig_common"),
+            )
         if manifest.get("with_alterego"):
-            mapping = json.loads(
-                (path / "alterego.json").read_text(encoding="utf-8"))
+            mapping = json.loads((path / "alterego.json").read_text(encoding="utf-8"))
             snapshot.alterego = {
-                source: tuple((target, float(weight))
-                              for target, weight in replacements)
-                for source, replacements in mapping.items()}
+                source: tuple(
+                    (target, float(weight)) for target, weight in replacements
+                )
+                for source, replacements in mapping.items()
+            }
         return snapshot

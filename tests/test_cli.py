@@ -176,3 +176,26 @@ class TestDurabilityCommands:
     def test_recover_not_a_store(self, tmp_path, capsys):
         assert main(["recover", "--store", str(tmp_path)]) == 1
         assert "not a durable store" in capsys.readouterr().err
+
+
+class TestBenchGateway:
+    @pytest.mark.slow
+    def test_bench_gateway_reports_levels(self, snapshot_dir, capsys):
+        code = main(["bench-gateway", "--watch", str(snapshot_dir),
+                     "--workers", "1", "--serial-requests", "10",
+                     "--concurrency", "4", "--requests-per-client", "5",
+                     "--rate", "0", "-n", "3"])
+        assert code == 0
+        report_out = capsys.readouterr().out
+        import json as _json
+        report = _json.loads(report_out)
+        assert report["model_version"] == 1
+        assert set(report["levels"]) == {"serial", "closed"}
+        for level in report["levels"].values():
+            assert level["errors"] == 0
+            assert level["versions"] == [1]
+            assert level["latency_ms"]["p999"] >= level["latency_ms"]["p50"]
+
+    def test_bench_gateway_needs_a_model(self, tmp_path, capsys):
+        assert main(["bench-gateway", "--watch", str(tmp_path)]) == 2
+        assert "no loadable model" in capsys.readouterr().err

@@ -1,0 +1,444 @@
+"""The networked serving tier: protocol, watch, worker, fleet.
+
+Layered like the package: frame protocol units, then the on-disk
+publication layer (catalog + watcher), then the worker request
+handlers driven in-process, then full-stack tests over real worker
+subprocesses — including the `crash`-marked worker-death coverage
+(mid-flight SIGKILL through the PR-6 fault harness) that pins the
+supervisor's retry/restart contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.data.ratings import Rating, RatingTable
+from repro.engine.sharded_sweep import IncrementalSweep
+from repro.errors import GatewayError, ServingError, StaleModelError
+from repro.gateway import GatewayServer, WorkerPool
+from repro.gateway.protocol import (
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.gateway.worker import WorkerApp, wait_for_model
+from repro.serving import (
+    ModelRegistry,
+    RecommendationService,
+    RegistryWatcher,
+    SnapshotCatalog,
+)
+
+TOLERANCE = 1e-9
+
+
+def _table(seed: int = 7, n_users: int = 40, n_items: int = 30,
+           per_user: int = 8) -> RatingTable:
+    rng = random.Random(seed)
+    ratings = []
+    for u in range(n_users):
+        for it in rng.sample(range(n_items), per_user):
+            ratings.append(Rating(
+                f"u{u:03d}", f"i{it:03d}",
+                float(rng.randint(1, 5)), len(ratings)))
+    return RatingTable(ratings)
+
+
+def _registry(table: RatingTable, cf_k: int = 20) -> ModelRegistry:
+    sweep = IncrementalSweep(table, n_shards=1, with_index=True)
+    return ModelRegistry(sweep=sweep, cf_k=cf_k)
+
+
+def _update_batch(offset: int = 0) -> list[Rating]:
+    """A batch that touches well-connected existing items, so the
+    published model actually ranks differently from its predecessor."""
+    return [
+        Rating("u001", "i000", 5.0, 90000 + offset),
+        Rating("u002", "i001", 1.0, 90001 + offset),
+        Rating("u003", "i002", 4.0, 90002 + offset),
+    ]
+
+
+def _assert_close(got, expected) -> None:
+    assert len(got) == len(expected)
+    for (item_a, score_a), (item_b, score_b) in zip(got, expected):
+        assert item_a == item_b
+        assert abs(score_a - score_b) <= TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# Frame protocol
+# ----------------------------------------------------------------------
+
+
+def test_frame_roundtrip_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        payload = {"method": "recommend",
+                   "params": {"users": ["a", "b"], "n": 3}}
+        send_frame(left, payload)
+        send_frame(left, {"ok": True})
+        assert recv_frame(right) == payload
+        assert recv_frame(right) == {"ok": True}
+        left.close()
+        assert recv_frame(right) is None  # clean EOF at a boundary
+    finally:
+        right.close()
+
+
+def test_frame_midstream_eof_is_an_error():
+    left, right = socket.socketpair()
+    try:
+        frame = encode_frame({"ok": True})
+        left.sendall(frame[:6])  # header + a torn body
+        left.close()
+        with pytest.raises(GatewayError, match="mid-frame"):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_frame_rejects_absurd_lengths():
+    left, right = socket.socketpair()
+    try:
+        left.sendall((1 << 31).to_bytes(4, "big"))
+        with pytest.raises(GatewayError, match="corrupt"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_async_frame_roundtrip():
+    async def scenario():
+        left, right = socket.socketpair()
+        left.setblocking(False)
+        reader, writer = await asyncio.open_connection(sock=left)
+        send_frame(right, {"version": 4})
+        assert await read_frame(reader) == {"version": 4}
+        right.close()
+        assert await read_frame(reader) is None
+        writer.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Catalog + watcher
+# ----------------------------------------------------------------------
+
+
+def test_catalog_publish_and_pointer(tmp_path):
+    registry = _registry(_table())
+    catalog = SnapshotCatalog(tmp_path / "catalog")
+    assert catalog.current() is None
+    catalog.publish(registry.current())
+    version, path = catalog.current()
+    assert version == 1
+    assert path.is_dir()
+    with pytest.raises(ServingError, match="monotone"):
+        catalog.publish(registry.current(), version=1)
+
+
+def test_catalog_attach_mirrors_updates(tmp_path):
+    registry = _registry(_table())
+    catalog = SnapshotCatalog(tmp_path / "catalog")
+    catalog.attach(registry)
+    assert catalog.current()[0] == 1
+    registry.update(_update_batch())
+    assert catalog.current()[0] == 2
+    assert catalog.versions() == [1, 2]
+    catalog.detach()
+    registry.update(_update_batch(10))
+    assert catalog.current()[0] == 2  # detached: no longer mirrored
+
+
+def test_catalog_prunes_behind_keep_last(tmp_path):
+    registry = _registry(_table())
+    catalog = SnapshotCatalog(tmp_path / "catalog", keep_last=2)
+    catalog.attach(registry)
+    registry.update(_update_batch())
+    registry.update(_update_batch(10))
+    assert catalog.versions() == [2, 3]
+    assert catalog.current()[0] == 3
+
+
+def test_watcher_follows_catalog_and_agrees_on_versions(tmp_path):
+    registry = _registry(_table())
+    catalog = SnapshotCatalog(tmp_path / "catalog")
+    catalog.attach(registry)
+    watcher = RegistryWatcher(tmp_path / "catalog")
+    assert watcher.poll() == 1
+    assert watcher.poll() is None  # unchanged source: no reload
+    registry.update(_update_batch())
+    assert watcher.poll() == 2
+    # A restarted watcher that never saw version 1 still lands on the
+    # same number for the same bytes — the fleet-wide agreement the
+    # version handshake relies on.
+    late = RegistryWatcher(tmp_path / "catalog")
+    assert late.poll() == 2
+    service = RecommendationService(watcher.registry)
+    reference = RecommendationService(registry)
+    version, results = service.recommend_batch_pinned(["u001", "u004"], 5)
+    ref_version, expected = reference.recommend_batch_pinned(
+        ["u001", "u004"], 5)
+    assert version == ref_version == 2
+    for got, want in zip(results, expected):
+        _assert_close(got, want)
+
+
+def test_watcher_follows_single_snapshot_dir(tmp_path):
+    registry = _registry(_table())
+    snapshot_dir = tmp_path / "snap"
+    registry.current().save(snapshot_dir)
+    watcher = RegistryWatcher(snapshot_dir)
+    assert watcher.poll() == 1
+    assert watcher.poll() is None
+    registry.update(_update_batch())
+    time.sleep(0.01)  # distinct manifest mtime_ns
+    registry.current().save(snapshot_dir, overwrite=True)
+    assert watcher.poll() == 2
+
+
+# ----------------------------------------------------------------------
+# Worker request handling (in-process)
+# ----------------------------------------------------------------------
+
+
+def _worker_app(tmp_path) -> tuple[WorkerApp, ModelRegistry]:
+    registry = _registry(_table())
+    catalog = SnapshotCatalog(tmp_path / "catalog")
+    catalog.attach(registry)
+    watcher = RegistryWatcher(tmp_path / "catalog")
+    wait_for_model(watcher, timeout=5.0)
+    return WorkerApp(watcher, RecommendationService(watcher.registry)), \
+        registry
+
+
+def test_worker_app_recommend_matches_reference(tmp_path):
+    app, registry = _worker_app(tmp_path)
+    response = app.handle({"method": "recommend",
+                           "params": {"users": ["u001"], "n": 4}})
+    assert response["ok"] and response["version"] == 1
+    _, expected = RecommendationService(registry).recommend_batch_pinned(
+        ["u001"], 4)
+    _assert_close([tuple(pair) for pair in response["results"][0]],
+                  expected[0])
+
+
+def test_worker_app_converges_on_demand_for_min_version(tmp_path):
+    app, registry = _worker_app(tmp_path)
+    registry.update(_update_batch())
+    # The worker has not idle-polled, but the handshake demands v2:
+    # it must converge within this one request.
+    response = app.handle({"method": "recommend",
+                           "params": {"users": ["u001"], "n": 4,
+                                      "min_version": 2}})
+    assert response["ok"] and response["version"] == 2
+
+
+def test_worker_app_reports_unreachable_version_as_retryable(tmp_path):
+    app, _ = _worker_app(tmp_path)
+    response = app.handle({"method": "recommend",
+                           "params": {"users": ["u001"], "n": 4,
+                                      "min_version": 99}})
+    assert not response["ok"]
+    error = response["error"]
+    assert error["type"] == "stale" and error["retryable"]
+    assert error["version"] == 1 and error["min_version"] == 99
+
+
+def test_worker_app_rejects_bad_requests_cleanly(tmp_path):
+    app, _ = _worker_app(tmp_path)
+    bad_users = app.handle({"method": "recommend", "params": {}})
+    assert not bad_users["ok"] and not bad_users["error"]["retryable"]
+    unknown = app.handle({"method": "frobnicate"})
+    assert not unknown["ok"]
+    assert unknown["error"]["type"] == "unknown_method"
+    assert app.handle({"method": "shutdown"}) is None
+
+
+def test_pinned_entry_points_refuse_and_version_scope(tiny_table):
+    registry = ModelRegistry(
+        sweep=IncrementalSweep(tiny_table, n_shards=1, with_index=True),
+        cf_k=5)
+    service = RecommendationService(registry)
+    version, _ = service.recommend_batch_pinned(["u1"], 2)
+    assert version == 1
+    with pytest.raises(StaleModelError):
+        service.recommend_batch_pinned(["u1"], 2, min_version=2)
+    with pytest.raises(StaleModelError):
+        service.similar_items_pinned("a", 2, min_version=2)
+    sim_version, row = service.similar_items_pinned("a", 2)
+    assert sim_version == 1
+    assert row == service.similar_items("a", 2)
+
+
+# ----------------------------------------------------------------------
+# Full stack over real worker subprocesses
+# ----------------------------------------------------------------------
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _http_get(port: int, target: str) -> dict:
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", target)
+        response = conn.getresponse()
+        body = response.read()
+        assert response.status == 200, (response.status, body)
+        return json.loads(body)
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def published_catalog(tmp_path):
+    registry = _registry(_table())
+    catalog = SnapshotCatalog(tmp_path / "catalog")
+    catalog.attach(registry)
+    return tmp_path / "catalog", registry
+
+
+@pytest.mark.slow
+def test_gateway_serves_and_converges_across_publishes(published_catalog):
+    source, registry = published_catalog
+    reference = RecommendationService(registry)
+
+    async def scenario():
+        pool = WorkerPool(source, n_workers=2, call_timeout=30,
+                          poll_interval=0.05)
+        await pool.start()
+        server = GatewayServer(pool, max_delay=0.005)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            users = [f"u{i:03d}" for i in range(12)]
+            payloads = await asyncio.gather(*[
+                loop.run_in_executor(
+                    None, _http_get, server.port,
+                    f"/recommend?user={user}&n=5")
+                for user in users])
+            for user, payload in zip(users, payloads):
+                assert payload["version"] == 1
+                _, expected = reference.recommend_batch_pinned([user], 5)
+                _assert_close(
+                    [tuple(p) for p in payload["recommendations"]],
+                    expected[0])
+            # Coalescing really happened: 12 concurrent requests made
+            # strictly fewer worker batches than requests.
+            assert server.batcher.n_coalesced == 12
+            assert server.batcher.n_flushes < 12
+
+            registry.update(_update_batch())
+            await pool.call("poll")  # one worker learns of v2 ...
+            payload = await loop.run_in_executor(
+                None, _http_get, server.port, "/recommend?user=u001&n=5")
+            # ... and the handshake drags every later response to >= 2,
+            # whichever worker serves it.
+            assert payload["version"] == 2
+            _, expected = reference.recommend_batch_pinned(["u001"], 5)
+            _assert_close(
+                [tuple(p) for p in payload["recommendations"]],
+                expected[0])
+
+            similar = await loop.run_in_executor(
+                None, _http_get, server.port,
+                "/similar_items?item=i000&k=3")
+            assert similar["version"] >= 2
+            health = await loop.run_in_executor(
+                None, _http_get, server.port, "/healthz")
+            assert health["status"] == "ok"
+            assert health["workers"]["alive"] == 2
+        finally:
+            await server.close()
+            await pool.close()
+
+    _run(scenario())
+
+
+@pytest.mark.slow
+@pytest.mark.crash
+def test_supervisor_retries_and_restarts_after_midflight_kill(
+        published_catalog):
+    """A worker SIGKILLed mid-request (PR-6 fault harness) must cost at
+    most a retry — callers still get correct answers, nothing hangs —
+    and the supervisor restores the fleet to full strength."""
+    source, registry = published_catalog
+    reference = RecommendationService(registry)
+
+    async def scenario():
+        pool = WorkerPool(
+            source, n_workers=2, call_timeout=30, poll_interval=0.05,
+            # Die on the 3rd request a worker handles. Each worker's
+            # readiness health check is its 1st, so the fleet survives
+            # startup and a death lands mid-traffic; restarted workers
+            # inherit the env and die again, exercising repeated
+            # restarts.
+            worker_env={"REPRO_CRASH_POINT": "gateway.worker.request:3",
+                        "REPRO_CRASH_KILL": "1"})
+        await pool.start()
+        try:
+            for round_number in range(6):
+                response = await pool.call(
+                    "recommend", {"users": ["u001", "u002"], "n": 4})
+                assert response["ok"]
+                _, expected = reference.recommend_batch_pinned(
+                    ["u001", "u002"], 4)
+                for got, want in zip(response["results"], expected):
+                    _assert_close([tuple(p) for p in got], want)
+            assert pool.n_restarts >= 1
+            deadline = time.monotonic() + 20
+            while (len(pool.alive_workers()) < 2
+                   and time.monotonic() < deadline):
+                await asyncio.sleep(0.1)
+            assert len(pool.alive_workers()) == 2
+        finally:
+            await pool.close()
+
+    _run(scenario())
+
+
+@pytest.mark.slow
+@pytest.mark.crash
+def test_idle_worker_kill_is_replaced(published_catalog):
+    source, _ = published_catalog
+
+    async def scenario():
+        pool = WorkerPool(source, n_workers=2, call_timeout=30,
+                          poll_interval=0.05)
+        await pool.start()
+        try:
+            victim = pool.alive_workers()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                alive = pool.alive_workers()
+                if len(alive) == 2 and victim not in alive:
+                    break
+                await asyncio.sleep(0.1)
+            alive = pool.alive_workers()
+            assert len(alive) == 2 and victim not in alive
+            assert pool.n_restarts == 1
+            response = await pool.call(
+                "recommend", {"users": ["u001"], "n": 3})
+            assert response["ok"]
+        finally:
+            await pool.close()
+
+    _run(scenario())
