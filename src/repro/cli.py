@@ -213,6 +213,27 @@ def _add_fleet_arguments(parser) -> None:
     parser.add_argument("--response-cache-size", type=int, default=1024,
                         help="per-worker Top-N response cache entries "
                              "(0 disables)")
+    parser.add_argument("--call-timeout", type=float, default=30.0,
+                        help="per-request deadline budget (s): the whole "
+                             "retry loop for one request runs against it")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts when a worker dies or "
+                             "answers a retryable error")
+    parser.add_argument("--hedge-delay", type=float, default=None,
+                        help="duplicate a slow in-flight read to an idle "
+                             "sibling after this many seconds (first "
+                             "answer wins; default: hedging off)")
+    parser.add_argument("--allow-stale", action="store_true",
+                        help="degraded mode: when no worker can satisfy "
+                             "the version floor within the deadline, "
+                             "serve the freshest available version "
+                             "tagged 'stale: true' instead of failing")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="concurrent data requests admitted before "
+                             "new arrivals queue")
+    parser.add_argument("--max-queue", type=int, default=128,
+                        help="arrivals allowed to wait for a slot; "
+                             "beyond this the gateway sheds with 429")
 
 
 def _load(directory: str):
@@ -437,31 +458,48 @@ def _make_pool_and_server(args, port: int = 0, host: str = "127.0.0.1"):
     pool = WorkerPool(
         args.watch, n_workers=args.workers,
         pure_python=args.pure_python,
+        call_timeout=args.call_timeout,
+        retries=args.retries,
         poll_interval=args.poll_interval,
-        response_cache_size=args.response_cache_size)
+        response_cache_size=args.response_cache_size,
+        hedge_delay=args.hedge_delay,
+        allow_stale=args.allow_stale)
     server = GatewayServer(pool, host=host, port=port,
                            max_batch=args.max_batch,
-                           max_delay=args.max_delay)
+                           max_delay=args.max_delay,
+                           max_inflight=args.max_inflight,
+                           max_queue=args.max_queue)
     return pool, server
 
 
 def _cmd_serve_http(args) -> int:
     import asyncio
+    import signal
 
     async def run() -> None:
         pool, server = _make_pool_and_server(
             args, port=args.port, host=args.host)
         await pool.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix event loops
         try:
             await server.start()
             print(f"gateway listening on http://{args.host}:"
                   f"{server.port} ({args.workers} workers, model "
                   f"v{pool.fleet_version}, watching {args.watch})",
                   flush=True)
-            await server.serve_forever()
+            # SIGTERM/SIGINT → graceful drain: stop accepting, finish
+            # in-flight requests, reap every worker, then exit 0.
+            await stop.wait()
+            print("gateway draining...", flush=True)
         finally:
-            await server.close()
-            await pool.close()
+            await server.drain()
+        print("gateway stopped", flush=True)
 
     try:
         asyncio.run(run())

@@ -154,9 +154,35 @@ def is_active() -> bool:
     return _injector is not None
 
 
-def crash_point(point: str) -> None:
-    """Declare a crash point; dies here when an armed injector says so."""
+def injector_visit(point: str) -> None:
+    """Visit the crash injector alone (no fault-plan consultation).
+
+    The general fault plan (:mod:`repro.faults.plan`) calls this from
+    its own hooks so a plan decision is never made twice per visit.
+    """
     if not _env_checked:
         _from_environment()
     if _injector is not None:
         _injector.visit(point)
+
+
+_plan_visit = None
+
+
+def crash_point(point: str) -> None:
+    """Declare a crash point; dies here when an armed injector says so.
+
+    Every crash point is also a general fault point: the seeded
+    :class:`~repro.faults.plan.FaultPlan` (if one is armed) can delay,
+    error, crash or kill here too — the plan is a strict superset of
+    the crash-point harness.
+    """
+    global _plan_visit
+    injector_visit(point)
+    if _plan_visit is None:
+        # Lazy, cached: repro.faults.plan imports this module, so the
+        # import must not run at module load time.
+        from repro.faults.plan import plan_visit
+
+        _plan_visit = plan_visit
+    _plan_visit(point)

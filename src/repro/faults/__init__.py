@@ -1,0 +1,47 @@
+"""General seeded fault injection for the whole serving stack.
+
+``repro.durability.faults`` (PR 6) injects one fault family — process
+death at named crash points — which is exactly what a durability layer
+needs and nothing a *network* tier can be tested with: a gateway also
+has to survive slow peers, torn and corrupt frames, and dropped
+responses. This package generalises the crash-point idea into a
+:class:`~repro.faults.plan.FaultPlan`: a seeded, serialisable schedule
+of :class:`~repro.faults.plan.FaultRule` entries that can **delay**,
+**drop**, **corrupt**, **tear**, **error** or **kill** at any named
+point, activated in-process or through the environment in worker
+subprocesses.
+
+The plan is a strict superset of the PR-6 crash points: every
+:func:`~repro.faults.plan.fault_point` is also a durability crash
+point (``REPRO_CRASH_POINT`` fires there), and every durability crash
+point consults the plan (a delay rule can slow a WAL fsync without any
+durability-layer change).
+"""
+
+from repro.faults.plan import (
+    PLAN_ENV,
+    SPAWN_SEQ_ENV,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    frame_fault,
+    injected_faults,
+    install_plan,
+    uninstall_plan,
+)
+
+__all__ = [
+    "PLAN_ENV",
+    "SPAWN_SEQ_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "fault_point",
+    "frame_fault",
+    "injected_faults",
+    "install_plan",
+    "uninstall_plan",
+]

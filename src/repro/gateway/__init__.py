@@ -21,10 +21,14 @@ topology::
             (page cache shared)        store / plain snapshot dir
 
 Guarantees, in one line each: every response is computed under exactly
-one model version (pinning); no response is ever computed from a model
-older than one the fleet already served (the ``min_version``
-handshake → monotonic reads); worker death is retried or cleanly
-failed, never hung (checkout + timeout + monitor restart).
+one model version (pinning); no **non-stale** response is ever
+computed from a model older than one the fleet already served (the
+``min_version`` handshake → monotonic reads; degraded-mode responses
+step outside the floor and say so with ``stale: true``); worker death
+is retried or cleanly failed, never hung (checkout + deadline budget +
+per-slot restart loop); a crash-looping worker is rate-limited by its
+slot's circuit breaker, not respawned at full speed; overload is shed
+at the edge (429) instead of queueing without bound.
 """
 
 # repro.gateway.worker is deliberately NOT imported here: the package
@@ -32,9 +36,10 @@ failed, never hung (checkout + timeout + monitor restart).
 # the module as ``__main__`` (importing it from the package first makes
 # runpy execute a second copy).
 from repro.gateway.server import GatewayServer
-from repro.gateway.supervisor import WorkerHandle, WorkerPool
+from repro.gateway.supervisor import CircuitBreaker, WorkerHandle, WorkerPool
 
 __all__ = [
+    "CircuitBreaker",
     "GatewayServer",
     "WorkerHandle",
     "WorkerPool",

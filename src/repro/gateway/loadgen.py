@@ -48,13 +48,23 @@ def summarize(
     elapsed_s: float,
     errors: int,
     versions: set[int],
+    shed: int = 0,
+    stale: int = 0,
 ) -> dict:
-    """A latency/throughput report dict (latencies in milliseconds)."""
+    """A latency/throughput report dict (latencies in milliseconds).
+
+    ``qps`` counts successfully answered requests only — it is the
+    **goodput**. Shed requests (HTTP 429) are reported separately from
+    errors: a shed is the server keeping its latency promise under
+    overload, not a failure to answer correctly.
+    """
     ordered = sorted(latencies_s)
     count = len(ordered)
     return {
         "n_requests": count,
         "errors": errors,
+        "shed": shed,
+        "stale": stale,
         "elapsed_s": elapsed_s,
         "qps": count / elapsed_s if elapsed_s > 0 else 0.0,
         "versions": sorted(versions),
@@ -85,10 +95,12 @@ class GatewayClient:
             )
         return self._conn
 
-    def get(self, target: str) -> dict:
-        """One GET round trip; reconnects once on a dropped keep-alive
-        connection, raises :class:`~repro.errors.GatewayError` on any
-        non-200 status."""
+    def request(self, target: str) -> tuple[int, dict]:
+        """One GET round trip returning ``(status, payload)``;
+        reconnects once on a dropped keep-alive connection. Callers
+        that care about shedding/degradation inspect the status (429 =
+        shed, 200 + ``stale`` marker = degraded) instead of treating
+        every non-200 as one undifferentiated failure."""
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -106,11 +118,23 @@ class GatewayClient:
                     raise GatewayError(
                         f"request to {target} failed: {exc}"
                     ) from exc
-        if response.status != 200:
-            raise GatewayError(
-                f"{target} -> HTTP {response.status}: {body[:200]!r}"
-            )
-        return json.loads(body.decode("utf-8"))
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except ValueError:
+            payload = {}
+        if not isinstance(payload, dict):
+            payload = {}
+        return response.status, payload
+
+    def get(self, target: str) -> dict:
+        """One GET round trip; raises
+        :class:`~repro.errors.GatewayError` on any non-200 status."""
+        status, payload = self.request(target)
+        if status != 200:
+            raise GatewayError(f"{target} -> HTTP {status}: {payload!r}")
+        return payload
 
     def close(self) -> None:
         if self._conn is not None:
@@ -170,29 +194,41 @@ def run_closed_loop(
     latencies: list[float] = []
     versions: set[int] = set()
     errors = 0
+    shed = 0
+    stale = 0
     lock = threading.Lock()
 
     def client_loop(client_id: int) -> None:
-        nonlocal errors
+        nonlocal errors, shed, stale
         client = GatewayClient(host, port)
         local_latencies: list[float] = []
         local_versions: set[int] = set()
-        local_errors = 0
+        local_errors = local_shed = local_stale = 0
         for i in range(requests_per_client):
             user = users[(client_id + i * concurrency) % len(users)]
             t0 = time.perf_counter()
             try:
-                payload = client.get(_recommend_target(user, n))
+                status, payload = client.request(_recommend_target(user, n))
             except GatewayError:
+                local_errors += 1
+                continue
+            if status == 429:
+                local_shed += 1
+                continue
+            if status != 200:
                 local_errors += 1
                 continue
             local_latencies.append(time.perf_counter() - t0)
             local_versions.add(payload["version"])
+            if payload.get("stale"):
+                local_stale += 1
         client.close()
         with lock:
             latencies.extend(local_latencies)
             versions.update(local_versions)
             errors += local_errors
+            shed += local_shed
+            stale += local_stale
 
     threads = [
         threading.Thread(target=client_loop, args=(client_id,))
@@ -204,7 +240,9 @@ def run_closed_loop(
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - started
-    report = summarize(latencies, elapsed, errors, versions)
+    report = summarize(
+        latencies, elapsed, errors, versions, shed=shed, stale=stale
+    )
     report["discipline"] = "closed"
     report["concurrency"] = concurrency
     return report
@@ -238,10 +276,12 @@ def run_open_loop(
     latencies: list[float] = []
     versions: set[int] = set()
     errors = 0
+    shed = 0
+    stale = 0
     lock = threading.Lock()
 
     def fire(user: str, scheduled_at: float, epoch: float) -> None:
-        nonlocal errors
+        nonlocal errors, shed, stale
         client = getattr(local, "client", None)
         if client is None:
             client = GatewayClient(host, port)
@@ -250,8 +290,16 @@ def run_open_loop(
         if delay > 0:
             time.sleep(delay)
         try:
-            payload = client.get(_recommend_target(user, n))
+            status, payload = client.request(_recommend_target(user, n))
         except GatewayError:
+            with lock:
+                errors += 1
+            return
+        if status == 429:
+            with lock:
+                shed += 1
+            return
+        if status != 200:
             with lock:
                 errors += 1
             return
@@ -259,6 +307,8 @@ def run_open_loop(
         with lock:
             latencies.append(latency)
             versions.add(payload["version"])
+            if payload.get("stale"):
+                stale += 1
 
     with ThreadPoolExecutor(max_workers=max_workers) as executor:
         epoch = time.perf_counter()
@@ -271,7 +321,9 @@ def run_open_loop(
         for future in futures:
             future.result()
     elapsed = time.perf_counter() - epoch
-    report = summarize(latencies, elapsed, errors, versions)
+    report = summarize(
+        latencies, elapsed, errors, versions, shed=shed, stale=stale
+    )
     report["discipline"] = "poisson"
     report["offered_qps"] = rate_qps
     report["n_scheduled"] = len(arrivals)

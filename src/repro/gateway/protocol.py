@@ -27,9 +27,18 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import socket
+import time
 
 from repro.errors import GatewayError
+from repro.faults.plan import frame_fault
+
+#: the named fault point every worker→gateway frame passes through —
+#: a seeded :class:`~repro.faults.plan.FaultPlan` can delay, drop,
+#: corrupt or tear the frame here (see :func:`send_frame`).
+SEND_FAULT_POINT = "gateway.worker.send"
 
 HEADER_BYTES = 4
 #: Refuse frames above this size — a corrupt header must not make a
@@ -78,7 +87,32 @@ def _length_of(header: bytes) -> int:
 
 
 def send_frame(sock: socket.socket, payload: dict) -> None:
-    sock.sendall(encode_frame(payload))
+    """Send one frame (the worker side of the pair).
+
+    This is the transport fault surface: an armed fault plan can delay
+    the frame, drop it entirely (the supervisor observes a hang and
+    kills the worker), corrupt the length header (the supervisor
+    detects a corrupt stream), or tear it — half the bytes followed by
+    a real ``SIGKILL``, the strongest mid-frame death a test can
+    inject. Payload bytes are never mutated: a flipped digit could
+    produce valid-but-wrong JSON, which a correctness harness must
+    never inject below its own oracle.
+    """
+    data = encode_frame(payload)
+    rule = frame_fault(SEND_FAULT_POINT)
+    if rule is not None:
+        if rule.kind == "delay":
+            time.sleep(rule.delay_s)
+        elif rule.kind == "drop":
+            return
+        elif rule.kind == "corrupt":
+            data = (MAX_FRAME_BYTES + 1).to_bytes(HEADER_BYTES, "big") + data[
+                HEADER_BYTES:
+            ]
+        elif rule.kind == "torn":  # pragma: no cover - kills the process
+            sock.sendall(data[: max(1, len(data) // 2)])
+            os.kill(os.getpid(), signal.SIGKILL)
+    sock.sendall(data)
 
 
 def _recv_exact(sock: socket.socket, n: int, at_boundary: bool) -> bytes | None:

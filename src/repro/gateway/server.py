@@ -1,4 +1,4 @@
-"""The asyncio HTTP front end: coalescing concurrent requests.
+"""The asyncio HTTP front end: coalescing, shedding, degrading.
 
 :class:`GatewayServer` is a stdlib-only HTTP/1.1 server (keep-alive,
 JSON responses) in front of a
@@ -22,24 +22,53 @@ window can fill — and route to a second worker — while the first is
 still being scored: batching and multi-process parallelism compose
 rather than serialise.
 
+On top of the batching window the server is an **admission
+controller**: at most ``max_inflight`` data requests run concurrently,
+at most ``max_queue`` more may wait for a slot, and anything beyond
+that is **shed immediately** with ``429 Too Many Requests`` and a
+``Retry-After`` header. Shedding is the load-bearing choice: an
+unbounded queue converts overload into unbounded latency for *every*
+client (and, past the deadline, into wasted work — answers nobody is
+waiting for), while a bounded queue keeps the served requests fast and
+makes the overload explicit. A 429 is always a correct response;
+a 30-second answer to a 1-second question never is.
+
+Every data request runs under a **deadline budget**
+(``request_timeout``, default the pool's ``call_timeout``); the pool
+propagates the remaining budget to workers in the frame, so overload
+sheds at the edge and deadlines kill dead work at the core.
+
+``close()`` is a **graceful drain**: stop accepting new connections,
+answer in-flight keep-alive requests with ``Connection: close``,
+wait (bounded) for in-flight work, then reap the worker fleet — no
+orphan processes, no abandoned sockets.
+
 Endpoints::
 
     GET /recommend?user=alice&n=10      one user (coalesced)
     POST /recommend {"users": [...], "n": 10}   explicit batch
     GET /similar_items?item=tt0111161&k=10&minimum=0.2
-    GET /healthz
+    GET /healthz                        fleet + per-worker detail
 
 Every data response carries the model ``version`` that computed it —
 single-valued by construction (the worker pinned exactly one version
-for the whole batch), which is what the smoke gate asserts when it
-diffs gateway responses against an in-process reference during a live
-publish.
+for the whole batch). A response computed below the fleet's version
+floor (only possible in ``allow_stale`` degraded mode) additionally
+carries ``"stale": true``; the monotonic-reads promise is scoped to
+non-stale responses, and the marker is what scopes it.
+
+Error bodies are structured and **sanitized**: a machine-readable
+``code`` plus a generic message. Internal details (worker pids,
+filesystem paths, tracebacks) go to the ``repro.gateway`` logger, not
+to the client — an error body that leaks ``/home/.../v-00000007``
+is an information disclosure, not a diagnostic.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import GatewayError
@@ -47,8 +76,21 @@ from repro.gateway.supervisor import WorkerPool
 
 DEFAULT_MAX_BATCH = 32
 DEFAULT_MAX_DELAY = 0.002
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_QUEUE = 128
+DEFAULT_RETRY_AFTER = 1
 _MAX_HEAD_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+logger = logging.getLogger("repro.gateway")
+
+
+def _error_body(code: str, message: str) -> dict:
+    """A client-safe error payload: machine code + generic message.
+
+    The ``error`` key stays a flat object with a stable shape; whatever
+    internal detail produced it belongs in the server-side log."""
+    return {"error": {"code": code, "message": message}}
 
 
 class _Batcher:
@@ -60,21 +102,26 @@ class _Batcher:
     """
 
     def __init__(
-        self, pool: WorkerPool, max_batch: int, max_delay: float
+        self,
+        pool: WorkerPool,
+        max_batch: int,
+        max_delay: float,
+        request_timeout: float | None = None,
     ) -> None:
         if max_batch < 1:
             raise GatewayError(f"max_batch must be >= 1, got {max_batch}")
         self.pool = pool
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self.request_timeout = request_timeout
         self.n_flushes = 0
         self.n_coalesced = 0
         self._pending: list[tuple[str, int, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
 
-    async def submit(self, user: str, n: int) -> tuple[int, list]:
+    async def submit(self, user: str, n: int) -> tuple[int, list, bool]:
         """One user's Top-N through the current window; resolves to
-        ``(version, recommendations)``."""
+        ``(version, recommendations, stale)``."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((user, n, future))
@@ -105,7 +152,9 @@ class _Batcher:
         users = [user for user, _ in group]
         try:
             response = await self.pool.call(
-                "recommend", {"users": users, "n": n}
+                "recommend",
+                {"users": users, "n": n},
+                timeout=self.request_timeout,
             )
         except Exception as exc:
             for _, future in group:
@@ -113,9 +162,10 @@ class _Batcher:
                     future.set_exception(exc)
             return
         version = response["version"]
+        stale = bool(response.get("stale"))
         for (_, future), result in zip(group, response["results"]):
             if not future.done():
-                future.set_result((version, result))
+                future.set_result((version, result, stale))
 
 
 class GatewayServer:
@@ -128,12 +178,38 @@ class GatewayServer:
         port: int = 0,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: float = DEFAULT_MAX_DELAY,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        request_timeout: float | None = None,
+        retry_after: int = DEFAULT_RETRY_AFTER,
     ) -> None:
+        if max_inflight < 1:
+            raise GatewayError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise GatewayError(f"max_queue must be >= 0, got {max_queue}")
         self.pool = pool
         self.host = host
         self.port = port
-        self.batcher = _Batcher(pool, max_batch, max_delay)
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.request_timeout = (
+            pool.call_timeout if request_timeout is None else request_timeout
+        )
+        self.retry_after = retry_after
+        self.batcher = _Batcher(
+            pool, max_batch, max_delay, request_timeout=self.request_timeout
+        )
         self.n_http_requests = 0
+        self.n_shed = 0
+        self.n_stale_responses = 0
+        self._inflight = 0
+        self._waiting = 0
+        self._slots = asyncio.Semaphore(max_inflight)
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> None:
@@ -148,14 +224,47 @@ class GatewayServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def close(self) -> None:
+        """Stop listening (idempotent); does not touch the pool."""
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, let in-flight requests
+        finish (up to *grace* seconds), then reap the worker fleet.
+
+        This is what the SIGTERM handler calls: after it returns, every
+        process the pool ever spawned is dead and the listening socket
+        is closed — a supervisor (systemd, k8s) observing the exit sees
+        no orphans and no half-answered connections.
+        """
+        await self.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), grace)
+        except asyncio.TimeoutError:
+            logger.warning(
+                "drain grace of %.1fs expired with %d requests in flight",
+                grace,
+                self._inflight,
+            )
+        await self.pool.close()
+
     async def serve_forever(self) -> None:  # pragma: no cover - CLI path
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    def _admit_nowait(self) -> bool:
+        """Whether a new data request may even wait for a slot — the
+        shed-or-queue decision, made before anything is awaited."""
+        if self._inflight < self.max_inflight:
+            return True
+        return self._waiting < self.max_queue
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -173,12 +282,16 @@ class GatewayServer:
                     return
                 method, target, headers, body = request
                 self.n_http_requests += 1
-                status, payload = await self._route(method, target, body)
+                status, payload, extra = await self._route(
+                    method, target, body
+                )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
+                ) and not self._draining
+                self._write_response(
+                    writer, status, payload, keep_alive, extra
                 )
-                self._write_response(writer, status, payload, keep_alive)
                 await writer.drain()
                 if not keep_alive:
                     return
@@ -230,17 +343,20 @@ class GatewayServer:
         status: int,
         payload: dict,
         keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   503: "Service Unavailable"}
+                   429: "Too Many Requests", 503: "Service Unavailable"}
         body = json.dumps(payload).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        )
+        head_lines = [
+            f"HTTP/1.1 {status} {reasons.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head_lines.append(f"{name}: {value}")
+        head = "\r\n".join(head_lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
 
     # ------------------------------------------------------------------
@@ -249,7 +365,7 @@ class GatewayServer:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict, dict[str, str] | None]:
         split = urlsplit(target)
         path = split.path
         query = {
@@ -260,31 +376,85 @@ class GatewayServer:
             try:
                 parsed = json.loads(body.decode("utf-8"))
             except ValueError:
-                return 400, {"error": "request body is not valid JSON"}
+                return (
+                    400,
+                    _error_body("bad_json", "request body is not valid JSON"),
+                    None,
+                )
             if not isinstance(parsed, dict):
-                return 400, {"error": "request body must be an object"}
+                return (
+                    400,
+                    _error_body("bad_json", "request body must be an object"),
+                    None,
+                )
             query = {**parsed, **query}
-        try:
-            if path == "/healthz":
-                return await self._healthz()
-            if path == "/recommend":
-                return await self._recommend(query)
-            if path == "/similar_items":
-                return await self._similar_items(query)
-        except GatewayError as exc:
-            return 503, {"error": str(exc)}
-        except (TypeError, ValueError) as exc:
-            return 400, {"error": f"bad request: {exc}"}
-        return 404, {"error": f"no such endpoint: {path}"}
+        if path == "/healthz":
+            status, payload = await self._healthz()
+            return status, payload, None
+        if path not in ("/recommend", "/similar_items"):
+            return (
+                404,
+                _error_body("not_found", f"no such endpoint: {path}"),
+                None,
+            )
+        if self._draining:
+            return (
+                503,
+                _error_body("draining", "server is shutting down"),
+                None,
+            )
+        if not self._admit_nowait():
+            self.n_shed += 1
+            return (
+                429,
+                _error_body(
+                    "overloaded",
+                    "server is at capacity; retry after a backoff",
+                ),
+                {"Retry-After": str(self.retry_after)},
+            )
+        async with _AdmissionTicket(self):
+            try:
+                if path == "/recommend":
+                    status, payload = await self._recommend(query)
+                else:
+                    status, payload = await self._similar_items(query)
+            except GatewayError as exc:
+                # Sanitized on the wire, detailed in the log: worker
+                # ids, pids and filesystem paths stay server-side.
+                logger.warning("upstream failure on %s: %s", path, exc)
+                return (
+                    503,
+                    _error_body(
+                        "upstream_unavailable",
+                        "no worker could serve the request",
+                    ),
+                    None,
+                )
+            except (TypeError, ValueError) as exc:
+                return (
+                    400,
+                    _error_body("bad_request", f"bad request: {exc}"),
+                    None,
+                )
+        return status, payload, None
 
     async def _healthz(self) -> tuple[int, dict]:
         stats = self.pool.stats()
-        healthy = stats["alive"] > 0
+        healthy = stats["alive"] > 0 and not self._draining
         payload = {
-            "status": "ok" if healthy else "unavailable",
+            "status": (
+                "draining"
+                if self._draining
+                else ("ok" if stats["alive"] > 0 else "unavailable")
+            ),
             "version": stats["fleet_version"],
             "workers": stats,
+            "fleet": self.pool.worker_details(),
             "http_requests": self.n_http_requests,
+            "shed": self.n_shed,
+            "inflight": self._inflight,
+            "queued": self._waiting,
             "batch": {
                 "flushes": self.batcher.n_flushes,
                 "coalesced": self.batcher.n_coalesced,
@@ -292,40 +462,91 @@ class GatewayServer:
         }
         return (200 if healthy else 503), payload
 
+    def _finish(self, payload: dict) -> tuple[int, dict]:
+        if payload.get("stale"):
+            self.n_stale_responses += 1
+        return 200, payload
+
     async def _recommend(self, query: dict) -> tuple[int, dict]:
         n = int(query.get("n", 10))
         users = query.get("users")
         if users is not None:
             if not isinstance(users, list) or not users:
-                return 400, {"error": "'users' must be a non-empty list"}
+                return 400, _error_body(
+                    "bad_request", "'users' must be a non-empty list"
+                )
             response = await self.pool.call(
-                "recommend", {"users": users, "n": n}
+                "recommend",
+                {"users": users, "n": n},
+                timeout=self.request_timeout,
             )
-            return 200, {
+            payload = {
                 "version": response["version"],
                 "users": users,
                 "recommendations": response["results"],
             }
+            if response.get("stale"):
+                payload["stale"] = True
+            return self._finish(payload)
         user = query.get("user")
         if not user:
-            return 400, {"error": "missing 'user' (or 'users') parameter"}
-        version, result = await self.batcher.submit(str(user), n)
-        return 200, {
+            return 400, _error_body(
+                "bad_request", "missing 'user' (or 'users') parameter"
+            )
+        version, result, stale = await self.batcher.submit(str(user), n)
+        payload = {
             "version": version,
             "user": user,
             "recommendations": result,
         }
+        if stale:
+            payload["stale"] = True
+        return self._finish(payload)
 
     async def _similar_items(self, query: dict) -> tuple[int, dict]:
         item = query.get("item")
         if not item:
-            return 400, {"error": "missing 'item' parameter"}
+            return 400, _error_body(
+                "bad_request", "missing 'item' parameter"
+            )
         params: dict = {"item": str(item), "k": int(query.get("k", 10))}
         if query.get("minimum") is not None:
             params["minimum"] = float(query["minimum"])
-        response = await self.pool.call("similar_items", params)
-        return 200, {
+        response = await self.pool.call(
+            "similar_items", params, timeout=self.request_timeout
+        )
+        payload = {
             "version": response["version"],
             "item": item,
             "neighbors": response["results"],
         }
+        if response.get("stale"):
+            payload["stale"] = True
+        return self._finish(payload)
+
+
+class _AdmissionTicket:
+    """One data request's occupancy of the admission window: a bounded
+    wait for an inflight slot, bookkeeping on both edges, and the
+    idle event the drain path waits on."""
+
+    def __init__(self, server: GatewayServer) -> None:
+        self.server = server
+
+    async def __aenter__(self) -> "_AdmissionTicket":
+        server = self.server
+        server._waiting += 1
+        server._idle.clear()
+        try:
+            await server._slots.acquire()
+        finally:
+            server._waiting -= 1
+        server._inflight += 1
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        server = self.server
+        server._inflight -= 1
+        server._slots.release()
+        if server._inflight == 0 and server._waiting == 0:
+            server._idle.set()

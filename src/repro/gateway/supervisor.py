@@ -1,50 +1,79 @@
-"""The worker fleet supervisor: spawn, route, retry, restart.
+"""The worker fleet supervisor: spawn, route, retry, restart — hardened.
 
-The :class:`WorkerPool` owns N worker subprocesses. Each worker is a
-**fresh interpreter** (no fork — the parent's asyncio loop, locks, and
-numpy state never leak into a child) connected over a ``socketpair``
-inherited as a file descriptor, so worker death is observable as plain
-EOF on the pair — no PID polling, no signals.
+The :class:`WorkerPool` owns N worker **slots**. Each slot runs a
+sequence of worker subprocesses — a fresh interpreter (no fork)
+connected over a ``socketpair`` inherited as a file descriptor, so
+worker death is observable as plain EOF on the pair — governed by its
+own :class:`CircuitBreaker`:
 
-Routing is checkout-based: one request occupies one worker at a time
-(workers are single-threaded; their parallelism is process-level), and
-a worker returns to the idle queue the moment its response arrives.
-Three failure modes are handled distinctly:
+* every death or failed spawn raises the slot's consecutive-failure
+  count, and the next respawn waits an **exponential backoff with
+  jitter** (a bad snapshot source throttles to the backoff cap instead
+  of crash-looping the host at full speed);
+* at ``breaker_threshold`` consecutive failures the breaker **trips
+  open**: the slot is quarantined for the backoff delay, then spawns a
+  single **half-open probe**. The probe joins the rotation; its first
+  successfully served request closes the breaker, its first failure
+  re-opens it with a doubled delay;
+* a worker that either serves a request or survives
+  ``healthy_lifetime`` seconds resets the count — deaths of long-lived
+  workers are ordinary churn, not a failure streak.
 
-* **death mid-flight** (EOF/torn frame): the request is retried on
-  another worker — every gateway method is an idempotent read, so the
-  retry is safe — while the worker's monitor task spawns a
-  replacement;
-* **hang** (no frame within ``call_timeout``): the worker is killed
-  (which turns the hang into a death) and the request retried;
-* **stale model** (a worker answers behind the fleet's
-  ``min_version``): retried after a short pause — the worker polls its
-  watcher on demand, so one round trip is normally enough.
+Routing is checkout-based: one request occupies one worker at a time,
+and a worker returns to the idle queue the moment its response
+arrives. Per request the pool now enforces a **deadline budget**: the
+whole retry loop — checkout waits, attempts, stale backoffs — runs
+against one deadline, and every dispatched frame carries the remaining
+budget as ``budget_ms`` so a worker can refuse dead work instead of
+computing an answer nobody is waiting for.
 
-The pool carries the fleet-wide version handshake: every successful
-response advances :attr:`fleet_version` (the highest version any
-worker has served), and every read request is stamped with it as
-``min_version``. The result is **monotonic reads across the fleet** —
-once any client has seen version ``v``, no later response is computed
-from an older model, even though workers converge independently. This
-per-request version floor is the seam a partially replicated fleet
-will later widen into a version *vector* across item partitions.
+Two optional read-side behaviours (reads are idempotent, which is what
+makes both safe):
+
+* **hedged reads** (``hedge_delay``): when an in-flight read has not
+  answered within the threshold and a sibling is idle, the frame is
+  duplicated to the sibling and the first answer wins — a stuck or
+  slow worker costs one hedge, not a timeout. The loser finishes in
+  the background and re-enters rotation.
+* **bounded-staleness degradation** (``allow_stale``): when the fresh
+  retry loop cannot satisfy the fleet's ``min_version`` floor within
+  the deadline (every worker behind, source unreadable), a reserved
+  slice of the budget re-issues the read with ``allow_stale`` and the
+  response is served from the freshest version a worker holds, tagged
+  ``stale: true`` — an explicit, bounded-staleness answer instead of a
+  failure.
+
+The pool still carries the fleet-wide version handshake: every
+successful response advances :attr:`fleet_version`, every read is
+stamped with it as ``min_version``, and only non-stale responses are
+promised monotone — the ``stale`` marker is exactly the flag that says
+"this one stepped outside the floor, deliberately".
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import random
 import socket
 import subprocess
 import sys
 from pathlib import Path
 
 from repro.errors import GatewayError
+from repro.faults.plan import SPAWN_SEQ_ENV
 from repro.gateway.protocol import read_frame, write_frame
 
 DEFAULT_CALL_TIMEOUT = 30.0
 DEFAULT_STALE_BACKOFF = 0.05
+DEFAULT_BREAKER_THRESHOLD = 3
+DEFAULT_BACKOFF_BASE = 0.1
+DEFAULT_BACKOFF_CAP = 5.0
+DEFAULT_HEALTHY_LIFETIME = 10.0
+
+#: the idempotent read methods — the only ones stamped with the
+#: version floor, hedged, or served stale.
+READ_METHODS = ("recommend", "similar_items")
 
 
 def _worker_pythonpath() -> str:
@@ -61,6 +90,75 @@ def _worker_pythonpath() -> str:
     return package_root + os.pathsep + existing
 
 
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker + respawn backoff for one
+    worker slot.
+
+    States: ``closed`` (normal), ``open`` (quarantined — respawn waits
+    out :meth:`next_delay`), ``half_open`` (a probe worker is in
+    rotation; the next outcome decides). The backoff delay is
+    exponential in the consecutive-failure count with equal jitter
+    (uniform in [ceiling/2, ceiling]), capped at ``max_delay`` — the
+    jitter keeps a fleet of slots from thundering back in lockstep,
+    the floor keeps a crash loop genuinely rate-limited.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        base_delay: float = DEFAULT_BACKOFF_BASE,
+        max_delay: float = DEFAULT_BACKOFF_CAP,
+        rng: random.Random | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise GatewayError(f"threshold must be >= 1, got {threshold}")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise GatewayError(
+                f"need 0 < base_delay <= max_delay, got "
+                f"{base_delay}/{max_delay}"
+            )
+        self.threshold = threshold
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.rng = rng if rng is not None else random.Random()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.n_trips = 0
+
+    def record_failure(self) -> None:
+        """One more consecutive failure; trips the breaker at the
+        threshold (immediately when the half-open probe failed)."""
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.threshold
+        ):
+            if self.state != "open":
+                self.n_trips += 1
+            self.state = "open"
+
+    def record_success(self) -> None:
+        """A worker served: close the breaker, reset the streak."""
+        self.consecutive_failures = 0
+        self.state = "closed"
+
+    def on_probe(self) -> None:
+        """A replacement came up while open: it is the half-open probe."""
+        if self.state == "open":
+            self.state = "half_open"
+
+    def next_delay(self) -> float:
+        """Seconds to wait before the next spawn attempt (0 on a clean
+        streak)."""
+        if self.consecutive_failures <= 0:
+            return 0.0
+        ceiling = min(
+            self.max_delay,
+            self.base_delay * (2 ** (self.consecutive_failures - 1)),
+        )
+        return self.rng.uniform(ceiling / 2, ceiling)
+
+
 class WorkerHandle:
     """One live worker subprocess and its frame stream."""
 
@@ -71,14 +169,18 @@ class WorkerHandle:
         sock: socket.socket,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        slot: "WorkerSlot | None" = None,
     ) -> None:
         self.worker_id = worker_id
         self.proc = proc
         self.sock = sock
         self.reader = reader
         self.writer = writer
+        self.slot = slot
         self.alive = True
         self.n_calls = 0
+        self.version = 0
+        self.spawned_at = 0.0
 
     @property
     def pid(self) -> int:
@@ -118,15 +220,34 @@ class WorkerHandle:
         return response
 
     def kill(self) -> None:
-        """Tear the worker down (idempotent); its monitor task sees the
-        exit and spawns a replacement."""
+        """Tear the worker down (idempotent); its slot loop sees the
+        exit and arranges the replacement."""
         self.alive = False
         if self.proc.poll() is None:
             self.proc.kill()
         try:
             self.writer.close()
-        except Exception:
+        except (OSError, RuntimeError):
             pass
+
+
+class WorkerSlot:
+    """One supervised position in the fleet: a breaker plus whichever
+    worker process currently fills it."""
+
+    def __init__(self, slot_id: int, breaker: CircuitBreaker) -> None:
+        self.slot_id = slot_id
+        self.breaker = breaker
+        self.handle: WorkerHandle | None = None
+        self.task: asyncio.Task | None = None
+        self.n_restarts = 0
+        self.n_spawn_failures = 0
+
+    def live_handle(self) -> WorkerHandle | None:
+        handle = self.handle
+        if handle is not None and handle.alive and handle.proc.poll() is None:
+            return handle
+        return None
 
 
 class WorkerPool:
@@ -136,15 +257,26 @@ class WorkerPool:
         watch: the shared snapshot source directory every worker
             watches (a :class:`~repro.serving.watch.SnapshotCatalog`
             root, a durable store, or a single snapshot directory).
-        n_workers: fleet size.
+        n_workers: fleet size (slot count).
         pure_python: run workers on the pure-Python backend.
-        call_timeout: per-request ceiling before a worker is declared
-            hung and killed.
+        call_timeout: the default per-request deadline budget — the
+            whole retry loop for one request runs against it.
         retries: extra attempts for a request whose worker died or
             answered stale (reads are idempotent, so retrying is safe).
         poll_interval: idle watcher poll period inside each worker.
+        load_timeout: per-spawn ceiling for a worker's snapshot load.
+        breaker_threshold / backoff_base / backoff_cap /
+            healthy_lifetime: the per-slot circuit-breaker knobs (see
+            :class:`CircuitBreaker`).
+        hedge_delay: duplicate an in-flight read to an idle sibling
+            after this many seconds; ``None`` disables hedging.
+        allow_stale: when a read cannot meet the fleet's version floor
+            within its deadline, serve the freshest available version
+            tagged ``stale: true`` instead of failing.
+        jitter_seed: seed for the backoff jitter (tests pin it).
         worker_env: extra environment for worker processes (the fault
-            harness injects ``REPRO_CRASH_POINT`` here).
+            harness injects ``REPRO_FAULT_PLAN`` / ``REPRO_CRASH_POINT``
+            here).
     """
 
     def __init__(
@@ -158,6 +290,13 @@ class WorkerPool:
         load_timeout: float = 30.0,
         row_cache_size: int = 4096,
         response_cache_size: int = 1024,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        healthy_lifetime: float = DEFAULT_HEALTHY_LIFETIME,
+        hedge_delay: float | None = None,
+        allow_stale: bool = False,
+        jitter_seed: int | None = None,
         worker_env: dict[str, str] | None = None,
     ) -> None:
         if n_workers < 1:
@@ -171,15 +310,28 @@ class WorkerPool:
         self.load_timeout = load_timeout
         self.row_cache_size = row_cache_size
         self.response_cache_size = response_cache_size
+        self.breaker_threshold = breaker_threshold
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.healthy_lifetime = healthy_lifetime
+        self.hedge_delay = hedge_delay
+        self.allow_stale = allow_stale
         self.worker_env = dict(worker_env or {})
         #: highest model version any worker has served — the fleet's
         #: monotonic-read floor.
         self.fleet_version = 0
         self.n_restarts = 0
+        self.n_spawn_failures = 0
         self.n_calls = 0
+        self.n_hedged = 0
+        self.n_hedge_wins = 0
+        self.n_stale_served = 0
+        #: every pid this pool ever spawned — the drain gate asserts
+        #: all of them are dead after close().
+        self.spawned_pids: list[int] = []
+        self._rng = random.Random(jitter_seed)
         self._idle: asyncio.Queue[WorkerHandle] = asyncio.Queue()
-        self._handles: list[WorkerHandle] = []
-        self._monitors: list[asyncio.Task] = []
+        self._slots: list[WorkerSlot] = []
         self._next_id = 0
         self._closing = False
 
@@ -188,17 +340,86 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn the fleet and block until every worker answers a
-        health check (its model is loaded and mapped)."""
-        for _ in range(self.n_workers):
-            handle = await self._spawn()
-            self._handles.append(handle)
-            self._monitors.append(
-                asyncio.create_task(self._monitor(handle))
-            )
-            self._idle.put_nowait(handle)
+        """Start one supervision loop per slot and wait for the fleet.
 
-    async def _spawn(self) -> WorkerHandle:
+        Returns once every slot has a ready worker, or — when early
+        spawns fail (a worker dying during snapshot load) — as soon as
+        the slot loops have had ``load_timeout`` to produce at least
+        one; zero ready workers by then tears the pool down and
+        raises, so a bad source fails callers fast instead of hanging
+        them while the breakers crash-loop politely in the background.
+        """
+        loop = asyncio.get_running_loop()
+        for slot_id in range(self.n_workers):
+            slot = WorkerSlot(
+                slot_id,
+                CircuitBreaker(
+                    threshold=self.breaker_threshold,
+                    base_delay=self.backoff_base,
+                    max_delay=self.backoff_cap,
+                    rng=self._rng,
+                ),
+            )
+            self._slots.append(slot)
+            slot.task = asyncio.create_task(self._run_slot(slot))
+        deadline = loop.time() + self.load_timeout + self.call_timeout
+        while loop.time() < deadline and not self._closing:
+            ready = len(self.alive_workers())
+            if ready >= self.n_workers:
+                return
+            if ready > 0 and loop.time() >= deadline - self.call_timeout:
+                return  # partial fleet: serve what we have
+            await asyncio.sleep(0.02)
+        if self.alive_workers():
+            return
+        await self.close()
+        raise GatewayError(
+            f"no worker became ready within "
+            f"{self.load_timeout + self.call_timeout:.1f}s "
+            f"({self.n_spawn_failures} failed spawn attempts)"
+        )
+
+    async def _run_slot(self, slot: WorkerSlot) -> None:
+        """One slot's whole life: spawn (after any breaker delay), hand
+        the worker to the rotation, wait out its death, account for it,
+        repeat. Only this loop spawns for its slot, so a death observed
+        by both a caller and the loop still yields exactly one
+        replacement."""
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            delay = slot.breaker.next_delay()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if self._closing:
+                return
+            try:
+                handle = await self._spawn(slot)
+            except asyncio.CancelledError:
+                raise
+            except (GatewayError, OSError):
+                slot.n_spawn_failures += 1
+                self.n_spawn_failures += 1
+                slot.breaker.record_failure()
+                continue
+            slot.handle = handle
+            slot.breaker.on_probe()
+            self._idle.put_nowait(handle)
+            await loop.run_in_executor(None, handle.proc.wait)
+            handle.alive = False
+            try:
+                handle.writer.close()
+            except (OSError, RuntimeError):
+                pass
+            if self._closing:
+                return
+            slot.n_restarts += 1
+            self.n_restarts += 1
+            if loop.time() - handle.spawned_at >= self.healthy_lifetime:
+                # A long-lived worker dying is churn, not a streak.
+                slot.breaker.record_success()
+            slot.breaker.record_failure()
+
+    async def _spawn(self, slot: WorkerSlot) -> WorkerHandle:
         worker_id = self._next_id
         self._next_id += 1
         parent_sock, child_sock = socket.socketpair()
@@ -224,70 +445,64 @@ class WorkerPool:
         env = dict(os.environ)
         env.update(self.worker_env)
         env["PYTHONPATH"] = _worker_pythonpath()
+        # The fleet-wide spawn sequence number: fault-plan rules gate
+        # on it ("the first K workers die during load").
+        env[SPAWN_SEQ_ENV] = str(worker_id)
         proc = subprocess.Popen(
             argv, pass_fds=[child_sock.fileno()], env=env
         )
-        child_sock.close()
-        parent_sock.setblocking(False)
+        self.spawned_pids.append(proc.pid)
         try:
+            child_sock.close()
+            parent_sock.setblocking(False)
             reader, writer = await asyncio.open_connection(
                 sock=parent_sock
             )
-        except Exception:
-            proc.kill()
-            parent_sock.close()
+            handle = WorkerHandle(
+                worker_id, proc, parent_sock, reader, writer, slot=slot
+            )
+            handle.spawned_at = asyncio.get_running_loop().time()
+            # The worker only enters its frame loop once its model is
+            # loaded, so the first health round trip doubles as
+            # readiness.
+            response = await handle.call(
+                {"method": "health"},
+                self.load_timeout + self.call_timeout,
+            )
+        except BaseException:
+            # Covers cancellation too: a spawn interrupted by close()
+            # must not leave an orphan process behind.
+            if proc.poll() is None:
+                proc.kill()
+            try:
+                proc.wait(timeout=5)
+            except (OSError, subprocess.TimeoutExpired):
+                pass
+            try:
+                parent_sock.close()
+            except OSError:
+                pass
             raise
-        handle = WorkerHandle(worker_id, proc, parent_sock, reader, writer)
-        # The worker only enters its frame loop once its model is
-        # loaded, so the first health round trip doubles as readiness.
-        response = await handle.call(
-            {"method": "health"}, self.load_timeout + self.call_timeout
-        )
-        self._note_version(response)
+        self._note_version(response, handle)
         return handle
 
-    async def _monitor(self, handle: WorkerHandle) -> None:
-        """Wait out one worker's life; replace it when it dies. Only
-        monitors spawn replacements, so a death observed by both a
-        caller and the monitor still yields exactly one new worker."""
-        loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, handle.proc.wait)
-        handle.alive = False
-        try:
-            handle.writer.close()
-        except Exception:
-            pass
-        if self._closing:
-            return
-        self.n_restarts += 1
-        try:
-            replacement = await self._spawn()
-        except (GatewayError, OSError):
-            # A replacement that cannot come up (source vanished,
-            # fork limits) leaves the fleet one short; the next death
-            # or close() accounts for it.
-            return
-        self._handles.append(replacement)
-        self._monitors.append(
-            asyncio.create_task(self._monitor(replacement))
-        )
-        self._idle.put_nowait(replacement)
-
     async def close(self) -> None:
-        """Kill the fleet and cancel the monitors (idempotent)."""
+        """Kill the fleet and stop the slot loops (idempotent)."""
         self._closing = True
-        for task in self._monitors:
+        tasks = [slot.task for slot in self._slots if slot.task is not None]
+        for task in tasks:
             task.cancel()
-        for task in self._monitors:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):
-                pass
-        self._monitors.clear()
-        for handle in self._handles:
-            handle.kill()
-            handle.proc.wait()
-        self._handles.clear()
+        # gather(return_exceptions=True) swallows the tasks' own
+        # CancelledError without masking an outer cancellation of
+        # close() itself — cancellation is a BaseException on 3.8+ and
+        # must never be eaten by a broad except.
+        await asyncio.gather(*tasks, return_exceptions=True)
+        for slot in self._slots:
+            slot.task = None
+            handle = slot.handle
+            if handle is not None:
+                handle.kill()
+                handle.proc.wait()
         while not self._idle.empty():
             self._idle.get_nowait()
 
@@ -295,16 +510,14 @@ class WorkerPool:
     # Routing
     # ------------------------------------------------------------------
 
-    async def _checkout(self) -> WorkerHandle:
-        deadline = (
-            asyncio.get_running_loop().time() + self.call_timeout
-        )
+    async def _checkout(self, timeout: float) -> WorkerHandle:
+        deadline = asyncio.get_running_loop().time() + timeout
         while True:
             remaining = deadline - asyncio.get_running_loop().time()
             if remaining <= 0:
                 raise GatewayError(
                     "no live worker became available within "
-                    f"{self.call_timeout:.1f}s"
+                    f"{timeout:.1f}s"
                 )
             try:
                 handle = await asyncio.wait_for(
@@ -313,21 +526,133 @@ class WorkerPool:
             except asyncio.TimeoutError:
                 raise GatewayError(
                     "no live worker became available within "
-                    f"{self.call_timeout:.1f}s"
+                    f"{timeout:.1f}s"
                 ) from None
             if handle.alive and handle.proc.poll() is None:
                 return handle
             # A corpse left in the queue by a death; skip it — its
-            # monitor already arranged the replacement.
+            # slot loop already arranged the replacement.
+
+    def _checkout_nowait(self) -> WorkerHandle | None:
+        """An idle live worker right now, or ``None`` (the hedge path
+        never waits — a hedge that queues is just more load)."""
+        while True:
+            try:
+                handle = self._idle.get_nowait()
+            except asyncio.QueueEmpty:
+                return None
+            if handle.alive and handle.proc.poll() is None:
+                return handle
 
     def _release(self, handle: WorkerHandle) -> None:
         if handle.alive and handle.proc.poll() is None:
             self._idle.put_nowait(handle)
 
-    def _note_version(self, response: dict) -> None:
+    def _note_version(
+        self, response: dict, handle: WorkerHandle | None = None
+    ) -> None:
         version = response.get("version")
-        if isinstance(version, int) and version > self.fleet_version:
-            self.fleet_version = version
+        if isinstance(version, int):
+            if handle is not None:
+                handle.version = max(handle.version, version)
+            if version > self.fleet_version:
+                self.fleet_version = version
+
+    async def _call_one(
+        self, handle: WorkerHandle, payload: dict, timeout: float
+    ) -> dict:
+        """One attempt against one worker; always releases (or buries)
+        the handle, feeds the slot's breaker, and tracks versions."""
+        try:
+            response = await handle.call(payload, timeout)
+        except GatewayError:
+            self._release(handle)  # dead handles are not re-queued
+            raise
+        self._note_version(response, handle)
+        if response.get("ok") and handle.slot is not None:
+            handle.slot.breaker.record_success()
+        self._release(handle)
+        return response
+
+    async def _dispatch(
+        self,
+        handle: WorkerHandle,
+        method: str,
+        params: dict,
+        remaining: float,
+    ) -> dict:
+        """One (possibly hedged) attempt. The frame carries the
+        remaining deadline budget; reads that linger past
+        ``hedge_delay`` are duplicated to an idle sibling and the first
+        answer wins — the loser completes in the background and simply
+        re-enters rotation."""
+        payload = {
+            "method": method,
+            "params": {**params, "budget_ms": remaining * 1000.0},
+        }
+        primary = asyncio.ensure_future(
+            self._call_one(handle, payload, remaining)
+        )
+        hedge_after = self.hedge_delay
+        if (
+            hedge_after is None
+            or method not in READ_METHODS
+            or remaining <= hedge_after
+        ):
+            return await primary
+        done, _pending = await asyncio.wait({primary}, timeout=hedge_after)
+        if done:
+            return primary.result()
+        # The primary is officially slow. Race it against a *waiting*
+        # checkout of a sibling — a momentarily-busy fleet frees a
+        # worker in milliseconds, and a hedge that only glanced once
+        # would miss it and ride out the full hang.
+        checkout = asyncio.ensure_future(
+            self._checkout(remaining - hedge_after)
+        )
+        done, _pending = await asyncio.wait(
+            {primary, checkout}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if primary in done:
+            if checkout.done():
+                if checkout.exception() is None:
+                    self._release(checkout.result())
+            else:
+                checkout.cancel()
+                checkout.add_done_callback(_swallow_result)
+            return primary.result()
+        try:
+            sibling = checkout.result()
+        except GatewayError:
+            return await primary
+        self.n_hedged += 1
+        hedge = asyncio.ensure_future(
+            self._call_one(sibling, payload, remaining - hedge_after)
+        )
+        tasks = {primary, hedge}
+        first_error: GatewayError | None = None
+        while tasks:
+            done, tasks = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                exc = task.exception()
+                if exc is None:
+                    for loser in tasks:
+                        # Let the slower attempt finish in the
+                        # background; its handle re-enters rotation
+                        # inside _call_one either way.
+                        loser.add_done_callback(_swallow_result)
+                    if task is hedge:
+                        self.n_hedge_wins += 1
+                    return task.result()
+                if isinstance(exc, GatewayError) and first_error is None:
+                    first_error = exc
+                elif not isinstance(exc, GatewayError):
+                    raise exc
+        raise first_error if first_error is not None else GatewayError(
+            "hedged dispatch failed"
+        )
 
     async def call(
         self,
@@ -336,34 +661,46 @@ class WorkerPool:
         timeout: float | None = None,
     ) -> dict:
         """Route one request to the fleet and return the worker's
-        response payload, retrying across deaths and staleness. Raises
-        :class:`~repro.errors.GatewayError` when the retry budget is
-        exhausted, and for non-retryable worker errors."""
+        response payload, retrying across deaths and staleness within
+        one deadline budget. Raises
+        :class:`~repro.errors.GatewayError` when the budget or retry
+        count is exhausted (unless ``allow_stale`` turns the failure
+        into an explicit stale response), and for non-retryable worker
+        errors."""
         self.n_calls += 1
-        timeout = self.call_timeout if timeout is None else timeout
+        loop = asyncio.get_running_loop()
+        budget = self.call_timeout if timeout is None else timeout
+        deadline = loop.time() + budget
         params = dict(params or {})
+        read = method in READ_METHODS
+        # Reserve a slice of the budget for the degraded attempt, so
+        # "fresh failed" still leaves time to serve *something*.
+        stale_grace = (
+            min(1.0, budget * 0.25) if (self.allow_stale and read) else 0.0
+        )
+        fresh_deadline = deadline - stale_grace
         last_error: GatewayError | None = None
-        for _attempt in range(self.retries + 1):
-            if method in ("recommend", "similar_items"):
+        attempt = 0
+        while attempt <= self.retries and loop.time() < fresh_deadline:
+            attempt += 1
+            if read:
                 # The handshake: no response may be computed from a
                 # model older than the newest the fleet has served.
                 params["min_version"] = self.fleet_version
+            remaining = fresh_deadline - loop.time()
             try:
-                handle = await self._checkout()
+                handle = await self._checkout(remaining)
             except GatewayError as exc:
                 last_error = exc
                 break
             try:
-                response = await handle.call(
-                    {"method": method, "params": params}, timeout
+                response = await self._dispatch(
+                    handle, method, params, remaining
                 )
             except GatewayError as exc:
                 last_error = exc
                 continue  # the worker is dead; retry on another
-            finally:
-                self._release(handle)
             if response.get("ok"):
-                self._note_version(response)
                 return response
             error = response.get("error") or {}
             message = error.get("message", "worker error")
@@ -376,10 +713,42 @@ class WorkerPool:
             raise GatewayError(
                 f"worker {handle.worker_id}: {message}"
             )
+        if self.allow_stale and read:
+            response = await self._stale_fallback(method, params, deadline)
+            if response is not None:
+                return response
         raise GatewayError(
-            f"request {method!r} failed after {self.retries + 1} "
-            f"attempts: {last_error}"
+            f"request {method!r} failed after {attempt} attempts "
+            f"within {budget:.1f}s: {last_error}"
         )
+
+    async def _stale_fallback(
+        self, method: str, params: dict, deadline: float
+    ) -> dict | None:
+        """The bounded-staleness degraded path: one attempt with
+        ``allow_stale`` — the worker serves its freshest version and
+        tags the response ``stale`` when that is behind the floor."""
+        loop = asyncio.get_running_loop()
+        remaining = max(0.05, deadline - loop.time())
+        stale_params = {
+            **params,
+            "min_version": self.fleet_version,
+            "allow_stale": True,
+        }
+        try:
+            handle = await self._checkout(remaining)
+            payload = {
+                "method": method,
+                "params": {**stale_params, "budget_ms": remaining * 1000.0},
+            }
+            response = await self._call_one(handle, payload, remaining)
+        except GatewayError:
+            return None
+        if not response.get("ok"):
+            return None
+        if response.get("stale"):
+            self.n_stale_served += 1
+        return response
 
     # ------------------------------------------------------------------
     # Observability
@@ -388,9 +757,33 @@ class WorkerPool:
     def alive_workers(self) -> list[int]:
         return [
             handle.pid
-            for handle in self._handles
-            if handle.alive and handle.proc.poll() is None
+            for slot in self._slots
+            if (handle := slot.live_handle()) is not None
         ]
+
+    def worker_details(self) -> list[dict]:
+        """Per-slot fleet shape — what ``/healthz`` exposes so an
+        operator (or the chaos smoke) can assert it without logs."""
+        details = []
+        for slot in self._slots:
+            handle = slot.handle
+            live = slot.live_handle() is not None
+            details.append(
+                {
+                    "slot": slot.slot_id,
+                    "pid": handle.pid if handle is not None else None,
+                    "alive": live,
+                    "version": handle.version if handle is not None else 0,
+                    "restarts": slot.n_restarts,
+                    "spawn_failures": slot.n_spawn_failures,
+                    "circuit": slot.breaker.state,
+                    "consecutive_failures": (
+                        slot.breaker.consecutive_failures
+                    ),
+                    "n_calls": handle.n_calls if handle is not None else 0,
+                }
+            )
+        return details
 
     def stats(self) -> dict:
         return {
@@ -399,4 +792,15 @@ class WorkerPool:
             "fleet_version": self.fleet_version,
             "n_calls": self.n_calls,
             "n_restarts": self.n_restarts,
+            "n_spawn_failures": self.n_spawn_failures,
+            "n_hedged": self.n_hedged,
+            "n_hedge_wins": self.n_hedge_wins,
+            "n_stale_served": self.n_stale_served,
         }
+
+
+def _swallow_result(task: asyncio.Task) -> None:
+    """Retrieve a background task's outcome so a losing hedge's error
+    is never reported as an unretrieved exception."""
+    if not task.cancelled():
+        task.exception()

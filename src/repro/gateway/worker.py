@@ -19,10 +19,28 @@ Convergence is two-speed:
   *retryable* ``stale`` error rather than serving the old model — the
   fleet never goes backwards in time from a client's point of view.
 
-``repro.durability.faults.crash_point("gateway.worker.request")`` runs
-once per request, so the PR-6 fault harness can SIGKILL a worker
-mid-flight (``REPRO_CRASH_POINT=gateway.worker.request:3``) and the
-supervisor's restart/retry path gets exercised by real process death.
+Three named fault points bracket the worker's life so the chaos
+harness (:mod:`repro.faults`) can perturb it from the environment:
+``gateway.worker.load`` before the snapshot source is opened (a kill
+here is a death *during load*, before the first health OK; a delay is
+a slow load), ``gateway.worker.request`` once per request frame
+(SIGKILL mid-flight — ``REPRO_CRASH_POINT=gateway.worker.request:3``
+still works, and a plan can also delay or inject retryable errors),
+and ``gateway.worker.send`` inside every outgoing frame (drop /
+corrupt / torn — see :mod:`repro.gateway.protocol`).
+
+Two request-level contracts ride in the frame:
+
+* ``budget_ms`` — the remaining deadline budget the gateway stamped at
+  dispatch. A request whose budget is already exhausted (it sat behind
+  a slow window or a retry storm) is answered with a ``deadline``
+  error instead of being computed: late work is dead work, and
+  skipping it is what keeps an overloaded fleet from queueing.
+* ``allow_stale`` — the gateway's degraded-mode marker. The worker
+  still polls once toward ``min_version``, but if the source has not
+  caught up it serves the **freshest version it has** and tags the
+  response ``stale: true`` (bounded staleness, explicit) instead of
+  answering a retryable ``stale`` error.
 """
 
 from __future__ import annotations
@@ -33,14 +51,17 @@ import socket
 import sys
 import time
 
-from repro.durability.faults import crash_point
 from repro.errors import GatewayError, ReproError, StaleModelError
+from repro.faults.plan import InjectedFault, fault_point
 from repro.gateway.protocol import recv_frame, send_frame
 from repro.serving.service import RecommendationService
 from repro.serving.watch import RegistryWatcher
 
 DEFAULT_POLL_INTERVAL = 0.2
 DEFAULT_LOAD_TIMEOUT = 30.0
+
+LOAD_FAULT_POINT = "gateway.worker.load"
+REQUEST_FAULT_POINT = "gateway.worker.request"
 
 
 def _error_response(kind: str, message: str, retryable: bool, **extra) -> dict:
@@ -74,9 +95,24 @@ class WorkerApp:
         self.n_requests += 1
         method = frame.get("method")
         params = frame.get("params") or {}
-        crash_point("gateway.worker.request")
+        try:
+            fault_point(REQUEST_FAULT_POINT)
+        except InjectedFault as exc:
+            return _error_response("injected", str(exc), retryable=True)
         if method == "shutdown":
             return None
+        budget_ms = params.get("budget_ms")
+        if budget_ms is not None and method in ("recommend", "similar_items"):
+            try:
+                exhausted = float(budget_ms) <= 0.0
+            except (TypeError, ValueError):
+                exhausted = False
+            if exhausted:
+                return _error_response(
+                    "deadline",
+                    "deadline budget exhausted before the worker began",
+                    retryable=False,
+                )
         try:
             if method == "health":
                 return self._health()
@@ -124,11 +160,15 @@ class WorkerApp:
             raise GatewayError("recommend needs a non-empty 'users' list")
         n = int(params.get("n", 10))
         min_version = int(params.get("min_version", 0))
+        allow_stale = bool(params.get("allow_stale"))
         self._fresh(min_version)
         version, results = self.service.recommend_batch_pinned(
-            users, n, min_version=min_version
+            users, n, min_version=0 if allow_stale else min_version
         )
-        return {"ok": True, "version": version, "results": results}
+        response = {"ok": True, "version": version, "results": results}
+        if allow_stale and version < min_version:
+            response["stale"] = True
+        return response
 
     def _similar_items(self, params: dict) -> dict:
         item = params.get("item")
@@ -139,11 +179,18 @@ class WorkerApp:
         if minimum is not None:
             minimum = float(minimum)
         min_version = int(params.get("min_version", 0))
+        allow_stale = bool(params.get("allow_stale"))
         self._fresh(min_version)
         version, row = self.service.similar_items_pinned(
-            item, k, minimum=minimum, min_version=min_version
+            item,
+            k,
+            minimum=minimum,
+            min_version=0 if allow_stale else min_version,
         )
-        return {"ok": True, "version": version, "results": row}
+        response = {"ok": True, "version": version, "results": row}
+        if allow_stale and version < min_version:
+            response["stale"] = True
+        return response
 
 
 def wait_for_model(
@@ -237,6 +284,9 @@ def main(argv: list[str] | None = None) -> int:
 
     sock = socket.socket(fileno=args.fd)
     use_numpy = False if args.pure_python else None
+    # A kill here is a worker dying *during* snapshot load, before its
+    # first health OK; a delay rule is a slow-loading source.
+    fault_point(LOAD_FAULT_POINT)
     watcher = RegistryWatcher(args.watch, use_numpy=use_numpy)
     wait_for_model(watcher, timeout=args.load_timeout)
     service = RecommendationService(
