@@ -78,8 +78,7 @@ KNOBS = {
 def _chaos_sizes():
     """This bench runs the ends of the size ladder — the middle adds
     wall clock without changing any conclusion."""
-    return [size for size in selected_sizes()
-            if size[0] in ("small", "large")]
+    return [size for size in selected_sizes() if size[0] in ("small", "large")]
 
 
 def _fault_plan() -> FaultPlan:
@@ -96,17 +95,14 @@ def _fault_plan() -> FaultPlan:
         # ~0.4s of worker occupancy per 250 frames on a 2-worker
         # fleet: the plan stays visible (a handful of stalls per leg)
         # without burying the goodput floor in injected sleep.
-        FaultRule("gateway.worker.send", "delay", delay_s=0.05,
-                  probability=0.03),
-        FaultRule("gateway.worker.send", "delay", delay_s=0.4,
-                  probability=0.006),
+        FaultRule("gateway.worker.send", "delay", delay_s=0.05, probability=0.03),
+        FaultRule("gateway.worker.send", "delay", delay_s=0.4, probability=0.006),
         # One initial worker dies once mid-request; its replacement is
         # clean (counters are per-process, so an ungated kill would
         # recur every ~20 frames forever, and killing both workers
         # prices respawn — roughly fixed wall clock — twice against a
         # stream only a few seconds long).
-        FaultRule("gateway.worker.request", "kill", after=20, times=1,
-                  max_spawn_seq=1),
+        FaultRule("gateway.worker.request", "kill", after=20, times=1, max_spawn_seq=1),
     ])
 
 
@@ -168,8 +164,7 @@ async def _bench_one_size(source: Path, users: list[str],
     duration = knobs["overload_duration_s"]
     bounded = await _run_leg(
         source, users, pure_python,
-        server_kwargs={"max_inflight": 4, "max_queue": 4,
-                       "request_timeout": 25.0},
+        server_kwargs={"max_inflight": 4, "max_queue": 4, "request_timeout": 25.0},
         open_loop={"rate": overload_rate, "duration": duration})
     unbounded = await _run_leg(
         source, users, pure_python,
@@ -191,8 +186,7 @@ def test_chaos_goodput_and_overload_shedding():
     payload_sizes = []
     reports_by_size = {}
     for name, n_users, n_items, per_user in _chaos_sizes():
-        table = RatingTable(_random_ratings(n_users, n_items, per_user,
-                                            seed=7))
+        table = RatingTable(_random_ratings(n_users, n_items, per_user, seed=7))
         sweep = IncrementalSweep(table, n_shards=1, with_index=True)
         registry = ModelRegistry(sweep=sweep, cf_k=CF_K)
         users = sorted(table.users)[:N_REQUEST_USERS]

@@ -83,13 +83,11 @@ def _batches(n_batches: int, batch_size: int, seed: int,
     for _ in range(n_batches):
         batch = []
         while len(batch) < batch_size:
-            pair = (f"u{rng.randrange(n_users):05d}",
-                    f"i{rng.randrange(n_items):05d}")
+            pair = (f"u{rng.randrange(n_users):05d}", f"i{rng.randrange(n_items):05d}")
             if pair in seen:
                 continue
             seen.add(pair)
-            batch.append(Rating(pair[0], pair[1],
-                                float(rng.randint(1, 5)), timestep))
+            batch.append(Rating(pair[0], pair[1], float(rng.randint(1, 5)), timestep))
             timestep += 1
         batches.append(batch)
     return batches
@@ -101,8 +99,7 @@ def _bench_append(tmp_path, lines: list) -> list:
     payload = []
     for name, n_appends, batch_size, _, _ in selected_sizes():
         batches = _batches(n_appends, batch_size, seed=7)
-        row = {"name": name, "n_appends": n_appends,
-               "batch_size": batch_size}
+        row = {"name": name, "n_appends": n_appends, "batch_size": batch_size}
         cells = []
         for label, kwargs in _APPEND_MODES:
             log = RatingLog(tmp_path / f"append-{name}-{label}", **kwargs)
@@ -131,23 +128,20 @@ def _bench_recovery(tmp_path, lines: list) -> list:
     for name, _, batch_size, base_shape, replay_lengths \
             in selected_sizes():
         n_users, n_items, per_user = base_shape
-        base = RatingTable(_random_ratings(n_users, n_items, per_user,
-                                           seed=7))
+        base = RatingTable(_random_ratings(n_users, n_items, per_user, seed=7))
         batches = _batches(max(replay_lengths), batch_size, seed=13,
                            n_users=n_users * 2, n_items=n_items)
         baseline = None
         rows = []
         for length in replay_lengths:
             store = tmp_path / f"recover-{name}-{length}"
-            durable = DurableSweep(store, base, policy=_NO_CHECKPOINTS,
-                                   group_commit=16)
+            durable = DurableSweep(store, base, policy=_NO_CHECKPOINTS, group_commit=16)
             for batch in batches[:length]:
                 durable.update(batch)
             n_ratings = durable.store.n_ratings
             index_entries = durable.index.n_entries
             durable.close()
-            recovered, seconds = _timed(
-                lambda store=store: DurableSweep.recover(store))
+            recovered, seconds = _timed(lambda store=store: DurableSweep.recover(store))
             # Sanity before the number is believed (bit-identity is
             # property-tested per crash point in tests/).
             assert recovered.applied_seq == length
@@ -187,7 +181,6 @@ def test_durability_throughput_and_recovery(tmp_path):
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"durability_{backend}.txt").write_text(rendered)
         record_json("durability", backend,
-                    {"append": append_payload,
-                     "recovery": recovery_payload})
+                    {"append": append_payload, "recovery": recovery_payload})
     print()
     print(rendered)

@@ -158,8 +158,7 @@ async def _bench_one_size(work: Path, registry, users: list[str],
         await server.close()
         await pool.close()
         executor.shutdown(wait=False)
-    return {"serial": serial, "closed": closed, "poisson": poisson,
-            "pool": stats}
+    return {"serial": serial, "closed": closed, "poisson": poisson, "pool": stats}
 
 
 def test_gateway_throughput_and_tail_latency():
@@ -171,8 +170,7 @@ def test_gateway_throughput_and_tail_latency():
     payload_sizes = []
     speedups = {}
     for name, n_users, n_items, per_user in selected_sizes():
-        table = RatingTable(_random_ratings(n_users, n_items, per_user,
-                                            seed=7))
+        table = RatingTable(_random_ratings(n_users, n_items, per_user, seed=7))
         sweep = IncrementalSweep(table, n_shards=1, with_index=True)
         registry = ModelRegistry(sweep=sweep, cf_k=CF_K)
         users = sorted(table.users)[:N_REQUEST_USERS]

@@ -66,8 +66,7 @@ def selected_sizes():
     return [size for size in SIZES if size[0] in wanted]
 
 
-def _append_batch(n_users: int, n_items: int, per_user: int,
-                  seed: int) -> list[Rating]:
+def _append_batch(n_users: int, n_items: int, per_user: int, seed: int) -> list[Rating]:
     """A small online-shaped batch: one new user's full profile, new
     ratings from one existing user, and one brand-new item."""
     rng = random.Random(seed)
@@ -106,13 +105,11 @@ def test_incremental_update_speedup():
         base_ratings = _random_ratings(n_users, n_items, per_user, seed=7)
         batch = _append_batch(n_users, n_items, per_user, seed=13)
         base_table = RatingTable(base_ratings)
-        all_ratings = list(
-            {(r.user, r.item): r for r in base_ratings + batch}.values())
+        all_ratings = list({(r.user, r.item): r for r in base_ratings + batch}.values())
 
         sweep = IncrementalSweep(base_table)
         stats_box = {}
-        _, update_s = _timed(
-            lambda: stats_box.setdefault("stats", sweep.update(batch)))
+        _, update_s = _timed(lambda: stats_box.setdefault("stats", sweep.update(batch)))
         rebuilt_box = {}
         _, rebuild_s = _timed(
             lambda: rebuilt_box.setdefault(

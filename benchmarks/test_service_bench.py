@@ -76,23 +76,20 @@ def _update_batch(rng: random.Random, round_id: int):
     is most of the catalogue; ``tests/test_serving.py`` covers that
     shape's exactness.)"""
     user = f"newu{round_id:03d}"
-    return [Rating(user, f"newi{round_id:03d}x{j}",
-                   float(rng.randint(1, 5)))
+    return [Rating(user, f"newi{round_id:03d}x{j}", float(rng.randint(1, 5)))
             for j in range(4)]
 
 
 def test_service_batched_throughput_and_cache():
     backend = "numpy" if numpy_available() else "pure_python"
-    n_batch_users = (N_BATCH_USERS_NUMPY if numpy_available()
-                     else N_BATCH_USERS_PYTHON)
+    n_batch_users = (N_BATCH_USERS_NUMPY if numpy_available() else N_BATCH_USERS_PYTHON)
     lines = [f"{'size':<8} {'users':>6} {'per_req_s':>10} {'batched_s':>10} "
              f"{'qps(req)':>9} {'qps(batch)':>10} {'speedup':>8} "
              f"{'build_s':>8} {'row_hit%':>9} {'evicted/upd':>12}"]
     payload_sizes = []
     speedups = {}
     for name, n_users, n_items, per_user in selected_sizes():
-        table = RatingTable(_random_ratings(n_users, n_items, per_user,
-                                            seed=7))
+        table = RatingTable(_random_ratings(n_users, n_items, per_user, seed=7))
         sweep, build_s = _timed(lambda: IncrementalSweep(
             table, n_shards=1, with_index=True))
         registry = ModelRegistry(sweep=sweep, cf_k=50)
@@ -103,8 +100,7 @@ def test_service_batched_throughput_and_cache():
         service.recommend_batch(users[:2], TOP_N)  # warm the layout
         per_request, per_request_s = _timed(
             lambda: [service.recommend(user, TOP_N) for user in users])
-        batched, batched_s = _timed(
-            lambda: service.recommend_batch(users, TOP_N))
+        batched, batched_s = _timed(lambda: service.recommend_batch(users, TOP_N))
         assert batched == per_request, name
         service.close()  # transient service over a shared registry
 
@@ -155,8 +151,7 @@ def test_service_batched_throughput_and_cache():
             "n_update_rounds": N_UPDATE_ROUNDS,
             "queries_per_round": N_QUERIES_PER_ROUND,
             "row_cache_hit_rate": round(hit_rate, 4),
-            "rows_evicted_per_update": round(
-                evicted_total / N_UPDATE_ROUNDS, 1),
+            "rows_evicted_per_update": round(evicted_total / N_UPDATE_ROUNDS, 1),
         })
         assert warm_hits + warm_misses == warm_queries
 
@@ -166,10 +161,7 @@ def test_service_batched_throughput_and_cache():
     if selected_sizes() == SIZES:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"service_{backend}.txt").write_text(rendered)
-        record_json("service", backend, {
-            "k": 50,
-            "sizes": payload_sizes,
-        })
+        record_json("service", backend, {"k": 50, "sizes": payload_sizes,})
     print()
     print(rendered)
     # The wall-clock acceptance bar only means something at full scale

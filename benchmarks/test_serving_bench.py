@@ -118,10 +118,7 @@ def test_serving_speedup():
     if selected_sizes() == SIZES:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"serving_{backend}.txt").write_text(rendered)
-        record_json("serving", backend, {
-            "k": 50,
-            "sizes": payload_sizes,
-        })
+        record_json("serving", backend, {"k": 50, "sizes": payload_sizes,})
     print()
     print(rendered)
     # The wall-clock acceptance bar only means something at full scale

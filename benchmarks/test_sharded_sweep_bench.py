@@ -72,8 +72,7 @@ def test_shard_scaling():
         ("serial x4", dict(n_shards=4, processes=0)),
         ("pool2  x4", dict(n_shards=4, processes=2)),
         ("pool4  x4", dict(n_shards=4, processes=4)),
-        ("serial x4 +sig", dict(n_shards=4, processes=0,
-                                with_significance=True)),
+        ("serial x4 +sig", dict(n_shards=4, processes=0, with_significance=True)),
     ]
     lines = [f"{'size':<8} {'config':<16} {'seconds':>9} {'vs_store':>9} "
              f"{'max_shard_s':>12}"]

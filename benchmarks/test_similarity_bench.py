@@ -116,8 +116,7 @@ def _reference_graph_build(table: RatingTable) -> ItemGraph:
 
 def _persist(name: str, header: str, lines: list[str]) -> str:
     backend = "numpy" if numpy_available() else "pure_python"
-    rendered = "\n".join(
-        [f"{header} (backend: {backend})", ""] + lines) + "\n"
+    rendered = "\n".join([f"{header} (backend: {backend})", ""] + lines) + "\n"
     # Size-filtered smoke runs print but never overwrite the committed
     # full-scale results.
     if selected_sizes() == SIZES:
@@ -154,8 +153,7 @@ def test_graph_build_speedup():
         edges_ref = {(i, j): s for i, j, s in graph_ref.edges()}
         edges_fast = {(i, j): s for i, j, s in graph_fast.edges()}
         for key in edges_ref.keys() | edges_fast.keys():
-            assert abs(edges_fast.get(key, 0.0)
-                       - edges_ref.get(key, 0.0)) < 1e-9, key
+            assert abs(edges_fast.get(key, 0.0) - edges_ref.get(key, 0.0)) < 1e-9, key
         speedups[name] = reference_s / indexed_s
         lines.append(f"{name:<8} {n_users:>6} {n_items:>6} "
                      f"{n_users * per_user:>8} {reference_s:>12.3f} "
@@ -191,8 +189,7 @@ def test_significance_sweep_speedup():
         # its path's cold per-item costs (item-mean caches vs like-dict
         # builds) — neither side coasts on a previous repeat's warmup.
         expected, reference_s = _timed(
-            lambda fresh: [significance_reference(fresh, i, j)
-                           for i, j in pairs],
+            lambda fresh: [significance_reference(fresh, i, j) for i, j in pairs],
             repeats=3, setup=lambda: RatingTable(ratings))
         got, indexed_s = _timed(
             lambda fresh: [significance(fresh, i, j) for i, j in pairs],
@@ -201,5 +198,4 @@ def test_significance_sweep_speedup():
         assert got == expected
         lines.append(f"{name:<8} {n_pairs:>6} {reference_s:>12.3f} "
                      f"{indexed_s:>10.3f} {reference_s / indexed_s:>7.1f}x")
-    _persist("similarity_significance",
-             "significance sweep (Definition 2)", lines)
+    _persist("similarity_significance", "significance sweep (Definition 2)", lines)

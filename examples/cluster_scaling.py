@@ -36,8 +36,7 @@ def main() -> None:
     als_times = {}
     for count in machines:
         cluster = ClusterSpec(n_machines=count)
-        xmap_times[count] = run_xmap_job(
-            data, cluster, prune_k=10).report.makespan
+        xmap_times[count] = run_xmap_job(data, cluster, prune_k=10).report.makespan
         als_times[count] = run_als_job(
             data.merged(), cluster, ALSConfig(n_iterations=8)).report.makespan
 

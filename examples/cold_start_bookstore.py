@@ -37,8 +37,7 @@ def main() -> None:
     print(f"\nHid the full book profiles of {len(split.test_users)} test "
           f"users ({split.n_hidden} ratings to predict).")
 
-    recommender = NXMapRecommender(
-        XMapConfig(prune_k=20, cf_k=50, mode="user"))
+    recommender = NXMapRecommender(XMapConfig(prune_k=20, cf_k=50, mode="user"))
     recommender.fit(split.train, users=split.test_users)
 
     baseline = ItemAverageRecommender(split.train.target.ratings)

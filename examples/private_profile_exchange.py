@@ -44,8 +44,7 @@ def main() -> None:
     # chance level (that is the protection!), and only an absurdly large
     # budget exposes the deterministic argmax mapping again.
     for epsilon in (0.1, 1.0, 10.0, 100.0):
-        attack = reidentification_rate(
-            lab.xsim_map, epsilon, trials=3, rng=rng)
+        attack = reidentification_rate(lab.xsim_map, epsilon, trials=3, rng=rng)
         recommender = lab.x_recommender(
             epsilon=epsilon, epsilon_prime=0.3, mode="user", k=50)
         quality = evaluate("X-Map-ub", recommender, split)

@@ -36,8 +36,7 @@ def serve(snapshot_dir: str) -> None:
     service = RecommendationService(snapshot)
     users = sorted(snapshot.store.users)[:4]
     responses = service.recommend_batch(users, n=TOP_N)
-    print(json.dumps({user: response
-                      for user, response in zip(users, responses)}))
+    print(json.dumps({user: response for user, response in zip(users, responses)}))
 
 
 def main() -> None:

@@ -1,0 +1,18 @@
+"""Repo-root shim so ``python -m reprolint check src scripts`` works
+from a checkout without installing anything.
+
+The real package lives at ``tools/reprolint``; this file only puts
+``tools/`` on ``sys.path`` and delegates. (When run with ``-m``, this
+module is imported as ``__main__``, so the name ``reprolint`` is still
+free for the actual package.)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent / "tools"))
+
+if __name__ == "__main__":
+    from reprolint.cli import main
+
+    raise SystemExit(main())

@@ -82,13 +82,11 @@ def _fault_plan():
         FaultRule("gateway.worker.load", "kill", max_spawn_seq=1),
         # Sprinkled retryable errors and two real mid-request deaths.
         FaultRule("gateway.worker.request", "error", probability=0.04),
-        FaultRule("gateway.worker.request", "kill", probability=0.5,
-                  after=30, times=2),
+        FaultRule("gateway.worker.request", "kill", probability=0.5, after=30, times=2),
         # Transport chaos on the reply path: delays, one dropped frame
         # (a hang the supervisor must kill through), two corrupted
         # headers (torn streams the supervisor must detect).
-        FaultRule("gateway.worker.send", "delay", delay_s=0.05,
-                  probability=0.05),
+        FaultRule("gateway.worker.send", "delay", delay_s=0.05, probability=0.05),
         # The drop must land before the kill rule recycles the process
         # (fresh processes restart every per-rule counter), or it
         # never fires: a worker dying around its 30th request has sent
@@ -97,10 +95,8 @@ def _fault_plan():
         # is per-process, so an ungated drop fires in both workers at
         # nearly the same send count — the whole fleet hangs at once
         # and there is no sibling left to hedge to.
-        FaultRule("gateway.worker.send", "drop", after=18, times=1,
-                  max_spawn_seq=2),
-        FaultRule("gateway.worker.send", "corrupt", probability=0.5,
-                  after=25, times=2),
+        FaultRule("gateway.worker.send", "drop", after=18, times=1, max_spawn_seq=2),
+        FaultRule("gateway.worker.send", "corrupt", probability=0.5, after=25, times=2),
     ])
 
 
@@ -132,14 +128,12 @@ def _update_batch(round_number: int):
 
 def _get(port: int, target: str, timeout: float = 30.0):
     """One GET; returns (status, headers, payload-dict)."""
-    connection = http.client.HTTPConnection("127.0.0.1", port,
-                                            timeout=timeout)
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         connection.request("GET", target)
         response = connection.getresponse()
         body = response.read()
-        headers = {name.lower(): value
-                   for name, value in response.getheaders()}
+        headers = {name.lower(): value for name, value in response.getheaders()}
         try:
             payload = json.loads(body)
         except ValueError:
@@ -179,8 +173,7 @@ def _client_loop(port: int, client_id: int, users: list[str],
                           f"{status} {payload}")
             return
         field = "recommendations" if kind == "recommend" else "neighbors"
-        out.append((client_id, seq, kind, key, payload["version"],
-                    payload[field]))
+        out.append((client_id, seq, kind, key, payload["version"], payload[field]))
 
 
 async def _drive_traffic(work: Path, registry, pure_python: bool,
@@ -228,8 +221,7 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
         stats = pool.stats()
 
         # --- shed probe: a one-slot admission window under a burst ---
-        tiny = GatewayServer(pool, max_delay=0.005,
-                             max_inflight=1, max_queue=0)
+        tiny = GatewayServer(pool, max_delay=0.005, max_inflight=1, max_queue=0)
         await tiny.start()
         try:
             shed_responses: list = []
@@ -238,8 +230,7 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
                 user = users[index % len(users)]
                 status, headers, payload = _get(
                     tiny.port, f"/recommend?user={user}&n={TOP_N}")
-                shed_responses.append((index, user, status, headers,
-                                       payload))
+                shed_responses.append((index, user, status, headers, payload))
 
             barrier = threading.Barrier(BURST)
 
@@ -255,18 +246,15 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
             for index, user, status, headers, payload in shed_responses:
                 if status == 429:
                     if "retry-after" not in headers:
-                        shed_failures.append(
-                            f"burst {index}: 429 without Retry-After")
+                        shed_failures.append(f"burst {index}: 429 without Retry-After")
                     if payload.get("error", {}).get("code") != "overloaded":
-                        shed_failures.append(
-                            f"burst {index}: 429 body {payload}")
+                        shed_failures.append(f"burst {index}: 429 body {payload}")
                 elif status == 200:
                     responses.append((-1, index, "recommend", user,
                                       payload["version"],
                                       payload["recommendations"]))
                 else:
-                    shed_failures.append(
-                        f"burst {index}: unexpected HTTP {status}")
+                    shed_failures.append(f"burst {index}: unexpected HTTP {status}")
             if n_shed == 0:
                 shed_failures.append(
                     f"a {BURST}-way burst into a 1-slot window shed "
@@ -389,8 +377,7 @@ def _drive(work_dir: str, pure_python: bool, seed: int) -> int:
 
     references = _reference_services(catalog, pure_python)
     failures = _verify(responses, references)
-    versions_seen = sorted(
-        {record[4] for record in responses if record[0] >= 0})
+    versions_seen = sorted({record[4] for record in responses if record[0] >= 0})
     if len(versions_seen) < 2:
         failures.append(
             f"only versions {versions_seen} appeared in responses — "

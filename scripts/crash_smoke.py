@@ -73,8 +73,7 @@ def _plan(seed: int) -> dict:
 
     def fresh_pair(n_users: int, n_items: int) -> tuple[str, str]:
         while True:
-            pair = (f"u{rng.randrange(n_users)}",
-                    f"i{rng.randrange(n_items)}")
+            pair = (f"u{rng.randrange(n_users)}", f"i{rng.randrange(n_items)}")
             if pair not in pairs:
                 pairs.add(pair)
                 return pair
@@ -83,16 +82,14 @@ def _plan(seed: int) -> dict:
     base = []
     for _ in range(N_BASE):
         user, item = fresh_pair(20, 20)
-        base.append([user, item, float(rng.choice([1, 2, 3, 4, 5])),
-                     timestep])
+        base.append([user, item, float(rng.choice([1, 2, 3, 4, 5])), timestep])
         timestep += 1
     batches = []
     for _ in range(N_BATCHES):
         batch = []
         for _ in range(BATCH_SIZE):
             user, item = fresh_pair(26, 26)
-            batch.append([user, item,
-                          float(rng.choice([1, 2, 3, 4, 5])), timestep])
+            batch.append([user, item, float(rng.choice([1, 2, 3, 4, 5])), timestep])
             timestep += 1
         batches.append(batch)
     return {"base": base, "batches": batches}
@@ -160,8 +157,7 @@ def _check(store_dir: str, plan_path: str) -> int:
     served_predict = {
         f"{user}\t{item}": recovered_service.predict(user, item)
         for user in users for item in items}
-    served_topn = {user: recovered_service.recommend(user, n=TOP_N)
-                   for user in users}
+    served_topn = {user: recovered_service.recommend(user, n=TOP_N) for user in users}
     worst, topn_ok = diff_serving(reference_predict, reference_topn,
                                   served_predict, served_topn)
     ok = worst <= TOLERANCE and topn_ok
@@ -194,8 +190,7 @@ def _drive(work_dir: str, seed: int | None) -> int:
         store = work / f"store_{label}"
         env = {**os.environ, **overrides}
         writer = subprocess.Popen(
-            [sys.executable, __file__, "--writer", str(store),
-             str(plan_path)], env=env)
+            [sys.executable, __file__, "--writer", str(store), str(plan_path)], env=env)
         # The floor clears store creation; the ceiling lands past the
         # stream's end often enough to also cover the clean-exit case.
         delay = rng.uniform(0.5, 1.0 + N_BATCHES * WRITER_DELAY)
@@ -208,8 +203,7 @@ def _drive(work_dir: str, seed: int | None) -> int:
             outcome = f"finished before the {delay:.2f}s kill"
         print(f"crash-smoke[{label}]: writer {outcome}")
         check = subprocess.run(
-            [sys.executable, __file__, "--check", str(store),
-             str(plan_path)], env=env)
+            [sys.executable, __file__, "--check", str(store), str(plan_path)], env=env)
         failures += 0 if check.returncode == 0 else 1
     return 1 if failures else 0
 

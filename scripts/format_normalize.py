@@ -1,0 +1,302 @@
+"""Offline formatter normalization for environments without ruff.
+
+``ruff format`` (the authority, enforced in CI) is not installed in
+every maintenance environment, so this script applies the *mechanical
+subset* of its style so hand-edited files land formatter-stable:
+
+* strip trailing whitespace; exactly one newline at EOF;
+* cap runs of blank lines at two;
+* prefer double-quoted strings when that needs no extra escaping
+  (prefixes preserved; strings containing ``"`` are left alone);
+* collapse a multi-line bracketed group onto one line when it fits in
+  the 88-column limit and carries no magic trailing comma — the same
+  join rule the formatter applies.
+
+Deliberately out of scope (left to ruff in CI): exploding too-long
+lines, implicit string concatenations, comment placement, and blank
+lines around definitions. The script is conservative: any group with
+comments, multi-line strings, or adjacent string literals inside is
+left untouched.
+
+Usage::
+
+    python scripts/format_normalize.py [--check] PATH [PATH ...]
+
+``--check`` lists files that would change and exits 1 if any would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import re
+import sys
+import tokenize
+from pathlib import Path
+
+LINE_LIMIT = 88
+
+_OPENERS = {"(": ")", "[": "]", "{": "}"}
+_CLOSERS = set(_OPENERS.values())
+
+
+def _physical_lines(text: str) -> list[str]:
+    """Split on ``\\n`` only, keeping the newlines. ``str.splitlines``
+    also splits on form feeds and U+2028, which tokenize does not —
+    mixing the two desynchronizes row numbers."""
+    pieces = text.split("\n")
+    lines = [piece + "\n" for piece in pieces[:-1]]
+    if pieces[-1]:
+        lines.append(pieces[-1])
+    return lines
+
+
+def _protected_rows(text: str) -> set[int]:
+    """1-based rows whose terminating newline lies inside a multi-line
+    string literal: their trailing whitespace and blank-line runs are
+    string *content*, not formatting."""
+    rows: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.STRING and token.start[0] != token.end[0]:
+                rows.update(range(token.start[0], token.end[0]))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable: protect everything (no whitespace edits).
+        return set(range(1, text.count("\n") + 2))
+    return rows
+
+_QUOTE_RE = re.compile(
+    r"\A([A-Za-z]*)('''|')(.*)\2\Z",
+    re.DOTALL,
+)
+
+
+def _normalize_quote(token_text: str) -> str:
+    """Single-quoted -> double-quoted when that adds no escaping."""
+    match = _QUOTE_RE.match(token_text)
+    if match is None:
+        return token_text
+    prefix, quote, body = match.groups()
+    if '"' in body:
+        return token_text
+    if "r" not in prefix.lower() and "\\'" in body:
+        # \' is a redundant escape inside double quotes; drop it the
+        # way the formatter does (but never inside raw strings).
+        body = body.replace("\\'", "'")
+    if body.endswith("\\"):
+        return token_text
+    return prefix + '"' * len(quote) + body + '"' * len(quote)
+
+
+def normalize_quotes(text: str) -> str:
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return text
+    lines = _physical_lines(text)
+    # Replace from the last token backward so earlier coordinates stay
+    # valid; only same-line or triple-quoted STRING tokens qualify.
+    for token in reversed(tokens):
+        if token.type != tokenize.STRING:
+            continue
+        replacement = _normalize_quote(token.string)
+        if replacement == token.string:
+            continue
+        (srow, scol), (erow, ecol) = token.start, token.end
+        if srow == erow:
+            line = lines[srow - 1]
+            lines[srow - 1] = line[:scol] + replacement + line[ecol:]
+        else:
+            tail = lines[erow - 1][ecol:]
+            lines[srow - 1 : erow] = [lines[srow - 1][:scol] + replacement + tail]
+    return "".join(lines)
+
+
+def _group_is_joinable(tokens: list) -> bool:
+    """Whether the tokens strictly inside a bracket pair allow the
+    single-line join (no comments, no multi-line strings, no implicit
+    string concatenation, no nested multi-line group left unjoined,
+    no magic trailing comma)."""
+    previous_real = None
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            return False
+        if token.type == tokenize.STRING:
+            if token.start[0] != token.end[0]:
+                return False
+            if (previous_real is not None and previous_real.type == tokenize.STRING):
+                return False
+        if token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+        ):
+            previous_real = token
+    if previous_real is not None and previous_real.string == ",":
+        return False  # magic trailing comma: stays exploded
+    return True
+
+
+def _join_group(lines: list[str], start: tuple, end: tuple) -> str | None:
+    """Render the source between bracket tokens at *start* / *end*
+    (inclusive) as one line, or None when the join does not apply.
+    Line breaks become a single space, except right after an opener or
+    right before a closer; a trailing comma before the closer drops."""
+    (srow, scol), (erow, ecol) = start, end
+    segment = "".join(
+        [lines[srow - 1][scol:]]
+        + [lines[row] for row in range(srow, erow - 1)]
+        + [lines[erow - 1][:ecol]]
+    )
+    try:
+        tokens = [
+            token
+            for token in tokenize.generate_tokens(io.StringIO(segment).readline)
+            if token.type
+            not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            )
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    if not _group_is_joinable(tokens[1:-1]):
+        return None
+    parts: list[str] = []
+    for index, token in enumerate(tokens):
+        if index == 0:
+            parts.append(token.string)
+            continue
+        previous = tokens[index - 1]
+        if index == len(tokens) - 1 and previous.string == ",":
+            parts.pop()  # the join removes a now-trailing comma
+            previous = tokens[index - 2]
+        if previous.end[0] == token.start[0]:
+            # Same original line: keep the original spacing.
+            gap = token.start[1] - previous.end[1]
+            parts.append(" " * gap + token.string)
+        elif previous.string in _OPENERS or token.string in _CLOSERS:
+            parts.append(token.string)
+        else:
+            parts.append(" " + token.string)
+    return "".join(parts)
+
+
+def join_collapsible_groups(text: str) -> str:
+    """Repeatedly collapse innermost multi-line bracket groups that
+    fit within the line limit."""
+    for _ in range(10000):  # fixpoint; bounded for safety
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return text
+        lines = _physical_lines(text)
+        stack: list = []
+        target = None
+        for token in tokens:
+            if token.type != tokenize.OP:
+                continue
+            if token.string in _OPENERS:
+                stack.append(token)
+            elif token.string in _CLOSERS and stack:
+                opener = stack.pop()
+                if opener.start[0] == token.end[0]:
+                    continue  # already one line
+                joined = _join_group(lines, opener.start, token.end)
+                if joined is None:
+                    continue
+                head = lines[opener.start[0] - 1][: opener.start[1]]
+                tail = lines[token.end[0] - 1][token.end[1] :]
+                line = head + joined + tail.rstrip("\n")
+                if len(line) > LINE_LIMIT:
+                    continue
+                # Innermost-first: the first joinable group wins this
+                # pass; the loop re-tokenizes and finds the next.
+                target = (opener.start[0], token.end[0], line)
+                break
+        if target is None:
+            return text
+        first, last, line = target
+        lines[first - 1 : last] = [line + "\n"]
+        text = "".join(lines)
+    return text
+
+
+def normalize_whitespace(text: str) -> str:
+    protected = _protected_rows(text)
+    lines = [line.rstrip("\n") for line in _physical_lines(text)]
+    result: list[str] = []
+    blanks = 0
+    for row, line in enumerate(lines, start=1):
+        if row not in protected:
+            line = line.rstrip()
+        if line == "" and row not in protected:
+            blanks += 1
+            if blanks > 2:
+                continue
+        else:
+            blanks = 0
+        result.append(line)
+    while result and result[-1] == "":
+        result.pop()
+    return "\n".join(result) + "\n" if result else ""
+
+
+def normalize(text: str) -> str:
+    text = normalize_quotes(text)
+    text = join_collapsible_groups(text)
+    text = normalize_whitespace(text)
+    return text
+
+
+def _python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            files.append(path)
+        else:
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report files that would change; exit 1 if any",
+    )
+    args = parser.parse_args(argv)
+    changed: list[Path] = []
+    for path in _python_files(args.paths):
+        original = path.read_text(encoding="utf-8")
+        updated = normalize(original)
+        try:
+            compile(updated, str(path), "exec")
+        except SyntaxError:
+            # Never break a file: keep the original and say so.
+            print(f"normalizer produced invalid output for {path}; skipped")
+            continue
+        if updated != original:
+            changed.append(path)
+            if not args.check:
+                path.write_text(updated, encoding="utf-8")
+    for path in changed:
+        verb = "would reformat" if args.check else "reformatted"
+        print(f"{verb} {path}")
+    if args.check and changed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

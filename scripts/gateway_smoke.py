@@ -121,15 +121,13 @@ def _client_loop(port: int, client_id: int, users: list[str],
         try:
             if kind == "recommend":
                 user = rng.choice(users)
-                payload = _get(
-                    port, f"/recommend?user={user}&n={TOP_N}")
+                payload = _get(port, f"/recommend?user={user}&n={TOP_N}")
                 out.append((client_id, seq, kind, user,
                             payload["version"],
                             payload["recommendations"]))
             else:
                 item = rng.choice(items)
-                payload = _get(
-                    port, f"/similar_items?item={item}&k={SIMILAR_K}")
+                payload = _get(port, f"/similar_items?item={item}&k={SIMILAR_K}")
                 out.append((client_id, seq, kind, item,
                             payload["version"], payload["neighbors"]))
         except Exception as exc:  # noqa: BLE001 - recorded, then fatal

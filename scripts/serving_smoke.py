@@ -89,8 +89,7 @@ def _serve(snapshot_dir: str, probes_path: str, out_path: str) -> int:
         "predict": {
             f"{user}\t{item}": service.predict(user, item)
             for user in users for item in probes["items"]},
-        "topn": {user: response
-                 for user, response in zip(users, responses)},
+        "topn": {user: response for user, response in zip(users, responses)},
     }
     Path(out_path).write_text(json.dumps(out), encoding="utf-8")
     return 0
@@ -113,8 +112,7 @@ def _drive(trace_dir: str, snapshot_dir: str) -> int:
     reference_predict = {
         f"{user}\t{item}": pipeline.predict(user, item)
         for user in users for item in items}
-    reference_topn = {user: pipeline.recommend(user, n=TOP_N)
-                      for user in users}
+    reference_topn = {user: pipeline.recommend(user, n=TOP_N) for user in users}
 
     failures = 0
     for label, overrides in (("numpy", {"REPRO_PURE_PYTHON": ""}),
@@ -151,8 +149,7 @@ def main(argv: list[str]) -> int:
                         help="keep the snapshot directory (CI passes "
                              "this when a later step serves from it)")
     args = parser.parse_args(argv[1:])
-    snapshot_dir = (args.snapshot_dir
-                    or tempfile.mkdtemp(prefix="serving-smoke-"))
+    snapshot_dir = (args.snapshot_dir or tempfile.mkdtemp(prefix="serving-smoke-"))
     if not args.keep:
         atexit.register(shutil.rmtree, snapshot_dir, ignore_errors=True)
     return _drive(args.trace_dir, snapshot_dir)

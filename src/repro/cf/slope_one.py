@@ -45,8 +45,7 @@ class SlopeOneRecommender(BaseRecommender):
             if not common:
                 cached = (0.0, 0)
             else:
-                total = sum(profile_i[u].value - profile_j[u].value
-                            for u in common)
+                total = sum(profile_i[u].value - profile_j[u].value for u in common)
                 cached = (total / len(common), len(common))
             self._dev_cache[key] = cached
         dev, count = cached

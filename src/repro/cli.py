@@ -131,8 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     save.add_argument("--force", action="store_true",
                       help="overwrite an existing snapshot in --out "
                            "(unsafe while any process serves from it)")
-    info = snapshot_actions.add_parser(
-        "info", help="summarise a snapshot directory")
+    info = snapshot_actions.add_parser("info", help="summarise a snapshot directory")
     info.add_argument("--snapshot", required=True)
 
     serve = commands.add_parser(
@@ -154,8 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     recover = commands.add_parser(
         "recover", help="rebuild a durable store after a crash and "
                         "report what was replayed")
-    recover.add_argument("--store", required=True,
-                         help="durable store directory")
+    recover.add_argument("--store", required=True, help="durable store directory")
     recover.add_argument("--user", action="append", default=None,
                          dest="users", metavar="USER",
                          help="also serve Top-N for this user from the "
@@ -183,8 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "single-client baseline")
     bench_gateway.add_argument("--concurrency", type=int, default=16,
                                help="closed-loop client count")
-    bench_gateway.add_argument("--requests-per-client", type=int,
-                               default=50)
+    bench_gateway.add_argument("--requests-per-client", type=int, default=50)
     bench_gateway.add_argument("--rate", type=float, default=100.0,
                                help="Poisson open-loop arrival rate "
                                     "(qps; 0 disables the open loop)")
@@ -296,19 +293,16 @@ def _cmd_recommend(args) -> int:
             return 2
         return _recommend_from_snapshot(args)
     if args.data is None:
-        print("error: recommend needs --data (or --snapshot)",
-              file=sys.stderr)
+        print("error: recommend needs --data (or --snapshot)", file=sys.stderr)
         return 2
     system = args.system or "nx-ub"
     k = 50 if args.k is None else args.k
     seed = 0 if args.seed is None else args.seed
     data = _load(args.data)
     if args.user not in data.source.users:
-        print(f"unknown user {args.user!r} (no source-domain ratings)",
-              file=sys.stderr)
+        print(f"unknown user {args.user!r} (no source-domain ratings)", file=sys.stderr)
         return 2
-    recommender = _make_pipeline(system, k, seed).fit(
-        data, users=[args.user])
+    recommender = _make_pipeline(system, k, seed).fit(data, users=[args.user])
     print(f"{system} recommendations for {args.user}:")
     for item, score in recommender.recommend(args.user, n=args.n):
         print(f"  {data.target.title_of(item)}  (predicted {score:.2f})")
@@ -361,8 +355,7 @@ def _cmd_snapshot(args) -> int:
 
 def _cmd_serve(args) -> int:
     snapshot = ModelSnapshot.load(args.snapshot)
-    unknown = [user for user in args.users
-               if user not in snapshot.store.user_index]
+    unknown = [user for user in args.users if user not in snapshot.store.user_index]
     if unknown:
         print(f"unknown users {unknown!r} (not in the snapshot's "
               f"serving table)", file=sys.stderr)
@@ -387,8 +380,7 @@ def _cmd_log_info(args) -> int:
     store = Path(args.store)
     wal_dir = store / "wal" if (store / "wal").is_dir() else store
     if not wal_dir.is_dir():
-        print(f"error: {store} has no write-ahead log directory",
-              file=sys.stderr)
+        print(f"error: {store} has no write-ahead log directory", file=sys.stderr)
         return 2
     log = RatingLog(wal_dir, readonly=True)
     try:
@@ -477,8 +469,7 @@ def _cmd_serve_http(args) -> int:
     import signal
 
     async def run() -> None:
-        pool, server = _make_pool_and_server(
-            args, port=args.port, host=args.host)
+        pool, server = _make_pool_and_server(args, port=args.port, host=args.host)
         await pool.start()
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -517,8 +508,7 @@ def _cmd_bench_gateway(args) -> int:
 
     watcher = RegistryWatcher(args.watch)
     if watcher.poll() is None:
-        print(f"error: no loadable model under {args.watch}",
-              file=sys.stderr)
+        print(f"error: no loadable model under {args.watch}", file=sys.stderr)
         return 2
     users = list(watcher.registry.current().store.users)
     if not users:

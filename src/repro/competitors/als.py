@@ -48,11 +48,9 @@ class ALSConfig:
         if self.rank <= 0:
             raise ConfigError(f"rank must be positive, got {self.rank}")
         if self.n_iterations <= 0:
-            raise ConfigError(
-                f"n_iterations must be positive, got {self.n_iterations}")
+            raise ConfigError(f"n_iterations must be positive, got {self.n_iterations}")
         if self.regularization < 0:
-            raise ConfigError(
-                f"regularization must be >= 0, got {self.regularization}")
+            raise ConfigError(f"regularization must be >= 0, got {self.regularization}")
         return self
 
 
@@ -64,8 +62,7 @@ class ALSRecommender(BaseRecommender):
     memory-based flexibility).
     """
 
-    def __init__(self, table: RatingTable,
-                 config: ALSConfig | None = None) -> None:
+    def __init__(self, table: RatingTable, config: ALSConfig | None = None) -> None:
         super().__init__(table)
         self.config = (config or ALSConfig()).validated()
         self._users = sorted(table.users)
@@ -125,8 +122,7 @@ class ALSRecommender(BaseRecommender):
                     value - self._mu - self._user_bias[u] - self._item_bias[i]
                     for i, value in entries])
                 gram = matrix.T @ matrix + lam * len(entries) * eye
-                self._user_factors[u] = np.linalg.solve(
-                    gram, matrix.T @ targets)
+                self._user_factors[u] = np.linalg.solve(gram, matrix.T @ targets)
             # Solve item factors with user factors fixed.
             for i, entries in enumerate(by_item):
                 if not entries:
@@ -137,8 +133,7 @@ class ALSRecommender(BaseRecommender):
                     value - self._mu - self._user_bias[u] - self._item_bias[i]
                     for u, value in entries])
                 gram = matrix.T @ matrix + lam * len(entries) * eye
-                self._item_factors[i] = np.linalg.solve(
-                    gram, matrix.T @ targets)
+                self._item_factors[i] = np.linalg.solve(gram, matrix.T @ targets)
 
     def training_rmse(self) -> float:
         """Root-mean-square error on the training ratings (convergence

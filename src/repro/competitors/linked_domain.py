@@ -55,5 +55,4 @@ class SingleDomainItemKNN(ItemKNNRecommender):
 
     def __init__(self, data: CrossDomainDataset, k: int = 50,
                  positive_only: bool = True) -> None:
-        super().__init__(data.target.ratings, k=k,
-                         positive_only=positive_only)
+        super().__init__(data.target.ratings, k=k, positive_only=positive_only)

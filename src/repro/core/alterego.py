@@ -77,13 +77,11 @@ class AlterEgoGenerator:
                  n_replacements: int = DEFAULT_N_REPLACEMENTS) -> None:
         if policy is ReplacementPolicy.PRIVATE:
             if epsilon is None or epsilon <= 0:
-                raise ConfigError(
-                    f"private policy requires epsilon > 0, got {epsilon}")
+                raise ConfigError(f"private policy requires epsilon > 0, got {epsilon}")
         elif epsilon is not None:
             raise ConfigError("epsilon is only meaningful for the private policy")
         if n_replacements <= 0:
-            raise ConfigError(
-                f"n_replacements must be positive, got {n_replacements}")
+            raise ConfigError(f"n_replacements must be positive, got {n_replacements}")
         self.xsim_map = xsim_map
         self.policy = policy
         self.epsilon = epsilon
@@ -165,15 +163,13 @@ class AlterEgoGenerator:
         :meth:`alterego_profile` exactly (order-independent)."""
         return IncrementalAlterEgo(self, user)
 
-    def _fold(self, state: dict[str, tuple[float, float, int]],
-              rating: Rating) -> None:
+    def _fold(self, state: dict[str, tuple[float, float, int]], rating: Rating) -> None:
         """Fold one source rating into a merge-state dict
         (target item → (Σ w·value, Σ w, max timestep))."""
         for replacement, weight in self.replacements_for(rating.item):
             if weight <= 0.0:
                 continue
-            total, weight_sum, timestep = state.get(
-                replacement, (0.0, 0.0, 0))
+            total, weight_sum, timestep = state.get(replacement, (0.0, 0.0, 0))
             state[replacement] = (
                 total + weight * rating.value,
                 weight_sum + weight,
@@ -190,14 +186,12 @@ class AlterEgoGenerator:
         additions: list[Rating] = []
         for user in sorted(set(users)):
             existing = target_table.user_items(user)
-            for rating in self.alterego_profile(
-                    user, source_table.user_profile(user)):
+            for rating in self.alterego_profile(user, source_table.user_profile(user)):
                 if rating.item in existing:
                     continue
                 clipped = target_table.clip(rating.value)
                 if clipped != rating.value:
-                    rating = Rating(rating.user, rating.item, clipped,
-                                    rating.timestep)
+                    rating = Rating(rating.user, rating.item, clipped, rating.timestep)
                 additions.append(rating)
         return target_table.with_ratings(additions)
 

@@ -61,8 +61,7 @@ class BaselineSimilarities:
         """Total number of baseline similarity edges."""
         return self.n_homogeneous + self.n_heterogeneous
 
-    def serving_registry(self, cf_k: int = 50,
-                         positive_only: bool = True):
+    def serving_registry(self, cf_k: int = 50, positive_only: bool = True):
         """A hot-swap :class:`~repro.serving.registry.ModelRegistry`
         over the retained sweep state (requires ``keep_state=True``).
 
@@ -83,8 +82,7 @@ class BaselineSimilarities:
                 "serving_registry needs a baseline computed with "
                 "keep_state=True (it publishes through the retained "
                 "IncrementalSweep)")
-        return ModelRegistry(sweep=self.state, cf_k=cf_k,
-                             positive_only=positive_only)
+        return ModelRegistry(sweep=self.state, cf_k=cf_k, positive_only=positive_only)
 
 
 class Baseliner:
@@ -168,8 +166,7 @@ class Baseliner:
                 with_significance=True,
                 n_edge_partitions=self.n_edge_partitions,
                 with_index=True)
-            graph = ItemGraph.from_adjacency(result.adjacency,
-                                             index=result.index)
+            graph = ItemGraph.from_adjacency(result.adjacency, index=result.index)
             significance = SignificanceTable(
                 raw=result.significance, common=result.common_raters)
         else:

@@ -107,8 +107,7 @@ class Extender:
                     except SimilarityError:
                         continue  # zero-significance path: no evidence
                 else:
-                    similarity = (sum(sim for sim, _ in path.edges)
-                                  / len(path.edges))
+                    similarity = (sum(sim for sim, _ in path.edges) / len(path.edges))
                 if self.config.weight_by_certainty:
                     hops = zip(path.items, path.items[1:])
                     certainty = path_certainty(

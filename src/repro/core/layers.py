@@ -57,8 +57,7 @@ class LayerPartition:
             for domain in domains for layer in Layer}
         for item, (domain, layer) in self._assignment.items():
             members[(domain, layer)].add(item)
-        self._members = {key: frozenset(value)
-                         for key, value in members.items()}
+        self._members = {key: frozenset(value) for key, value in members.items()}
 
     @classmethod
     def from_graph(cls, graph: ItemGraph,
@@ -70,8 +69,7 @@ class LayerPartition:
                 vertex must appear in *domain_of*.
             domain_of: item → domain name; exactly two domains must occur.
         """
-        domains = sorted({domain_of[item] for item in graph.items
-                          if item in domain_of})
+        domains = sorted({domain_of[item] for item in graph.items if item in domain_of})
         missing = [item for item in graph.items if item not in domain_of]
         if missing:
             raise GraphError(
@@ -97,8 +95,7 @@ class LayerPartition:
             touches_bridge = any(
                 neighbor in bridge and domain_of[neighbor] == domain
                 for neighbor in graph.neighbors(item))
-            assignment[item] = (
-                domain, Layer.NB if touches_bridge else Layer.NN)
+            assignment[item] = (domain, Layer.NB if touches_bridge else Layer.NN)
         return cls(assignment, (domains[0], domains[1]))
 
     # ------------------------------------------------------------------

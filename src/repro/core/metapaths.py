@@ -65,8 +65,7 @@ def layer_sequence(start_layer: Layer, source_domain: str,
     [BB_T, NB_T, NN_T].
     """
     climb_from = LAYER_CHAIN.index(start_layer)
-    climbing = [(source_domain, layer)
-                for layer in LAYER_CHAIN[climb_from + 1:]]
+    climbing = [(source_domain, layer) for layer in LAYER_CHAIN[climb_from + 1:]]
     descending = [(target_domain, layer) for layer in reversed(LAYER_CHAIN)]
     return climbing + descending
 
@@ -123,8 +122,7 @@ def enumerate_meta_paths(
     """
     source_domain = partition.domain_of(item)
     target_domain = partition.other_domain(source_domain)
-    sequence = layer_sequence(
-        partition.layer_of(item), source_domain, target_domain)
+    sequence = layer_sequence(partition.layer_of(item), source_domain, target_domain)
     emitted = 0
 
     def walk(current: str, depth: int,

@@ -210,8 +210,7 @@ class _PipelineBase:
         # graphs never pay per-pair significance lookups.
         significance = None
         if self.baseline.significance is not None:
-            significance = SignificanceCache(
-                merged, preload=self.baseline.significance)
+            significance = SignificanceCache(merged, preload=self.baseline.significance)
         self.xsim_map = extender.extend(
             self.baseline.graph, self.partition, merged,
             source_domain=data.source.name,

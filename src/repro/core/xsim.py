@@ -103,8 +103,7 @@ def path_similarity(edges: Sequence[tuple[float, int]]) -> float:
         raise SimilarityError("a meta-path needs at least one edge")
     total_significance = sum(sig for _, sig in edges)
     if total_significance == 0:
-        raise SimilarityError(
-            "path similarity undefined: total significance is zero")
+        raise SimilarityError("path similarity undefined: total significance is zero")
     weighted = sum(sim * sig for sim, sig in edges)
     return weighted / total_significance
 

@@ -133,8 +133,7 @@ class CrossDomainDataset:
             return self.source
         if domain == self.target.name:
             return self.target
-        raise DomainError(
-            f"unknown domain {domain!r}; have {self.domain_names}")
+        raise DomainError(f"unknown domain {domain!r}; have {self.domain_names}")
 
     def merged(self) -> RatingTable:
         """The single aggregated domain the Baseliner (§5.1) works on:

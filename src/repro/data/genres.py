@@ -95,10 +95,8 @@ def partition_by_genre(dataset: Dataset,
         table = dataset.ratings.restricted_to_items(items)
         return Dataset(
             sub_name, table,
-            item_titles={i: t for i, t in dataset.item_titles.items()
-                         if i in items},
-            item_genres={i: g for i, g in dataset.item_genres.items()
-                         if i in items})
+            item_titles={i: t for i, t in dataset.item_titles.items() if i in items},
+            item_genres={i: g for i, g in dataset.item_genres.items() if i in items})
 
     d1 = build(names[0], items_d1)
     d2 = build(names[1], items_d2)
@@ -107,5 +105,4 @@ def partition_by_genre(dataset: Dataset,
         return tuple(sorted(((g, counts[g]) for g in genre_set),
                             key=lambda kv: (-kv[1], kv[0])))
 
-    return GenrePartition(
-        d1_genres=rows(g1), d2_genres=rows(g2), d1=d1, d2=d2)
+    return GenrePartition(d1_genres=rows(g1), d2_genres=rows(g2), d1=d1, d2=d2)

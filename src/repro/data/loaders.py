@@ -90,8 +90,7 @@ def read_dataset(directory: str | Path, name: str,
     if genres_path.exists():
         with genres_path.open(newline="") as handle:
             for row in csv.DictReader(handle):
-                genres[row["item"]] = tuple(
-                    g for g in row["genres"].split("|") if g)
+                genres[row["item"]] = tuple(g for g in row["genres"].split("|") if g)
     return Dataset(name, ratings, item_titles=titles, item_genres=genres)
 
 

@@ -55,8 +55,7 @@ def numpy_available() -> bool:
     """Whether the NumPy fast path can be used (installed and not
     disabled via the ``REPRO_PURE_PYTHON`` environment variable;
     ``"0"`` and the empty string count as unset)."""
-    return _np is not None and os.environ.get(
-        "REPRO_PURE_PYTHON", "") in ("", "0")
+    return _np is not None and os.environ.get("REPRO_PURE_PYTHON", "") in ("", "0")
 
 
 def _clip1(value: float) -> float:
@@ -193,8 +192,7 @@ class StoreDelta:
                 f"new_items={len(self.new_items)})")
 
 
-def _insert_map(old_names: Sequence[str],
-                inserted: Sequence[str]) -> list[int]:
+def _insert_map(old_names: Sequence[str], inserted: Sequence[str]) -> list[int]:
     """New index of each old position after inserting *inserted* (sorted,
     disjoint from *old_names*) into the sorted *old_names* list."""
     out = [0] * len(old_names)
@@ -239,13 +237,11 @@ class MatrixRatingStore:
         "_user_likes",
     )
 
-    def __init__(self, table: "RatingTable",
-                 use_numpy: bool | None = None) -> None:
+    def __init__(self, table: "RatingTable", use_numpy: bool | None = None) -> None:
         if use_numpy is None:
             use_numpy = numpy_available()
         elif use_numpy and _np is None:
-            raise SimilarityError(
-                "use_numpy=True requested but numpy is not installed")
+            raise SimilarityError("use_numpy=True requested but numpy is not installed")
         self._use_numpy = bool(use_numpy)
         self._triu_cache: dict[int, tuple] = {}
         self._item_names_obj = None
@@ -272,8 +268,7 @@ class MatrixRatingStore:
         # identical across backends; centering is one element-wise IEEE
         # subtraction either way.
         if self._use_numpy:
-            rows = [(user_index[r.user], item_index[r.item], r.value)
-                    for r in table]
+            rows = [(user_index[r.user], item_index[r.item], r.value) for r in table]
             if rows:
                 user_raw, item_raw, value_raw = zip(*rows)
             else:
@@ -285,8 +280,7 @@ class MatrixRatingStore:
             user_csr = user_arr[csr_order]
             item_csr = item_arr[csr_order]
             value_csr = value_arr[csr_order]
-            user_ptr_arr = _np.searchsorted(
-                user_csr, _np.arange(len(users) + 1))
+            user_ptr_arr = _np.searchsorted(user_csr, _np.arange(len(users) + 1))
             user_ptr = user_ptr_arr.tolist()
             value_csr_list = value_csr.tolist()
             user_means = [
@@ -296,8 +290,7 @@ class MatrixRatingStore:
             csc_order = _np.lexsort((user_csr, item_csr))
             item_csc = item_csr[csc_order]
             item_values_arr = value_csr[csc_order]
-            item_ptr_arr = _np.searchsorted(
-                item_csc, _np.arange(len(items) + 1))
+            item_ptr_arr = _np.searchsorted(item_csc, _np.arange(len(items) + 1))
             item_ptr = item_ptr_arr.tolist()
             item_values_list = item_values_arr.tolist()
             item_means = [
@@ -321,8 +314,7 @@ class MatrixRatingStore:
             self.item_likes = item_values_arr >= item_means_arr[item_csc]
             user_item_centered_sq = (
                 self.user_item_centered * self.user_item_centered).tolist()
-            item_centered_sq = (
-                self.item_centered * self.item_centered).tolist()
+            item_centered_sq = (self.item_centered * self.item_centered).tolist()
             item_raw_sq = (item_values_arr * item_values_arr).tolist()
         else:
             triples = sorted((user_index[r.user], item_index[r.item], r.value)
@@ -351,8 +343,7 @@ class MatrixRatingStore:
                 math.fsum(item_values[item_ptr[k]:item_ptr[k + 1]])
                 / (item_ptr[k + 1] - item_ptr[k])
                 for k in range(len(items))]
-            user_centered = [value_col[k] - user_means[user_col[k]]
-                             for k in range(n)]
+            user_centered = [value_col[k] - user_means[user_col[k]] for k in range(n)]
             self.user_means = user_means
             self.item_means = item_means
             self.user_ptr = user_ptr
@@ -373,12 +364,10 @@ class MatrixRatingStore:
             item_raw_sq = [v * v for v in item_values]
 
         user_item_centered_norms = [
-            math.sqrt(math.fsum(
-                user_item_centered_sq[user_ptr[k]:user_ptr[k + 1]]))
+            math.sqrt(math.fsum(user_item_centered_sq[user_ptr[k]:user_ptr[k + 1]]))
             for k in range(len(users))]
         item_centered_norms = [
-            math.sqrt(math.fsum(
-                item_centered_sq[item_ptr[k]:item_ptr[k + 1]]))
+            math.sqrt(math.fsum(item_centered_sq[item_ptr[k]:item_ptr[k + 1]]))
             for k in range(len(items))]
         item_raw_norms = [
             math.sqrt(math.fsum(item_raw_sq[item_ptr[k]:item_ptr[k + 1]]))
@@ -388,8 +377,7 @@ class MatrixRatingStore:
                 user_item_centered_norms, dtype=_np.float64)
             self.item_centered_norms = _np.asarray(
                 item_centered_norms, dtype=_np.float64)
-            self.item_raw_norms = _np.asarray(
-                item_raw_norms, dtype=_np.float64)
+            self.item_raw_norms = _np.asarray(item_raw_norms, dtype=_np.float64)
         else:
             self.user_item_centered_norms = user_item_centered_norms
             self.item_centered_norms = item_centered_norms
@@ -498,8 +486,7 @@ class MatrixRatingStore:
             self._item_col(i), self._item_col(j))
         if numerator == 0.0:
             return 0.0
-        denominator = (self.item_centered_norms[i]
-                       * self.item_centered_norms[j])
+        denominator = (self.item_centered_norms[i] * self.item_centered_norms[j])
         if denominator == 0.0:
             return 0.0
         return _clip1(numerator / denominator)
@@ -661,11 +648,9 @@ class MatrixRatingStore:
         profiles with *max_profile_size* as the paper's Spark job does.
         """
         if self._use_numpy:
-            yield from self._all_pairs_numpy(min_common_users,
-                                             max_profile_size)
+            yield from self._all_pairs_numpy(min_common_users, max_profile_size)
         else:
-            yield from self._all_pairs_python(min_common_users,
-                                              max_profile_size)
+            yield from self._all_pairs_python(min_common_users, max_profile_size)
 
     @property
     def user_likes(self):
@@ -718,8 +703,7 @@ class MatrixRatingStore:
         eligible = [
             u for u in candidates
             if ptr[u + 1] - ptr[u] >= 2
-            and (max_profile_size is None
-                 or ptr[u + 1] - ptr[u] <= max_profile_size)]
+            and (max_profile_size is None or ptr[u + 1] - ptr[u] <= max_profile_size)]
         eligible.sort(key=lambda u: (ptr[u + 1] - ptr[u], u))
         return eligible
 
@@ -762,8 +746,7 @@ class MatrixRatingStore:
         agree = _np.concatenate(agree_parts) if with_significance else None
         return keys, values, agree
 
-    def _reduce_contributions_numpy(self, keys, values,
-                                    agree) -> PairAccumulation:
+    def _reduce_contributions_numpy(self, keys, values, agree) -> PairAccumulation:
         """Group the contribution arrays by pair key.
 
         Two accumulation strategies with identical results (bincount
@@ -783,16 +766,14 @@ class MatrixRatingStore:
             sums = dense_sums[uniq]
             agree_counts = None
             if agree is not None:
-                agree_counts = _np.bincount(
-                    keys[agree], minlength=space)[uniq]
+                agree_counts = _np.bincount(keys[agree], minlength=space)[uniq]
         else:
             uniq, inverse, counts = _np.unique(
                 keys, return_inverse=True, return_counts=True)
             sums = _np.bincount(inverse, weights=values, minlength=len(uniq))
             agree_counts = None
             if agree is not None:
-                agree_counts = _np.bincount(
-                    inverse[agree], minlength=len(uniq))
+                agree_counts = _np.bincount(inverse[agree], minlength=len(uniq))
         return PairAccumulation(uniq, sums, counts, agree_counts)
 
     def _accumulate_python(self, eligible, with_significance: bool,
@@ -836,8 +817,7 @@ class MatrixRatingStore:
                         if in_touched is not None and not (
                                 (in_touched[idx_a] and in_touched[idx_b])
                                 or (in_batch is not None
-                                    and (in_batch[idx_a]
-                                         or in_batch[idx_b]))):
+                                    and (in_batch[idx_a] or in_batch[idx_b]))):
                             continue
                         key = base + idx_b
                         value = centered_a * centered[b]
@@ -911,8 +891,7 @@ class MatrixRatingStore:
         if len(parts) == 1:
             return parts[0]
         with_significance = any(part.agree is not None for part in parts)
-        if with_significance and not all(
-                part.agree is not None for part in parts):
+        if with_significance and not all(part.agree is not None for part in parts):
             raise SimilarityError(
                 "cannot merge accumulations with and without "
                 "significance counts")
@@ -935,8 +914,7 @@ class MatrixRatingStore:
                         agree[key] = agree.get(key, 0) + value
             return PairAccumulation(None, sums, counts, agree)
         if not parts:
-            return self.pair_accumulation(
-                users=(), with_significance=with_significance)
+            return self.pair_accumulation(users=(), with_significance=with_significance)
         keys_cat = _np.concatenate([part.keys for part in parts])
         sums_cat = _np.concatenate([part.sums for part in parts])
         counts_cat = _np.concatenate([part.counts for part in parts])
@@ -961,8 +939,7 @@ class MatrixRatingStore:
     # Incremental updates (append a rating batch without a rebuild)
     # ------------------------------------------------------------------
 
-    def _bisect_column(self, column, start: int, end: int,
-                       needle: int) -> int:
+    def _bisect_column(self, column, start: int, end: int, needle: int) -> int:
         """Leftmost position of *needle* in the strictly-increasing
         ``column[start:end]`` slice, as an absolute offset."""
         if self._use_numpy:
@@ -997,10 +974,8 @@ class MatrixRatingStore:
             merged_batch[(rating.user, rating.item)] = float(rating.value)
 
         old_users, old_items = self.users, self.items
-        new_user_names = sorted(
-            {u for u, _ in merged_batch} - self.user_index.keys())
-        new_item_names = sorted(
-            {i for _, i in merged_batch} - self.item_index.keys())
+        new_user_names = sorted({u for u, _ in merged_batch} - self.user_index.keys())
+        new_item_names = sorted({i for _, i in merged_batch} - self.item_index.keys())
         users_new = (sorted(old_users + new_user_names)
                      if new_user_names else old_users)
         items_new = (sorted(old_items + new_item_names)
@@ -1021,17 +996,14 @@ class MatrixRatingStore:
             i_old = self.item_index.get(i_name)
             if u_old is not None and i_old is not None:
                 start, end = self._user_row(u_old)
-                pos = self._bisect_column(
-                    self.user_item_idx, start, end, i_old)
+                pos = self._bisect_column(self.user_item_idx, start, end, i_old)
                 if pos < end and int(self.user_item_idx[pos]) == i_old:
                     replacements_csr.append((pos, value))
                     cstart, cend = self._item_col(i_old)
-                    cpos = self._bisect_column(
-                        self.item_user_idx, cstart, cend, u_old)
+                    cpos = self._bisect_column(self.item_user_idx, cstart, cend, u_old)
                     replacements_csc.append((cpos, value))
                     continue
-            inserts.append(
-                (user_index_new[u_name], item_index_new[i_name], value))
+            inserts.append((user_index_new[u_name], item_index_new[i_name], value))
 
         imap_get = item_map.__getitem__
         umap_get = user_map.__getitem__
@@ -1047,8 +1019,7 @@ class MatrixRatingStore:
             start, end = self._user_row(u_old)
             # Position of the new item id among the row's remapped ids.
             pos = start
-            while pos < end and imap_get(
-                    int(self.user_item_idx[pos])) < i_new:
+            while pos < end and imap_get(int(self.user_item_idx[pos])) < i_new:
                 pos += 1
             csr_positions.append(pos)
         csc_positions: list[int] = []
@@ -1060,15 +1031,12 @@ class MatrixRatingStore:
                 continue
             start, end = self._item_col(i_old)
             pos = start
-            while pos < end and umap_get(
-                    int(self.item_user_idx[pos])) < u_new:
+            while pos < end and umap_get(int(self.item_user_idx[pos])) < u_new:
                 pos += 1
             csc_positions.append(pos)
 
-        touched_users = sorted(
-            {user_index_new[u] for u, _ in merged_batch})
-        batch_items = sorted(
-            {item_index_new[i] for _, i in merged_batch})
+        touched_users = sorted({user_index_new[u] for u, _ in merged_batch})
+        batch_items = sorted({item_index_new[i] for _, i in merged_batch})
         n_new = self.n_ratings + len(inserts)
 
         new = MatrixRatingStore.__new__(MatrixRatingStore)
@@ -1100,8 +1068,7 @@ class MatrixRatingStore:
         for u in touched_users:
             start, end = new._user_row(u)
             row = new.user_item_idx[start:end]
-            touched_set.update(
-                row.tolist() if self._use_numpy else row)
+            touched_set.update(row.tolist() if self._use_numpy else row)
         touched_items = sorted(touched_set)
 
         new._finalise_append(touched_users, touched_items, batch_items, n_new)
@@ -1124,14 +1091,10 @@ class MatrixRatingStore:
         n_items_new = len(new.items)
         csr_pos = _np.asarray(csr_positions, dtype=_np.int64)
         csc_pos = _np.asarray(csc_positions, dtype=_np.int64)
-        csr_item_ids = _np.asarray(
-            [i for _, i, _ in csr_inserts], dtype=_np.int64)
-        csr_values = _np.asarray(
-            [v for _, _, v in csr_inserts], dtype=_np.float64)
-        csc_user_ids = _np.asarray(
-            [u for _, u, _ in csc_inserts], dtype=_np.int64)
-        csc_values = _np.asarray(
-            [v for _, _, v in csc_inserts], dtype=_np.float64)
+        csr_item_ids = _np.asarray([i for _, i, _ in csr_inserts], dtype=_np.int64)
+        csr_values = _np.asarray([v for _, _, v in csr_inserts], dtype=_np.float64)
+        csc_user_ids = _np.asarray([u for _, u, _ in csc_inserts], dtype=_np.int64)
+        csc_values = _np.asarray([v for _, _, v in csc_inserts], dtype=_np.float64)
 
         remapped_idx = (imap[self.user_item_idx]
                         if self.n_ratings else self.user_item_idx)
@@ -1141,8 +1104,7 @@ class MatrixRatingStore:
             values[pos] = value
         new.user_values = _np.insert(values, csr_pos, csr_values)
         new.user_centered = _np.insert(self.user_centered, csr_pos, 0.0)
-        new.user_item_centered = _np.insert(
-            self.user_item_centered, csr_pos, 0.0)
+        new.user_item_centered = _np.insert(self.user_item_centered, csr_pos, 0.0)
 
         lengths = _np.zeros(n_users_new, dtype=_np.int64)
         lengths[umap] = _np.diff(self.user_ptr)
@@ -1201,8 +1163,7 @@ class MatrixRatingStore:
         csc_values = [v for _, _, v in csc_inserts]
 
         remapped_idx = [item_map[x] for x in self.user_item_idx]
-        new.user_item_idx = _list_insert(
-            remapped_idx, csr_positions, csr_item_ids)
+        new.user_item_idx = _list_insert(remapped_idx, csr_positions, csr_item_ids)
         values = list(self.user_values)
         for pos, value in replacements_csr:
             values[pos] = value
@@ -1229,8 +1190,7 @@ class MatrixRatingStore:
         new.user_means = user_means
 
         remapped_users = [user_map[x] for x in self.item_user_idx]
-        new.item_user_idx = _list_insert(
-            remapped_users, csc_positions, csc_user_ids)
+        new.item_user_idx = _list_insert(remapped_users, csc_positions, csc_user_ids)
         col_values = list(self.item_values)
         for pos, value in replacements_csc:
             col_values[pos] = value
@@ -1366,8 +1326,7 @@ class MatrixRatingStore:
         if n_new:
             self.global_mean = math.fsum(_seq(self.user_values)) / n_new
 
-    def delta_candidates(self, delta: "StoreDelta",
-                         with_significance: bool = False):
+    def delta_candidates(self, delta: "StoreDelta", with_significance: bool = False):
         """Ascending user indexes that can contribute to the pairs
         *delta* touched — users with ≥2 touched items in their profile,
         plus (with significance) raters of a batch item.
@@ -1382,8 +1341,7 @@ class MatrixRatingStore:
             flags_it = _np.zeros(n_items, dtype=bool)
             flags_it[delta.touched_items] = True
             hits = _np.concatenate((
-                [0], _np.cumsum(flags_it[self.user_item_idx],
-                                dtype=_np.int64)))
+                [0], _np.cumsum(flags_it[self.user_item_idx], dtype=_np.int64)))
             it_count = hits[self.user_ptr[1:]] - hits[self.user_ptr[:-1]]
             candidate = it_count >= 2
             if with_significance:
@@ -1391,10 +1349,8 @@ class MatrixRatingStore:
                 if delta.batch_items:
                     flags_ib[delta.batch_items] = True
                 ib_hits = _np.concatenate((
-                    [0], _np.cumsum(flags_ib[self.user_item_idx],
-                                    dtype=_np.int64)))
-                ib_count = (ib_hits[self.user_ptr[1:]]
-                            - ib_hits[self.user_ptr[:-1]])
+                    [0], _np.cumsum(flags_ib[self.user_item_idx], dtype=_np.int64)))
+                ib_count = (ib_hits[self.user_ptr[1:]] - ib_hits[self.user_ptr[:-1]])
                 candidate |= (ib_count >= 1) \
                     & (_np.diff(self.user_ptr) >= 2)
             return _np.nonzero(candidate)[0]
@@ -1587,8 +1543,7 @@ class MatrixRatingStore:
                 kept_keys = keys[keep]
                 kept_sums = acc.sums[keep]
                 kept_counts = acc.counts[keep]
-                kept_agree = (acc.agree[keep]
-                              if with_significance else None)
+                kept_agree = (acc.agree[keep] if with_significance else None)
             else:
                 kept_keys = acc.keys
                 kept_sums = acc.sums
@@ -1690,8 +1645,7 @@ class MatrixRatingStore:
                 keep = (counts >= min_common_users) & (sums != 0.0) \
                     & (denominators != 0.0)
                 left, right = left[keep], right[keep]
-                sims = _np.clip(
-                    sums[keep] / denominators[keep], -1.0, 1.0)
+                sims = _np.clip(sums[keep] / denominators[keep], -1.0, 1.0)
                 if min_abs_similarity > 0.0:
                     keep = _np.abs(sims) >= min_abs_similarity
                     left, right, sims = left[keep], right[keep], sims[keep]
@@ -1815,13 +1769,11 @@ class MatrixRatingStore:
 
     def _iter_pairs_from_accumulation_python(self, acc: PairAccumulation,
                                              min_common_users: int
-                                             ) -> Iterator[
-                                                 tuple[str, str, float]]:
+                                             ) -> Iterator[tuple[str, str, float]]:
         """Yield the filtered ``(i, j, sim)`` pairs of a dict-backed
         accumulation, sorted by pair key."""
         items = self.items
-        for left, right, sim in self._iter_index_pairs_python(
-                acc, min_common_users):
+        for left, right, sim in self._iter_index_pairs_python(acc, min_common_users):
             yield items[left], items[right], sim
 
     def significance_from_accumulation(
@@ -1859,8 +1811,7 @@ class MatrixRatingStore:
                 common[pair] = acc.counts[key]
         return raw, common
 
-    def _pair_arrays_numpy(self, min_common_users: int,
-                           max_profile_size: int | None):
+    def _pair_arrays_numpy(self, min_common_users: int, max_profile_size: int | None):
         """The unsharded filtered pair sweep (one accumulation over every
         eligible user, then the shared filter/clip tail)."""
         acc = self.pair_accumulation(max_profile_size=max_profile_size)
@@ -1874,8 +1825,7 @@ class MatrixRatingStore:
             return
         left, right, similarities = arrays
         items = self.items
-        for a, b, sim in zip(left.tolist(), right.tolist(),
-                             similarities.tolist()):
+        for a, b, sim in zip(left.tolist(), right.tolist(), similarities.tolist()):
             yield items[a], items[b], sim
 
     def build_adjacency(
@@ -2014,8 +1964,7 @@ class MatrixRatingStore:
         """
         if len(parts) > 1:
             if owners is None:
-                raise SimilarityError(
-                    "owners is required for multi-partition assembly")
+                raise SimilarityError("owners is required for multi-partition assembly")
             if len(owners) != len(self.items):
                 raise SimilarityError(
                     f"owners has {len(owners)} entries for "
@@ -2042,8 +1991,7 @@ class MatrixRatingStore:
         # normalise / clip tail runs on each partition's own pairs.
         partition_edges = []
         for acc in parts:
-            arrays = self._pairs_from_accumulation_numpy(
-                acc, min_common_users)
+            arrays = self._pairs_from_accumulation_numpy(acc, min_common_users)
             if arrays is None:
                 partition_edges.append((empty_int, empty_int, empty_float))
                 continue
@@ -2071,20 +2019,17 @@ class MatrixRatingStore:
                 rev_src = right[order]
                 rev_tgt = left[order]
                 rev_wts = sims[order]
-                bounds = _np.searchsorted(
-                    dest[order], _np.arange(n_partitions + 1))
+                bounds = _np.searchsorted(dest[order], _np.arange(n_partitions + 1))
                 for p, (a, b) in enumerate(zip(bounds[:-1].tolist(),
                                                bounds[1:].tolist())):
                     if a != b:
-                        inboxes[p].append(
-                            (rev_src[a:b], rev_tgt[a:b], rev_wts[a:b]))
+                        inboxes[p].append((rev_src[a:b], rev_tgt[a:b], rev_wts[a:b]))
 
         # Stage C: per-partition row assembly. Each partition sorts only
         # its own directed edges; with an index requested the sort key
         # adds the serving rank (descending weight, ascending target) so
         # the top-k selection is a row-prefix slice, not a second sort.
-        adjacency = ({item: {} for item in self.items}
-                     if with_adjacency else None)
+        adjacency = ({item: {} for item in self.items} if with_adjacency else None)
         if self._item_names_obj is None:
             self._item_names_obj = _np.asarray(self.items, dtype=object)
         degrees = _np.zeros(n_items, dtype=_np.int64) if with_index else None
@@ -2116,8 +2061,7 @@ class MatrixRatingStore:
                                                      bounds[1:].tolist())):
                     if start != end:
                         adjacency[items[k]] = dict(
-                            zip(target_names[start:end],
-                                weight_list[start:end]))
+                            zip(target_names[start:end], weight_list[start:end]))
             if with_index:
                 sizes = _np.diff(bounds)
                 if index_k is not None:
@@ -2150,8 +2094,7 @@ class MatrixRatingStore:
         from repro.similarity.knn import NeighborIndex
 
         items = self.items
-        adjacency = ({item: {} for item in items}
-                     if with_adjacency else None)
+        adjacency = ({item: {} for item in items} if with_adjacency else None)
         rows: list[list[tuple[int, float]]] | None = (
             [[] for _ in items] if with_index else None)
         for acc in parts:

@@ -323,8 +323,7 @@ class RatingTable:
         batch = tuple(ratings)
         if len(batch) * self._DELTA_HANDOFF_RATIO <= self._n:
             return self._arm_delta_handoff(self._append_derive(batch), batch)
-        merged: dict[tuple[str, str], Rating] = {
-            (r.user, r.item): r for r in self}
+        merged: dict[tuple[str, str], Rating] = {(r.user, r.item): r for r in self}
         for r in batch:
             merged[(r.user, r.item)] = r
         # No handoff here: this branch is exactly the batches too large
@@ -334,14 +333,12 @@ class RatingTable:
     def without_users(self, users: Iterable[str]) -> "RatingTable":
         """Return a new table with every rating by *users* removed."""
         gone = set(users)
-        return RatingTable(
-            (r for r in self if r.user not in gone), scale=self._scale)
+        return RatingTable((r for r in self if r.user not in gone), scale=self._scale)
 
     def without_items(self, items: Iterable[str]) -> "RatingTable":
         """Return a new table with every rating of *items* removed."""
         gone = set(items)
-        return RatingTable(
-            (r for r in self if r.item not in gone), scale=self._scale)
+        return RatingTable((r for r in self if r.item not in gone), scale=self._scale)
 
     def without_pairs(self, pairs: Iterable[tuple[str, str]]) -> "RatingTable":
         """Return a new table with the given (user, item) ratings removed.
@@ -361,8 +358,7 @@ class RatingTable:
     def restricted_to_items(self, items: Iterable[str]) -> "RatingTable":
         """Return a new table keeping only ratings of *items*."""
         keep = set(items)
-        return RatingTable(
-            (r for r in self if r.item in keep), scale=self._scale)
+        return RatingTable((r for r in self if r.item in keep), scale=self._scale)
 
     def merged_with(self, other: "RatingTable") -> "RatingTable":
         """Union of two tables (used by the Baseliner, §5.1, to treat the
@@ -375,15 +371,13 @@ class RatingTable:
         if other.scale != self._scale:
             raise DataError(
                 f"cannot merge tables with scales {self._scale} and {other.scale}")
-        combined: dict[tuple[str, str], Rating] = {
-            (r.user, r.item): r for r in self}
+        combined: dict[tuple[str, str], Rating] = {(r.user, r.item): r for r in self}
         batch = tuple(other)
         for r in batch:
             key = (r.user, r.item)
             existing = combined.get(key)
             if existing is not None and existing != r:
-                raise DataError(
-                    f"conflicting ratings for {key!r}: {existing} vs {r}")
+                raise DataError(f"conflicting ratings for {key!r}: {existing} vs {r}")
             combined[key] = r
         return self._arm_delta_handoff(
             RatingTable(combined.values(), scale=self._scale), batch)

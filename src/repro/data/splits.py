@@ -70,8 +70,7 @@ def _select_test_users(data: CrossDomainDataset, test_fraction: float,
                        min_source: int, min_target: int,
                        seed: int) -> list[str]:
     if not 0.0 < test_fraction < 1.0:
-        raise EvaluationError(
-            f"test_fraction must be in (0, 1), got {test_fraction}")
+        raise EvaluationError(f"test_fraction must be in (0, 1), got {test_fraction}")
     eligible = _eligible_users(data, min_source, min_target)
     n_test = max(1, int(round(len(eligible) * test_fraction)))
     if n_test >= len(eligible):
@@ -90,8 +89,7 @@ def cold_start_split(data: CrossDomainDataset, test_fraction: float = 0.2,
     their profile in the target domain and use their profile in the source
     domain to predict" (§6.1).
     """
-    test_users = _select_test_users(
-        data, test_fraction, min_source, min_target, seed)
+    test_users = _select_test_users(data, test_fraction, min_source, min_target, seed)
     test_set = set(test_users)
     hidden = [r for r in data.target.ratings if r.user in test_set]
     train_target = data.target.ratings.without_users(test_set)
@@ -114,10 +112,8 @@ def sparsity_split(data: CrossDomainDataset, auxiliary_size: int,
     scenario of a user who recently joined the target application.
     """
     if auxiliary_size < 0:
-        raise EvaluationError(
-            f"auxiliary_size must be >= 0, got {auxiliary_size}")
-    test_users = _select_test_users(
-        data, test_fraction, min_source, min_target, seed)
+        raise EvaluationError(f"auxiliary_size must be >= 0, got {auxiliary_size}")
+    test_users = _select_test_users(data, test_fraction, min_source, min_target, seed)
     hidden: list[Rating] = []
     kept: list[Rating] = []
     for user in test_users:
@@ -126,8 +122,7 @@ def sparsity_split(data: CrossDomainDataset, auxiliary_size: int,
         kept.extend(profile[:auxiliary_size])
         hidden.extend(profile[auxiliary_size:])
     if not hidden:
-        raise EvaluationError(
-            "auxiliary_size leaves nothing hidden for any test user")
+        raise EvaluationError("auxiliary_size leaves nothing hidden for any test user")
     hidden_pairs = {(r.user, r.item) for r in hidden}
     train_target = data.target.ratings.without_pairs(hidden_pairs)
     return TrainTestSplit(

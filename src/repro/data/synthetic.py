@@ -260,10 +260,8 @@ def amazon_like(config: SyntheticConfig | None = None) -> CrossDomainDataset:
         rated, _, _ = _sample_user_ratings(user, taste, bias, books, config, rng)
         target_ratings.extend(rated)
 
-    source = Dataset("movies", RatingTable(source_ratings),
-                     item_titles=movies.titles)
-    target = Dataset("books", RatingTable(target_ratings),
-                     item_titles=books.titles)
+    source = Dataset("movies", RatingTable(source_ratings), item_titles=movies.titles)
+    target = Dataset("books", RatingTable(target_ratings), item_titles=books.titles)
     return CrossDomainDataset(source, target)
 
 
@@ -278,8 +276,7 @@ def movielens_like(n_users: int = 400, n_items: int = 260,
     mirroring Table 2's movie counts.
     """
     if n_genres > len(MOVIELENS_GENRES):
-        raise ConfigError(
-            f"n_genres must be ≤ {len(MOVIELENS_GENRES)}, got {n_genres}")
+        raise ConfigError(f"n_genres must be ≤ {len(MOVIELENS_GENRES)}, got {n_genres}")
     config = SyntheticConfig(
         n_users_source=n_users, n_users_target=n_users, n_overlap=0,
         n_items_source=n_items, n_items_target=1,

@@ -76,8 +76,7 @@ def run_als_job(table: RatingTable, cluster: ClusterSpec,
         [(rating.user, (rating.item, rating.value)) for rating in table])
     by_user = ratings.group_by_key().cache()
     by_item = (ratings
-               .map(lambda record: (record[1][0],
-                                    (record[0], record[1][1])))
+               .map(lambda record: (record[1][0], (record[0], record[1][1])))
                .group_by_key().cache())
 
     reports: list[ExecutionReport] = []
@@ -131,8 +130,7 @@ def run_als_job(table: RatingTable, cluster: ClusterSpec,
     squared = 0.0
     for rating in table:
         predicted = (mu + user_bias[rating.user] + item_bias[rating.item]
-                     + float(user_factors[rating.user]
-                             @ item_factors[rating.item]))
+                     + float(user_factors[rating.user] @ item_factors[rating.item]))
         squared += (predicted - rating.value) ** 2
     return ALSJobResult(
         training_rmse=float(np.sqrt(squared / len(table))),

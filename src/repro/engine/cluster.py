@@ -73,8 +73,7 @@ class ClusterSpec:
     def validated(self) -> "ClusterSpec":
         """Raise :class:`~repro.errors.EngineError` on bad values."""
         if self.n_machines <= 0:
-            raise EngineError(
-                f"n_machines must be positive, got {self.n_machines}")
+            raise EngineError(f"n_machines must be positive, got {self.n_machines}")
         if self.n_slots_per_machine <= 0:
             raise EngineError(
                 f"n_slots_per_machine must be positive, "

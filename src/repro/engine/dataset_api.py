@@ -40,8 +40,7 @@ _Partitions = list[list]
 class _Node:
     """Internal lineage node."""
 
-    __slots__ = ("kind", "parents", "fn", "n_partitions", "label", "cached",
-                 "cost_fn")
+    __slots__ = ("kind", "parents", "fn", "n_partitions", "label", "cached", "cost_fn")
 
     def __init__(self, kind: str, parents: tuple["_Node", ...],
                  fn: Callable | None, n_partitions: int | None,
@@ -110,8 +109,7 @@ class DistCollection:
 
     def filter(self, predicate: Callable[[Any], bool]) -> "DistCollection":
         """Keep records where *predicate* is true."""
-        return self._narrow(
-            lambda part: (x for x in part if predicate(x)), "filter")
+        return self._narrow(lambda part: (x for x in part if predicate(x)), "filter")
 
     def map_values(self, fn: Callable[[Any], Any]) -> "DistCollection":
         """Apply *fn* to the value of every (key, value) record."""
@@ -121,53 +119,44 @@ class DistCollection:
                 yield (key, fn(value))
         return self._narrow(apply, "map_values")
 
-    def map_partitions(self, fn: Callable[[list], Iterable]
-                       ) -> "DistCollection":
+    def map_partitions(self, fn: Callable[[list], Iterable]) -> "DistCollection":
         """Apply *fn* once per partition (setup-heavy computations)."""
         return self._narrow(lambda part: fn(list(part)), "map_partitions")
 
     def key_by(self, fn: Callable[[Any], Any]) -> "DistCollection":
         """Turn records into ``(fn(record), record)`` pairs."""
-        return self._narrow(
-            lambda part: ((fn(x), x) for x in part), "key_by")
+        return self._narrow(lambda part: ((fn(x), x) for x in part), "key_by")
 
     # -- wide transformations --------------------------------------------
 
     def reduce_by_key(self, fn: Callable[[Any, Any], Any],
                       n_partitions: int | None = None) -> "DistCollection":
         """Shuffle by key and fold each key's values with *fn*."""
-        node = _Node("shuffle", (self._node,), fn, n_partitions,
-                     "reduce_by_key")
+        node = _Node("shuffle", (self._node,), fn, n_partitions, "reduce_by_key")
         return DistCollection(self._context, node)
 
-    def group_by_key(self, n_partitions: int | None = None
-                     ) -> "DistCollection":
+    def group_by_key(self, n_partitions: int | None = None) -> "DistCollection":
         """Shuffle by key into ``(key, [values...])`` records."""
-        node = _Node("shuffle", (self._node,), None, n_partitions,
-                     "group_by_key")
+        node = _Node("shuffle", (self._node,), None, n_partitions, "group_by_key")
         return DistCollection(self._context, node)
 
     def partition_by(self, n_partitions: int) -> "DistCollection":
         """Shuffle (key, value) records onto *n_partitions* by key."""
-        node = _Node("shuffle", (self._node,), False, n_partitions,
-                     "partition_by")
+        node = _Node("shuffle", (self._node,), False, n_partitions, "partition_by")
         return DistCollection(self._context, node)
 
     def join(self, other: "DistCollection",
              n_partitions: int | None = None) -> "DistCollection":
         """Inner join on keys: ``(k, (left value, right value))``."""
         if other._context is not self._context:
-            raise EngineError(
-                "cannot join collections from different contexts")
-        node = _Node("join", (self._node, other._node), None, n_partitions,
-                     "join")
+            raise EngineError("cannot join collections from different contexts")
+        node = _Node("join", (self._node, other._node), None, n_partitions, "join")
         return DistCollection(self._context, node)
 
     def union(self, other: "DistCollection") -> "DistCollection":
         """Concatenate two collections (narrow — no shuffle)."""
         if other._context is not self._context:
-            raise EngineError(
-                "cannot union collections from different contexts")
+            raise EngineError("cannot union collections from different contexts")
         node = _Node("union", (self._node, other._node), None, None, "union")
         return DistCollection(self._context, node)
 
@@ -195,8 +184,7 @@ class DistCollection:
 
 def _as_pair(record: Any, op: str) -> tuple[Any, Any]:
     if not isinstance(record, tuple) or len(record) != 2:
-        raise EngineError(
-            f"{op} requires (key, value) records, got {record!r}")
+        raise EngineError(f"{op} requires (key, value) records, got {record!r}")
     return record
 
 
@@ -280,15 +268,13 @@ class DataflowContext:
         """Walk up through uncached narrow links; return (boundary, chain)."""
         chain: list[_Node] = []
         current = node
-        while (current.kind == "narrow"
-               and self._cache.get(id(current)) is None):
+        while (current.kind == "narrow" and self._cache.get(id(current)) is None):
             chain.append(current)
             current = current.parents[0]
         chain.reverse()
         return current, chain
 
-    def _run_narrow_stage(self, node: _Node,
-                          report: ExecutionReport) -> _Partitions:
+    def _run_narrow_stage(self, node: _Node, report: ExecutionReport) -> _Partitions:
         if node.kind == "union":
             left = self._materialize(node.parents[0], report)
             right = self._materialize(node.parents[1], report)
@@ -323,8 +309,7 @@ class DataflowContext:
                            shuffle_records=0, durations=durations)
         return outputs
 
-    def _route(self, inputs: _Partitions, n_partitions: int,
-               op: str) -> _Partitions:
+    def _route(self, inputs: _Partitions, n_partitions: int, op: str) -> _Partitions:
         partitioner = HashPartitioner(n_partitions)
         buckets: _Partitions = [[] for _ in range(n_partitions)]
         for partition in inputs:
@@ -333,8 +318,7 @@ class DataflowContext:
                 buckets[partitioner.partition_of(key)].append(record)
         return buckets
 
-    def _shuffle_partition_count(self, node: _Node,
-                                 inputs: _Partitions) -> int:
+    def _shuffle_partition_count(self, node: _Node, inputs: _Partitions) -> int:
         if node.n_partitions is not None and node.n_partitions is not False:
             return int(node.n_partitions)
         return max(1, len(inputs))
@@ -382,8 +366,7 @@ class DataflowContext:
         cost = self.cluster.cost
         outputs: _Partitions = []
         durations: list[float] = []
-        records_in = (sum(len(p) for p in left_in)
-                      + sum(len(p) for p in right_in))
+        records_in = (sum(len(p) for p in left_in) + sum(len(p) for p in right_in))
         records_out = 0
         for left, right in zip(left_buckets, right_buckets):
             table: dict = {}

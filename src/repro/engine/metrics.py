@@ -119,5 +119,4 @@ def speedup_curve(makespans: dict[int, float],
     baseline = makespans[baseline_machines]
     if baseline <= 0:
         raise EngineError("baseline makespan must be positive")
-    return {machines: baseline / value
-            for machines, value in sorted(makespans.items())}
+    return {machines: baseline / value for machines, value in sorted(makespans.items())}

@@ -17,8 +17,7 @@ from repro.engine.cluster import ClusterSpec
 from repro.errors import EngineError
 
 
-def stage_makespan(task_durations: Sequence[float],
-                   cluster: ClusterSpec) -> float:
+def stage_makespan(task_durations: Sequence[float], cluster: ClusterSpec) -> float:
     """LPT makespan of one stage's tasks on the cluster's slots.
 
     An empty stage takes zero time. Negative durations are a caller bug.

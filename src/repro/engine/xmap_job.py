@@ -95,8 +95,7 @@ def run_xmap_job(data: CrossDomainDataset, cluster: ClusterSpec,
     def pair_contributions(record):
         user, entries = record
         mean = means_broadcast.value[user]
-        centered = sorted(
-            (item, value - mean) for item, value in entries)
+        centered = sorted((item, value - mean) for item, value in entries)
         centered = centered[:max_profile_size]
         for a in range(len(centered)):
             item_a, value_a = centered[a]
@@ -134,8 +133,7 @@ def run_xmap_job(data: CrossDomainDataset, cluster: ClusterSpec,
     # Broadcast payload is one bounded record per item (each item ships
     # at most 3 layers × k neighbor ids), matching how we size the ALS
     # factor broadcasts (one rank-sized record per entity).
-    adjacency_broadcast = context.broadcast(
-        adjacency, n_records=len(adjacency))
+    adjacency_broadcast = context.broadcast(adjacency, n_records=len(adjacency))
     significance = SignificanceCache(merged)
 
     # Stage group 4: per-item meta-path extension (the heavy phase).
@@ -174,10 +172,8 @@ def run_xmap_job(data: CrossDomainDataset, cluster: ClusterSpec,
         current = best.get(source_item)
         if current is None or (value, target_item) > current:
             best[source_item] = (value, target_item)
-    replacement = {source_item: target for source_item, (_, target)
-                   in best.items()}
-    replacement_broadcast = context.broadcast(
-        replacement, n_records=len(replacement))
+    replacement = {source_item: target for source_item, (_, target) in best.items()}
+    replacement_broadcast = context.broadcast(replacement, n_records=len(replacement))
 
     source_profiles = context.parallelize([
         (user, sorted(
@@ -197,8 +193,7 @@ def run_xmap_job(data: CrossDomainDataset, cluster: ClusterSpec,
             (target, sum(values) / len(values))
             for target, values in profile.items()))
 
-    alteregos = source_profiles.map(to_alterego).filter(
-        lambda record: bool(record[1]))
+    alteregos = source_profiles.map(to_alterego).filter(lambda record: bool(record[1]))
     alterego_rows, report = alteregos.collect_with_report()
     reports.append(report)
 

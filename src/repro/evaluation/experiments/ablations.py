@@ -34,8 +34,7 @@ def run(quick: bool = False, seed: int = 7, k: int = 50) -> ExperimentResult:
     prune_k = 20 if quick else 50
 
     baseline = Baseliner().compute(split.train)
-    partition = LayerPartition.from_graph(
-        baseline.graph, split.train.domain_map())
+    partition = LayerPartition.from_graph(baseline.graph, split.train.domain_map())
     merged = split.train.merged()
 
     result = ExperimentResult(
@@ -44,8 +43,7 @@ def run(quick: bool = False, seed: int = 7, k: int = 50) -> ExperimentResult:
         columns=["ablation", "variant", "mae"])
 
     def score(table, positive_only=True) -> float:
-        recommender = ItemKNNRecommender(table, k=k,
-                                         positive_only=positive_only)
+        recommender = ItemKNNRecommender(table, k=k, positive_only=positive_only)
         return evaluate("variant", recommender, split).mae
 
     def table_for(xsim_map, n_replacements):
@@ -79,8 +77,7 @@ def run(quick: bool = False, seed: int = 7, k: int = 50) -> ExperimentResult:
             baseline.graph, partition, merged,
             source_domain=split.train.source.name)
         mae = score(table_for(ablated_map, 12))
-        result.rows.append({
-            "ablation": label, "variant": "off", "mae": mae})
+        result.rows.append({"ablation": label, "variant": "off", "mae": mae})
     result.rows.append({
         "ablation": "full X-Sim (reference)", "variant": "on",
         "mae": score(reference_table)})

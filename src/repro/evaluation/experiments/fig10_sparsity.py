@@ -45,16 +45,13 @@ def run(quick: bool = False, seed: int = 7, k: int = 50) -> ExperimentResult:
         oriented_data = oriented(data, direction)
         trajectory: dict[str, list[float]] = {}
         for size in sizes:
-            split = sparsity_split(
-                oriented_data, auxiliary_size=size, seed=seed)
+            split = sparsity_split(oriented_data, auxiliary_size=size, seed=seed)
             lab = XMapLab(split, prune_k=k, seed=seed)
             systems = {
                 "NX-MAP-IB": lab.nx_recommender(mode="item", k=k),
                 "NX-MAP-UB": lab.nx_recommender(mode="user", k=k),
-                "X-MAP-IB": lab.x_recommender(
-                    *TUNED_PRIVACY["item"], mode="item", k=k),
-                "X-MAP-UB": lab.x_recommender(
-                    *TUNED_PRIVACY["user"], mode="user", k=k),
+                "X-MAP-IB": lab.x_recommender(*TUNED_PRIVACY["item"], mode="item", k=k),
+                "X-MAP-UB": lab.x_recommender(*TUNED_PRIVACY["user"], mode="user", k=k),
                 "KNN-CD": make_linked_knn(split, k=k),
                 "KNN-SD": make_knn_sd(split, k=k),
             }

@@ -45,8 +45,7 @@ def run(quick: bool = False, seed: int = 7) -> ExperimentResult:
             "machines": count,
             "X-MAP speedup": xmap_speedup[count],
             "MLLIB-ALS speedup": als_speedup[count]})
-    result.notes.append(
-        f"simulated makespans (s): X-Map {xmap_times}, ALS {als_times}")
+    result.notes.append(f"simulated makespans (s): X-Map {xmap_times}, ALS {als_times}")
     return result
 
 

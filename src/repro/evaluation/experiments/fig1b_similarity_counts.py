@@ -16,8 +16,7 @@ from repro.evaluation.experiments.common import default_trace, quick_trace
 from repro.evaluation.reporting import ExperimentResult
 
 
-def run(quick: bool = False, seed: int = 7,
-        prune_k: int = 20) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 7, prune_k: int = 20) -> ExperimentResult:
     """Count both kinds of heterogeneous similarity on the trace."""
     data = quick_trace(seed) if quick else default_trace(seed)
     merged = data.merged()  # one table (and one matrix store) per run
@@ -34,8 +33,7 @@ def run(quick: bool = False, seed: int = 7,
         title="Number of heterogeneous similarities (standard vs meta-path)",
         rows=[
             {"method": "Standard", "heterogeneous similarities": standard},
-            {"method": "Meta-path-based",
-             "heterogeneous similarities": meta_path},
+            {"method": "Meta-path-based", "heterogeneous similarities": meta_path},
         ],
         columns=["method", "heterogeneous similarities"])
     ratio = meta_path / standard if standard else float("inf")

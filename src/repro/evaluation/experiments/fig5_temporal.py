@@ -26,8 +26,7 @@ DEFAULT_ALPHAS = (0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2)
 QUICK_ALPHAS = (0.0, 0.02, 0.1)
 
 
-def run(quick: bool = False, seed: int = 7,
-        k: int = 50) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 7, k: int = 50) -> ExperimentResult:
     """Sweep α for X-Map-ib and NX-Map-ib in both directions."""
     data = quick_trace(seed) if quick else default_trace(seed)
     alphas = QUICK_ALPHAS if quick else DEFAULT_ALPHAS
@@ -42,8 +41,7 @@ def run(quick: bool = False, seed: int = 7,
         lab = XMapLab(split, seed=seed)
         curves: dict[str, list[tuple[float, float]]] = {}
         for alpha in alphas:
-            nx = evaluate("NX-Map-ib",
-                          lab.nx_recommender(k=k, alpha=alpha), split)
+            nx = evaluate("NX-Map-ib", lab.nx_recommender(k=k, alpha=alpha), split)
             xm = evaluate("X-Map-ib",
                           lab.x_recommender(epsilon, epsilon_prime,
                                             k=k, alpha=alpha), split)

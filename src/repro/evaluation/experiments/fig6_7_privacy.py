@@ -51,8 +51,7 @@ def run(quick: bool = False, seed: int = 7, mode: str = "item",
             for epsilon_prime in grid:
                 res = evaluate(
                     f"X-Map-{suffix}",
-                    lab.x_recommender(epsilon, epsilon_prime,
-                                      mode=mode, k=k),
+                    lab.x_recommender(epsilon, epsilon_prime, mode=mode, k=k),
                     split)
                 result.rows.append({
                     "direction": direction, "epsilon": epsilon,

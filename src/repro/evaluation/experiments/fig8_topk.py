@@ -52,10 +52,8 @@ def run(quick: bool = False, seed: int = 7) -> ExperimentResult:
             systems = {
                 "NX-MAP-IB": lab.nx_recommender(mode="item", k=k),
                 "NX-MAP-UB": lab.nx_recommender(mode="user", k=k),
-                "X-MAP-IB": lab.x_recommender(
-                    *TUNED_PRIVACY["item"], mode="item", k=k),
-                "X-MAP-UB": lab.x_recommender(
-                    *TUNED_PRIVACY["user"], mode="user", k=k),
+                "X-MAP-IB": lab.x_recommender(*TUNED_PRIVACY["item"], mode="item", k=k),
+                "X-MAP-UB": lab.x_recommender(*TUNED_PRIVACY["user"], mode="user", k=k),
                 "ITEMAVERAGE": make_item_average(split),
                 "REMOTEUSER": make_remote_user(split, k=k),
                 "ITEM-BASED-KNN": make_linked_knn(split, k=k),
@@ -68,9 +66,7 @@ def run(quick: bool = False, seed: int = 7) -> ExperimentResult:
                 bucket = (best_ours if name.startswith(("X-", "NX-"))
                           else best_competitor)
                 bucket[k] = min(bucket.get(k, float("inf")), res.mae)
-        margins = [
-            (best_competitor[k] - best_ours[k]) / best_competitor[k]
-            for k in ks]
+        margins = [(best_competitor[k] - best_ours[k]) / best_competitor[k] for k in ks]
         result.notes.append(
             f"{direction}: best (N)X-Map beats best competitor by "
             f"{min(margins):.1%}..{max(margins):.1%} across k")

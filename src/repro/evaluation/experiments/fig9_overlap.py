@@ -46,16 +46,13 @@ def run(quick: bool = False, seed: int = 7, k: int = 50) -> ExperimentResult:
         oriented_data = oriented(data, direction)
         trajectory: dict[str, list[float]] = {}
         for fraction in fractions:
-            split = overlap_fraction_split(
-                oriented_data, fraction=fraction, seed=seed)
+            split = overlap_fraction_split(oriented_data, fraction=fraction, seed=seed)
             lab = XMapLab(split, prune_k=k, seed=seed)
             systems = {
                 "NX-MAP-IB": lab.nx_recommender(mode="item", k=k),
                 "NX-MAP-UB": lab.nx_recommender(mode="user", k=k),
-                "X-MAP-IB": lab.x_recommender(
-                    *TUNED_PRIVACY["item"], mode="item", k=k),
-                "X-MAP-UB": lab.x_recommender(
-                    *TUNED_PRIVACY["user"], mode="user", k=k),
+                "X-MAP-IB": lab.x_recommender(*TUNED_PRIVACY["item"], mode="item", k=k),
+                "X-MAP-UB": lab.x_recommender(*TUNED_PRIVACY["user"], mode="user", k=k),
                 "ITEMAVERAGE": make_item_average(split),
                 "REMOTEUSER": make_remote_user(split, k=k),
                 "ITEM-BASED-KNN": make_linked_knn(split, k=k),

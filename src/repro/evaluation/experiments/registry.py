@@ -65,8 +65,7 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
         return 0
-    targets = (list(EXPERIMENTS) if args.experiment == "all"
-               else [args.experiment])
+    targets = (list(EXPERIMENTS) if args.experiment == "all" else [args.experiment])
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)

@@ -40,8 +40,7 @@ class EvalResult:
                 f"({self.n_predictions} predictions, {self.seconds:.1f}s)")
 
 
-def evaluate(name: str, recommender: Recommender,
-             split: TrainTestSplit) -> EvalResult:
+def evaluate(name: str, recommender: Recommender, split: TrainTestSplit) -> EvalResult:
     """Score *recommender* on the hidden ratings of *split*."""
     start = time.perf_counter()
     predictions = []

@@ -26,8 +26,7 @@ def mae(predictions: Sequence[float], truths: Sequence[float]) -> float:
             f"{len(truths)} truths")
     if not predictions:
         raise EvaluationError("MAE over zero predictions is undefined")
-    return math.fsum(
-        abs(p - r) for p, r in zip(predictions, truths)) / len(predictions)
+    return math.fsum(abs(p - r) for p, r in zip(predictions, truths)) / len(predictions)
 
 
 def rmse(predictions: Sequence[float], truths: Sequence[float]) -> float:

@@ -34,12 +34,10 @@ def format_table(rows: Sequence[Mapping[str, Any]],
     widths = [
         max(len(column), *(len(line[idx]) for line in grid))
         for idx, column in enumerate(columns)]
-    header = "  ".join(column.ljust(widths[idx])
-                       for idx, column in enumerate(columns))
+    header = "  ".join(column.ljust(widths[idx]) for idx, column in enumerate(columns))
     separator = "  ".join("-" * width for width in widths)
     body = [
-        "  ".join(line[idx].ljust(widths[idx])
-                  for idx in range(len(columns)))
+        "  ".join(line[idx].ljust(widths[idx]) for idx in range(len(columns)))
         for line in grid]
     return "\n".join([header, separator, *body])
 

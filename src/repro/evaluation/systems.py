@@ -35,10 +35,8 @@ def make_nxmap(split: TrainTestSplit, mode: str = "item", k: int = 50,
                prune_k: int = 50, alpha: float = 0.0,
                seed: int = 0) -> Recommender:
     """NX-Map (non-private), fitted for the split's test users."""
-    config = XMapConfig(mode=mode, cf_k=k, prune_k=prune_k, alpha=alpha,
-                        seed=seed)
-    return NXMapRecommender(config).fit(
-        split.train, users=split.test_users)
+    config = XMapConfig(mode=mode, cf_k=k, prune_k=prune_k, alpha=alpha, seed=seed)
+    return NXMapRecommender(config).fit(split.train, users=split.test_users)
 
 
 def make_xmap(split: TrainTestSplit, mode: str = "item", k: int = 50,
@@ -51,11 +49,9 @@ def make_xmap(split: TrainTestSplit, mode: str = "item", k: int = 50,
     config = XMapConfig(
         mode=mode, cf_k=k, prune_k=prune_k, alpha=alpha,
         epsilon=epsilon if epsilon is not None else tuned_eps,
-        epsilon_prime=(epsilon_prime if epsilon_prime is not None
-                       else tuned_eps_prime),
+        epsilon_prime=(epsilon_prime if epsilon_prime is not None else tuned_eps_prime),
         seed=seed)
-    return XMapRecommender(config).fit(
-        split.train, users=split.test_users)
+    return XMapRecommender(config).fit(split.train, users=split.test_users)
 
 
 def make_item_average(split: TrainTestSplit) -> Recommender:

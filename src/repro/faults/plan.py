@@ -282,7 +282,7 @@ class injected_faults:
         install_plan(self.plan)
         return self.plan
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         uninstall_plan()
 
 

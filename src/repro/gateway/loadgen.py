@@ -115,9 +115,7 @@ class GatewayClient:
             ) as exc:
                 self.close()
                 if attempt:
-                    raise GatewayError(
-                        f"request to {target} failed: {exc}"
-                    ) from exc
+                    raise GatewayError(f"request to {target} failed: {exc}") from exc
         if response.getheader("Connection", "").lower() == "close":
             self.close()
         try:
@@ -240,9 +238,7 @@ def run_closed_loop(
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - started
-    report = summarize(
-        latencies, elapsed, errors, versions, shed=shed, stale=stale
-    )
+    report = summarize(latencies, elapsed, errors, versions, shed=shed, stale=stale)
     report["discipline"] = "closed"
     report["concurrency"] = concurrency
     return report
@@ -313,17 +309,13 @@ def run_open_loop(
     with ThreadPoolExecutor(max_workers=max_workers) as executor:
         epoch = time.perf_counter()
         futures = [
-            executor.submit(
-                fire, users[i % len(users)], scheduled_at, epoch
-            )
+            executor.submit(fire, users[i % len(users)], scheduled_at, epoch)
             for i, scheduled_at in enumerate(arrivals)
         ]
         for future in futures:
             future.result()
     elapsed = time.perf_counter() - epoch
-    report = summarize(
-        latencies, elapsed, errors, versions, shed=shed, stale=stale
-    )
+    report = summarize(latencies, elapsed, errors, versions, shed=shed, stale=stale)
     report["discipline"] = "poisson"
     report["offered_qps"] = rate_qps
     report["n_scheduled"] = len(arrivals)

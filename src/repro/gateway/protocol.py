@@ -134,9 +134,7 @@ def _recv_exact(sock: socket.socket, n: int, at_boundary: bool) -> bytes | None:
         if not chunk:
             if not buf and at_boundary:
                 return None
-            raise GatewayError(
-                f"peer closed mid-frame ({len(buf)}/{n} bytes)"
-            )
+            raise GatewayError(f"peer closed mid-frame ({len(buf)}/{n} bytes)")
         buf.extend(chunk)
     return bytes(buf)
 

@@ -146,9 +146,7 @@ class _Batcher:
         for n, group in groups.items():
             asyncio.ensure_future(self._dispatch(n, group))
 
-    async def _dispatch(
-        self, n: int, group: list[tuple[str, asyncio.Future]]
-    ) -> None:
+    async def _dispatch(self, n: int, group: list[tuple[str, asyncio.Future]]) -> None:
         users = [user for user, _ in group]
         try:
             response = await self.pool.call(
@@ -184,9 +182,7 @@ class GatewayServer:
         retry_after: int = DEFAULT_RETRY_AFTER,
     ) -> None:
         if max_inflight < 1:
-            raise GatewayError(
-                f"max_inflight must be >= 1, got {max_inflight}"
-            )
+            raise GatewayError(f"max_inflight must be >= 1, got {max_inflight}")
         if max_queue < 0:
             raise GatewayError(f"max_queue must be >= 0, got {max_queue}")
         self.pool = pool
@@ -282,16 +278,12 @@ class GatewayServer:
                     return
                 method, target, headers, body = request
                 self.n_http_requests += 1
-                status, payload, extra = await self._route(
-                    method, target, body
-                )
+                status, payload, extra = await self._route(method, target, body)
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 ) and not self._draining
-                self._write_response(
-                    writer, status, payload, keep_alive, extra
-                )
+                self._write_response(writer, status, payload, keep_alive, extra)
                 await writer.drain()
                 if not keep_alive:
                     return
@@ -299,9 +291,11 @@ class GatewayServer:
             return
         except asyncio.CancelledError:
             # Loop shutdown with a keep-alive connection parked in
-            # read: finish quietly instead of surfacing a cancelled
-            # handler task.
-            return
+            # read: close the transport (via the finally below) but
+            # let the cancellation propagate — a swallowed
+            # CancelledError here would report the handler task as
+            # having finished normally mid-shutdown.
+            raise
         finally:
             try:
                 writer.close()
@@ -368,10 +362,7 @@ class GatewayServer:
     ) -> tuple[int, dict, dict[str, str] | None]:
         split = urlsplit(target)
         path = split.path
-        query = {
-            name: values[-1]
-            for name, values in parse_qs(split.query).items()
-        }
+        query = {name: values[-1] for name, values in parse_qs(split.query).items()}
         if body:
             try:
                 parsed = json.loads(body.decode("utf-8"))
@@ -506,9 +497,7 @@ class GatewayServer:
     async def _similar_items(self, query: dict) -> tuple[int, dict]:
         item = query.get("item")
         if not item:
-            return 400, _error_body(
-                "bad_request", "missing 'item' parameter"
-            )
+            return 400, _error_body("bad_request", "missing 'item' parameter")
         params: dict = {"item": str(item), "k": int(query.get("k", 10))}
         if query.get("minimum") is not None:
             params["minimum"] = float(query["minimum"])
@@ -544,7 +533,7 @@ class _AdmissionTicket:
         server._inflight += 1
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         server = self.server
         server._inflight -= 1
         server._slots.release()

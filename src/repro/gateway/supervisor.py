@@ -129,10 +129,7 @@ class CircuitBreaker:
         """One more consecutive failure; trips the breaker at the
         threshold (immediately when the half-open probe failed)."""
         self.consecutive_failures += 1
-        if (
-            self.state == "half_open"
-            or self.consecutive_failures >= self.threshold
-        ):
+        if (self.state == "half_open" or self.consecutive_failures >= self.threshold):
             if self.state != "open":
                 self.n_trips += 1
             self.state = "open"
@@ -196,9 +193,7 @@ class WorkerHandle:
         try:
             write_frame(self.writer, payload)
             await self.writer.drain()
-            response = await asyncio.wait_for(
-                read_frame(self.reader), timeout
-            )
+            response = await asyncio.wait_for(read_frame(self.reader), timeout)
         except asyncio.TimeoutError:
             self.kill()
             raise GatewayError(
@@ -281,7 +276,7 @@ class WorkerPool:
 
     def __init__(
         self,
-        watch,
+        watch: str | Path,
         n_workers: int = 2,
         pure_python: bool = False,
         call_timeout: float = DEFAULT_CALL_TIMEOUT,
@@ -448,16 +443,12 @@ class WorkerPool:
         # The fleet-wide spawn sequence number: fault-plan rules gate
         # on it ("the first K workers die during load").
         env[SPAWN_SEQ_ENV] = str(worker_id)
-        proc = subprocess.Popen(
-            argv, pass_fds=[child_sock.fileno()], env=env
-        )
+        proc = subprocess.Popen(argv, pass_fds=[child_sock.fileno()], env=env)
         self.spawned_pids.append(proc.pid)
         try:
             child_sock.close()
             parent_sock.setblocking(False)
-            reader, writer = await asyncio.open_connection(
-                sock=parent_sock
-            )
+            reader, writer = await asyncio.open_connection(sock=parent_sock)
             handle = WorkerHandle(
                 worker_id, proc, parent_sock, reader, writer, slot=slot
             )
@@ -475,7 +466,11 @@ class WorkerPool:
             if proc.poll() is None:
                 proc.kill()
             try:
-                proc.wait(timeout=5)
+                # Bounded block on purpose: this path also runs while
+                # being cancelled, where scheduling an executor job is
+                # no longer reliable, and a SIGKILLed child reaps in
+                # milliseconds.
+                proc.wait(timeout=5)  # reprolint: disable=REP401
             except (OSError, subprocess.TimeoutExpired):
                 pass
             try:
@@ -497,12 +492,16 @@ class WorkerPool:
         # close() itself — cancellation is a BaseException on 3.8+ and
         # must never be eaten by a broad except.
         await asyncio.gather(*tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
         for slot in self._slots:
             slot.task = None
             handle = slot.handle
             if handle is not None:
                 handle.kill()
-                handle.proc.wait()
+                # Reap off-loop: wait() on a just-SIGKILLed child is
+                # quick, but a stuck NFS/core-dump write could stall
+                # the event loop mid-drain.
+                await loop.run_in_executor(None, handle.proc.wait)
         while not self._idle.empty():
             self._idle.get_nowait()
 
@@ -520,9 +519,7 @@ class WorkerPool:
                     f"{timeout:.1f}s"
                 )
             try:
-                handle = await asyncio.wait_for(
-                    self._idle.get(), remaining
-                )
+                handle = await asyncio.wait_for(self._idle.get(), remaining)
             except asyncio.TimeoutError:
                 raise GatewayError(
                     "no live worker became available within "
@@ -548,9 +545,7 @@ class WorkerPool:
         if handle.alive and handle.proc.poll() is None:
             self._idle.put_nowait(handle)
 
-    def _note_version(
-        self, response: dict, handle: WorkerHandle | None = None
-    ) -> None:
+    def _note_version(self, response: dict, handle: WorkerHandle | None = None) -> None:
         version = response.get("version")
         if isinstance(version, int):
             if handle is not None:
@@ -590,9 +585,7 @@ class WorkerPool:
             "method": method,
             "params": {**params, "budget_ms": remaining * 1000.0},
         }
-        primary = asyncio.ensure_future(
-            self._call_one(handle, payload, remaining)
-        )
+        primary = asyncio.ensure_future(self._call_one(handle, payload, remaining))
         hedge_after = self.hedge_delay
         if (
             hedge_after is None
@@ -607,9 +600,7 @@ class WorkerPool:
         # checkout of a sibling — a momentarily-busy fleet frees a
         # worker in milliseconds, and a hedge that only glanced once
         # would miss it and ride out the full hang.
-        checkout = asyncio.ensure_future(
-            self._checkout(remaining - hedge_after)
-        )
+        checkout = asyncio.ensure_future(self._checkout(remaining - hedge_after))
         done, _pending = await asyncio.wait(
             {primary, checkout}, return_when=asyncio.FIRST_COMPLETED
         )
@@ -632,9 +623,7 @@ class WorkerPool:
         tasks = {primary, hedge}
         first_error: GatewayError | None = None
         while tasks:
-            done, tasks = await asyncio.wait(
-                tasks, return_when=asyncio.FIRST_COMPLETED
-            )
+            done, tasks = await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
             for task in done:
                 exc = task.exception()
                 if exc is None:
@@ -675,9 +664,7 @@ class WorkerPool:
         read = method in READ_METHODS
         # Reserve a slice of the budget for the degraded attempt, so
         # "fresh failed" still leaves time to serve *something*.
-        stale_grace = (
-            min(1.0, budget * 0.25) if (self.allow_stale and read) else 0.0
-        )
+        stale_grace = (min(1.0, budget * 0.25) if (self.allow_stale and read) else 0.0)
         fresh_deadline = deadline - stale_grace
         last_error: GatewayError | None = None
         attempt = 0
@@ -694,9 +681,7 @@ class WorkerPool:
                 last_error = exc
                 break
             try:
-                response = await self._dispatch(
-                    handle, method, params, remaining
-                )
+                response = await self._dispatch(handle, method, params, remaining)
             except GatewayError as exc:
                 last_error = exc
                 continue  # the worker is dead; retry on another
@@ -705,14 +690,10 @@ class WorkerPool:
             error = response.get("error") or {}
             message = error.get("message", "worker error")
             if error.get("retryable"):
-                last_error = GatewayError(
-                    f"worker {handle.worker_id}: {message}"
-                )
+                last_error = GatewayError(f"worker {handle.worker_id}: {message}")
                 await asyncio.sleep(DEFAULT_STALE_BACKOFF)
                 continue
-            raise GatewayError(
-                f"worker {handle.worker_id}: {message}"
-            )
+            raise GatewayError(f"worker {handle.worker_id}: {message}")
         if self.allow_stale and read:
             response = await self._stale_fallback(method, params, deadline)
             if response is not None:
@@ -777,9 +758,7 @@ class WorkerPool:
                     "restarts": slot.n_restarts,
                     "spawn_failures": slot.n_spawn_failures,
                     "circuit": slot.breaker.state,
-                    "consecutive_failures": (
-                        slot.breaker.consecutive_failures
-                    ),
+                    "consecutive_failures": (slot.breaker.consecutive_failures),
                     "n_calls": handle.n_calls if handle is not None else 0,
                 }
             )

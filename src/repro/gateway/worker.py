@@ -64,7 +64,7 @@ LOAD_FAULT_POINT = "gateway.worker.load"
 REQUEST_FAULT_POINT = "gateway.worker.request"
 
 
-def _error_response(kind: str, message: str, retryable: bool, **extra) -> dict:
+def _error_response(kind: str, message: str, retryable: bool, **extra: object) -> dict:
     return {
         "ok": False,
         "error": {
@@ -272,12 +272,8 @@ def main(argv: list[str] | None = None) -> int:
         "single snapshot)",
     )
     parser.add_argument("--pure-python", action="store_true")
-    parser.add_argument(
-        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL
-    )
-    parser.add_argument(
-        "--load-timeout", type=float, default=DEFAULT_LOAD_TIMEOUT
-    )
+    parser.add_argument("--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL)
+    parser.add_argument("--load-timeout", type=float, default=DEFAULT_LOAD_TIMEOUT)
     parser.add_argument("--row-cache-size", type=int, default=4096)
     parser.add_argument("--response-cache-size", type=int, default=1024)
     args = parser.parse_args(argv)

@@ -106,8 +106,7 @@ def exponential_sample_without_replacement(
     remaining = dict(scores)
     chosen: list[str] = []
     while remaining and len(chosen) < rounds:
-        pick = exponential_mechanism(
-            remaining, epsilon_per_round, sensitivity, rng)
+        pick = exponential_mechanism(remaining, epsilon_per_round, sensitivity, rng)
         chosen.append(pick)
         del remaining[pick]
     return chosen

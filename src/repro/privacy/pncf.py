@@ -39,8 +39,7 @@ class _PrivateKNNBase(BaseRecommender):
                  epsilon_prime: float = 0.8, rho: float = 0.1,
                  seed: int = 0) -> None:
         if epsilon_prime <= 0:
-            raise PrivacyError(
-                f"epsilon_prime must be > 0, got {epsilon_prime}")
+            raise PrivacyError(f"epsilon_prime must be > 0, got {epsilon_prime}")
         super().__init__(table)
         self.k = k
         self.epsilon_prime = epsilon_prime
@@ -51,8 +50,7 @@ class _PrivateKNNBase(BaseRecommender):
         self.noise_epsilon = epsilon_prime / 2.0
 
     def _noisy(self, similarity: float, sensitivity: float) -> float:
-        return similarity + laplace_noise(
-            sensitivity, self.noise_epsilon, self.rng)
+        return similarity + laplace_noise(sensitivity, self.noise_epsilon, self.rng)
 
 
 class PrivateItemKNNRecommender(_PrivateKNNBase):
@@ -70,8 +68,7 @@ class PrivateItemKNNRecommender(_PrivateKNNBase):
     def __init__(self, table: RatingTable, k: int = 50,
                  epsilon_prime: float = 0.8, rho: float = 0.1,
                  alpha: float = 0.0, seed: int = 0) -> None:
-        super().__init__(table, k=k, epsilon_prime=epsilon_prime,
-                         rho=rho, seed=seed)
+        super().__init__(table, k=k, epsilon_prime=epsilon_prime, rho=rho, seed=seed)
         if alpha < 0:
             raise PrivacyError(f"alpha must be >= 0, got {alpha}")
         self.alpha = alpha
@@ -115,8 +112,7 @@ class PrivateItemKNNRecommender(_PrivateKNNBase):
             sensitivities[rated] = self._sensitivity(item, rated)
         if not similarities:
             return None
-        config = PNSAConfig(k=self.k, epsilon=self.selection_epsilon,
-                            rho=self.rho)
+        config = PNSAConfig(k=self.k, epsilon=self.selection_epsilon, rho=self.rho)
         neighbors = private_neighbor_selection(
             similarities, sensitivities, config, self.rng)
         now = self._query_time(user)
@@ -129,8 +125,7 @@ class PrivateItemKNNRecommender(_PrivateKNNBase):
             noisy = self._noisy(similarities[rated], sensitivities[rated])
             decay = (math.exp(-self.alpha * (now - rating.timestep))
                      if self.alpha > 0.0 else 1.0)
-            numerator += noisy * (
-                rating.value - self.table.item_mean(rated)) * decay
+            numerator += noisy * (rating.value - self.table.item_mean(rated)) * decay
             denominator += abs(noisy) * decay
         if denominator == 0.0:
             return None
@@ -149,8 +144,7 @@ class PrivateUserKNNRecommender(_PrivateKNNBase):
     def __init__(self, table: RatingTable, k: int = 50,
                  epsilon_prime: float = 0.8, rho: float = 0.1,
                  seed: int = 0) -> None:
-        super().__init__(table, k=k, epsilon_prime=epsilon_prime,
-                         rho=rho, seed=seed)
+        super().__init__(table, k=k, epsilon_prime=epsilon_prime, rho=rho, seed=seed)
         self._neighbor_cache: dict[str, list[tuple[str, float]]] = {}
 
     def _private_neighbors(self, user: str) -> list[tuple[str, float]]:
@@ -168,13 +162,11 @@ class PrivateUserKNNRecommender(_PrivateKNNBase):
             if sim == 0.0:
                 continue
             similarities[other] = sim
-            sensitivities[other] = user_similarity_sensitivity(
-                self.table, user, other)
+            sensitivities[other] = user_similarity_sensitivity(self.table, user, other)
         if not similarities:
             self._neighbor_cache[user] = []
             return []
-        config = PNSAConfig(k=self.k, epsilon=self.selection_epsilon,
-                            rho=self.rho)
+        config = PNSAConfig(k=self.k, epsilon=self.selection_epsilon, rho=self.rho)
         chosen = private_neighbor_selection(
             similarities, sensitivities, config, self.rng)
         noisy = [
@@ -190,8 +182,7 @@ class PrivateUserKNNRecommender(_PrivateKNNBase):
             rating = self.table.get(neighbor, item)
             if rating is None:
                 continue
-            numerator += noisy_sim * (
-                rating.value - self.table.user_mean(neighbor))
+            numerator += noisy_sim * (rating.value - self.table.user_mean(neighbor))
             denominator += abs(noisy_sim)
         if denominator == 0.0:
             return None

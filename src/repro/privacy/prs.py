@@ -45,7 +45,5 @@ def private_replacement(candidates: Mapping[str, float], epsilon: float,
         skips such items).
     """
     if not candidates:
-        raise PrivacyError(
-            "private replacement needs a non-empty candidate set")
-    return exponential_mechanism(
-        candidates, epsilon, XSIM_GLOBAL_SENSITIVITY, rng)
+        raise PrivacyError("private replacement needs a non-empty candidate set")
+    return exponential_mechanism(candidates, epsilon, XSIM_GLOBAL_SENSITIVITY, rng)

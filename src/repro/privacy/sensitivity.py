@@ -49,8 +49,7 @@ def _centered_vectors(table: RatingTable, item_i: str, item_j: str,
     return vector_i, vector_j
 
 
-def _pair_sensitivity(vector_i: dict[str, float],
-                      vector_j: dict[str, float]) -> float:
+def _pair_sensitivity(vector_i: dict[str, float], vector_j: dict[str, float]) -> float:
     """Shared core of the item/user variants (the Theorem 2 formula)."""
     common = [u for u in vector_i if u in vector_j]
     if not common:
@@ -89,8 +88,7 @@ def _pair_sensitivity(vector_i: dict[str, float],
         _DEGENERATE_SENSITIVITY if degenerate else max(best, 1e-12))
 
 
-def item_similarity_sensitivity(table: RatingTable, item_i: str,
-                                item_j: str) -> float:
+def item_similarity_sensitivity(table: RatingTable, item_i: str, item_j: str) -> float:
     """``SS(t_i, t_j)`` of Theorem 2 for an item pair.
 
     Always returns a strictly positive, finite value — the exponential
@@ -100,8 +98,7 @@ def item_similarity_sensitivity(table: RatingTable, item_i: str,
     return _pair_sensitivity(vector_i, vector_j)
 
 
-def user_similarity_sensitivity(table: RatingTable, user_a: str,
-                                user_b: str) -> float:
+def user_similarity_sensitivity(table: RatingTable, user_a: str, user_b: str) -> float:
     """Theorem 2 transposed to a user pair (for user-based X-Map).
 
     The "profiles" whose removal we bound over are the co-rated *items*;

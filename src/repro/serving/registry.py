@@ -265,9 +265,7 @@ class ModelRegistry:
             callback(version, snapshot, stats)
         return version
 
-    def update(
-        self, batch: "Iterable[Rating]"
-    ) -> "tuple[int, IncrementalUpdateStats]":
+    def update(self, batch: "Iterable[Rating]") -> "tuple[int, IncrementalUpdateStats]":
         """Append a rating *batch* through the attached sweep and
         publish the spliced result as the next version.
 

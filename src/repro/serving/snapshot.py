@@ -475,9 +475,7 @@ class ModelSnapshot:
             vocabulary, left, right, raw_counts, common_counts = self._sig_parts
             raw: dict[tuple[str, str], int] = {}
             common: dict[tuple[str, str], int] = {}
-            for l_idx, r_idx, agree, cnt in zip(
-                left, right, raw_counts, common_counts
-            ):
+            for l_idx, r_idx, agree, cnt in zip(left, right, raw_counts, common_counts):
                 pair = (vocabulary[int(l_idx)], vocabulary[int(r_idx)])
                 raw[pair] = int(agree)
                 common[pair] = int(cnt)

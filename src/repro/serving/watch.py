@@ -98,9 +98,7 @@ class SnapshotCatalog:
 
     def __init__(self, root, keep_last: int | None = None) -> None:
         if keep_last is not None and keep_last < 1:
-            raise ServingError(
-                f"keep_last must be >= 1 or None, got {keep_last}"
-            )
+            raise ServingError(f"keep_last must be >= 1 or None, got {keep_last}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.keep_last = keep_last

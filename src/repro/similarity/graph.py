@@ -143,8 +143,7 @@ class ItemGraph:
         """Neighbor → similarity for *item* (empty mapping if unknown)."""
         return self._adjacency.get(item, {})
 
-    def similarity(self, item_i: str, item_j: str,
-                   default: float = 0.0) -> float:
+    def similarity(self, item_i: str, item_j: str, default: float = 0.0) -> float:
         """Edge weight, or *default* when the edge is absent."""
         return self._adjacency.get(item_i, {}).get(item_j, default)
 
@@ -248,8 +247,7 @@ class ItemGraph:
         ranked rows are not carried — the copy re-ranks on demand.
         """
         clone = ItemGraph()
-        clone._adjacency = {
-            item: dict(nbrs) for item, nbrs in self._adjacency.items()}
+        clone._adjacency = {item: dict(nbrs) for item, nbrs in self._adjacency.items()}
         clone._index = self._index
         return clone
 
@@ -342,8 +340,7 @@ def build_similarity_graph(
                 min_common_users=min_common_users,
                 min_abs_similarity=min_abs_similarity,
                 with_index=True)
-            return ItemGraph.from_adjacency(result.adjacency,
-                                            index=result.index)
+            return ItemGraph.from_adjacency(result.adjacency, index=result.index)
         # Bulk path: the store assembles the whole symmetric adjacency
         # (isolated items included) without a per-edge Python loop.
         return ItemGraph.from_adjacency(table.matrix().build_adjacency(

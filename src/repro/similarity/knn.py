@@ -61,8 +61,7 @@ def top_k(similarities: Mapping[str, float] | Iterable[tuple[str, float]],
     if minimum is not None:
         candidates = (pair for pair in candidates if pair[1] >= minimum)
     # heapq.nsmallest on (-value, id) = "largest value, then smallest id".
-    return heapq.nsmallest(
-        k, candidates, key=lambda pair: (-pair[1], pair[0]))
+    return heapq.nsmallest(k, candidates, key=lambda pair: (-pair[1], pair[0]))
 
 
 class NeighborIndex:
@@ -96,8 +95,7 @@ class NeighborIndex:
             raise — the tail was dropped and cannot be recovered.
     """
 
-    __slots__ = ("items", "item_index", "ptr", "neighbor_ids", "weights",
-                 "k")
+    __slots__ = ("items", "item_index", "ptr", "neighbor_ids", "weights", "k")
 
     def __init__(self, items: Sequence[str], item_index: Mapping[str, int],
                  ptr, neighbor_ids, weights, k: int | None = None) -> None:
@@ -234,16 +232,14 @@ class NeighborIndex:
         is the per-row ranking work this avoids.
         """
         n_new = len(items)
-        use_numpy = _np is not None and isinstance(
-            self.neighbor_ids, _np.ndarray)
+        use_numpy = _np is not None and isinstance(self.neighbor_ids, _np.ndarray)
         if use_numpy:
             n_old = self.n_items
             imap = (_np.arange(n_old, dtype=_np.int64) if item_map is None
                     else _np.asarray(item_map, dtype=_np.int64))
             old_sizes = _np.diff(self.ptr)
             owner_new = _np.repeat(imap, old_sizes)
-            ids_new = (imap[self.neighbor_ids] if self.n_entries
-                       else self.neighbor_ids)
+            ids_new = (imap[self.neighbor_ids] if self.n_entries else self.neighbor_ids)
             upd_idx = _np.asarray(updated_rows, dtype=_np.int64)
             upd_sizes = _np.asarray(row_sizes, dtype=_np.int64)
             updated_flag = _np.zeros(n_new, dtype=bool)
@@ -268,8 +264,7 @@ class NeighborIndex:
             _np.cumsum(sizes_new, out=ptr[1:])
             return NeighborIndex(items, item_index, ptr, neighbor_ids,
                                  weights, k=self.k)
-        imap_list = (list(range(self.n_items)) if item_map is None
-                     else item_map)
+        imap_list = (list(range(self.n_items)) if item_map is None else item_map)
         reverse = [-1] * n_new
         for old, new_idx in enumerate(imap_list):
             reverse[new_idx] = old
@@ -289,12 +284,10 @@ class NeighborIndex:
             elif reverse[idx] >= 0:
                 start = self.ptr[reverse[idx]]
                 end = self.ptr[reverse[idx] + 1]
-                neighbor_ids.extend(
-                    imap_list[n] for n in self.neighbor_ids[start:end])
+                neighbor_ids.extend(imap_list[n] for n in self.neighbor_ids[start:end])
                 weights.extend(self.weights[start:end])
             ptr.append(len(neighbor_ids))
-        return NeighborIndex(items, item_index, ptr, neighbor_ids,
-                             weights, k=self.k)
+        return NeighborIndex(items, item_index, ptr, neighbor_ids, weights, k=self.k)
 
     def row_owners(self):
         """Flat-entry → owning item index map (``owners[t]`` is the row
@@ -311,8 +304,7 @@ class NeighborIndex:
                 _np.diff(self.ptr))
         owners: list[int] = []
         for idx in range(self.n_items):
-            owners.extend(
-                [idx] * (int(self.ptr[idx + 1]) - int(self.ptr[idx])))
+            owners.extend([idx] * (int(self.ptr[idx + 1]) - int(self.ptr[idx])))
         return owners
 
     def neighbor_dict(self, item: str) -> dict[str, float]:
@@ -323,5 +315,4 @@ class NeighborIndex:
             return {}
         ids, weights = self.row(idx)
         items = self.items
-        return {items[int(nid)]: float(weight)
-                for nid, weight in zip(ids, weights)}
+        return {items[int(nid)]: float(weight) for nid, weight in zip(ids, weights)}

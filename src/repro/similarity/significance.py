@@ -64,8 +64,7 @@ def bulk_significance(table: RatingTable,
     result = sharded_adjacency(
         table, n_shards=n_shards, processes=processes,
         with_significance=True)
-    return SignificanceTable(raw=result.significance,
-                             common=result.common_raters)
+    return SignificanceTable(raw=result.significance, common=result.common_raters)
 
 
 def significance(table: RatingTable, item_i: str, item_j: str) -> int:
@@ -78,8 +77,7 @@ def significance(table: RatingTable, item_i: str, item_j: str) -> int:
     return table.matrix().significance(item_i, item_j)
 
 
-def normalized_significance(table: RatingTable, item_i: str,
-                            item_j: str) -> float:
+def normalized_significance(table: RatingTable, item_i: str, item_j: str) -> float:
     """Normalized weighted significance ``Ŝ_{i,j}`` (Definition 4).
 
     ``Ŝ_{i,j} = S_{i,j} / |Y_i ∪ Y_j|`` ∈ [0, 1]. Raises
@@ -93,8 +91,7 @@ def normalized_significance(table: RatingTable, item_i: str,
 # Reference implementation (pre-store object-graph path)
 # ----------------------------------------------------------------------
 
-def significance_reference(table: RatingTable, item_i: str,
-                           item_j: str) -> int:
+def significance_reference(table: RatingTable, item_i: str, item_j: str) -> int:
     """The original per-pair dict-intersection of Definition 2.
 
     Kept as the oracle for the store-backed fast path (property tests)

@@ -45,8 +45,7 @@ class TestBaselines:
 
     def test_item_average_unknown_item_falls_back(self, tiny_table):
         rec = ItemAverageRecommender(tiny_table)
-        assert rec.predict("u1", "ghost") == pytest.approx(
-            tiny_table.user_mean("u1"))
+        assert rec.predict("u1", "ghost") == pytest.approx(tiny_table.user_mean("u1"))
 
     def test_user_average(self, tiny_table):
         rec = UserAverageRecommender(tiny_table)
@@ -54,8 +53,7 @@ class TestBaselines:
 
     def test_unknown_everything_gives_global_mean(self, tiny_table):
         rec = UserAverageRecommender(tiny_table)
-        assert rec.predict("ghost", "ghost") == pytest.approx(
-            tiny_table.global_mean())
+        assert rec.predict("ghost", "ghost") == pytest.approx(tiny_table.global_mean())
 
 
 class TestUserKNN:
@@ -154,14 +152,12 @@ class TestItemKNNServingIndex:
     1e-9 agreement on predictions.
     """
 
-    def _seeded_table(self, seed=29, n_users=40, n_items=30,
-                      n_ratings=420):
+    def _seeded_table(self, seed=29, n_users=40, n_items=30, n_ratings=420):
         rng = random.Random(seed)
         seen = set()
         ratings = []
         while len(ratings) < n_ratings:
-            pair = (f"u{rng.randrange(n_users)}",
-                    f"i{rng.randrange(n_items)}")
+            pair = (f"u{rng.randrange(n_users)}", f"i{rng.randrange(n_items)}")
             if pair in seen:
                 continue
             seen.add(pair)
@@ -188,16 +184,14 @@ class TestItemKNNServingIndex:
         denominator = 0.0
         for rated, sim in neighbors:
             rating = rec.table.get(user, rated)
-            numerator += sim * (rating.value
-                                - rec.table.item_mean(rated))
+            numerator += sim * (rating.value - rec.table.item_mean(rated))
             denominator += abs(sim)
         if denominator == 0.0:
             return None
         return rec.table.item_mean(item) + numerator / denominator
 
     @pytest.mark.parametrize("positive_only", [True, False])
-    def test_predictions_via_index_match_per_pair_path_exactly(
-            self, positive_only):
+    def test_predictions_via_index_match_per_pair_path_exactly(self, positive_only):
         table = self._seeded_table()
         rec = ItemKNNRecommender(table, k=7, positive_only=positive_only)
         adjacency = table.matrix().build_adjacency()
@@ -205,8 +199,7 @@ class TestItemKNNServingIndex:
         items = sorted(table.items)[:15]
         for user in users:
             for item in items:
-                expected = self._reference_neighbors(
-                    rec, adjacency, user, item)
+                expected = self._reference_neighbors(rec, adjacency, user, item)
                 assert rec.rated_neighbors(user, item) == expected
                 assert rec._predict_raw(user, item) == \
                     self._reference_raw(rec, expected, user, item)
@@ -227,8 +220,7 @@ class TestItemKNNServingIndex:
     def test_temporal_variant_serves_from_index(self):
         table = self._seeded_table(seed=37)
         indexed = TemporalItemKNNRecommender(table, k=5, alpha=0.03)
-        legacy = TemporalItemKNNRecommender(table, k=5, alpha=0.03,
-                                            use_index=False)
+        legacy = TemporalItemKNNRecommender(table, k=5, alpha=0.03, use_index=False)
         user = sorted(table.users)[0]
         for item in sorted(table.items)[:10]:
             assert indexed.predict(user, item) == pytest.approx(

@@ -92,8 +92,7 @@ async def _wait_all_dead(pids: list[int], timeout: float = 10.0) -> list[int]:
 
 @pytest.mark.slow
 @pytest.mark.crash
-@pytest.mark.parametrize("pure_python", [False, True],
-                         ids=["numpy", "pure-python"])
+@pytest.mark.parametrize("pure_python", [False, True], ids=["numpy", "pure-python"])
 def test_worker_killed_during_load_recovers(catalog_source, pure_python):
     """The first two spawns die mid-load; their replacements come up
     clean and the pool serves correctly — callers never hang past the
@@ -112,8 +111,7 @@ def test_worker_killed_during_load_recovers(catalog_source, pure_python):
         assert time.monotonic() - t0 < 30
         try:
             assert pool.n_spawn_failures >= 2
-            response = await pool.call(
-                "recommend", {"users": ["u001"], "n": 4})
+            response = await pool.call("recommend", {"users": ["u001"], "n": 4})
             assert response["ok"] and response["results"][0]
         finally:
             await pool.close()
@@ -170,8 +168,7 @@ def test_deadline_bounds_a_crash_looping_request(catalog_source):
         try:
             t0 = time.monotonic()
             with pytest.raises(GatewayError):
-                await pool.call(
-                    "recommend", {"users": ["u001"], "n": 4}, timeout=2.0)
+                await pool.call("recommend", {"users": ["u001"], "n": 4}, timeout=2.0)
             assert time.monotonic() - t0 < 10
         finally:
             await pool.close()
@@ -194,14 +191,12 @@ def test_worker_refuses_exhausted_budget(tmp_path):
     wait_for_model(watcher, timeout=5.0)
     app = WorkerApp(watcher, RecommendationService(watcher.registry))
     dead = app.handle({"method": "recommend",
-                       "params": {"users": ["u001"], "n": 4,
-                                  "budget_ms": 0.0}})
+                       "params": {"users": ["u001"], "n": 4, "budget_ms": 0.0}})
     assert not dead["ok"]
     assert dead["error"]["type"] == "deadline"
     assert not dead["error"]["retryable"]
     alive = app.handle({"method": "recommend",
-                        "params": {"users": ["u001"], "n": 4,
-                                   "budget_ms": 500.0}})
+                        "params": {"users": ["u001"], "n": 4, "budget_ms": 500.0}})
     assert alive["ok"]
 
 
@@ -211,8 +206,7 @@ def test_worker_refuses_exhausted_budget(tmp_path):
 
 
 @pytest.mark.slow
-def test_allow_stale_serves_tagged_response_when_floor_unreachable(
-        catalog_source):
+def test_allow_stale_serves_tagged_response_when_floor_unreachable(catalog_source):
     source, _ = catalog_source
 
     async def scenario():
@@ -225,8 +219,7 @@ def test_allow_stale_serves_tagged_response_when_floor_unreachable(
             # the only copy): the floor is now unreachable.
             pool.fleet_version = 99
             t0 = time.monotonic()
-            response = await pool.call(
-                "recommend", {"users": ["u001"], "n": 4})
+            response = await pool.call("recommend", {"users": ["u001"], "n": 4})
             assert time.monotonic() - t0 < 6
             assert response["ok"] and response["stale"] is True
             assert response["version"] == 1
@@ -280,8 +273,7 @@ def test_hedged_read_beats_a_delayed_worker(catalog_source):
         try:
             t0 = time.monotonic()
             for _ in range(4):
-                response = await pool.call(
-                    "recommend", {"users": ["u001"], "n": 4})
+                response = await pool.call("recommend", {"users": ["u001"], "n": 4})
                 assert response["ok"]
             elapsed = time.monotonic() - t0
             # Un-hedged, every round through the slow worker costs 1s.
@@ -318,8 +310,7 @@ class _FakePool:
         if self.error is not None:
             raise self.error
         users = (params or {}).get("users", ["u"])
-        return {"ok": True, "version": 1,
-                "results": [[["i001", 1.0]] for _ in users]}
+        return {"ok": True, "version": 1, "results": [[["i001", 1.0]] for _ in users]}
 
     async def close(self):
         return None
@@ -367,8 +358,7 @@ def test_error_bodies_are_sanitized():
         secret = "/var/data/models/v-00000007 (pid 4242)"
         server = GatewayServer(
             _FakePool(error=GatewayError(f"worker died reading {secret}")))
-        status, payload, _ = await server._route(
-            "GET", "/recommend?user=a&n=3", b"")
+        status, payload, _ = await server._route("GET", "/recommend?user=a&n=3", b"")
         assert status == 503
         assert payload["error"]["code"] == "upstream_unavailable"
         assert secret not in json.dumps(payload)
@@ -381,8 +371,7 @@ def test_draining_server_refuses_new_data_requests():
     async def scenario():
         server = GatewayServer(_FakePool())
         server._draining = True
-        status, payload, _ = await server._route(
-            "GET", "/recommend?user=a&n=3", b"")
+        status, payload, _ = await server._route("GET", "/recommend?user=a&n=3", b"")
         assert status == 503
         assert payload["error"]["code"] == "draining"
         status, payload, _ = await server._route("GET", "/healthz", b"")
@@ -396,16 +385,14 @@ def test_drain_finishes_inflight_and_leaves_no_orphans(catalog_source):
     source, _ = catalog_source
 
     async def scenario():
-        pool = WorkerPool(source, n_workers=2, call_timeout=15,
-                          poll_interval=0.05)
+        pool = WorkerPool(source, n_workers=2, call_timeout=15, poll_interval=0.05)
         await pool.start()
         server = GatewayServer(pool, max_delay=0.002)
         await server.start()
         import http.client
 
         def one_request(user: str) -> int:
-            conn = http.client.HTTPConnection(
-                "127.0.0.1", server.port, timeout=15)
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=15)
             try:
                 conn.request("GET", f"/recommend?user={user}&n=4")
                 return conn.getresponse().status
@@ -432,8 +419,7 @@ def test_healthz_reports_per_worker_detail(catalog_source):
     source, _ = catalog_source
 
     async def scenario():
-        pool = WorkerPool(source, n_workers=2, call_timeout=15,
-                          poll_interval=0.05)
+        pool = WorkerPool(source, n_workers=2, call_timeout=15, poll_interval=0.05)
         await pool.start()
         server = GatewayServer(pool)
         try:

@@ -10,8 +10,7 @@ from repro.durability.manager import CheckpointPolicy, DurableSweep
 @pytest.fixture(scope="module")
 def trace_dir(tmp_path_factory):
     directory = tmp_path_factory.mktemp("trace")
-    code = main(["generate", "--out", str(directory),
-                 "--seed", "3", "--users", "120"])
+    code = main(["generate", "--out", str(directory), "--seed", "3", "--users", "120"])
     assert code == 0
     return directory
 
@@ -28,8 +27,7 @@ class TestGenerateAndStats:
 
     def test_generate_deterministic(self, trace_dir, tmp_path):
         other = tmp_path / "again"
-        main(["generate", "--out", str(other), "--seed", "3",
-              "--users", "120"])
+        main(["generate", "--out", str(other), "--seed", "3", "--users", "120"])
         first = (trace_dir / "movies" / "ratings.csv").read_text()
         second = (other / "movies" / "ratings.csv").read_text()
         assert first == second
@@ -56,8 +54,7 @@ class TestRecommend:
         assert "recommendations for o00000" in out
 
     def test_unknown_user_exit_code(self, trace_dir, capsys):
-        assert main(["recommend", "--data", str(trace_dir),
-                     "--user", "nobody"]) == 2
+        assert main(["recommend", "--data", str(trace_dir), "--user", "nobody"]) == 2
         assert "unknown user" in capsys.readouterr().err
 
     def test_needs_data_or_snapshot(self, capsys):
@@ -80,8 +77,7 @@ class TestSnapshotServing:
         assert (snapshot_dir / "index_weights.bin").exists()
 
     def test_info(self, snapshot_dir, capsys):
-        assert main(["snapshot", "info",
-                     "--snapshot", str(snapshot_dir)]) == 0
+        assert main(["snapshot", "info", "--snapshot", str(snapshot_dir)]) == 0
         out = capsys.readouterr().out
         assert "serving: k=10" in out
         assert "index: entries=" in out
@@ -96,14 +92,12 @@ class TestSnapshotServing:
         assert "recommendations for o00000" in out
         assert out.count("predicted") == 3
 
-    def test_recommend_from_snapshot_unknown_user(
-            self, snapshot_dir, capsys):
+    def test_recommend_from_snapshot_unknown_user(self, snapshot_dir, capsys):
         assert main(["recommend", "--snapshot", str(snapshot_dir),
                      "--user", "nobody"]) == 2
         assert "unknown user" in capsys.readouterr().err
 
-    def test_recommend_from_snapshot_rejects_pipeline_flags(
-            self, snapshot_dir, capsys):
+    def test_recommend_from_snapshot_rejects_pipeline_flags(self, snapshot_dir, capsys):
         # The snapshot's system/k/seed are frozen at save time; an
         # explicit override must fail loudly, not be silently ignored.
         assert main(["recommend", "--snapshot", str(snapshot_dir),
@@ -121,8 +115,7 @@ class TestSnapshotServing:
         assert "o00001:" in out
 
     def test_serve_unknown_user(self, snapshot_dir, capsys):
-        assert main(["serve", "--snapshot", str(snapshot_dir),
-                     "--user", "nobody"]) == 2
+        assert main(["serve", "--snapshot", str(snapshot_dir), "--user", "nobody"]) == 2
         assert "unknown users" in capsys.readouterr().err
 
 
@@ -149,10 +142,8 @@ class TestDurabilityCommands:
         assert "last_seq=3" in out
         assert "segment-" in out
 
-    def test_log_info_on_wal_directory_directly(self, durable_store_dir,
-                                                capsys):
-        assert main(["log-info", "--store",
-                     str(durable_store_dir / "wal")]) == 0
+    def test_log_info_on_wal_directory_directly(self, durable_store_dir, capsys):
+        assert main(["log-info", "--store", str(durable_store_dir / "wal")]) == 0
         assert "write-ahead log at" in capsys.readouterr().out
 
     def test_log_info_missing_directory(self, tmp_path, capsys):

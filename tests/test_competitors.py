@@ -15,8 +15,7 @@ from repro.errors import ConfigError
 class TestLinkedDomain:
     def test_trains_on_merged_table(self, small_trace):
         rec = LinkedDomainItemKNN(small_trace, k=10)
-        assert rec.table.items == (small_trace.source.items
-                                   | small_trace.target.items)
+        assert rec.table.items == (small_trace.source.items | small_trace.target.items)
 
     def test_recommends_target_items_only(self, small_trace):
         rec = LinkedDomainItemKNN(small_trace, k=10)
@@ -59,8 +58,7 @@ class TestRemoteUser:
     def test_self_never_own_neighbor(self, small_split):
         rec = RemoteUserRecommender(small_split.train, k=50)
         straddler = sorted(small_split.train.overlap_users)[0]
-        assert all(n != straddler
-                   for n, _ in rec.remote_neighbors(straddler))
+        assert all(n != straddler for n, _ in rec.remote_neighbors(straddler))
 
 
 class TestALS:

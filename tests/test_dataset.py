@@ -8,8 +8,7 @@ from repro.errors import DataError, DomainError
 
 
 def _dataset(name, prefix, users=("u1", "u2")):
-    ratings = [Rating(u, f"{prefix}{k}", 3.0 + k % 2)
-               for u in users for k in range(2)]
+    ratings = [Rating(u, f"{prefix}{k}", 3.0 + k % 2) for u in users for k in range(2)]
     return Dataset(name, RatingTable(ratings))
 
 
@@ -23,14 +22,12 @@ class TestDataset:
             Dataset("", RatingTable())
 
     def test_title_of_falls_back_to_id(self):
-        ds = Dataset("d", [Rating("u", "i", 4.0)],
-                     item_titles={"i": "Item One"})
+        ds = Dataset("d", [Rating("u", "i", 4.0)], item_titles={"i": "Item One"})
         assert ds.title_of("i") == "Item One"
         assert ds.title_of("j") == "j"
 
     def test_with_ratings_shares_metadata(self):
-        ds = Dataset("d", [Rating("u", "i", 4.0)],
-                     item_titles={"i": "Item"})
+        ds = Dataset("d", [Rating("u", "i", 4.0)], item_titles={"i": "Item"})
         replaced = ds.with_ratings(RatingTable([Rating("v", "i", 2.0)]))
         assert replaced.title_of("i") == "Item"
         assert replaced.users == {"v"}
@@ -69,8 +66,7 @@ class TestCrossDomain:
 
     def test_merged_has_all_ratings(self):
         data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
-        assert len(data.merged()) == len(data.source.ratings) + len(
-            data.target.ratings)
+        assert len(data.merged()) == len(data.source.ratings) + len(data.target.ratings)
 
     def test_reversed_swaps(self):
         data = CrossDomainDataset(_dataset("d1", "a"), _dataset("d2", "b"))
@@ -87,5 +83,4 @@ class TestCrossDomain:
 
     def test_domain_map_covers_all_items(self, small_trace):
         mapping = small_trace.domain_map()
-        assert set(mapping) == set(small_trace.source.items
-                                   | small_trace.target.items)
+        assert set(mapping) == set(small_trace.source.items | small_trace.target.items)

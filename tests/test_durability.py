@@ -52,8 +52,7 @@ from repro.serving.registry import ModelRegistry
 from repro.serving.service import RecommendationService
 from repro.serving.snapshot import STORE_ARRAY_NAMES
 
-_BACKENDS = [pytest.param(True, id="numpy"),
-             pytest.param(False, id="pure-python")]
+_BACKENDS = [pytest.param(True, id="numpy"), pytest.param(False, id="pure-python")]
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
 
@@ -73,8 +72,7 @@ def _batch(*specs) -> list[Rating]:
             for user, item, value, timestep in specs]
 
 
-def _scenario(seed: int = 3, n_base: int = 36, n_batches: int = 5,
-              batch_size: int = 3):
+def _scenario(seed: int = 3, n_base: int = 36, n_batches: int = 5, batch_size: int = 3):
     """A deterministic base table plus append batches; batches bring in
     new users and new items, (user, item) pairs never repeat."""
     rng = random.Random(seed)
@@ -82,8 +80,7 @@ def _scenario(seed: int = 3, n_base: int = 36, n_batches: int = 5,
 
     def fresh(n_users, n_items):
         while True:
-            pair = (f"u{rng.randrange(n_users)}",
-                    f"i{rng.randrange(n_items)}")
+            pair = (f"u{rng.randrange(n_users)}", f"i{rng.randrange(n_items)}")
             if pair not in pairs:
                 pairs.add(pair)
                 return pair
@@ -92,8 +89,7 @@ def _scenario(seed: int = 3, n_base: int = 36, n_batches: int = 5,
     base = []
     for _ in range(n_base):
         user, item = fresh(10, 10)
-        base.append(Rating(user, item,
-                           float(rng.choice([1, 2, 3, 4, 5])), timestep))
+        base.append(Rating(user, item, float(rng.choice([1, 2, 3, 4, 5])), timestep))
         timestep += 1
     batches = []
     for _ in range(n_batches):
@@ -286,8 +282,7 @@ class TestRepair:
             assert log.last_seq == 3
 
     def test_mid_segment_corruption_drops_later_segments(self, tmp_path):
-        segments = _write_log(tmp_path / "wal", n_batches=6,
-                              segment_bytes=64)
+        segments = _write_log(tmp_path / "wal", n_batches=6, segment_bytes=64)
         assert len(segments) >= 3
         data = bytearray(segments[0].read_bytes())
         data[len(SEGMENT_MAGIC) + 9] ^= 0xFF  # corrupt the first frame
@@ -300,8 +295,7 @@ class TestRepair:
             assert log.append(_batch(("u", "x", 1.0, 9))) == 1
 
     def test_segment_truncated_below_magic_keeps_numbering(self, tmp_path):
-        segments = _write_log(tmp_path / "wal", n_batches=6,
-                              segment_bytes=64)
+        segments = _write_log(tmp_path / "wal", n_batches=6, segment_bytes=64)
         last_first_seq = int(segments[-1].name[len("segment-"):-4])
         segments[-1].write_bytes(b"XMA")  # torn during segment creation
         with RatingLog(tmp_path / "wal", segment_bytes=64) as log:
@@ -311,13 +305,11 @@ class TestRepair:
                 == last_first_seq
 
     def test_sequence_gap_between_segments_drops_tail(self, tmp_path):
-        segments = _write_log(tmp_path / "wal", n_batches=6,
-                              segment_bytes=64)
+        segments = _write_log(tmp_path / "wal", n_batches=6, segment_bytes=64)
         assert len(segments) >= 3
         segments[1].unlink()  # a whole segment vanished
         with RatingLog(tmp_path / "wal", segment_bytes=64) as log:
-            assert log.last_seq == int(
-                segments[1].name[len("segment-"):-4]) - 1
+            assert log.last_seq == int(segments[1].name[len("segment-"):-4]) - 1
             assert any("sequence gap" in repair for repair in log.repairs)
 
 
@@ -336,8 +328,7 @@ class TestCheckpointPolicy:
     def test_triggers(self):
         policy = CheckpointPolicy(max_log_bytes=100, max_batches=4,
                                   max_staleness_seconds=60.0)
-        assert not policy.due(log_bytes=99, batches=3,
-                              staleness_seconds=59.0)
+        assert not policy.due(log_bytes=99, batches=3, staleness_seconds=59.0)
         assert policy.due(log_bytes=100, batches=0, staleness_seconds=0)
         assert policy.due(log_bytes=0, batches=4, staleness_seconds=0)
         assert policy.due(log_bytes=0, batches=0, staleness_seconds=60)
@@ -349,15 +340,13 @@ class TestCheckpointPolicy:
 
 class TestDurableSweep:
     @pytest.mark.parametrize("use_numpy", _BACKENDS)
-    def test_recover_equals_never_crashed_run(self, monkeypatch,
-                                              tmp_path, use_numpy):
+    def test_recover_equals_never_crashed_run(self, monkeypatch, tmp_path, use_numpy):
         _toggle_backend(monkeypatch, use_numpy)
         table, batches = _scenario()
         _run_writer(tmp_path / "store", table, batches)
         recovered = DurableSweep.recover(tmp_path / "store")
         assert recovered.applied_seq == len(batches)
-        assert_sweeps_equal(recovered,
-                            _reference({}, table, batches, len(batches)))
+        assert_sweeps_equal(recovered, _reference({}, table, batches, len(batches)))
         # The recovered writer keeps writing — and stays recoverable.
         extra = _batch(("u20", "i20", 4.0, 900), ("u21", "i21", 2.0, 901))
         stats = recovered.update(extra)
@@ -365,8 +354,7 @@ class TestDurableSweep:
         recovered.close()
         again = DurableSweep.recover(tmp_path / "store")
         assert_sweeps_equal(
-            again, _reference({}, table, batches + [extra],
-                              len(batches) + 1))
+            again, _reference({}, table, batches + [extra], len(batches) + 1))
         again.close()
 
     def test_checkpoint_compaction_bounds_the_log(self, tmp_path):
@@ -376,12 +364,10 @@ class TestDurableSweep:
                                **_WRITER_KWARGS)
         for batch in batches:
             durable.update(batch)
-        snapshots = sorted(
-            (tmp_path / "store" / "snapshots").iterdir())
+        snapshots = sorted((tmp_path / "store" / "snapshots").iterdir())
         assert [path.name for path in snapshots] \
             == [f"ckpt-{4:012d}"]  # only the adopted checkpoint remains
-        pointer = json.loads(
-            (tmp_path / "store" / CHECKPOINT_FILE).read_text())
+        pointer = json.loads((tmp_path / "store" / CHECKPOINT_FILE).read_text())
         assert pointer["applied_seq"] == 4
         # An explicit checkpoint adopts seq 5 and compacts: nothing
         # below the watermark survives except the active segment.
@@ -408,8 +394,7 @@ class TestDurableSweep:
         pointer.write_text("{broken", encoding="utf-8")
         with pytest.raises(DurabilityError, match="corrupt checkpoint"):
             DurableSweep.recover(tmp_path / "store")
-        pointer.write_text('{"format": "something-else"}',
-                           encoding="utf-8")
+        pointer.write_text('{"format": "something-else"}', encoding="utf-8")
         with pytest.raises(DurabilityError, match="not a durable store"):
             DurableSweep.recover(tmp_path / "store")
 
@@ -424,8 +409,7 @@ class TestDurableSweep:
         # Checkpoints landed every 2 batches: seq 4 is the adopted one.
         assert recovered.applied_seq == 4
         assert_sweeps_equal(recovered, _reference({}, table, batches, 4))
-        assert recovered.update(
-            _batch(("u20", "i20", 4.0, 900))).wal_seq == 5
+        assert recovered.update(_batch(("u20", "i20", 4.0, 900))).wal_seq == 5
         recovered.close()
 
     def test_recover_drops_corrupt_crc_tail(self, monkeypatch, tmp_path):
@@ -439,8 +423,7 @@ class TestDurableSweep:
         assert recovered.applied_seq == len(batches) - 1
         assert any("crc mismatch" in repair
                    for repair in recovered.last_recovery.log_repairs)
-        assert_sweeps_equal(
-            recovered, _reference({}, table, batches, len(batches) - 1))
+        assert_sweeps_equal(recovered, _reference({}, table, batches, len(batches) - 1))
         recovered.close()
 
 
@@ -455,15 +438,13 @@ def _recover_and_check(store_dir, table, batches, references) -> None:
     recovered = DurableSweep.recover(store_dir)
     applied = recovered.applied_seq
     assert 0 <= applied <= len(batches)
-    assert_sweeps_equal(recovered,
-                        _reference(references, table, batches, applied))
+    assert_sweeps_equal(recovered, _reference(references, table, batches, applied))
     recovered.close()
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("use_numpy", _BACKENDS)
-def test_recovery_bit_identical_at_every_crash_point(
-        monkeypatch, tmp_path, use_numpy):
+def test_recovery_bit_identical_at_every_crash_point(monkeypatch, tmp_path, use_numpy):
     """Enumerate every crash point the write/checkpoint stream visits,
     then die at each one and prove recovery reconstructs the exact
     never-crashed state for the durable prefix."""
@@ -520,8 +501,7 @@ def test_crash_during_recovery_is_recoverable(
         _copy_store(crashed, tmp_path / "baseline"),
         table, batches, references)
     with injected_crashes(after=None) as recorder:
-        DurableSweep.recover(
-            _copy_store(crashed, tmp_path / "enumerate")).close()
+        DurableSweep.recover(_copy_store(crashed, tmp_path / "enumerate")).close()
     for index in range(1, len(recorder.visits) + 1):
         store_dir = _copy_store(crashed, tmp_path / f"rcrash{index}")
         with pytest.raises(InjectedCrash):
@@ -573,8 +553,7 @@ def _subprocess_env(use_numpy: bool, crash_index: int | None) -> dict:
 @pytest.mark.crash
 @pytest.mark.slow
 @pytest.mark.parametrize("use_numpy", _BACKENDS)
-def test_kill9_writer_recovers_bit_identical(monkeypatch, tmp_path,
-                                             use_numpy):
+def test_kill9_writer_recovers_bit_identical(monkeypatch, tmp_path, use_numpy):
     _toggle_backend(monkeypatch, use_numpy)
     table, batches = _scenario()
     plan = tmp_path / "plan.json"
@@ -594,8 +573,7 @@ def test_kill9_writer_recovers_bit_identical(monkeypatch, tmp_path,
     n_points = len(recorder.visits)
     # Deterministic "random" kill points: spread across the stream,
     # seeded so every CI run reproduces the same deaths.
-    indices = sorted(random.Random(20_17).sample(
-        range(2, n_points + 1), 5))
+    indices = sorted(random.Random(20_17).sample(range(2, n_points + 1), 5))
     references: dict = {}
     for index in indices:
         store_dir = tmp_path / f"kill{index}"
@@ -651,19 +629,16 @@ def _assert_serving_equal(got: RecommendationService,
     items = sorted(snapshot.store.item_index)[:10]
     for user in users:
         for item in items:
-            assert abs(got.predict(user, item)
-                       - want.predict(user, item)) <= tolerance
+            assert abs(got.predict(user, item) - want.predict(user, item)) <= tolerance
         got_topn = got.recommend(user, n=5)
         want_topn = want.recommend(user, n=5)
         assert [item for item, _ in got_topn] \
             == [item for item, _ in want_topn]
-        assert all(abs(a[1] - b[1]) <= tolerance
-                   for a, b in zip(got_topn, want_topn))
+        assert all(abs(a[1] - b[1]) <= tolerance for a, b in zip(got_topn, want_topn))
 
 
 @pytest.mark.parametrize("use_numpy", _BACKENDS)
-def test_registry_recover_serves_identically(monkeypatch, tmp_path,
-                                             use_numpy):
+def test_registry_recover_serves_identically(monkeypatch, tmp_path, use_numpy):
     """Interleaved publish/update rounds, a crash, recovery via
     ModelRegistry.recover, more rounds — the recovered registry serves
     within 1e-9 of the never-crashed one throughout."""

@@ -45,8 +45,7 @@ _scalar_keys = st.one_of(
     st.booleans(),
     st.none(),
 )
-_stable_keys = st.one_of(
-    _scalar_keys, st.tuples(_scalar_keys, _scalar_keys))
+_stable_keys = st.one_of(_scalar_keys, st.tuples(_scalar_keys, _scalar_keys))
 
 
 class TestPartitioner:
@@ -71,8 +70,7 @@ class TestPartitioner:
             assert stable_hash(key) == expected, key
 
     @given(key=_stable_keys, n_partitions=st.integers(1, 16))
-    def test_partition_assignment_is_value_determined(self, key,
-                                                      n_partitions):
+    def test_partition_assignment_is_value_determined(self, key, n_partitions):
         # repr-stable keys (floats included: repr is the shortest
         # round-tripping decimal, fixed since CPython 3.1) must route to
         # one partition however many times and wherever they are hashed.
@@ -148,8 +146,7 @@ class TestClusterSpec:
         with pytest.raises(EngineError):
             ClusterSpec(n_machines=1, n_slots_per_machine=0).validated()
         with pytest.raises(EngineError):
-            ClusterSpec(n_machines=1,
-                        cost=CostModel(task_overhead=-1)).validated()
+            ClusterSpec(n_machines=1, cost=CostModel(task_overhead=-1)).validated()
 
     def test_slots(self):
         spec = ClusterSpec(n_machines=3, n_slots_per_machine=4)
@@ -188,14 +185,12 @@ class TestTransformations:
         assert sorted(result) == [0, 4, 8, 12, 16]
 
     def test_flat_map(self, context):
-        result = context.parallelize([1, 2]).flat_map(
-            lambda x: [x] * x).collect()
+        result = context.parallelize([1, 2]).flat_map(lambda x: [x] * x).collect()
         assert sorted(result) == [1, 2, 2]
 
     def test_reduce_by_key(self, context):
         pairs = [("a", 1), ("b", 2), ("a", 3)]
-        result = context.parallelize(pairs).reduce_by_key(
-            lambda x, y: x + y).collect()
+        result = context.parallelize(pairs).reduce_by_key(lambda x, y: x + y).collect()
         assert sorted(result) == [("a", 4), ("b", 2)]
 
     def test_group_by_key(self, context):
@@ -225,8 +220,7 @@ class TestTransformations:
         assert context.parallelize(range(17)).count() == 17
 
     def test_keyed_op_requires_pairs(self, context):
-        collection = context.parallelize([1, 2, 3]).reduce_by_key(
-            lambda a, b: a + b)
+        collection = context.parallelize([1, 2, 3]).reduce_by_key(lambda a, b: a + b)
         with pytest.raises(EngineError, match="requires .key, value."):
             collection.collect()
 
@@ -284,28 +278,21 @@ class TestReports:
 
     def test_broadcast_cost_charged_once(self, context):
         context.broadcast([1] * 100, n_records=100)
-        _, report = context.parallelize([1]).map(
-            lambda x: x).collect_with_report()
+        _, report = context.parallelize([1]).map(lambda x: x).collect_with_report()
         assert report.broadcast_seconds > 0
-        _, second = context.parallelize([1]).map(
-            lambda x: x).collect_with_report()
+        _, second = context.parallelize([1]).map(lambda x: x).collect_with_report()
         assert second.broadcast_seconds == 0.0
 
     def test_merge_reports(self, context):
-        _, first = context.parallelize([1]).map(
-            lambda x: x).collect_with_report()
-        _, second = context.parallelize([2]).map(
-            lambda x: x).collect_with_report()
+        _, first = context.parallelize([1]).map(lambda x: x).collect_with_report()
+        _, second = context.parallelize([2]).map(lambda x: x).collect_with_report()
         merged = merge_reports([first, second])
-        assert merged.makespan == pytest.approx(
-            first.makespan + second.makespan)
+        assert merged.makespan == pytest.approx(first.makespan + second.makespan)
 
     def test_merge_rejects_mixed_clusters(self, context):
         other = DataflowContext(ClusterSpec(n_machines=9))
-        _, first = context.parallelize([1]).map(
-            lambda x: x).collect_with_report()
-        _, second = other.parallelize([1]).map(
-            lambda x: x).collect_with_report()
+        _, first = context.parallelize([1]).map(lambda x: x).collect_with_report()
+        _, second = other.parallelize([1]).map(lambda x: x).collect_with_report()
         with pytest.raises(EngineError):
             merge_reports([first, second])
 

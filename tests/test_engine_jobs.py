@@ -23,8 +23,7 @@ class TestXMapJob:
         assert xmap_result.n_xsim_pairs > 0
         assert xmap_result.n_alteregos > 0
 
-    def test_xsim_pairs_match_library_extender(self, small_trace,
-                                               xmap_result):
+    def test_xsim_pairs_match_library_extender(self, small_trace, xmap_result):
         """The dataflow rendition computes the *same* X-Sim map as the
         in-process Extender (same pruning, same path caps)."""
         from repro.core.extender import (
@@ -34,10 +33,8 @@ class TestXMapJob:
         )
         from repro.core.layers import LayerPartition
         baseline = Baseliner().compute(small_trace)
-        partition = LayerPartition.from_graph(
-            baseline.graph, small_trace.domain_map())
-        xsim_map = Extender(ExtenderConfig(
-            k=6, max_paths_per_item=2000)).extend(
+        partition = LayerPartition.from_graph(baseline.graph, small_trace.domain_map())
+        xsim_map = Extender(ExtenderConfig(k=6, max_paths_per_item=2000)).extend(
             baseline.graph, partition, small_trace.merged(),
             source_domain=small_trace.source.name)
         assert xmap_result.n_xsim_pairs == count_heterogeneous_pairs(xsim_map)
@@ -47,18 +44,14 @@ class TestXMapJob:
         assert xmap_result.report.total_task_seconds > 0
         assert xmap_result.report.describe()
 
-    def test_results_independent_of_cluster_size(self, small_trace,
-                                                 xmap_result):
-        bigger = run_xmap_job(small_trace, ClusterSpec(n_machines=12),
-                              prune_k=6)
+    def test_results_independent_of_cluster_size(self, small_trace, xmap_result):
+        bigger = run_xmap_job(small_trace, ClusterSpec(n_machines=12), prune_k=6)
         assert bigger.n_xsim_pairs == xmap_result.n_xsim_pairs
         assert bigger.n_alteregos == xmap_result.n_alteregos
 
     def test_more_machines_not_slower_at_scale(self, small_trace):
-        slow = run_xmap_job(small_trace, ClusterSpec(n_machines=2),
-                            prune_k=6)
-        fast = run_xmap_job(small_trace, ClusterSpec(n_machines=8),
-                            prune_k=6)
+        slow = run_xmap_job(small_trace, ClusterSpec(n_machines=2), prune_k=6)
+        fast = run_xmap_job(small_trace, ClusterSpec(n_machines=8), prune_k=6)
         assert fast.report.makespan < slow.report.makespan
 
 
@@ -71,17 +64,13 @@ class TestALSJob:
 
     def test_rmse_independent_of_cluster_size(self, small_trace):
         table = small_trace.target.ratings
-        a = run_als_job(table, ClusterSpec(n_machines=2),
-                        ALSConfig(n_iterations=3))
-        b = run_als_job(table, ClusterSpec(n_machines=10),
-                        ALSConfig(n_iterations=3))
+        a = run_als_job(table, ClusterSpec(n_machines=2), ALSConfig(n_iterations=3))
+        b = run_als_job(table, ClusterSpec(n_machines=10), ALSConfig(n_iterations=3))
         assert a.training_rmse == pytest.approx(b.training_rmse)
 
     def test_broadcast_cost_grows_with_cluster(self, small_trace):
         table = small_trace.target.ratings
-        small = run_als_job(table, ClusterSpec(n_machines=2),
-                            ALSConfig(n_iterations=2))
+        small = run_als_job(table, ClusterSpec(n_machines=2), ALSConfig(n_iterations=2))
         large = run_als_job(table, ClusterSpec(n_machines=16),
                             ALSConfig(n_iterations=2))
-        assert (large.report.broadcast_seconds
-                > small.report.broadcast_seconds)
+        assert (large.report.broadcast_seconds > small.report.broadcast_seconds)

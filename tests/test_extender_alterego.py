@@ -18,8 +18,7 @@ from repro.privacy.accountant import PrivacyAccountant
 @pytest.fixture(scope="module")
 def fitted(small_trace):
     baseline = Baseliner().compute(small_trace)
-    partition = LayerPartition.from_graph(
-        baseline.graph, small_trace.domain_map())
+    partition = LayerPartition.from_graph(baseline.graph, small_trace.domain_map())
     xsim_map = Extender(ExtenderConfig(k=8)).extend(
         baseline.graph, partition, small_trace.merged(),
         source_domain=small_trace.source.name)
@@ -69,8 +68,7 @@ class TestExtender:
 
     def test_ablation_flags_change_values(self, small_trace, fitted):
         baseline, partition, reference = fitted
-        flat = Extender(ExtenderConfig(
-            k=8, weight_by_certainty=False)).extend(
+        flat = Extender(ExtenderConfig(k=8, weight_by_certainty=False)).extend(
             baseline.graph, partition, small_trace.merged(),
             source_domain=small_trace.source.name)
         # Same connectivity, different (or equal) aggregated values —
@@ -85,8 +83,7 @@ class TestExtender:
 
     def test_plain_mean_variant_bounded(self, small_trace, fitted):
         baseline, partition, _ = fitted
-        plain = Extender(ExtenderConfig(
-            k=8, weight_by_significance=False)).extend(
+        plain = Extender(ExtenderConfig(k=8, weight_by_significance=False)).extend(
             baseline.graph, partition, small_trace.merged(),
             source_domain=small_trace.source.name)
         for targets in plain.values():
@@ -95,8 +92,7 @@ class TestExtender:
 
     def test_figure_1a_headline(self, scenario):
         baseline = Baseliner().compute(scenario)
-        partition = LayerPartition.from_graph(
-            baseline.graph, scenario.domain_map())
+        partition = LayerPartition.from_graph(baseline.graph, scenario.domain_map())
         xsim_map = Extender(ExtenderConfig(k=3)).extend(
             baseline.graph, partition, scenario.merged(),
             source_domain="movies")
@@ -130,8 +126,7 @@ class TestAlterEgoGenerator:
         generator = AlterEgoGenerator(
             xsim_map, policy=ReplacementPolicy.PRIVATE, epsilon=0.1, seed=1)
         first = generator.replacement_for("s")
-        assert all(generator.replacement_for("s") == first
-                   for _ in range(5))
+        assert all(generator.replacement_for("s") == first for _ in range(5))
 
     def test_private_spends_budget_once(self):
         accountant = PrivacyAccountant()
@@ -143,9 +138,7 @@ class TestAlterEgoGenerator:
     def test_profile_merges_collisions(self):
         xsim_map = {"s1": {"t": 1.0}, "s2": {"t": 1.0}}
         generator = AlterEgoGenerator(xsim_map)
-        profile = {
-            "s1": Rating("u", "s1", 5.0, 10),
-            "s2": Rating("u", "s2", 3.0, 20)}
+        profile = {"s1": Rating("u", "s1", 5.0, 10), "s2": Rating("u", "s2", 3.0, 20)}
         alterego = generator.alterego_profile("u", profile)
         assert len(alterego) == 1
         assert alterego[0].value == pytest.approx(4.0)
@@ -153,8 +146,7 @@ class TestAlterEgoGenerator:
 
     def test_profile_preserves_value_and_timestep(self):
         generator = AlterEgoGenerator({"s1": {"t9": 1.0}})
-        alterego = generator.alterego_profile(
-            "u", {"s1": Rating("u", "s1", 2.0, 7)})
+        alterego = generator.alterego_profile("u", {"s1": Rating("u", "s1", 2.0, 7)})
         assert alterego == [Rating("u", "t9", 2.0, 7)]
 
     def test_table_respects_existing_target_ratings(self):

@@ -38,15 +38,15 @@ from repro.gateway.supervisor import CircuitBreaker
 
 def test_rule_validation():
     with pytest.raises(ReproError, match="unknown fault kind"):
-        FaultRule("p", "explode")
+        FaultRule("test.p", "explode")
     with pytest.raises(ReproError, match="probability"):
-        FaultRule("p", "error", probability=1.5)
+        FaultRule("test.p", "error", probability=1.5)
     with pytest.raises(ReproError, match="after"):
-        FaultRule("p", "error", after=0)
+        FaultRule("test.p", "error", after=0)
     with pytest.raises(ReproError, match="times"):
-        FaultRule("p", "error", times=0)
+        FaultRule("test.p", "error", times=0)
     with pytest.raises(ReproError, match="delay_s"):
-        FaultRule("p", "delay", delay_s=-1.0)
+        FaultRule("test.p", "delay", delay_s=-1.0)
 
 
 def test_plan_json_roundtrip():
@@ -65,8 +65,8 @@ def test_plan_json_roundtrip():
 
 
 def test_decide_schedules_after_and_times():
-    plan = FaultPlan(rules=[FaultRule("p", "error", after=2, times=2)])
-    fired = [plan.decide("p") is not None for _ in range(5)]
+    plan = FaultPlan(rules=[FaultRule("test.p", "error", after=2, times=2)])
+    fired = [plan.decide("test.p") is not None for _ in range(5)]
     # Skips visit 1, fires on visits 2 and 3, then is spent.
     assert fired == [False, True, True, False, False]
 
@@ -82,15 +82,15 @@ def test_decide_matches_globs_and_filters_kinds():
     assert plan.decide("gateway.worker.send") is None
     # ... but do at frame points, where error-kind rules are skipped.
     assert plan.decide("gateway.worker.send", frame=True).kind == "drop"
-    error_plan = FaultPlan(rules=[FaultRule("p", "error")])
-    assert error_plan.decide("p", frame=True) is None
+    error_plan = FaultPlan(rules=[FaultRule("test.p", "error")])
+    assert error_plan.decide("test.p", frame=True) is None
 
 
 def test_probability_decisions_are_deterministic_per_seed():
     def firings(seed: int) -> list[bool]:
         plan = FaultPlan(seed=seed, rules=[
-            FaultRule("p", "error", probability=0.5)])
-        return [plan.decide("p") is not None for _ in range(64)]
+            FaultRule("test.p", "error", probability=0.5)])
+        return [plan.decide("test.p") is not None for _ in range(64)]
 
     assert firings(7) == firings(7)  # same seed: same schedule
     assert firings(7) != firings(8)  # different seed: different one
@@ -98,13 +98,13 @@ def test_probability_decisions_are_deterministic_per_seed():
 
 
 def test_spawn_seq_gates_rules(monkeypatch):
-    plan = FaultPlan(rules=[FaultRule("p", "error", max_spawn_seq=2)])
+    plan = FaultPlan(rules=[FaultRule("test.p", "error", max_spawn_seq=2)])
     monkeypatch.setenv(SPAWN_SEQ_ENV, "1")
-    assert plan.decide("p") is not None
+    assert plan.decide("test.p") is not None
     monkeypatch.setenv(SPAWN_SEQ_ENV, "2")
-    assert plan.decide("p") is None  # the third spawn is spared
+    assert plan.decide("test.p") is None  # the third spawn is spared
     monkeypatch.delenv(SPAWN_SEQ_ENV)
-    assert plan.decide("p") is not None  # unset counts as spawn 0
+    assert plan.decide("test.p") is not None  # unset counts as spawn 0
 
 
 # ----------------------------------------------------------------------
@@ -113,20 +113,20 @@ def test_spawn_seq_gates_rules(monkeypatch):
 
 
 def test_fault_point_raises_injected_fault():
-    plan = FaultPlan(rules=[FaultRule("my.point", "error", after=2)])
+    plan = FaultPlan(rules=[FaultRule("test.my.point", "error", after=2)])
     with injected_faults(plan):
-        fault_point("my.point")  # visit 1: spared
+        fault_point("test.my.point")  # visit 1: spared
         with pytest.raises(InjectedFault) as excinfo:
-            fault_point("my.point")
-        assert excinfo.value.point == "my.point"
-    fault_point("my.point")  # uninstalled: free no-op
+            fault_point("test.my.point")
+        assert excinfo.value.point == "test.my.point"
+    fault_point("test.my.point")  # uninstalled: free no-op
 
 
 def test_fault_point_crash_kind_raises_injected_crash():
-    plan = FaultPlan(rules=[FaultRule("my.point", "crash")])
+    plan = FaultPlan(rules=[FaultRule("test.my.point", "crash")])
     with injected_faults(plan):
         with pytest.raises(InjectedCrash):
-            fault_point("my.point")
+            fault_point("test.my.point")
 
 
 def test_plan_fires_at_durability_crash_points():
@@ -139,28 +139,27 @@ def test_plan_fires_at_durability_crash_points():
 
 
 def test_delay_rule_sleeps():
-    plan = FaultPlan(rules=[FaultRule("p", "delay", delay_s=0.05, times=1)])
+    plan = FaultPlan(rules=[FaultRule("test.p", "delay", delay_s=0.05, times=1)])
     with injected_faults(plan):
         t0 = time.perf_counter()
-        fault_point("p")
+        fault_point("test.p")
         assert time.perf_counter() - t0 >= 0.04
         t0 = time.perf_counter()
-        fault_point("p")  # times=1: the second visit is free
+        fault_point("test.p")  # times=1: the second visit is free
         assert time.perf_counter() - t0 < 0.04
 
 
 def test_frame_fault_returns_byte_level_rules():
-    plan = FaultPlan(rules=[FaultRule("wire", "corrupt", after=2)])
+    plan = FaultPlan(rules=[FaultRule("test.wire", "corrupt", after=2)])
     with injected_faults(plan):
-        assert frame_fault("wire") is None
-        rule = frame_fault("wire")
+        assert frame_fault("test.wire") is None
+        rule = frame_fault("test.wire")
         assert rule is not None and rule.kind == "corrupt"
-    assert frame_fault("wire") is None
+    assert frame_fault("test.wire") is None
 
 
 def test_send_frame_drop_swallows_the_frame():
-    plan = FaultPlan(rules=[
-        FaultRule("gateway.worker.send", "drop", times=1)])
+    plan = FaultPlan(rules=[FaultRule("gateway.worker.send", "drop", times=1)])
     left, right = socket.socketpair()
     try:
         right.settimeout(0.2)

@@ -84,8 +84,7 @@ def _assert_close(got, expected) -> None:
 def test_frame_roundtrip_over_socketpair():
     left, right = socket.socketpair()
     try:
-        payload = {"method": "recommend",
-                   "params": {"users": ["a", "b"], "n": 3}}
+        payload = {"method": "recommend", "params": {"users": ["a", "b"], "n": 3}}
         send_frame(left, payload)
         send_frame(left, {"ok": True})
         assert recv_frame(right) == payload
@@ -190,8 +189,7 @@ def test_watcher_follows_catalog_and_agrees_on_versions(tmp_path):
     service = RecommendationService(watcher.registry)
     reference = RecommendationService(registry)
     version, results = service.recommend_batch_pinned(["u001", "u004"], 5)
-    ref_version, expected = reference.recommend_batch_pinned(
-        ["u001", "u004"], 5)
+    ref_version, expected = reference.recommend_batch_pinned(["u001", "u004"], 5)
     assert version == ref_version == 2
     for got, want in zip(results, expected):
         _assert_close(got, want)
@@ -230,10 +228,8 @@ def test_worker_app_recommend_matches_reference(tmp_path):
     response = app.handle({"method": "recommend",
                            "params": {"users": ["u001"], "n": 4}})
     assert response["ok"] and response["version"] == 1
-    _, expected = RecommendationService(registry).recommend_batch_pinned(
-        ["u001"], 4)
-    _assert_close([tuple(pair) for pair in response["results"][0]],
-                  expected[0])
+    _, expected = RecommendationService(registry).recommend_batch_pinned(["u001"], 4)
+    _assert_close([tuple(pair) for pair in response["results"][0]], expected[0])
 
 
 def test_worker_app_converges_on_demand_for_min_version(tmp_path):
@@ -242,16 +238,14 @@ def test_worker_app_converges_on_demand_for_min_version(tmp_path):
     # The worker has not idle-polled, but the handshake demands v2:
     # it must converge within this one request.
     response = app.handle({"method": "recommend",
-                           "params": {"users": ["u001"], "n": 4,
-                                      "min_version": 2}})
+                           "params": {"users": ["u001"], "n": 4, "min_version": 2}})
     assert response["ok"] and response["version"] == 2
 
 
 def test_worker_app_reports_unreachable_version_as_retryable(tmp_path):
     app, _ = _worker_app(tmp_path)
     response = app.handle({"method": "recommend",
-                           "params": {"users": ["u001"], "n": 4,
-                                      "min_version": 99}})
+                           "params": {"users": ["u001"], "n": 4, "min_version": 99}})
     assert not response["ok"]
     error = response["error"]
     assert error["type"] == "stale" and error["retryable"]
@@ -321,8 +315,7 @@ def test_gateway_serves_and_converges_across_publishes(published_catalog):
     reference = RecommendationService(registry)
 
     async def scenario():
-        pool = WorkerPool(source, n_workers=2, call_timeout=30,
-                          poll_interval=0.05)
+        pool = WorkerPool(source, n_workers=2, call_timeout=30, poll_interval=0.05)
         await pool.start()
         server = GatewayServer(pool, max_delay=0.005)
         await server.start()
@@ -353,9 +346,7 @@ def test_gateway_serves_and_converges_across_publishes(published_catalog):
             # whichever worker serves it.
             assert payload["version"] == 2
             _, expected = reference.recommend_batch_pinned(["u001"], 5)
-            _assert_close(
-                [tuple(p) for p in payload["recommendations"]],
-                expected[0])
+            _assert_close([tuple(p) for p in payload["recommendations"]], expected[0])
 
             similar = await loop.run_in_executor(
                 None, _http_get, server.port,
@@ -374,8 +365,7 @@ def test_gateway_serves_and_converges_across_publishes(published_catalog):
 
 @pytest.mark.slow
 @pytest.mark.crash
-def test_supervisor_retries_and_restarts_after_midflight_kill(
-        published_catalog):
+def test_supervisor_retries_and_restarts_after_midflight_kill(published_catalog):
     """A worker SIGKILLed mid-request (PR-6 fault harness) must cost at
     most a retry — callers still get correct answers, nothing hangs —
     and the supervisor restores the fleet to full strength."""
@@ -398,14 +388,12 @@ def test_supervisor_retries_and_restarts_after_midflight_kill(
                 response = await pool.call(
                     "recommend", {"users": ["u001", "u002"], "n": 4})
                 assert response["ok"]
-                _, expected = reference.recommend_batch_pinned(
-                    ["u001", "u002"], 4)
+                _, expected = reference.recommend_batch_pinned(["u001", "u002"], 4)
                 for got, want in zip(response["results"], expected):
                     _assert_close([tuple(p) for p in got], want)
             assert pool.n_restarts >= 1
             deadline = time.monotonic() + 20
-            while (len(pool.alive_workers()) < 2
-                   and time.monotonic() < deadline):
+            while (len(pool.alive_workers()) < 2 and time.monotonic() < deadline):
                 await asyncio.sleep(0.1)
             assert len(pool.alive_workers()) == 2
         finally:
@@ -420,8 +408,7 @@ def test_idle_worker_kill_is_replaced(published_catalog):
     source, _ = published_catalog
 
     async def scenario():
-        pool = WorkerPool(source, n_workers=2, call_timeout=30,
-                          poll_interval=0.05)
+        pool = WorkerPool(source, n_workers=2, call_timeout=30, poll_interval=0.05)
         await pool.start()
         try:
             victim = pool.alive_workers()[0]
@@ -435,8 +422,7 @@ def test_idle_worker_kill_is_replaced(published_catalog):
             alive = pool.alive_workers()
             assert len(alive) == 2 and victim not in alive
             assert pool.n_restarts == 1
-            response = await pool.call(
-                "recommend", {"users": ["u001"], "n": 3})
+            response = await pool.call("recommend", {"users": ["u001"], "n": 3})
             assert response["ok"]
         finally:
             await pool.close()

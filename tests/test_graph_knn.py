@@ -73,8 +73,7 @@ class TestItemGraph:
         graph.add_edge("q", "a", 0.9)
         graph.add_edge("q", "b", 0.8)
         graph.add_edge("q", "c", 0.7)
-        assert graph.top_neighbors("q", 2, among={"b", "c"}) == [
-            ("b", 0.8), ("c", 0.7)]
+        assert graph.top_neighbors("q", 2, among={"b", "c"}) == [("b", 0.8), ("c", 0.7)]
 
     def test_copy_is_independent(self):
         graph = ItemGraph()
@@ -169,8 +168,7 @@ class TestNeighborIndex:
             assert exact and selected == full.top(item, 1)
             # Past it, the scan degrades honestly instead of raising.
             degree = full.degree(item)
-            selected, exact = truncated.scan(
-                item, degree + 1, full_degree=degree)
+            selected, exact = truncated.scan(item, degree + 1, full_degree=degree)
             assert exact == (degree <= 1)
             if exact:
                 assert selected == full.top(item, degree + 1)
@@ -191,8 +189,7 @@ class TestTruncatedIndexServing:
         return truncated, reference
 
     @pytest.mark.parametrize("index_k", [1, 2, 3])
-    def test_top_neighbors_matches_full_adjacency(self, tiny_table,
-                                                  index_k):
+    def test_top_neighbors_matches_full_adjacency(self, tiny_table, index_k):
         truncated, reference = self._graphs(tiny_table, index_k)
         items = sorted(reference.items)
         among_sets = [None] + [frozenset(items[:n]) for n in (1, 2, 3)]
@@ -248,12 +245,10 @@ class TestRankedServing:
         for a in range(len(items)):
             for b in range(a + 1, len(items)):
                 if rng.random() < 0.4:
-                    graph.add_edge(items[a], items[b],
-                                   round(rng.uniform(-1, 1), 2))
+                    graph.add_edge(items[a], items[b], round(rng.uniform(-1, 1), 2))
         return graph, items
 
-    def _legacy_top_neighbors(self, graph, item, k, among=None,
-                              minimum=None):
+    def _legacy_top_neighbors(self, graph, item, k, among=None, minimum=None):
         nbrs = graph.neighbors(item)
         if among is None:
             return top_k(nbrs, k, minimum=minimum)
@@ -293,10 +288,8 @@ class TestRankedServing:
         # over with the graph; the memoized unsharded path must serve
         # identical rankings (1-shard sweeps are bit-identical, so the
         # rows agree exactly).
-        indexed = build_similarity_graph(tiny_table, n_shards=2,
-                                         n_edge_partitions=2)
-        memoized = build_similarity_graph(tiny_table, n_shards=1,
-                                          n_edge_partitions=1)
+        indexed = build_similarity_graph(tiny_table, n_shards=2, n_edge_partitions=2)
+        memoized = build_similarity_graph(tiny_table, n_shards=1, n_edge_partitions=1)
         assert indexed._index is not None
         assert memoized._index is None
         for item in memoized.items:

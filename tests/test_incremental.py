@@ -42,8 +42,7 @@ def base_and_batch(draw, min_base=2, max_base=30, max_batch=6):
     pairs = draw(st.lists(
         st.tuples(_users, _items), min_size=min_base, max_size=max_base,
         unique=True))
-    base = [Rating(u, i, draw(_values), timestep=k)
-            for k, (u, i) in enumerate(pairs)]
+    base = [Rating(u, i, draw(_values), timestep=k) for k, (u, i) in enumerate(pairs)]
     batch_pairs = draw(st.lists(
         st.tuples(_batch_users, _batch_items), min_size=1,
         max_size=max_batch, unique=True))
@@ -108,8 +107,7 @@ def _store(table, use_numpy):
     return MatrixRatingStore(table, use_numpy=use_numpy)
 
 
-_BACKENDS = [pytest.param(True, id="numpy"),
-             pytest.param(False, id="pure-python")]
+_BACKENDS = [pytest.param(True, id="numpy"), pytest.param(False, id="pure-python")]
 
 
 # -- store append == rebuild (the tentpole's base contract) -------------
@@ -135,8 +133,7 @@ def test_append_to_empty_store(use_numpy):
     table = RatingTable()
     batch = [Rating("u", "a", 3.0, 0), Rating("v", "a", 5.0, 1)]
     appended, delta = _store(table, use_numpy).append_ratings(batch)
-    assert_stores_equal(appended, _store(table.with_ratings(batch),
-                                         use_numpy))
+    assert_stores_equal(appended, _store(table.with_ratings(batch), use_numpy))
     assert delta.new_users == ("u", "v")
     assert delta.new_items == ("a",)
 
@@ -156,8 +153,7 @@ def test_empty_batch_is_identity(tiny_table, use_numpy):
 @pytest.mark.parametrize("with_significance", [False, True])
 @_common
 @given(data=base_and_batch())
-def test_delta_fold_equals_full_accumulation(data, use_numpy,
-                                             with_significance):
+def test_delta_fold_equals_full_accumulation(data, use_numpy, with_significance):
     base, batch = data
     store = _store(RatingTable(base), use_numpy)
     old_acc = store.pair_accumulation(with_significance=with_significance)
@@ -226,8 +222,7 @@ def test_sweep_update_across_shard_counts_1e9(monkeypatch):
              for _ in range(5)]
     sweep = IncrementalSweep(RatingTable(base), n_shards=2)
     sweep.update(batch)
-    flat = IncrementalSweep(
-        RatingTable(base).with_ratings(batch), n_shards=1)
+    flat = IncrementalSweep(RatingTable(base).with_ratings(batch), n_shards=1)
     assert sweep.graph.items == flat.graph.items
     for item in sorted(flat.graph.items):
         got = sweep.graph.neighbors(item)
@@ -242,11 +237,9 @@ def test_update_reports_edge_census(monkeypatch):
     base = [Rating("u1", "a", 5.0), Rating("u1", "b", 3.0),
             Rating("u2", "b", 4.0), Rating("u2", "c", 2.0)]
     sweep = IncrementalSweep(RatingTable(base))
-    before = {frozenset(edge) for edge in
-              ((i, j) for i, j, _ in sweep.graph.edges())}
+    before = {frozenset(edge) for edge in ((i, j) for i, j, _ in sweep.graph.edges())}
     stats = sweep.update([Rating("u3", "a", 4.0), Rating("u3", "c", 5.0)])
-    after = {frozenset(edge) for edge in
-             ((i, j) for i, j, _ in sweep.graph.edges())}
+    after = {frozenset(edge) for edge in ((i, j) for i, j, _ in sweep.graph.edges())}
     added = {frozenset(edge) for edge in stats.edges_added}
     removed = {frozenset(edge) for edge in stats.edges_removed}
     assert after - before == added
@@ -308,10 +301,8 @@ class TestOnlineAlterEgo:
         return AlterEgoGenerator(xsim_map, n_replacements=2)
 
     def _tables(self):
-        source = RatingTable([Rating("u", "s1", 5.0, 0),
-                              Rating("w", "s2", 2.0, 0)])
-        target = RatingTable([Rating("u", "t4", 3.0, 0),
-                              Rating("other", "t1", 4.0, 0)])
+        source = RatingTable([Rating("u", "s1", 5.0, 0), Rating("w", "s2", 2.0, 0)])
+        target = RatingTable([Rating("u", "t4", 3.0, 0), Rating("other", "t1", 4.0, 0)])
         return source, target
 
     def test_flush_matches_batch_alterego_table(self):
@@ -399,8 +390,7 @@ class TestBaselinerUpdate:
         baseliner = Baseliner(keep_state=True)
         baseline = baseliner.compute(_scenario_with([]))
         updated_data = _scenario_with(batch)
-        updated, stats = baseliner.update(
-            baseline, batch, updated_data.domain_map())
+        updated, stats = baseliner.update(baseline, batch, updated_data.domain_map())
         fresh = baseliner.compute(updated_data)
         assert updated.n_homogeneous == fresh.n_homogeneous
         assert updated.n_heterogeneous == fresh.n_heterogeneous

@@ -19,9 +19,7 @@ def generator():
 
 class TestIncremental:
     def test_matches_batch_profile(self, generator):
-        profile = {
-            "s1": Rating("u", "s1", 5.0, 0),
-            "s2": Rating("u", "s2", 2.0, 1)}
+        profile = {"s1": Rating("u", "s1", 5.0, 0), "s2": Rating("u", "s2", 2.0, 1)}
         batch = generator.alterego_profile("u", profile)
         builder = generator.incremental("u")
         builder.add(profile["s1"])
@@ -62,8 +60,7 @@ class TestIncremental:
         generator = AlterEgoGenerator(
             xsim_map, policy=ReplacementPolicy.PRIVATE,
             epsilon=1.0, seed=4, n_replacements=1)
-        batch = generator.alterego_profile(
-            "u", {"s1": Rating("u", "s1", 4.0, 2)})
+        batch = generator.alterego_profile("u", {"s1": Rating("u", "s1", 4.0, 2)})
         builder = generator.incremental("u")
         builder.add(Rating("u", "s1", 4.0, 2))
         # memoised replacement draws make the two paths agree

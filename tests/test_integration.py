@@ -15,8 +15,7 @@ class TestInterstellarStory:
     @pytest.fixture(scope="class")
     def fitted(self):
         scenario = interstellar_scenario()
-        return scenario, NXMapRecommender(
-            XMapConfig(prune_k=3, cf_k=5)).fit(scenario)
+        return scenario, NXMapRecommender(XMapConfig(prune_k=3, cf_k=5)).fit(scenario)
 
     def test_interstellar_maps_to_forever_war(self, fitted):
         _, recommender = fitted
@@ -56,19 +55,15 @@ class TestHeadlineAccuracy:
             split).mae
 
     @pytest.mark.slow
-    def test_nxmap_user_based_beats_item_average(self, split,
-                                                 item_average_mae):
-        recommender = NXMapRecommender(
-            XMapConfig(mode="user")).fit(
+    def test_nxmap_user_based_beats_item_average(self, split, item_average_mae):
+        recommender = NXMapRecommender(XMapConfig(mode="user")).fit(
             split.train, users=split.test_users)
         result = evaluate("NX-Map-ub", recommender, split)
         assert result.mae < item_average_mae
 
     @pytest.mark.slow
-    def test_nxmap_item_based_beats_item_average(self, split,
-                                                 item_average_mae):
-        recommender = NXMapRecommender(
-            XMapConfig(mode="item", alpha=0.03)).fit(
+    def test_nxmap_item_based_beats_item_average(self, split, item_average_mae):
+        recommender = NXMapRecommender(XMapConfig(mode="item", alpha=0.03)).fit(
             split.train, users=split.test_users)
         result = evaluate("NX-Map-ib", recommender, split)
         assert result.mae < item_average_mae

@@ -18,12 +18,10 @@ class TestLayerPartition:
     def test_hand_built_layers(self):
         # m2-b1 is the only cross edge; m1-m2 and b1-b2 are intra edges;
         # m0 and b0 are isolated.
-        graph = _graph([
-            ("m2", "b1", 0.5), ("m1", "m2", 0.4), ("b1", "b2", 0.3)])
+        graph = _graph([("m2", "b1", 0.5), ("m1", "m2", 0.4), ("b1", "b2", 0.3)])
         graph.add_item("m0")
         graph.add_item("b0")
-        domain_of = {"m0": "m", "m1": "m", "m2": "m",
-                     "b0": "b", "b1": "b", "b2": "b"}
+        domain_of = {"m0": "m", "m1": "m", "m2": "m", "b0": "b", "b1": "b", "b2": "b"}
         partition = LayerPartition.from_graph(graph, domain_of)
         assert partition.layer_of("m2") is Layer.BB
         assert partition.layer_of("b1") is Layer.BB
@@ -35,15 +33,13 @@ class TestLayerPartition:
     def test_bridge_symmetry(self):
         # A cross edge makes BOTH endpoints bridges.
         graph = _graph([("m1", "b1", 0.2)])
-        partition = LayerPartition.from_graph(
-            graph, {"m1": "m", "b1": "b"})
+        partition = LayerPartition.from_graph(graph, {"m1": "m", "b1": "b"})
         assert partition.bridge_items("m") == {"m1"}
         assert partition.bridge_items("b") == {"b1"}
 
     def test_nn_connected_only_to_non_bridges(self):
         # m3 touches m1 (NB), not any bridge -> NN.
-        graph = _graph([
-            ("m2", "b1", 0.5), ("m1", "m2", 0.4), ("m3", "m1", 0.3)])
+        graph = _graph([("m2", "b1", 0.5), ("m1", "m2", 0.4), ("m3", "m1", 0.3)])
         partition = LayerPartition.from_graph(
             graph, {"m1": "m", "m2": "m", "m3": "m", "b1": "b"})
         assert partition.layer_of("m3") is Layer.NN
@@ -60,8 +56,7 @@ class TestLayerPartition:
 
     def test_unknown_item_queries(self, two_domain_micro):
         graph = build_similarity_graph(two_domain_micro.merged())
-        partition = LayerPartition.from_graph(
-            graph, two_domain_micro.domain_map())
+        partition = LayerPartition.from_graph(graph, two_domain_micro.domain_map())
         with pytest.raises(GraphError):
             partition.layer_of("ghost")
         with pytest.raises(GraphError):
@@ -69,15 +64,13 @@ class TestLayerPartition:
 
     def test_other_domain(self, two_domain_micro):
         graph = build_similarity_graph(two_domain_micro.merged())
-        partition = LayerPartition.from_graph(
-            graph, two_domain_micro.domain_map())
+        partition = LayerPartition.from_graph(graph, two_domain_micro.domain_map())
         assert partition.other_domain("m") == "b"
         assert partition.other_domain("b") == "m"
 
     def test_counts_total_items(self, two_domain_micro):
         graph = build_similarity_graph(two_domain_micro.merged())
-        partition = LayerPartition.from_graph(
-            graph, two_domain_micro.domain_map())
+        partition = LayerPartition.from_graph(graph, two_domain_micro.domain_map())
         assert sum(partition.counts().values()) == len(partition)
 
     def test_layers_partition_each_domain(self, small_trace):

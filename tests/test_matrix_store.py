@@ -69,8 +69,7 @@ def _as_pair_dict(triples):
 @given(table=rating_tables(),
        min_common=st.integers(1, 3),
        max_profile=st.sampled_from([None, 2, 3, 5]))
-def test_all_pairs_matches_reference_with_guards(table, min_common,
-                                                 max_profile):
+def test_all_pairs_matches_reference_with_guards(table, min_common, max_profile):
     fast = _as_pair_dict(all_pairs_adjusted_cosine(
         table, min_common_users=min_common, max_profile_size=max_profile))
     reference = _as_pair_dict(all_pairs_adjusted_cosine_reference(
@@ -85,8 +84,7 @@ def test_all_pairs_matches_reference_with_guards(table, min_common,
 def test_numpy_and_python_backends_identical(table):
     if not numpy_available():
         pytest.skip("numpy fast path unavailable")
-    fast = list(MatrixRatingStore(
-        table, use_numpy=True).all_pairs_adjusted_cosine())
+    fast = list(MatrixRatingStore(table, use_numpy=True).all_pairs_adjusted_cosine())
     fallback = list(MatrixRatingStore(
         table, use_numpy=False).all_pairs_adjusted_cosine())
     # Same pairs, same order, bit-identical similarities: both backends
@@ -116,8 +114,7 @@ def test_single_pair_metrics_match_naive(table):
         for b in items:
             if a >= b:
                 continue
-            assert significance(table, a, b) == significance_reference(
-                table, a, b)
+            assert significance(table, a, b) == significance_reference(table, a, b)
             assert adjusted_cosine(table, a, b) == pytest.approx(
                 _naive_adjusted_cosine(table, a, b), abs=1e-9)
             assert cosine(table, a, b) == pytest.approx(
@@ -277,8 +274,7 @@ class TestGraphBulkAndTopK:
         graph.add_edge("q", "b", 0.8)
         graph.add_edge("q", "c", 0.7)
         members = frozenset({"b", "c"})
-        assert graph.top_neighbors("q", 2, among=members) == [
-            ("b", 0.8), ("c", 0.7)]
+        assert graph.top_neighbors("q", 2, among=members) == [("b", 0.8), ("c", 0.7)]
 
     def test_top_k_accepts_pair_iterable(self):
         from repro.similarity.knn import top_k

@@ -141,8 +141,7 @@ class TestSignificanceCache:
             significance,
         )
         cache = SignificanceCache(tiny_table)
-        assert cache.significance("a", "b") == significance(
-            tiny_table, "a", "b")
+        assert cache.significance("a", "b") == significance(tiny_table, "a", "b")
         assert cache.normalized("a", "b") == normalized_significance(
             tiny_table, "a", "b")
         # order-insensitive

@@ -50,12 +50,9 @@ class TestNXMapPipeline:
             rec.item_mapping()
 
     def test_variant_names(self):
-        assert NXMapRecommender(
-            XMapConfig(mode="item")).variant_name == "NX-Map-ib"
-        assert NXMapRecommender(
-            XMapConfig(mode="user")).variant_name == "NX-Map-ub"
-        assert XMapRecommender(
-            XMapConfig(mode="user")).variant_name == "X-Map-ub"
+        assert NXMapRecommender(XMapConfig(mode="item")).variant_name == "NX-Map-ib"
+        assert NXMapRecommender(XMapConfig(mode="user")).variant_name == "NX-Map-ub"
+        assert XMapRecommender(XMapConfig(mode="user")).variant_name == "X-Map-ub"
 
     def test_predicts_in_scale(self, fitted, small_split):
         for user, item, _ in small_split.hidden_pairs()[:30]:
@@ -92,8 +89,7 @@ class TestNXMapPipeline:
 class TestXMapPipeline:
     @pytest.fixture(scope="class")
     def fitted(self, small_split):
-        config = XMapConfig(prune_k=8, cf_k=20, epsilon=0.3,
-                            epsilon_prime=0.8, seed=5)
+        config = XMapConfig(prune_k=8, cf_k=20, epsilon=0.3, epsilon_prime=0.8, seed=5)
         return XMapRecommender(config).fit(
             small_split.train, users=small_split.test_users)
 
@@ -128,8 +124,7 @@ class TestXMapPipeline:
     def test_mf_mode_rejected_for_private(self, small_split):
         config = XMapConfig(prune_k=8, mode="mf", seed=1)
         with pytest.raises(ConfigError, match="non-private"):
-            XMapRecommender(config).fit(
-                small_split.train, users=small_split.test_users)
+            XMapRecommender(config).fit(small_split.train, users=small_split.test_users)
 
 
 class TestMFMode:

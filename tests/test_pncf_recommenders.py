@@ -25,8 +25,7 @@ class TestPrivateItemKNN:
             PrivateItemKNNRecommender(target, alpha=-0.5)
 
     def test_predictions_in_scale(self, target):
-        rec = PrivateItemKNNRecommender(target, k=10, epsilon_prime=0.8,
-                                        seed=0)
+        rec = PrivateItemKNNRecommender(target, k=10, epsilon_prime=0.8, seed=0)
         users = sorted(target.users)[:4]
         items = sorted(target.items)[:4]
         for user in users:
@@ -46,8 +45,7 @@ class TestPrivateItemKNN:
         """With a huge ε′ the private predictions converge to plain
         item-based CF (the paper: X-Map transforms to NX-Map)."""
         plain = ItemKNNRecommender(target, k=10)
-        private = PrivateItemKNNRecommender(
-            target, k=10, epsilon_prime=1000.0, seed=1)
+        private = PrivateItemKNNRecommender(target, k=10, epsilon_prime=1000.0, seed=1)
         users = sorted(target.users)[:5]
         items = sorted(target.items)[:5]
         deltas = [abs(private.predict(u, i) - plain.predict(u, i))
@@ -60,8 +58,7 @@ class TestPrivateItemKNN:
         items = sorted(target.items)[:5]
 
         def mean_delta(eps):
-            rec = PrivateItemKNNRecommender(
-                target, k=10, epsilon_prime=eps, seed=2)
+            rec = PrivateItemKNNRecommender(target, k=10, epsilon_prime=eps, seed=2)
             return sum(abs(rec.predict(u, i) - plain.predict(u, i))
                        for u in users for i in items) / 25
         assert mean_delta(0.2) > mean_delta(100.0)
@@ -69,8 +66,7 @@ class TestPrivateItemKNN:
 
 class TestPrivateUserKNN:
     def test_predictions_in_scale(self, target):
-        rec = PrivateUserKNNRecommender(target, k=10, epsilon_prime=0.5,
-                                        seed=0)
+        rec = PrivateUserKNNRecommender(target, k=10, epsilon_prime=0.5, seed=0)
         users = sorted(target.users)[:4]
         items = sorted(target.items)[:4]
         for user in users:
@@ -78,8 +74,7 @@ class TestPrivateUserKNN:
                 assert 1.0 <= rec.predict(user, item) <= 5.0
 
     def test_neighborhood_cached_per_user(self, target):
-        rec = PrivateUserKNNRecommender(target, k=10, epsilon_prime=0.5,
-                                        seed=0)
+        rec = PrivateUserKNNRecommender(target, k=10, epsilon_prime=0.5, seed=0)
         user = sorted(target.users)[0]
         first = rec._private_neighbors(user)
         assert rec._private_neighbors(user) is first

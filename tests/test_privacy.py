@@ -52,8 +52,7 @@ class TestExponentialMechanism:
     def test_prefers_high_scores(self):
         rng = np.random.default_rng(1)
         scores = {"good": 1.0, "bad": -1.0}
-        picks = [exponential_mechanism(scores, 8.0, 2.0, rng)
-                 for _ in range(300)]
+        picks = [exponential_mechanism(scores, 8.0, 2.0, rng) for _ in range(300)]
         assert picks.count("good") > 250
 
     def test_empty_candidates(self):
@@ -62,8 +61,7 @@ class TestExponentialMechanism:
 
     def test_nonpositive_sensitivity(self):
         with pytest.raises(PrivacyError):
-            exponential_mechanism(
-                {"a": 1.0}, 1.0, 0.0, np.random.default_rng(0))
+            exponential_mechanism({"a": 1.0}, 1.0, 0.0, np.random.default_rng(0))
 
     def test_dp_likelihood_ratio_bound(self):
         """Empirical ε-DP check: for two score sets differing by the
@@ -112,15 +110,13 @@ class TestPRS:
     def test_high_epsilon_approaches_argmax(self):
         rng = np.random.default_rng(6)
         candidates = {"best": 1.0, "worst": -1.0}
-        picks = [private_replacement(candidates, 50.0, rng)
-                 for _ in range(100)]
+        picks = [private_replacement(candidates, 50.0, rng) for _ in range(100)]
         assert picks.count("best") >= 99
 
     def test_low_epsilon_approaches_uniform(self):
         rng = np.random.default_rng(7)
         candidates = {"best": 1.0, "worst": -1.0}
-        picks = [private_replacement(candidates, 0.01, rng)
-                 for _ in range(2000)]
+        picks = [private_replacement(candidates, 0.01, rng) for _ in range(2000)]
         fraction = picks.count("best") / len(picks)
         assert 0.45 < fraction < 0.55
 
@@ -252,8 +248,7 @@ class TestAttack:
 
     def test_reidentification_monotone_in_epsilon(self):
         xsim_map = {
-            f"s{k}": {f"t{j}": (0.9 if j == k else 0.1)
-                      for j in range(6)}
+            f"s{k}": {f"t{j}": (0.9 if j == k else 0.1) for j in range(6)}
             for k in range(6)}
         rng = np.random.default_rng(0)
         weak = reidentification_rate(xsim_map, 0.05, trials=30, rng=rng)

@@ -158,8 +158,7 @@ def test_top_k_properties(similarities, k):
     assert values == sorted(values, reverse=True)
     if chosen and len(similarities) > len(chosen):
         floor = min(values)
-        dropped = [v for key, v in similarities.items()
-                   if key not in dict(chosen)]
+        dropped = [v for key, v in similarities.items() if key not in dict(chosen)]
         assert all(v <= floor + 1e-12 for v in dropped)
 
 

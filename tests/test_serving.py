@@ -37,8 +37,7 @@ from repro.serving.service import LRUCache, RecommendationService
 from repro.serving.snapshot import STORE_ARRAY_NAMES, ModelSnapshot
 from repro.similarity.significance import SignificanceTable
 
-_BACKENDS = [pytest.param(True, id="numpy"),
-             pytest.param(False, id="pure-python")]
+_BACKENDS = [pytest.param(True, id="numpy"), pytest.param(False, id="pure-python")]
 
 _common = settings(max_examples=25, deadline=None,
                    suppress_health_check=[HealthCheck.too_slow])
@@ -175,8 +174,7 @@ def test_snapshot_table_and_graph_match_sources(tiny_table, use_numpy):
         assert table.value(rating.user, rating.item) == rating.value
     assert table.matrix() is loaded.store
     # The derived graph equals the graph assembled with the adjacency.
-    adjacency = MatrixRatingStore(
-        tiny_table, use_numpy=use_numpy).build_adjacency()
+    adjacency = MatrixRatingStore(tiny_table, use_numpy=use_numpy).build_adjacency()
     graph = loaded.graph()
     assert set(graph.items) == set(adjacency)
     for item, row in adjacency.items():
@@ -305,8 +303,7 @@ def test_pipeline_snapshot_serves_bit_identically(fitted_pipeline):
 
 def test_pipeline_snapshot_rejects_non_item_modes(fitted_pipeline):
     data, _ = fitted_pipeline
-    pipeline = NXMapRecommender(XMapConfig(
-        mode="user", prune_k=8, cf_k=10)).fit(
+    pipeline = NXMapRecommender(XMapConfig(mode="user", prune_k=8, cf_k=10)).fit(
             data, users=sorted(data.source.users)[:5])
     with pytest.raises(ServingError, match="item-mode"):
         pipeline.snapshot()
@@ -321,8 +318,7 @@ def _micro_table(seed_items=("a", "b", "c", "d")):
     for u in range(8):
         for pos, item in enumerate(seed_items):
             if (u + pos) % 3 != 0:
-                ratings.append(Rating(
-                    f"u{u}", item, float(1 + (u * 2 + pos) % 5)))
+                ratings.append(Rating(f"u{u}", item, float(1 + (u * 2 + pos) % 5)))
     return RatingTable(ratings)
 
 
@@ -380,8 +376,7 @@ def test_registry_update_publishes_spliced_versions():
         sweep=IncrementalSweep(table, n_shards=1, with_index=True), cf_k=5)
     pinned = registry.pin()
     probes = [(f"u{k}", item) for k in range(8) for item in "abcd"]
-    before = {pair: pinned.snapshot.recommender().predict(*pair)
-              for pair in probes}
+    before = {pair: pinned.snapshot.recommender().predict(*pair) for pair in probes}
 
     batch = [Rating("u0", "e", 5.0), Rating("u9", "a", 2.0)]
     version, stats = registry.update(batch)
@@ -473,8 +468,7 @@ def test_registry_hot_swap_under_threaded_reader(n_shards):
 
 
 def test_baseliner_serving_registry(two_domain_micro):
-    baseline = Baseliner(n_shards=1, keep_state=True).compute(
-        two_domain_micro)
+    baseline = Baseliner(n_shards=1, keep_state=True).compute(two_domain_micro)
     registry = baseline.serving_registry(cf_k=5)
     service = RecommendationService(registry)
     merged = two_domain_micro.merged()
@@ -583,8 +577,7 @@ def test_similar_items_filters(tiny_table):
 
 
 def test_service_close_detaches_from_registry(tiny_table):
-    registry = ModelRegistry(snapshot=ModelSnapshot.from_table(
-        tiny_table, k=5))
+    registry = ModelRegistry(snapshot=ModelSnapshot.from_table(tiny_table, k=5))
     service = RecommendationService(registry)
     survivor = RecommendationService(registry)
     service.recommend("u1", 2)

@@ -54,8 +54,7 @@ def rating_tables(draw, min_size=4, max_size=40):
 _common = settings(max_examples=40, deadline=None,
                    suppress_health_check=[HealthCheck.too_slow])
 
-_backends = [pytest.param(True, id="numpy"),
-             pytest.param(False, id="pure-python")]
+_backends = [pytest.param(True, id="numpy"), pytest.param(False, id="pure-python")]
 
 
 def _store(table, use_numpy):
@@ -99,8 +98,7 @@ def test_sharded_matches_store_path_1e9(table, use_numpy, n_shards):
 @_common
 @given(table=rating_tables(), min_common=st.integers(1, 3),
        min_abs=st.sampled_from([0.0, 0.2]))
-def test_sharded_respects_edge_guards(table, use_numpy, min_common,
-                                      min_abs):
+def test_sharded_respects_edge_guards(table, use_numpy, min_common, min_abs):
     store = _store(table, use_numpy)
     result = sharded_adjacency(
         store, n_shards=3, min_common_users=min_common,
@@ -115,8 +113,7 @@ def test_sharded_respects_edge_guards(table, use_numpy, min_common,
 @given(table=rating_tables(), max_profile=st.sampled_from([2, 3, 5]))
 def test_sharded_respects_profile_cap(table, use_numpy, max_profile):
     store = _store(table, use_numpy)
-    result = sharded_adjacency(
-        store, n_shards=3, max_profile_size=max_profile)
+    result = sharded_adjacency(store, n_shards=3, max_profile_size=max_profile)
     reference = store.build_adjacency(max_profile_size=max_profile)
     assert _max_abs_diff(result.adjacency, reference) < 1e-9
 
@@ -124,11 +121,9 @@ def test_sharded_respects_profile_cap(table, use_numpy, max_profile):
 @pytest.mark.parametrize("use_numpy", _backends)
 @_common
 @given(table=rating_tables(), n_shards=st.integers(1, 7))
-def test_significance_counts_exact_for_any_shard_count(table, use_numpy,
-                                                       n_shards):
+def test_significance_counts_exact_for_any_shard_count(table, use_numpy, n_shards):
     store = _store(table, use_numpy)
-    result = sharded_adjacency(
-        store, n_shards=n_shards, with_significance=True)
+    result = sharded_adjacency(store, n_shards=n_shards, with_significance=True)
     for (item_i, item_j), raw in result.significance.items():
         assert item_i < item_j
         assert raw == store.significance(item_i, item_j)
@@ -157,13 +152,10 @@ def test_pool_and_serial_executors_bit_identical(use_numpy):
         if pair in seen:
             continue
         seen.add(pair)
-        ratings.append(Rating(pair[0], pair[1],
-                              float(rng.randint(1, 5)), len(ratings)))
+        ratings.append(Rating(pair[0], pair[1], float(rng.randint(1, 5)), len(ratings)))
     store = _store(RatingTable(ratings), use_numpy)
-    serial = sharded_adjacency(store, n_shards=5, processes=0,
-                               with_significance=True)
-    pooled = sharded_adjacency(store, n_shards=5, processes=3,
-                               with_significance=True)
+    serial = sharded_adjacency(store, n_shards=5, processes=0, with_significance=True)
+    pooled = sharded_adjacency(store, n_shards=5, processes=3, with_significance=True)
     assert serial.adjacency == pooled.adjacency
     assert serial.significance == pooled.significance
     assert serial.common_raters == pooled.common_raters
@@ -176,8 +168,7 @@ def test_pool_and_serial_executors_bit_identical(use_numpy):
 @pytest.mark.parametrize("use_numpy", _backends)
 @_common
 @given(table=rating_tables())
-def test_partitioned_assembly_matches_driver_path(table, use_numpy,
-                                                  n_partitions):
+def test_partitioned_assembly_matches_driver_path(table, use_numpy, n_partitions):
     """Item-partitioned merge + assembly vs the single driver pass.
 
     Splitting pairs by left item never reorders any per-pair addition,
@@ -194,8 +185,7 @@ def test_partitioned_assembly_matches_driver_path(table, use_numpy,
     assert partitioned.adjacency == driver.adjacency
     assert partitioned.significance == driver.significance
     assert partitioned.common_raters == driver.common_raters
-    assert _max_abs_diff(partitioned.adjacency,
-                         store.build_adjacency()) < 1e-9
+    assert _max_abs_diff(partitioned.adjacency, store.build_adjacency()) < 1e-9
     assert partitioned.stats.n_edge_partitions == n_partitions
     assert len(partitioned.stats.partition_pairs) == n_partitions
     assert sum(partitioned.stats.partition_pairs) == \
@@ -252,8 +242,7 @@ def test_excess_processes_warn(tiny_table):
 
 def test_matched_processes_do_not_warn(tiny_table, recwarn):
     sharded_adjacency(tiny_table.matrix(), n_shards=2, processes=2)
-    assert not [w for w in recwarn.list
-                if issubclass(w.category, RuntimeWarning)]
+    assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
 
 # -- layout, stats and guards -------------------------------------------
@@ -293,8 +282,7 @@ class TestShardLayout:
     def test_more_shards_than_users(self, tiny_table):
         store = tiny_table.matrix()
         result = sharded_adjacency(store, n_shards=64)
-        assert _max_abs_diff(result.adjacency,
-                             store.build_adjacency()) < 1e-9
+        assert _max_abs_diff(result.adjacency, store.build_adjacency()) < 1e-9
 
     def test_rating_table_accepted_directly(self, tiny_table):
         by_table = sharded_adjacency(tiny_table, n_shards=2)
@@ -333,8 +321,7 @@ class TestEnvResolution:
         with pytest.raises(EngineError):
             resolve_processes(-1)
 
-    def test_edge_partitions_follow_shard_count_by_default(self,
-                                                          monkeypatch):
+    def test_edge_partitions_follow_shard_count_by_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_EDGE_PARTITIONS", raising=False)
         assert resolve_edge_partitions(None, n_shards=1) == 1
         assert resolve_edge_partitions(None, n_shards=6) == 6
@@ -353,8 +340,7 @@ class TestEnvResolution:
 # -- pipeline integration -----------------------------------------------
 
 class TestBaselinerIntegration:
-    def test_env_shards_produce_equivalent_baseline(self, small_trace,
-                                                    monkeypatch):
+    def test_env_shards_produce_equivalent_baseline(self, small_trace, monkeypatch):
         monkeypatch.delenv("REPRO_SHARDS", raising=False)
         reference = Baseliner().compute(small_trace)
         monkeypatch.setenv("REPRO_SHARDS", "4")
@@ -371,10 +357,8 @@ class TestBaselinerIntegration:
 
     def test_preloaded_cache_matches_lazy_lookups(self, small_trace):
         merged = small_trace.merged()
-        baseline = Baseliner(n_shards=3).compute(small_trace,
-                                                 merged=merged)
-        preloaded = SignificanceCache(merged,
-                                      preload=baseline.significance)
+        baseline = Baseliner(n_shards=3).compute(small_trace, merged=merged)
+        preloaded = SignificanceCache(merged, preload=baseline.significance)
         lazy = SignificanceCache(merged)
         for item_i, item_j, _ in baseline.graph.edges():
             assert preloaded.significance(item_i, item_j) == \
@@ -382,8 +366,7 @@ class TestBaselinerIntegration:
             assert preloaded.normalized(item_i, item_j) == \
                 lazy.normalized(item_i, item_j)
 
-    def test_preloaded_cache_pure_python_backend(self, small_trace,
-                                                 monkeypatch):
+    def test_preloaded_cache_pure_python_backend(self, small_trace, monkeypatch):
         """The sharded-significance → SignificanceCache preload path on
         the pure-Python store backend (tier-1 only exercised it on
         NumPy before): preloaded and lazy lookups must stay
@@ -393,11 +376,9 @@ class TestBaselinerIntegration:
         # store is built under the patched backend selection.
         merged = small_trace.merged()
         assert not merged.matrix().uses_numpy
-        baseline = Baseliner(n_shards=3).compute(small_trace,
-                                                 merged=merged)
+        baseline = Baseliner(n_shards=3).compute(small_trace, merged=merged)
         assert baseline.significance is not None
-        preloaded = SignificanceCache(merged,
-                                      preload=baseline.significance)
+        preloaded = SignificanceCache(merged, preload=baseline.significance)
         lazy = SignificanceCache(merged)
         for item_i, item_j, _ in baseline.graph.edges():
             assert preloaded.significance(item_i, item_j) == \

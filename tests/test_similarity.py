@@ -44,14 +44,12 @@ class TestAdjustedCosine:
 
     def test_degenerate_constant_rater(self):
         # Single user rating everything identically: centered values 0.
-        table = RatingTable([
-            Rating("u", "a", 4.0), Rating("u", "b", 4.0)])
+        table = RatingTable([Rating("u", "a", 4.0), Rating("u", "b", 4.0)])
         assert adjusted_cosine(table, "a", "b") == 0.0
 
     def test_all_pairs_matches_pointwise(self, tiny_table):
         for item_i, item_j, sim in all_pairs_adjusted_cosine(tiny_table):
-            assert sim == pytest.approx(
-                adjusted_cosine(tiny_table, item_i, item_j))
+            assert sim == pytest.approx(adjusted_cosine(tiny_table, item_i, item_j))
 
     def test_all_pairs_yields_each_pair_once(self, tiny_table):
         pairs = [(i, j) for i, j, _ in all_pairs_adjusted_cosine(tiny_table)]
@@ -60,16 +58,13 @@ class TestAdjustedCosine:
 
     def test_min_common_users_filter(self, tiny_table):
         loose = list(all_pairs_adjusted_cosine(tiny_table))
-        strict = list(all_pairs_adjusted_cosine(
-            tiny_table, min_common_users=2))
+        strict = list(all_pairs_adjusted_cosine(tiny_table, min_common_users=2))
         assert len(strict) <= len(loose)
 
     def test_max_profile_size_skips_whales(self, tiny_table):
-        capped = list(all_pairs_adjusted_cosine(
-            tiny_table, max_profile_size=2))
+        capped = list(all_pairs_adjusted_cosine(tiny_table, max_profile_size=2))
         # u1 (3 items) and u3 (3 items) are skipped entirely.
-        contributing = {i for i, j, _ in capped} | {
-            j for i, j, _ in capped}
+        contributing = {i for i, j, _ in capped} | {j for i, j, _ in capped}
         assert contributing <= {"a", "b", "d"}
 
 
@@ -117,8 +112,7 @@ class TestPearsonUsers:
         assert pearson_users(tiny_table, "u1", "u2") > 0.0
 
     def test_no_common_items_zero(self):
-        table = RatingTable([
-            Rating("u1", "a", 5.0), Rating("u2", "b", 1.0)])
+        table = RatingTable([Rating("u1", "a", 5.0), Rating("u2", "b", 1.0)])
         assert pearson_users(table, "u1", "u2") == 0.0
 
     def test_bounded(self, small_trace):
@@ -148,8 +142,7 @@ class TestSignificance:
         assert significance(table, "a", "b") == 0
 
     def test_symmetry(self, tiny_table):
-        assert significance(tiny_table, "a", "b") == significance(
-            tiny_table, "b", "a")
+        assert significance(tiny_table, "a", "b") == significance(tiny_table, "b", "a")
 
     def test_normalized_bounds(self, tiny_table):
         value = normalized_significance(tiny_table, "a", "b")

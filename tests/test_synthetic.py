@@ -30,8 +30,7 @@ class TestConfigValidation:
 
     def test_ratings_below_minimum(self):
         with pytest.raises(ConfigError):
-            SyntheticConfig(ratings_per_user=2.0,
-                            min_ratings_per_user=4).validated()
+            SyntheticConfig(ratings_per_user=2.0, min_ratings_per_user=4).validated()
 
     def test_scaled(self):
         config = scaled(SyntheticConfig(), 0.5)
@@ -108,8 +107,7 @@ class TestInterstellarScenario:
         # Interstellar and The Forever War share no rater...
         movies = scenario.source.ratings
         books = scenario.target.ratings
-        assert not (movies.item_users("interstellar")
-                    & books.item_users("forever-war"))
+        assert not (movies.item_users("interstellar") & books.item_users("forever-war"))
         # ...but the Bob->Inception->Cecilia meta-path exists.
         assert "inception" in movies.user_items("bob")
         assert "forever-war" in books.user_items("cecilia")

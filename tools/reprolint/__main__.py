@@ -1,0 +1,6 @@
+"""``python -m reprolint`` entry point."""
+
+from reprolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""The committed JSON baseline: grandfathered findings.
+
+A baseline entry matches on ``(rule, path, obj, message)`` — no line
+numbers, so edits elsewhere in a file do not un-suppress an old
+finding, while moving or editing the flagged code itself does (the
+message embeds the offending names). ``python -m reprolint baseline``
+regenerates the file from the current tree; review the diff like any
+other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from reprolint.core import Finding
+
+FORMAT_VERSION = 1
+
+_KEY_FIELDS = ("rule", "path", "obj", "message")
+
+
+def _key(entry: dict) -> tuple:
+    return tuple(entry.get(field, "") for field in _KEY_FIELDS)
+
+
+def finding_key(finding: Finding) -> tuple:
+    return (finding.rule, finding.path, finding.obj, finding.message)
+
+
+def load(path: Path) -> list[dict]:
+    """Entries from *path*; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if (not isinstance(payload, dict) or payload.get("format") != "reprolint-baseline"):
+        raise ValueError(f"{path} is not a reprolint baseline file")
+    return list(payload.get("entries", []))
+
+
+def save(path: Path, findings: Iterable[Finding]) -> int:
+    """Write a baseline covering *findings*; returns the entry count.
+    Entries are sorted and de-duplicated so regeneration is a stable,
+    reviewable diff."""
+    entries = sorted(
+        {
+            finding_key(finding): {
+                "rule": finding.rule,
+                "name": finding.name,
+                "path": finding.path,
+                "obj": finding.obj,
+                "message": finding.message,
+            }
+            for finding in findings
+        }.values(),
+        key=_key,
+    )
+    payload = {
+        "format": "reprolint-baseline",
+        "format_version": FORMAT_VERSION,
+        "entries": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def split(
+    findings: Sequence[Finding], entries: Sequence[dict]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition *findings* into (fresh, baselined)."""
+    keys = {_key(entry) for entry in entries}
+    fresh: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        if finding_key(finding) in keys:
+            baselined.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, baselined

@@ -1,0 +1,301 @@
+"""The rule framework: findings, source-file context, suppressions,
+and the checker driver.
+
+Two kinds of rules plug into the :class:`Checker`:
+
+* **per-file rules** implement :meth:`Rule.check` and see one parsed
+  :class:`SourceFile` at a time (scoped by :meth:`Rule.applies`);
+* **project rules** implement :meth:`Rule.check_project` and see the
+  whole analysis set plus the repo root — the fault-point drift rule
+  needs both sides of the registry at once.
+
+Findings can be silenced two ways, both visible in review:
+
+* an inline ``# reprolint: disable=REP101`` (or ``disable=all``)
+  comment on the flagged line;
+* an entry in the committed JSON baseline (grandfathered findings —
+  see :mod:`reprolint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code: errors fail the check,
+    warnings are reported but do not."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    name: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    #: enclosing ``Class.method`` qualname — the baseline matches on
+    #: this instead of the line number, so unrelated edits above a
+    #: grandfathered finding do not un-suppress it.
+    obj: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "obj": self.obj,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed python file plus the derived lookups rules need."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        #: repo-relative posix path — the stable identity used in
+        #: findings, baselines and path-scoped rule configs.
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self._disabled: dict[int, set[str]] | None = None
+        self._qualnames: dict[tuple[int, int], str] | None = None
+
+    # -- suppressions --------------------------------------------------
+
+    def disabled_on(self, line: int) -> set[str]:
+        """Rule ids disabled by an inline comment on *line* (1-based);
+        the special token ``all`` disables every rule."""
+        if self._disabled is None:
+            table: dict[int, set[str]] = {}
+            for lineno, raw in enumerate(self.lines, start=1):
+                match = _DISABLE_RE.search(raw)
+                if match is None:
+                    continue
+                tokens = {
+                    token.strip()
+                    for token in match.group(1).replace(",", " ").split()
+                }
+                table[lineno] = {token for token in tokens if token}
+            self._disabled = table
+        return self._disabled.get(line, set())
+
+    def is_disabled(self, rule_id: str, rule_name: str, line: int) -> bool:
+        tokens = self.disabled_on(line)
+        return bool(tokens & {rule_id, rule_name, "all"})
+
+    # -- enclosing-scope qualnames ------------------------------------
+
+    def qualname_at(self, line: int) -> str:
+        """``Class.method`` qualname of the innermost def/class whose
+        body spans *line* ("" at module level)."""
+        if self._qualnames is None:
+            spans: dict[tuple[int, int], str] = {}
+
+            def walk(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(
+                        child,
+                        (
+                            ast.FunctionDef,
+                            ast.AsyncFunctionDef,
+                            ast.ClassDef,
+                        ),
+                    ):
+                        qual = (f"{prefix}.{child.name}" if prefix else child.name)
+                        end = getattr(child, "end_lineno", child.lineno)
+                        spans[(child.lineno, end or child.lineno)] = qual
+                        walk(child, qual)
+                    else:
+                        walk(child, prefix)
+
+            walk(self.tree, "")
+            self._qualnames = spans
+        best = ""
+        best_span = None
+        for (start, end), qual in self._qualnames.items():
+            if start <= line <= end:
+                if best_span is None or (start, -end) > best_span:
+                    best, best_span = qual, (start, -end)
+        return best
+
+
+class Rule:
+    """Base class for one invariant. Subclasses set the class
+    attributes and implement :meth:`check` (per-file) or
+    :meth:`check_project` (whole-repo)."""
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: one-line "what" for the catalog.
+    description: str = ""
+    #: one-line "why" — the incident that motivated the rule.
+    rationale: str = ""
+    project_rule: bool = False
+
+    def applies(self, source: SourceFile) -> bool:
+        return True
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(
+        self, sources: Sequence[SourceFile], root: Path
+    ) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        source: SourceFile,
+        node: ast.AST | None,
+        message: str,
+        *,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> Finding:
+        line = line if line is not None else getattr(node, "lineno", 1)
+        col = col if col is not None else getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            name=self.name,
+            severity=self.severity,
+            path=source.rel,
+            line=line,
+            col=col,
+            message=message,
+            obj=source.qualname_at(line),
+        )
+
+
+@dataclass
+class CheckResult:
+    """What a :meth:`Checker.run` produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [
+            finding
+            for finding in self.findings
+            if finding.severity is Severity.ERROR
+        ]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [
+            finding
+            for finding in self.findings
+            if finding.severity is Severity.WARNING
+        ]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` under *paths* (files given directly included),
+    sorted, skipping bytecode caches."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = (path,)
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = ()
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or "__pycache__" in candidate.parts:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+class Checker:
+    """Run a rule set over a file set, applying inline suppressions.
+
+    Project rules always evaluate against their canonical roots
+    (``src/`` declarations vs ``tests/``+``scripts/`` references for
+    the fault-point registry), independent of which paths were passed
+    on the command line — ``check src`` and ``check src tests`` agree
+    about project-level drift.
+    """
+
+    def __init__(self, rules: Sequence[Rule], root: Path) -> None:
+        self.rules = list(rules)
+        self.root = root.resolve()
+
+    def relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def load(self, path: Path) -> SourceFile:
+        text = path.read_text(encoding="utf-8")
+        return SourceFile(path, self.relpath(path), text)
+
+    def run(self, paths: Sequence[Path]) -> CheckResult:
+        result = CheckResult()
+        sources: list[SourceFile] = []
+        for path in iter_python_files(paths):
+            try:
+                sources.append(self.load(path))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                result.parse_errors.append(f"{self.relpath(path)}: {exc}")
+        result.n_files = len(sources)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if rule.project_rule:
+                raw.extend(rule.check_project(sources, self.root))
+            else:
+                for source in sources:
+                    if rule.applies(source):
+                        raw.extend(rule.check(source))
+        by_rel = {source.rel: source for source in sources}
+        for finding in sorted(raw, key=Finding.sort_key):
+            source = by_rel.get(finding.path)
+            if source is None:
+                # Project rules may report on canonical-root files
+                # outside the command-line path set; load those lazily
+                # so their inline suppressions are still honored.
+                candidate = self.root / finding.path
+                if candidate.is_file():
+                    try:
+                        source = self.load(candidate)
+                    except (SyntaxError, UnicodeDecodeError):
+                        source = None
+                    else:
+                        by_rel[finding.path] = source
+            if source is not None and source.is_disabled(
+                finding.rule, finding.name, finding.line
+            ):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+        return result

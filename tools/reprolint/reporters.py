@@ -1,0 +1,61 @@
+"""Text and JSON reporters for check results."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence, TextIO
+
+from reprolint.core import Finding
+
+
+def report_text(
+    stream: TextIO,
+    findings: Sequence[Finding],
+    *,
+    n_files: int,
+    n_suppressed: int,
+    n_baselined: int,
+    parse_errors: Sequence[str] = (),
+) -> None:
+    for error in parse_errors:
+        stream.write(f"PARSE ERROR: {error}\n")
+    for finding in findings:
+        stream.write(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} [{finding.severity.value}] "
+            f"{finding.message} ({finding.name})\n"
+        )
+    n_errors = sum(1 for f in findings if f.severity.value == "error")
+    n_warnings = len(findings) - n_errors
+    summary = (
+        f"{n_files} files checked: {n_errors} error(s), "
+        f"{n_warnings} warning(s)"
+    )
+    extras = []
+    if n_suppressed:
+        extras.append(f"{n_suppressed} inline-suppressed")
+    if n_baselined:
+        extras.append(f"{n_baselined} baselined")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    stream.write(summary + "\n")
+
+
+def report_json(
+    stream: TextIO,
+    findings: Sequence[Finding],
+    *,
+    n_files: int,
+    n_suppressed: int,
+    n_baselined: int,
+    parse_errors: Sequence[str] = (),
+) -> None:
+    payload = {
+        "format": "reprolint-report",
+        "n_files": n_files,
+        "n_suppressed": n_suppressed,
+        "n_baselined": n_baselined,
+        "parse_errors": list(parse_errors),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    stream.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,43 @@
+"""The shipped rule set. ``ALL_RULES`` is the registry the CLI runs;
+order is cosmetic (findings are location-sorted by the checker)."""
+
+from __future__ import annotations
+
+from reprolint.core import Rule
+from reprolint.rules.asyncio_hygiene import (
+    BlockingCallInAsyncRule,
+    CancelledErrorSwallowedRule,
+)
+from reprolint.rules.backend import NumpyImportRule, NumpyInFallbackRule
+from reprolint.rules.determinism import (
+    SaltedHashRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from reprolint.rules.durability import UnsyncedRenameRule
+from reprolint.rules.exceptions import BareExceptRule, SilentExceptionRule
+from reprolint.rules.faultpoints import FaultPointDriftRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    SaltedHashRule(),
+    UnseededRandomRule(),
+    WallClockRule(),
+    NumpyImportRule(),
+    NumpyInFallbackRule(),
+    UnsyncedRenameRule(),
+    BlockingCallInAsyncRule(),
+    CancelledErrorSwallowedRule(),
+    BareExceptRule(),
+    SilentExceptionRule(),
+    FaultPointDriftRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in ALL_RULES:
+        if rule.id == rule_id or rule.name == rule_id:
+            return rule
+    raise KeyError(rule_id)
+
+
+__all__ = ["ALL_RULES", "rule_by_id"]

@@ -1,0 +1,193 @@
+"""Backend-purity rules: the NumPy/pure-python split stays clean.
+
+* **REP201 numpy-import** — only the dual-backend dispatch modules
+  (and the documented numpy-native features) may import numpy. A
+  stray ``import numpy`` anywhere else silently breaks the
+  ``REPRO_PURE_PYTHON=1`` contract the CI matrix exists to protect.
+* **REP202 numpy-in-fallback** — inside a dispatch module, the pure
+  branch of a backend switch (``if use_numpy: ... else: ...``) must
+  not reference ``np.`` / ``_np.``: that code runs exactly when numpy
+  is absent or disabled, so the reference is a latent AttributeError
+  on the fallback leg of the matrix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.config import DISPATCH_MODULES, NUMPY_NATIVE, in_trees
+from reprolint.core import Finding, Rule, SourceFile
+
+_NUMPY_ALIASES = {"np", "_np", "numpy"}
+_SWITCH_NAMES = {"use_numpy", "_use_numpy"}
+
+
+class NumpyImportRule(Rule):
+    id = "REP201"
+    name = "numpy-import"
+    description = (
+        "numpy imported outside the dual-backend dispatch modules "
+        "and documented numpy-native features"
+    )
+    rationale = (
+        "the library runs stdlib-only under REPRO_PURE_PYTHON=1; "
+        "every new numpy import must go through the dispatch seam"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.rel.startswith("src/") and not (
+            in_trees(source.rel, DISPATCH_MODULES)
+            or in_trees(source.rel, NUMPY_NATIVE)
+        )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                if name == "numpy" or name.startswith("numpy."):
+                    yield self.finding(
+                        source,
+                        node,
+                        "numpy import outside the dispatch modules; "
+                        "route through repro.data.matrix's backend "
+                        "seam (or add the module to the documented "
+                        "numpy-native list in tools/reprolint/"
+                        "config.py)",
+                    )
+                    break
+
+
+def _switch_polarity(test: ast.expr) -> str | None:
+    """Classify a branch condition as a backend switch.
+
+    Returns ``"numpy"`` when the *body* of the ``if`` is the numpy
+    path, ``"pure"`` when the body is the pure path, ``None`` when the
+    condition is not a backend switch at all.
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner = _switch_polarity(test.operand)
+        if inner == "numpy":
+            return "pure"
+        if inner == "pure":
+            return "numpy"
+        return None
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        # `_np is not None and isinstance(...)`: the leading switch
+        # decides — the body only runs on the numpy side.
+        return _switch_polarity(test.values[0])
+    if isinstance(test, ast.Name) and test.id in _SWITCH_NAMES:
+        return "numpy"
+    if isinstance(test, ast.Attribute) and test.attr in _SWITCH_NAMES:
+        return "numpy"
+    if isinstance(test, ast.Call):
+        func = test.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name == "numpy_available":
+            return "numpy"
+        return None
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, right = test.left, test.comparators[0]
+        names = {node.id for node in (left, right) if isinstance(node, ast.Name)}
+        if names & _NUMPY_ALIASES and any(
+            isinstance(node, ast.Constant) and node.value is None
+            for node in (left, right)
+        ):
+            if isinstance(test.ops[0], ast.Is):
+                return "pure"
+            if isinstance(test.ops[0], ast.IsNot):
+                return "numpy"
+    return None
+
+
+class NumpyInFallbackRule(Rule):
+    id = "REP202"
+    name = "numpy-in-fallback"
+    description = (
+        "np./_np. referenced inside the pure-python branch of a "
+        "backend switch"
+    )
+    rationale = (
+        "the pure branch runs exactly when numpy is absent/disabled; "
+        "any np. reference there is an AttributeError waiting for the "
+        "pure-python CI leg"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return in_trees(source.rel, DISPATCH_MODULES)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.If):
+                polarity = _switch_polarity(node.test)
+                if polarity == "numpy":
+                    pure_side: list[ast.stmt] = node.orelse
+                elif polarity == "pure":
+                    pure_side = node.body
+                else:
+                    continue
+                for stmt in pure_side:
+                    findings.extend(self._scan_pure(source, stmt))
+            elif isinstance(node, ast.IfExp):
+                polarity = _switch_polarity(node.test)
+                branch: ast.expr | None = None
+                if polarity == "numpy":
+                    branch = node.orelse
+                elif polarity == "pure":
+                    branch = node.body
+                if branch is not None:
+                    findings.extend(self._scan_pure(source, branch))
+        # Nested switches produce duplicate findings when both the
+        # outer and inner pure branches cover a node; keep the first.
+        seen: set[tuple[int, int]] = set()
+        for finding in findings:
+            key = (finding.line, finding.col)
+            if key not in seen:
+                seen.add(key)
+                yield finding
+
+    def _scan_pure(self, source: SourceFile, node: ast.AST) -> Iterable[Finding]:
+        """Flag numpy references in a pure branch, skipping any nested
+        backend switch's numpy side (it re-dispatches legitimately)."""
+        if isinstance(node, ast.If):
+            polarity = _switch_polarity(node.test)
+            if polarity is not None:
+                pure = node.body if polarity == "pure" else node.orelse
+                for stmt in pure:
+                    yield from self._scan_pure(source, stmt)
+                return
+        if isinstance(node, ast.IfExp):
+            polarity = _switch_polarity(node.test)
+            if polarity is not None:
+                yield from self._scan_pure(
+                    source,
+                    node.body if polarity == "pure" else node.orelse,
+                )
+                return
+        if isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in _NUMPY_ALIASES:
+                yield self.finding(
+                    source,
+                    node,
+                    f"{value.id}.{node.attr} referenced in the "
+                    "pure-python fallback branch",
+                )
+        if isinstance(node, ast.Compare):
+            # `_np is None` re-checks inside a pure branch are guards,
+            # not usage; their operands are Names, handled below.
+            pass
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_pure(source, child)

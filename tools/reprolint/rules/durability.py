@@ -1,0 +1,125 @@
+"""Durability rule: every atomic-rename site keeps the fsync
+discipline.
+
+* **REP301 unsynced-rename** — a write-then-``os.replace`` site must
+  fsync the tmp file's bytes *before* the rename and the directory
+  entry *after* it, or a power loss can publish a name whose content
+  (or whose very existence) is not on stable storage. The MANIFEST-
+  last pattern in ``snapshot.py`` / ``watch.py`` /
+  ``durability/manager.py`` is maintained by hand at every new
+  ``os.replace`` site — this rule makes the pattern mechanical.
+
+The check is lexical within the enclosing function: some call that
+fsyncs file bytes (``_fsync_file`` / ``os.fsync``) must precede the
+rename, and some directory sync (``_fsync_dir``) must follow it.
+That is exactly the shape of every compliant site in the tree; a
+site with a genuinely different-but-correct shape can carry an
+inline ``# reprolint: disable=REP301`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Finding, Rule, SourceFile
+
+_RENAME_FNS = {"replace", "rename"}
+_FILE_SYNC_FNS = {"_fsync_file", "fsync"}
+_DIR_SYNC_FNS = {"_fsync_dir", "fsync_dir"}
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_os_call(node: ast.Call, names: set[str]) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr in names
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "os"
+    )
+
+
+class UnsyncedRenameRule(Rule):
+    id = "REP301"
+    name = "unsynced-rename"
+    description = (
+        "os.replace/os.rename without fsync of the tmp file before "
+        "and of the directory after"
+    )
+    rationale = (
+        "the MANIFEST-last discipline: a crashed publish must never "
+        "leave a durable name pointing at non-durable bytes"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.rel.startswith("src/")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        claimed: set[tuple[int, int]] = set()
+        # Innermost function scopes first, the module last, so each
+        # rename is judged against exactly one (its tightest) scope.
+        for scope in self._scopes(source.tree):
+            calls = [node for node in ast.walk(scope) if isinstance(node, ast.Call)]
+            renames = [
+                node
+                for node in calls
+                if _is_os_call(node, _RENAME_FNS)
+                and (node.lineno, node.col_offset) not in claimed
+            ]
+            claimed.update((node.lineno, node.col_offset) for node in renames)
+            if not renames:
+                continue
+            file_sync_lines = [
+                node.lineno
+                for node in calls
+                if _call_name(node) in _FILE_SYNC_FNS
+            ]
+            dir_sync_lines = [
+                node.lineno
+                for node in calls
+                if _call_name(node) in _DIR_SYNC_FNS
+            ]
+            for rename in renames:
+                synced_before = any(line <= rename.lineno for line in file_sync_lines)
+                synced_after = any(line >= rename.lineno for line in dir_sync_lines)
+                if synced_before and synced_after:
+                    continue
+                missing = []
+                if not synced_before:
+                    missing.append(
+                        "fsync of the tmp file before the rename "
+                        "(_fsync_file / os.fsync)"
+                    )
+                if not synced_after:
+                    missing.append(
+                        "fsync of the directory after the rename "
+                        "(_fsync_dir)"
+                    )
+                yield self.finding(
+                    source,
+                    rename,
+                    "atomic-rename site missing " + " and ".join(missing),
+                )
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> Iterable[ast.AST]:
+        """Function scopes innermost-first, then the module itself
+        (for top-level rename sites)."""
+        functions = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # ast.walk is breadth-first from the root, so reversing yields
+        # inner defs before the defs that contain them.
+        yield from reversed(functions)
+        yield tree

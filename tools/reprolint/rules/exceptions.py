@@ -1,0 +1,102 @@
+"""Exception-hygiene rules.
+
+* **REP501 bare-except** — ``except:`` catches ``SystemExit``,
+  ``KeyboardInterrupt``, :class:`InjectedCrash` (deliberately a
+  ``BaseException`` so library code cannot survive a simulated power
+  loss) and ``CancelledError``; there is no situation in ``src/`` or
+  ``scripts/`` where that is the intent.
+* **REP502 silent-exception** — ``except Exception: pass`` hides real
+  failures with no trace. Narrow, documented swallows
+  (``except (OSError, RuntimeError): pass`` around a double-close)
+  are fine and not flagged; broad silent ones are not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Finding, Rule, SourceFile
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _type_names(annotation: ast.expr | None) -> set[str]:
+    if annotation is None:
+        return set()
+    if isinstance(annotation, ast.Tuple):
+        names: set[str] = set()
+        for element in annotation.elts:
+            names |= _type_names(element)
+        return names
+    node = annotation
+    while isinstance(node, ast.Attribute):
+        node = node.value  # asyncio.CancelledError -> CancelledError
+    if isinstance(annotation, ast.Attribute):
+        return {annotation.attr}
+    if isinstance(annotation, ast.Name):
+        return {annotation.id}
+    return set()
+
+
+class _SrcAndScriptsRule(Rule):
+    def applies(self, source: SourceFile) -> bool:
+        return source.rel.startswith(("src/", "scripts/"))
+
+
+class BareExceptRule(_SrcAndScriptsRule):
+    id = "REP501"
+    name = "bare-except"
+    description = "bare `except:` in src/ or scripts/"
+    rationale = (
+        "a bare except survives SIGINT, SystemExit and the fault "
+        "harness's InjectedCrash — failures the code must die from"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "bare except:; name the exceptions this handler "
+                    "is really for",
+                )
+
+
+class SilentExceptionRule(_SrcAndScriptsRule):
+    id = "REP502"
+    name = "silent-exception"
+    description = (
+        "`except Exception:`/`except BaseException:` whose body is "
+        "only pass/..."
+    )
+    rationale = (
+        "a broad silent swallow hides the first real failure; narrow "
+        "the type or handle (log, count, re-raise) the error"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _type_names(node.type)
+            broad = node.type is None or (names & _BROAD)
+            if not broad:
+                continue
+            silent = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is Ellipsis
+                )
+                for stmt in node.body
+            )
+            if silent:
+                yield self.finding(
+                    source,
+                    node,
+                    "broad exception handler silently passes; narrow "
+                    "the exception type or handle the failure",
+                )
