@@ -24,7 +24,7 @@ answer that comes back must be exactly right**: correct scores for
 its tagged version, versions never stepping backwards per client.
 Chaos may cost latency; it may never cost correctness.
 
-Then two more legs:
+Then three more legs:
 
 * **shed probe** — a second server over the same fleet with a
   one-slot admission window (``max_inflight=1, max_queue=0``) takes a
@@ -32,9 +32,30 @@ Then two more legs:
   ``Retry-After`` (bounded queueing made explicit), and every ``200``
   that does get through is diffed like the rest. A shed is always
   correct; a wrong answer never is.
+* **stale probe** — with the traffic done, ``allow_stale`` is enabled
+  and the fleet's version floor inflated past anything the catalog
+  holds (exactly what a dead worker that had served far ahead leaves
+  behind): one request must come back ``200`` with ``"stale": true``
+  and correct scores for its tagged version — degraded, explicit,
+  never wrong.
 * **drain** — ``server.drain()`` must leave the listener closed and
   **every pid the pool ever spawned** dead: chaos or not, shutdown
   leaves no orphans.
+
+The run is also the **telemetry gate**. ``REPRO_OBS_LOG=1`` is set for
+the whole topology and every ``repro.obs`` / ``repro.gateway`` log
+line is captured in-process; afterwards the driver scrapes
+``GET /metrics`` (main server and shed server — each gateway carries
+its own registry, both merged with the shared pool's and the workers')
+and reconciles the fleet's own story against the clients':
+
+* restart / retry / shed / stale counters are **nonzero** (the chaos
+  plan really fired) and equal the client-side tallies and pool stats;
+* ``requests_total`` is conserved across the per-status response
+  counters;
+* the ``X-Request-Id`` of **every failed response** a client saw
+  appears in a captured server-side log line — the correlation a 3 AM
+  page actually needs.
 
 The work directory defaults to a fresh temp dir removed at exit; pass
 ``--keep`` (or an explicit directory plus ``--keep``) to inspect it.
@@ -47,6 +68,7 @@ import asyncio
 import atexit
 import http.client
 import json
+import logging
 import os
 import random
 import shutil
@@ -126,6 +148,39 @@ def _update_batch(round_number: int):
     ]
 
 
+class _CaptureHandler(logging.Handler):
+    """Collects every log line the gateway side emits in-process, so
+    the trace-correlation gate can grep them after the run."""
+
+    def __init__(self, out: list) -> None:
+        super().__init__(level=logging.INFO)
+        self.out = out
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.out.append(record.getMessage())
+
+
+def _scrape_metrics(port: int) -> dict[str, float]:
+    """GET /metrics, parsed to ``{'name{labels}': value}``."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"/metrics -> HTTP {response.status}: "
+                               f"{body[:200]!r}")
+    finally:
+        connection.close()
+    samples: dict[str, float] = {}
+    for line in body.decode("utf-8").splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    return samples
+
+
 def _get(port: int, target: str, timeout: float = 30.0):
     """One GET; returns (status, headers, payload-dict)."""
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
@@ -161,12 +216,15 @@ def _client_loop(port: int, client_id: int, users: list[str],
         status = None
         for attempt in range(4):
             try:
-                status, _, payload = _get(port, target)
+                status, headers, payload = _get(port, target)
             except Exception as exc:  # noqa: BLE001 - retried, then fatal
-                status, payload = -1, {"error": str(exc)}
+                status, headers, payload = -1, {}, {"error": str(exc)}
             if status == 200:
                 break
-            retry_counts.append((client_id, seq, status))
+            # Every failed *response* carries an X-Request-Id; keep it
+            # so the telemetry gate can demand a matching server-side
+            # log line. A connection-level failure (-1) has none.
+            retry_counts.append((client_id, seq, status, headers.get("x-request-id")))
             time.sleep(0.1 * (attempt + 1))
         if status != 200:
             errors.append(f"client {client_id} request {seq}: "
@@ -188,7 +246,7 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
                       call_timeout=10.0, retries=3,
                       hedge_delay=0.25,
                       backoff_base=0.05, backoff_cap=0.5,
-                      worker_env=plan.to_env())
+                      worker_env={**plan.to_env(), "REPRO_OBS_LOG": "1"})
     await pool.start()
     server = GatewayServer(pool, max_delay=0.005)
     await server.start()
@@ -199,6 +257,8 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
     executor = ThreadPoolExecutor(max_workers=N_CLIENTS + BURST + 2)
     shed_failures: list[str] = []
     shed_stats = {}
+    telemetry: dict = {"failed_ids": [], "metrics": {},
+                       "tiny_metrics": {}, "stale_probe": {}}
     try:
         clients = [
             loop.run_in_executor(
@@ -249,6 +309,7 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
                         shed_failures.append(f"burst {index}: 429 without Retry-After")
                     if payload.get("error", {}).get("code") != "overloaded":
                         shed_failures.append(f"burst {index}: 429 body {payload}")
+                    telemetry["failed_ids"].append(headers.get("x-request-id"))
                 elif status == 200:
                     responses.append((-1, index, "recommend", user,
                                       payload["version"],
@@ -263,8 +324,38 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
                 shed_failures.append("the shed probe served nothing")
             shed_stats = {"shed": n_shed, "served": n_ok,
                           "server_shed_count": tiny.n_shed}
+            telemetry["tiny_metrics"] = await loop.run_in_executor(
+                executor, _scrape_metrics, tiny.port)
         finally:
             await tiny.close()
+
+        # --- stale probe: unreachable floor degrades, explicitly ---
+        # Flip the pool into bounded-staleness mode and inflate the
+        # version floor past anything the catalog holds — exactly the
+        # state a dead worker that had served far ahead leaves behind
+        # (test_chaos plays the same trick). The answer must be a 200,
+        # tagged stale, with correct scores for its tagged version.
+        pool.allow_stale = True
+        pool.fleet_version += 50
+        status, headers, payload = await loop.run_in_executor(
+            executor, _get, server.port,
+            f"/recommend?user={users[0]}&n={TOP_N}")
+        telemetry["stale_probe"] = {
+            "status": status,
+            "stale": bool(payload.get("stale")),
+            "request_id": headers.get("x-request-id"),
+        }
+        if status == 200:
+            responses.append((-2, 0, "recommend", users[0],
+                              payload["version"],
+                              payload["recommendations"]))
+
+        # Scrape the main server's fleet-merged /metrics while the
+        # topology is still up; the telemetry gate reconciles it
+        # against the clients' tallies after everything is gone.
+        telemetry["metrics"] = await loop.run_in_executor(
+            executor, _scrape_metrics, server.port)
+        stats = pool.stats()
 
         # --- drain: no orphans, listener closed ---
         await server.drain(grace=15.0)
@@ -288,7 +379,7 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
         await pool.close()
         executor.shutdown(wait=False)
     return (responses, errors, retry_counts, stats, shed_failures,
-            shed_stats, drain_failures)
+            shed_stats, drain_failures, telemetry)
 
 
 def _pid_alive(pid: int) -> bool:
@@ -354,10 +445,80 @@ def _verify(responses: list, references: dict) -> list[str]:
     return failures
 
 
+def _check_telemetry(telemetry: dict, retry_counts: list, shed_stats: dict,
+                     stats: dict, log_lines: list[str]) -> list[str]:
+    """The fleet's own story vs the clients': every chaos counter
+    nonzero and equal to the client-side tally, requests conserved,
+    and every failed response's X-Request-Id present in a captured
+    server-side log line."""
+    failures = []
+    metrics = telemetry["metrics"]
+    tiny = telemetry["tiny_metrics"]
+    probe = telemetry["stale_probe"]
+
+    answered = sum(value for key, value in metrics.items()
+                   if key.startswith("gateway_http_responses_total{"))
+    requests = metrics.get("gateway_http_requests_total", -1.0)
+    if requests != answered + 1:
+        failures.append(
+            f"/metrics conservation broken: requests_total={requests} "
+            f"!= {answered} answered + 1 in-flight scrape")
+
+    restarts = metrics.get("gateway_worker_restarts_total", 0.0)
+    if restarts != stats["n_restarts"] or restarts == 0:
+        failures.append(
+            f"/metrics restarts={restarts} vs pool stats "
+            f"{stats['n_restarts']} (must match, nonzero)")
+    if metrics.get("gateway_retries_total", 0.0) <= 0:
+        failures.append("chaos produced no pool retries in /metrics")
+
+    shed_counted = tiny.get("gateway_shed_total", 0.0)
+    if shed_counted != shed_stats.get("shed") or shed_counted == 0:
+        failures.append(
+            f"shed-server /metrics counted {shed_counted} sheds, "
+            f"clients tallied {shed_stats.get('shed')} 429s")
+
+    if not (probe.get("status") == 200 and probe.get("stale")):
+        failures.append(f"stale probe did not degrade: {probe}")
+    n_stale = metrics.get("gateway_stale_responses_total", 0.0)
+    if n_stale != 1:
+        failures.append(
+            f"/metrics counted {n_stale} stale responses, clients "
+            f"tallied 1 (the stale probe)")
+    if metrics.get("gateway_stale_serves_total", 0.0) < 1:
+        failures.append("the pool's stale-serve counter never moved")
+
+    failed_ids = [rid for rid in
+                  ([record[3] for record in retry_counts] + telemetry["failed_ids"])
+                  if rid]
+    if not failed_ids:
+        failures.append(
+            "no failed response carried an X-Request-Id — the "
+            "correlation gate proved nothing")
+    joined = "\n".join(log_lines)
+    missing = sorted({rid for rid in failed_ids if rid not in joined})
+    if missing:
+        failures.append(
+            f"{len(missing)} failed-response trace ids never appeared "
+            f"in a server-side log line: {missing[:5]}")
+    return failures
+
+
 def _drive(work_dir: str, pure_python: bool, seed: int) -> int:
     from repro.engine.sharded_sweep import IncrementalSweep
     from repro.serving.registry import ModelRegistry
     from repro.serving.watch import SnapshotCatalog
+
+    # The telemetry gate needs the structured log lines: turn the
+    # REPRO_OBS_LOG firehose on for this process (the gateway side)
+    # and capture everything the obs/gateway loggers emit.
+    os.environ["REPRO_OBS_LOG"] = "1"
+    log_lines: list[str] = []
+    capture = _CaptureHandler(log_lines)
+    for logger_name in ("repro.obs", "repro.gateway"):
+        obs_logger = logging.getLogger(logger_name)
+        obs_logger.setLevel(logging.INFO)
+        obs_logger.addHandler(capture)
 
     work = Path(work_dir)
     work.mkdir(parents=True, exist_ok=True)
@@ -370,13 +531,16 @@ def _drive(work_dir: str, pure_python: bool, seed: int) -> int:
     items = [f"i{i:03d}" for i in range(N_ITEMS)]
 
     (responses, errors, retry_counts, stats, shed_failures, shed_stats,
-     drain_failures) = asyncio.run(
+     drain_failures, telemetry) = asyncio.run(
         _drive_traffic(work, registry, pure_python, users, items))
     for error in errors:
         print(f"chaos-smoke: request FAILED: {error}")
 
     references = _reference_services(catalog, pure_python)
     failures = _verify(responses, references)
+    if not errors:
+        failures.extend(_check_telemetry(
+            telemetry, retry_counts, shed_stats, stats, log_lines))
     versions_seen = sorted({record[4] for record in responses if record[0] >= 0})
     if len(versions_seen) < 2:
         failures.append(
@@ -399,7 +563,10 @@ def _drive(work_dir: str, pure_python: bool, seed: int) -> int:
           f"{PLAN_SEED}; fleet restarts={stats['n_restarts']} "
           f"spawn_failures={stats['n_spawn_failures']} "
           f"hedged={stats['n_hedged']}/{stats['n_hedge_wins']} wins; "
-          f"shed probe {shed_stats}; diff<={TOLERANCE:g} "
+          f"shed probe {shed_stats}; stale probe "
+          f"{telemetry['stale_probe']}; telemetry gate over "
+          f"{len(telemetry['metrics'])} samples / {len(log_lines)} "
+          f"captured log lines; diff<={TOLERANCE:g} "
           f"-> {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 

@@ -32,6 +32,17 @@ asserts, per response:
   publishes really overlapped the traffic — otherwise the run proved
   nothing and the driver fails it.
 
+After the traffic lands (fleet still up) the driver scrapes
+``GET /metrics`` and reconciles the server's telemetry against the
+clients' own tallies: every parsed request is accounted for by a
+response counter (``requests_total == Σ responses_total + 1`` for the
+in-flight scrape itself), the 200 count equals the responses the
+clients collected, the stale-response counter equals the stale-tagged
+payloads the clients saw (zero here — no faults, no degraded mode),
+the coalescer count equals the single-user requests completed, and
+worker-side counters really crossed the process boundary. A telemetry
+layer that disagrees with the clients it served fails the smoke.
+
 The work directory defaults to a fresh temp dir removed at exit; pass
 ``--keep`` (or an explicit directory plus ``--keep``) to inspect it.
 """
@@ -108,10 +119,34 @@ def _get(port: int, target: str) -> dict:
         connection.close()
 
 
+def _scrape_metrics(port: int) -> dict[str, float]:
+    """GET /metrics, parsed to ``{'name{labels}': value}``."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"/metrics -> HTTP {response.status}: "
+                               f"{body[:200]!r}")
+    finally:
+        connection.close()
+    samples: dict[str, float] = {}
+    for line in body.decode("utf-8").splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    return samples
+
+
 def _client_loop(port: int, client_id: int, users: list[str],
-                 items: list[str], out: list, errors: list) -> None:
+                 items: list[str], out: list, errors: list,
+                 stales: list) -> None:
     """One client thread's request sequence; records
-    (client_id, seq, kind, key, version, payload) per response."""
+    (client_id, seq, kind, key, version, payload) per response, and
+    every stale-tagged payload into *stales* (the client-side tally
+    the /metrics gate reconciles against)."""
     rng = random.Random(1000 + client_id)
     for seq in range(REQUESTS_PER_CLIENT):
         kind = "similar" if seq % 3 == 2 else "recommend"
@@ -130,6 +165,8 @@ def _client_loop(port: int, client_id: int, users: list[str],
                 payload = _get(port, f"/similar_items?item={item}&k={SIMILAR_K}")
                 out.append((client_id, seq, kind, item,
                             payload["version"], payload["neighbors"]))
+            if payload.get("stale"):
+                stales.append((client_id, seq))
         except Exception as exc:  # noqa: BLE001 - recorded, then fatal
             errors.append(f"client {client_id} request {seq}: {exc}")
             return
@@ -149,6 +186,8 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
     loop = asyncio.get_running_loop()
     responses: list = []
     errors: list = []
+    stales: list = []
+    metrics: dict = {}
     # A dedicated executor: the default pool is tiny on small machines
     # and the publisher must never queue behind the client threads.
     executor = ThreadPoolExecutor(max_workers=N_CLIENTS + 2)
@@ -156,7 +195,7 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
         clients = [
             loop.run_in_executor(
                 executor, _client_loop, server.port, client_id, users,
-                items, responses, errors)
+                items, responses, errors, stales)
             for client_id in range(N_CLIENTS)]
 
         total = N_CLIENTS * REQUESTS_PER_CLIENT
@@ -174,11 +213,52 @@ async def _drive_traffic(work: Path, registry, pure_python: bool,
                   f"{len(responses)}/{total} responses")
         await asyncio.gather(*clients)
         stats = pool.stats()
+        # Scrape the fleet-merged /metrics while everything is still
+        # up; the conservation gate reconciles it against the
+        # client-side tallies after the fleet is gone.
+        metrics = await loop.run_in_executor(executor, _scrape_metrics, server.port)
     finally:
         await server.close()
         await pool.close()
         executor.shutdown(wait=False)
-    return responses, errors, stats
+    return responses, errors, stales, metrics, stats
+
+
+def _check_metrics(metrics: dict, responses: list, stales: list) -> list[str]:
+    """Conservation invariants between the scraped /metrics and what
+    the clients actually observed. The scrape itself is the one
+    request counted at ingress but not yet answered when the snapshot
+    was taken, hence the ``+ 1``."""
+    failures = []
+    answered = sum(
+        value for key, value in metrics.items()
+        if key.startswith("gateway_http_responses_total{"))
+    requests = metrics.get("gateway_http_requests_total", -1.0)
+    if requests != answered + 1:
+        failures.append(
+            f"/metrics conservation broken: requests_total={requests} "
+            f"!= {answered} answered + 1 in-flight scrape")
+    n_ok = metrics.get('gateway_http_responses_total{code="200"}', 0.0)
+    if n_ok != len(responses):
+        failures.append(
+            f"/metrics counted {n_ok} HTTP 200s, clients saw "
+            f"{len(responses)}")
+    n_stale = metrics.get("gateway_stale_responses_total", 0.0)
+    if n_stale != len(stales):
+        failures.append(
+            f"/metrics counted {n_stale} stale responses, clients "
+            f"tallied {len(stales)}")
+    n_recommend = sum(1 for r in responses if r[2] == "recommend")
+    coalesced = metrics.get("gateway_coalesced_requests_total", 0.0)
+    if coalesced != n_recommend:
+        failures.append(
+            f"coalescer saw {coalesced} single-user requests, clients "
+            f"completed {n_recommend}")
+    if metrics.get('worker_requests_total{method="recommend"}', 0.0) <= 0:
+        failures.append(
+            "no worker-side request counts crossed the process "
+            "boundary into /metrics")
+    return failures
 
 
 def _reference_services(catalog, pure_python: bool) -> dict:
@@ -249,13 +329,15 @@ def _drive(work_dir: str, pure_python: bool, seed: int) -> int:
     users = [f"u{i:03d}" for i in range(N_USERS)]
     items = [f"i{i:03d}" for i in range(N_ITEMS)]
 
-    responses, errors, stats = asyncio.run(
+    responses, errors, stales, metrics, stats = asyncio.run(
         _drive_traffic(work, registry, pure_python, users, items))
     for error in errors:
         print(f"gateway-smoke: request FAILED: {error}")
 
     references = _reference_services(catalog, pure_python)
     failures = _verify(responses, references)
+    if not errors:
+        failures.extend(_check_metrics(metrics, responses, stales))
     versions_seen = sorted({record[4] for record in responses})
     if len(versions_seen) < 2:
         failures.append(
@@ -276,8 +358,9 @@ def _drive(work_dir: str, pure_python: bool, seed: int) -> int:
         for version in versions_seen}
     print(f"gateway-smoke[{label}]: {len(responses)} responses over "
           f"versions {per_version}, fleet={stats['alive']} alive / "
-          f"{stats['n_restarts']} restarts, diff<={TOLERANCE:g} "
-          f"-> {'PASS' if ok else 'FAIL'}")
+          f"{stats['n_restarts']} restarts, "
+          f"metrics gate over {len(metrics)} samples, "
+          f"diff<={TOLERANCE:g} -> {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 
 

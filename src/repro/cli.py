@@ -466,7 +466,21 @@ def _make_pool_and_server(args, port: int = 0, host: str = "127.0.0.1"):
 
 def _cmd_serve_http(args) -> int:
     import asyncio
+    import logging
     import signal
+
+    from repro.obs import log_enabled
+
+    # Operator-facing: with REPRO_OBS_LOG set, the structured span/event
+    # JSON lines (logger ``repro.obs``) and gateway warnings must reach
+    # stderr — without a handler Python's lastResort only shows
+    # WARNING+, which would silently eat the telemetry the knob asks
+    # for. No-op if the embedding app configured logging already.
+    if log_enabled() and not logging.getLogger("repro").handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logging.getLogger("repro").addHandler(handler)
+        logging.getLogger("repro").setLevel(logging.INFO)
 
     async def run() -> None:
         pool, server = _make_pool_and_server(args, port=args.port, host=args.host)

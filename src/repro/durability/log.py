@@ -59,6 +59,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, NamedTuple
@@ -67,6 +68,17 @@ from zlib import crc32
 from repro.data.ratings import Rating
 from repro.durability import faults
 from repro.errors import DurabilityError
+from repro.obs.metrics import get_registry
+
+_M_APPENDS = get_registry().counter(
+    "wal_appends_total", "batches appended to the write-ahead log"
+)
+_M_FSYNCS = get_registry().counter(
+    "wal_fsyncs_total", "fsync barriers the group-commit discipline ran"
+)
+_M_FSYNC_SECONDS = get_registry().histogram(
+    "wal_fsync_seconds", "wall seconds per WAL fsync barrier"
+)
 
 SEGMENT_MAGIC = b"XMAPWAL1"
 _HEADER = struct.Struct("<QII")  # seq, payload length, crc
@@ -427,6 +439,7 @@ class RatingLog:
         )
         self.last_seq = seq
         self._pending += 1
+        _M_APPENDS.inc()
         if sync or (sync is None and self._pending >= self.group_commit):
             self.sync()
         return seq
@@ -437,7 +450,10 @@ class RatingLog:
         if self._pending and self._file is not None:
             faults.crash_point("wal.fsync")
             if self.fsync_enabled:
+                started = time.perf_counter()
                 os.fsync(self._file.fileno())
+                _M_FSYNC_SECONDS.observe(time.perf_counter() - started)
+                _M_FSYNCS.inc()
                 self.durable_seq = self.last_seq
             self._pending = 0
         return self.durable_seq

@@ -57,6 +57,16 @@ from dataclasses import dataclass, field
 
 from repro.durability.faults import InjectedCrash
 from repro.errors import ReproError
+from repro.obs.metrics import get_registry
+
+_M_INJECTED = get_registry().counter(
+    "faults_injected_total",
+    "fault-plan rules that fired, by kind and point",
+    labels=("kind", "point"),
+)
+_M_PLANS = get_registry().counter(
+    "fault_plans_installed_total", "fault plans armed in this process"
+)
 
 PLAN_ENV = "REPRO_FAULT_PLAN"
 SPAWN_SEQ_ENV = "REPRO_FAULT_SPAWN_SEQ"
@@ -197,6 +207,11 @@ class FaultPlan:
                 continue
             state.fired += 1
             decision = rule
+        if decision is not None:
+            # decide() is the single choke point every firing rule
+            # passes through — counting here covers plain and frame
+            # points alike, in whichever process the plan is armed.
+            _M_INJECTED.labels(decision.kind, point).inc()
         return decision
 
     # ------------------------------------------------------------------
@@ -249,6 +264,7 @@ def install_plan(plan: FaultPlan) -> None:
     """Arm *plan* for every subsequent fault/crash point in-process."""
     global _plan
     _plan = plan
+    _M_PLANS.inc()
 
 
 def uninstall_plan() -> None:

@@ -86,6 +86,9 @@ class GatewayClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: the ``X-Request-Id`` of the most recent response — what a
+        #: client quotes to correlate a failure with server-side logs.
+        self.last_request_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
 
     def _connection(self) -> http.client.HTTPConnection:
@@ -116,6 +119,7 @@ class GatewayClient:
                 self.close()
                 if attempt:
                     raise GatewayError(f"request to {target} failed: {exc}") from exc
+        self.last_request_id = response.getheader("X-Request-Id")
         if response.getheader("Connection", "").lower() == "close":
             self.close()
         try:

@@ -12,10 +12,20 @@ which is how the supervisor detects worker death without signals).
 Requests and responses are plain dicts::
 
     {"method": "recommend", "params": {"users": [...], "n": 10,
-                                       "min_version": 3}}
+                                       "min_version": 3},
+     "trace": {"trace_id": "9f2c…", "span_id": "41ab…"}}
     {"ok": true, "version": 3, "results": [...]}
     {"ok": false, "error": {"type": "stale", "retryable": true,
                             "message": "..."}}
+
+The optional top-level ``"trace"`` field is the request's
+:class:`~repro.obs.trace.TraceContext` on the wire — the gateway
+stamps it at dispatch so the worker's spans and log lines carry the
+same ``trace_id`` the HTTP client got back as ``X-Request-Id``. A
+frame without it (old callers, direct tests) still serves; tracing is
+correlation, not protocol. Health responses ride the other direction:
+each carries the worker registry's ``"metrics"`` snapshot, which is
+how per-process metrics aggregate fleet-wide without another channel.
 
 Sync helpers (:func:`send_frame` / :func:`recv_frame`) serve the
 blocking worker loop; async twins (:func:`write_frame` /

@@ -49,6 +49,17 @@ Endpoints::
     POST /recommend {"users": [...], "n": 10}   explicit batch
     GET /similar_items?item=tt0111161&k=10&minimum=0.2
     GET /healthz                        fleet + per-worker detail
+    GET /metrics                        Prometheus text, fleet-merged
+
+Every response — data, health, shed, error — carries an
+``X-Request-Id`` header: the request's trace id (a well-formed
+incoming ``X-Request-Id`` is honoured, anything else replaced), the
+same id stamped on every server-side log line and protocol frame the
+request touched. Counters live in a per-server
+:class:`~repro.obs.metrics.MetricsRegistry`; ``/metrics`` merges it
+with the pool's registry and the per-worker snapshots piggybacked on
+health frames, so ``/healthz`` and ``/metrics`` read one source of
+truth.
 
 Every data response carries the model ``version`` that computed it —
 single-valued by construction (the worker pinned exactly one version
@@ -69,10 +80,18 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import GatewayError
 from repro.gateway.supervisor import WorkerPool
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.trace import TraceContext, event, span
 
 DEFAULT_MAX_BATCH = 32
 DEFAULT_MAX_DELAY = 0.002
@@ -107,6 +126,7 @@ class _Batcher:
         max_batch: int,
         max_delay: float,
         request_timeout: float | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_batch < 1:
             raise GatewayError(f"max_batch must be >= 1, got {max_batch}")
@@ -114,17 +134,38 @@ class _Batcher:
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.request_timeout = request_timeout
-        self.n_flushes = 0
-        self.n_coalesced = 0
-        self._pending: list[tuple[str, int, asyncio.Future]] = []
+        registry = registry if registry is not None else MetricsRegistry()
+        self._m_flushes = registry.counter(
+            "gateway_coalescer_flushes_total", "coalescing windows flushed"
+        )
+        self._m_coalesced = registry.counter(
+            "gateway_coalesced_requests_total",
+            "single-user requests that rode a coalescing window",
+        )
+        self._m_batch_size = registry.histogram(
+            "gateway_coalesced_batch_size",
+            "requests per flushed coalescing window",
+            buckets=BATCH_BUCKETS,
+        )
+        self._pending: list[tuple[str, int, asyncio.Future, TraceContext | None]] = []
         self._timer: asyncio.TimerHandle | None = None
 
-    async def submit(self, user: str, n: int) -> tuple[int, list, bool]:
+    @property
+    def n_flushes(self) -> int:
+        return int(self._m_flushes.value)
+
+    @property
+    def n_coalesced(self) -> int:
+        return int(self._m_coalesced.value)
+
+    async def submit(
+        self, user: str, n: int, trace: TraceContext | None = None
+    ) -> tuple[int, list, bool]:
         """One user's Top-N through the current window; resolves to
         ``(version, recommendations, stale)``."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((user, n, future))
+        self._pending.append((user, n, future, trace))
         if len(self._pending) >= self.max_batch:
             self._flush()
         elif self._timer is None:
@@ -138,30 +179,47 @@ class _Batcher:
         if not self._pending:
             return
         window, self._pending = self._pending, []
-        self.n_flushes += 1
-        self.n_coalesced += len(window)
-        groups: dict[int, list[tuple[str, asyncio.Future]]] = {}
-        for user, n, future in window:
-            groups.setdefault(n, []).append((user, future))
+        self._m_flushes.inc()
+        self._m_coalesced.inc(len(window))
+        self._m_batch_size.observe(float(len(window)))
+        groups: dict[int, list[tuple[str, asyncio.Future, TraceContext | None]]] = {}
+        for user, n, future, trace in window:
+            groups.setdefault(n, []).append((user, future, trace))
         for n, group in groups.items():
             asyncio.ensure_future(self._dispatch(n, group))
 
-    async def _dispatch(self, n: int, group: list[tuple[str, asyncio.Future]]) -> None:
-        users = [user for user, _ in group]
+    async def _dispatch(
+        self, n: int, group: list[tuple[str, asyncio.Future, TraceContext | None]]
+    ) -> None:
+        users = [user for user, _, _ in group]
+        # The batch travels under the first member's trace (one frame,
+        # one trace); the flush event names every member so a batched
+        # request's own id still leads to the worker-side span.
+        first_trace = next((trace for _, _, trace in group if trace is not None), None)
+        batch_trace = first_trace.child() if first_trace is not None else None
+        event(
+            "gateway.flush",
+            batch_trace,
+            batch_size=len(group),
+            member_trace_ids=[
+                trace.trace_id for _, _, trace in group if trace is not None
+            ],
+        )
         try:
             response = await self.pool.call(
                 "recommend",
                 {"users": users, "n": n},
                 timeout=self.request_timeout,
+                trace=batch_trace,
             )
         except Exception as exc:
-            for _, future in group:
+            for _, future, _ in group:
                 if not future.done():
                     future.set_exception(exc)
             return
         version = response["version"]
         stale = bool(response.get("stale"))
-        for (_, future), result in zip(group, response["results"]):
+        for (_, future, _), result in zip(group, response["results"]):
             if not future.done():
                 future.set_result((version, result, stale))
 
@@ -180,6 +238,7 @@ class GatewayServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         request_timeout: float | None = None,
         retry_after: int = DEFAULT_RETRY_AFTER,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_inflight < 1:
             raise GatewayError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -194,12 +253,46 @@ class GatewayServer:
             pool.call_timeout if request_timeout is None else request_timeout
         )
         self.retry_after = retry_after
+        #: per-instance on purpose: tests run many gateways in one
+        #: interpreter, and /healthz + /metrics must read *this*
+        #: server's counts, not a process-wide blur.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.batcher = _Batcher(
-            pool, max_batch, max_delay, request_timeout=self.request_timeout
+            pool,
+            max_batch,
+            max_delay,
+            request_timeout=self.request_timeout,
+            registry=self.registry,
         )
-        self.n_http_requests = 0
-        self.n_shed = 0
-        self.n_stale_responses = 0
+        self._m_http_requests = self.registry.counter(
+            "gateway_http_requests_total", "HTTP requests parsed at ingress"
+        )
+        self._m_responses = self.registry.counter(
+            "gateway_http_responses_total",
+            "HTTP responses written, by status code",
+            labels=("code",),
+        )
+        self._m_shed = self.registry.counter(
+            "gateway_shed_total", "data requests shed with 429 at admission"
+        )
+        self._m_stale = self.registry.counter(
+            "gateway_stale_responses_total",
+            "responses served carrying the stale marker",
+        )
+        self._m_request_seconds = self.registry.histogram(
+            "gateway_request_seconds",
+            "end-to-end HTTP request latency at the gateway",
+        )
+        self._m_uptime = self.registry.gauge(
+            "gateway_uptime_seconds", "seconds since the listener bound"
+        )
+        self._m_inflight = self.registry.gauge(
+            "gateway_inflight", "data requests currently executing"
+        )
+        self._m_queued = self.registry.gauge(
+            "gateway_queued", "data requests waiting for an inflight slot"
+        )
+        self._started_monotonic: float | None = None
         self._inflight = 0
         self._waiting = 0
         self._slots = asyncio.Semaphore(max_inflight)
@@ -207,6 +300,26 @@ class GatewayServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._server: asyncio.AbstractServer | None = None
+
+    # Legacy counter names — kept as views over the registry so the
+    # registry is the single source of truth for /healthz and /metrics.
+    @property
+    def n_http_requests(self) -> int:
+        return int(self._m_http_requests.value)
+
+    @property
+    def n_shed(self) -> int:
+        return int(self._m_shed.value)
+
+    @property
+    def n_stale_responses(self) -> int:
+        return int(self._m_stale.value)
+
+    @property
+    def uptime_s(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
 
     async def start(self) -> None:
         """Bind and start accepting (workers must already be started);
@@ -218,6 +331,7 @@ class GatewayServer:
             limit=_MAX_HEAD_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
 
     async def close(self) -> None:
         """Stop listening (idempotent); does not touch the pool."""
@@ -277,13 +391,28 @@ class GatewayServer:
                 if request is None:
                     return
                 method, target, headers, body = request
-                self.n_http_requests += 1
-                status, payload, extra = await self._route(method, target, body)
+                self._m_http_requests.inc()
+                trace = TraceContext.from_request_id(headers.get("x-request-id"))
+                with span(
+                    "gateway.request",
+                    trace,
+                    self._m_request_seconds,
+                    method=method,
+                    target=target,
+                ) as request_span:
+                    status, payload, extra = await self._route(
+                        method, target, body, trace
+                    )
+                    request_span.fields["status"] = status
+                self._m_responses.labels(str(status)).inc()
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 ) and not self._draining
-                self._write_response(writer, status, payload, keep_alive, extra)
+                self._write_response(
+                    writer, status, payload, keep_alive, extra,
+                    request_id=trace.trace_id,
+                )
                 await writer.drain()
                 if not keep_alive:
                     return
@@ -335,19 +464,29 @@ class GatewayServer:
     def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         keep_alive: bool,
         extra_headers: dict[str, str] | None = None,
+        request_id: str | None = None,
     ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    429: "Too Many Requests", 503: "Service Unavailable"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # /metrics exposition
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head_lines = [
             f"HTTP/1.1 {status} {reasons.get(status, 'Error')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        if request_id is not None:
+            # Every response — 200s, sheds, errors — is correlatable
+            # with the server-side lines that explain it.
+            head_lines.append(f"X-Request-Id: {request_id}")
         for name, value in (extra_headers or {}).items():
             head_lines.append(f"{name}: {value}")
         head = "\r\n".join(head_lines) + "\r\n\r\n"
@@ -358,8 +497,13 @@ class GatewayServer:
     # ------------------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str] | None]:
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        trace: TraceContext | None = None,
+    ) -> tuple[int, dict | str, dict[str, str] | None]:
+        trace = trace if trace is not None else TraceContext()
         split = urlsplit(target)
         path = split.path
         query = {name: values[-1] for name, values in parse_qs(split.query).items()}
@@ -382,6 +526,8 @@ class GatewayServer:
         if path == "/healthz":
             status, payload = await self._healthz()
             return status, payload, None
+        if path == "/metrics":
+            return 200, await self._metrics(), None
         if path not in ("/recommend", "/similar_items"):
             return (
                 404,
@@ -395,7 +541,9 @@ class GatewayServer:
                 None,
             )
         if not self._admit_nowait():
-            self.n_shed += 1
+            self._m_shed.inc()
+            event("gateway.shed", trace, path=path, queued=self._waiting,
+                  inflight=self._inflight)
             return (
                 429,
                 _error_body(
@@ -407,13 +555,19 @@ class GatewayServer:
         async with _AdmissionTicket(self):
             try:
                 if path == "/recommend":
-                    status, payload = await self._recommend(query)
+                    status, payload = await self._recommend(query, trace)
                 else:
-                    status, payload = await self._similar_items(query)
+                    status, payload = await self._similar_items(query, trace)
             except GatewayError as exc:
                 # Sanitized on the wire, detailed in the log: worker
-                # ids, pids and filesystem paths stay server-side.
-                logger.warning("upstream failure on %s: %s", path, exc)
+                # ids, pids and filesystem paths stay server-side. The
+                # trace id is the client's handle on this line — it is
+                # what the response's X-Request-Id echoes back.
+                logger.warning(
+                    "upstream failure on %s (trace %s): %s",
+                    path, trace.trace_id, exc,
+                )
+                event("gateway.upstream_error", trace, path=path, error=str(exc))
                 return (
                     503,
                     _error_body(
@@ -440,6 +594,7 @@ class GatewayServer:
                 else ("ok" if stats["alive"] > 0 else "unavailable")
             ),
             "version": stats["fleet_version"],
+            "uptime_s": round(self.uptime_s, 3),
             "workers": stats,
             "fleet": self.pool.worker_details(),
             "http_requests": self.n_http_requests,
@@ -453,12 +608,27 @@ class GatewayServer:
         }
         return (200 if healthy else 503), payload
 
+    async def _metrics(self) -> str:
+        """Prometheus-text exposition of the whole fleet: this server's
+        registry merged with the pool's and with every worker registry
+        snapshot the pool holds (piggybacked on health frames)."""
+        self._m_uptime.set(self.uptime_s)
+        self._m_inflight.set(self._inflight)
+        self._m_queued.set(self._waiting)
+        snapshots = [self.registry.snapshot()]
+        collect = getattr(self.pool, "collect_metrics", None)
+        if collect is not None:
+            snapshots.extend(await collect())
+        return render_prometheus(merge_snapshots(*snapshots))
+
     def _finish(self, payload: dict) -> tuple[int, dict]:
         if payload.get("stale"):
-            self.n_stale_responses += 1
+            self._m_stale.inc()
         return 200, payload
 
-    async def _recommend(self, query: dict) -> tuple[int, dict]:
+    async def _recommend(
+        self, query: dict, trace: TraceContext | None = None
+    ) -> tuple[int, dict]:
         n = int(query.get("n", 10))
         users = query.get("users")
         if users is not None:
@@ -470,6 +640,7 @@ class GatewayServer:
                 "recommend",
                 {"users": users, "n": n},
                 timeout=self.request_timeout,
+                trace=trace,
             )
             payload = {
                 "version": response["version"],
@@ -484,7 +655,7 @@ class GatewayServer:
             return 400, _error_body(
                 "bad_request", "missing 'user' (or 'users') parameter"
             )
-        version, result, stale = await self.batcher.submit(str(user), n)
+        version, result, stale = await self.batcher.submit(str(user), n, trace)
         payload = {
             "version": version,
             "user": user,
@@ -494,7 +665,9 @@ class GatewayServer:
             payload["stale"] = True
         return self._finish(payload)
 
-    async def _similar_items(self, query: dict) -> tuple[int, dict]:
+    async def _similar_items(
+        self, query: dict, trace: TraceContext | None = None
+    ) -> tuple[int, dict]:
         item = query.get("item")
         if not item:
             return 400, _error_body("bad_request", "missing 'item' parameter")
@@ -502,7 +675,7 @@ class GatewayServer:
         if query.get("minimum") is not None:
             params["minimum"] = float(query["minimum"])
         response = await self.pool.call(
-            "similar_items", params, timeout=self.request_timeout
+            "similar_items", params, timeout=self.request_timeout, trace=trace
         )
         payload = {
             "version": response["version"],

@@ -63,6 +63,8 @@ from pathlib import Path
 from repro.errors import GatewayError
 from repro.faults.plan import SPAWN_SEQ_ENV
 from repro.gateway.protocol import read_frame, write_frame
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.trace import TraceContext, event
 
 DEFAULT_CALL_TIMEOUT = 30.0
 DEFAULT_STALE_BACKOFF = 0.05
@@ -109,6 +111,7 @@ class CircuitBreaker:
         base_delay: float = DEFAULT_BACKOFF_BASE,
         max_delay: float = DEFAULT_BACKOFF_CAP,
         rng: random.Random | None = None,
+        on_transition=None,
     ) -> None:
         if threshold < 1:
             raise GatewayError(f"threshold must be >= 1, got {threshold}")
@@ -124,6 +127,15 @@ class CircuitBreaker:
         self.state = "closed"
         self.consecutive_failures = 0
         self.n_trips = 0
+        #: optional ``callback(old_state, new_state)`` fired on every
+        #: state change — the pool counts transitions through it.
+        self.on_transition = on_transition
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            old, self.state = self.state, state
+            if self.on_transition is not None:
+                self.on_transition(old, state)
 
     def record_failure(self) -> None:
         """One more consecutive failure; trips the breaker at the
@@ -132,17 +144,17 @@ class CircuitBreaker:
         if (self.state == "half_open" or self.consecutive_failures >= self.threshold):
             if self.state != "open":
                 self.n_trips += 1
-            self.state = "open"
+            self._transition("open")
 
     def record_success(self) -> None:
         """A worker served: close the breaker, reset the streak."""
         self.consecutive_failures = 0
-        self.state = "closed"
+        self._transition("closed")
 
     def on_probe(self) -> None:
         """A replacement came up while open: it is the half-open probe."""
         if self.state == "open":
-            self.state = "half_open"
+            self._transition("half_open")
 
     def next_delay(self) -> float:
         """Seconds to wait before the next spawn attempt (0 on a clean
@@ -178,6 +190,9 @@ class WorkerHandle:
         self.n_calls = 0
         self.version = 0
         self.spawned_at = 0.0
+        #: event-loop clock of the last OK response — what lets
+        #: /healthz tell a hung-but-alive worker from an idle one.
+        self.last_served_monotonic = 0.0
 
     @property
     def pid(self) -> int:
@@ -237,6 +252,11 @@ class WorkerSlot:
         self.task: asyncio.Task | None = None
         self.n_restarts = 0
         self.n_spawn_failures = 0
+        #: the current worker's latest registry snapshot (piggybacked
+        #: on health frames) and the merged snapshots of every dead
+        #: predecessor — a restart must not zero the slot's history.
+        self.latest_metrics: dict | None = None
+        self.retired_metrics: dict | None = None
 
     def live_handle(self) -> WorkerHandle | None:
         handle = self.handle
@@ -293,6 +313,7 @@ class WorkerPool:
         allow_stale: bool = False,
         jitter_seed: int | None = None,
         worker_env: dict[str, str] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if n_workers < 1:
             raise GatewayError(f"n_workers must be >= 1, got {n_workers}")
@@ -315,12 +336,47 @@ class WorkerPool:
         #: highest model version any worker has served — the fleet's
         #: monotonic-read floor.
         self.fleet_version = 0
-        self.n_restarts = 0
-        self.n_spawn_failures = 0
-        self.n_calls = 0
-        self.n_hedged = 0
-        self.n_hedge_wins = 0
-        self.n_stale_served = 0
+        #: per-instance for the same reason as the server's: many
+        #: pools per test process, each with exact counter assertions.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_restarts = self.registry.counter(
+            "gateway_worker_restarts_total", "worker deaths respawned"
+        )
+        self._m_spawn_failures = self.registry.counter(
+            "gateway_worker_spawn_failures_total",
+            "spawn attempts that never reached readiness",
+        )
+        self._m_calls = self.registry.counter(
+            "gateway_pool_calls_total", "requests routed through the pool"
+        )
+        self._m_retries = self.registry.counter(
+            "gateway_retries_total",
+            "extra attempts after a death or retryable worker error",
+        )
+        self._m_hedged = self.registry.counter(
+            "gateway_hedges_total", "slow reads duplicated to a sibling"
+        )
+        self._m_hedge_wins = self.registry.counter(
+            "gateway_hedge_wins_total", "hedged duplicates that answered first"
+        )
+        self._m_stale_served = self.registry.counter(
+            "gateway_stale_serves_total",
+            "reads served below the version floor, tagged stale",
+        )
+        self._m_breaker = self.registry.counter(
+            "gateway_breaker_transitions_total",
+            "circuit-breaker state changes, by target state",
+            labels=("to",),
+        )
+        self._m_fleet_version = self.registry.gauge(
+            "gateway_fleet_version",
+            "highest model version any worker has served",
+        )
+        self._m_worker_lag = self.registry.gauge(
+            "gateway_worker_version_lag",
+            "versions behind the fleet floor, per slot (at scrape)",
+            labels=("slot",),
+        )
         #: every pid this pool ever spawned — the drain gate asserts
         #: all of them are dead after close().
         self.spawned_pids: list[int] = []
@@ -329,6 +385,35 @@ class WorkerPool:
         self._slots: list[WorkerSlot] = []
         self._next_id = 0
         self._closing = False
+
+    # Legacy counter names — registry-backed views, so stats() and
+    # /metrics can never disagree.
+    @property
+    def n_restarts(self) -> int:
+        return int(self._m_restarts.value)
+
+    @property
+    def n_spawn_failures(self) -> int:
+        return int(self._m_spawn_failures.value)
+
+    @property
+    def n_calls(self) -> int:
+        return int(self._m_calls.value)
+
+    @property
+    def n_hedged(self) -> int:
+        return int(self._m_hedged.value)
+
+    @property
+    def n_hedge_wins(self) -> int:
+        return int(self._m_hedge_wins.value)
+
+    @property
+    def n_stale_served(self) -> int:
+        return int(self._m_stale_served.value)
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self._m_breaker.labels(new).inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -353,6 +438,7 @@ class WorkerPool:
                     base_delay=self.backoff_base,
                     max_delay=self.backoff_cap,
                     rng=self._rng,
+                    on_transition=self._on_breaker_transition,
                 ),
             )
             self._slots.append(slot)
@@ -393,7 +479,7 @@ class WorkerPool:
                 raise
             except (GatewayError, OSError):
                 slot.n_spawn_failures += 1
-                self.n_spawn_failures += 1
+                self._m_spawn_failures.inc()
                 slot.breaker.record_failure()
                 continue
             slot.handle = handle
@@ -407,8 +493,17 @@ class WorkerPool:
                 pass
             if self._closing:
                 return
+            # The dead worker's counts fold into the slot's history;
+            # the fleet-wide merge must survive restarts.
+            if slot.latest_metrics is not None:
+                slot.retired_metrics = (
+                    merge_snapshots(slot.retired_metrics, slot.latest_metrics)
+                    if slot.retired_metrics is not None
+                    else slot.latest_metrics
+                )
+                slot.latest_metrics = None
             slot.n_restarts += 1
-            self.n_restarts += 1
+            self._m_restarts.inc()
             if loop.time() - handle.spawned_at >= self.healthy_lifetime:
                 # A long-lived worker dying is churn, not a streak.
                 slot.breaker.record_success()
@@ -479,6 +574,8 @@ class WorkerPool:
                 pass
             raise
         self._note_version(response, handle)
+        if isinstance(response.get("metrics"), dict):
+            slot.latest_metrics = response["metrics"]
         return handle
 
     async def close(self) -> None:
@@ -552,6 +649,7 @@ class WorkerPool:
                 handle.version = max(handle.version, version)
             if version > self.fleet_version:
                 self.fleet_version = version
+                self._m_fleet_version.set(version)
 
     async def _call_one(
         self, handle: WorkerHandle, payload: dict, timeout: float
@@ -564,8 +662,12 @@ class WorkerPool:
             self._release(handle)  # dead handles are not re-queued
             raise
         self._note_version(response, handle)
-        if response.get("ok") and handle.slot is not None:
-            handle.slot.breaker.record_success()
+        if response.get("ok"):
+            handle.last_served_monotonic = asyncio.get_running_loop().time()
+            if handle.slot is not None:
+                handle.slot.breaker.record_success()
+                if isinstance(response.get("metrics"), dict):
+                    handle.slot.latest_metrics = response["metrics"]
         self._release(handle)
         return response
 
@@ -575,6 +677,7 @@ class WorkerPool:
         method: str,
         params: dict,
         remaining: float,
+        trace: TraceContext | None = None,
     ) -> dict:
         """One (possibly hedged) attempt. The frame carries the
         remaining deadline budget; reads that linger past
@@ -585,6 +688,8 @@ class WorkerPool:
             "method": method,
             "params": {**params, "budget_ms": remaining * 1000.0},
         }
+        if trace is not None:
+            payload["trace"] = trace.to_wire()
         primary = asyncio.ensure_future(self._call_one(handle, payload, remaining))
         hedge_after = self.hedge_delay
         if (
@@ -616,7 +721,9 @@ class WorkerPool:
             sibling = checkout.result()
         except GatewayError:
             return await primary
-        self.n_hedged += 1
+        self._m_hedged.inc()
+        event("pool.hedge", trace, method=method,
+              primary=handle.worker_id, sibling=sibling.worker_id)
         hedge = asyncio.ensure_future(
             self._call_one(sibling, payload, remaining - hedge_after)
         )
@@ -633,7 +740,8 @@ class WorkerPool:
                         # inside _call_one either way.
                         loser.add_done_callback(_swallow_result)
                     if task is hedge:
-                        self.n_hedge_wins += 1
+                        self._m_hedge_wins.inc()
+                        event("pool.hedge_win", trace, method=method)
                     return task.result()
                 if isinstance(exc, GatewayError) and first_error is None:
                     first_error = exc
@@ -648,6 +756,7 @@ class WorkerPool:
         method: str,
         params: dict | None = None,
         timeout: float | None = None,
+        trace: TraceContext | None = None,
     ) -> dict:
         """Route one request to the fleet and return the worker's
         response payload, retrying across deaths and staleness within
@@ -656,7 +765,7 @@ class WorkerPool:
         count is exhausted (unless ``allow_stale`` turns the failure
         into an explicit stale response), and for non-retryable worker
         errors."""
-        self.n_calls += 1
+        self._m_calls.inc()
         loop = asyncio.get_running_loop()
         budget = self.call_timeout if timeout is None else timeout
         deadline = loop.time() + budget
@@ -670,18 +779,28 @@ class WorkerPool:
         attempt = 0
         while attempt <= self.retries and loop.time() < fresh_deadline:
             attempt += 1
+            if attempt > 1:
+                self._m_retries.inc()
+                event("pool.retry", trace, method=method, attempt=attempt,
+                      error=str(last_error))
             if read:
                 # The handshake: no response may be computed from a
                 # model older than the newest the fleet has served.
                 params["min_version"] = self.fleet_version
+                if trace is not None:
+                    trace.baggage["min_version"] = self.fleet_version
             remaining = fresh_deadline - loop.time()
+            if trace is not None:
+                trace.baggage["budget_ms"] = round(remaining * 1000.0, 3)
             try:
                 handle = await self._checkout(remaining)
             except GatewayError as exc:
                 last_error = exc
                 break
             try:
-                response = await self._dispatch(handle, method, params, remaining)
+                response = await self._dispatch(
+                    handle, method, params, remaining, trace
+                )
             except GatewayError as exc:
                 last_error = exc
                 continue  # the worker is dead; retry on another
@@ -695,7 +814,7 @@ class WorkerPool:
                 continue
             raise GatewayError(f"worker {handle.worker_id}: {message}")
         if self.allow_stale and read:
-            response = await self._stale_fallback(method, params, deadline)
+            response = await self._stale_fallback(method, params, deadline, trace)
             if response is not None:
                 return response
         raise GatewayError(
@@ -704,7 +823,11 @@ class WorkerPool:
         )
 
     async def _stale_fallback(
-        self, method: str, params: dict, deadline: float
+        self,
+        method: str,
+        params: dict,
+        deadline: float,
+        trace: TraceContext | None = None,
     ) -> dict | None:
         """The bounded-staleness degraded path: one attempt with
         ``allow_stale`` — the worker serves its freshest version and
@@ -716,19 +839,23 @@ class WorkerPool:
             "min_version": self.fleet_version,
             "allow_stale": True,
         }
+        event("pool.stale_fallback", trace, method=method,
+              min_version=self.fleet_version)
         try:
             handle = await self._checkout(remaining)
             payload = {
                 "method": method,
                 "params": {**stale_params, "budget_ms": remaining * 1000.0},
             }
+            if trace is not None:
+                payload["trace"] = trace.to_wire()
             response = await self._call_one(handle, payload, remaining)
         except GatewayError:
             return None
         if not response.get("ok"):
             return None
         if response.get("stale"):
-            self.n_stale_served += 1
+            self._m_stale_served.inc()
         return response
 
     # ------------------------------------------------------------------
@@ -760,9 +887,55 @@ class WorkerPool:
                     "circuit": slot.breaker.state,
                     "consecutive_failures": (slot.breaker.consecutive_failures),
                     "n_calls": handle.n_calls if handle is not None else 0,
+                    "last_served_monotonic": (
+                        handle.last_served_monotonic if handle is not None else 0.0
+                    ),
                 }
             )
         return details
+
+    async def collect_metrics(self, timeout: float = 1.0) -> list[dict]:
+        """Registry snapshots for ``/metrics``: the pool's own, plus
+        every worker's (live workers are health-polled best-effort —
+        a busy worker's last-known snapshot is served instead of
+        blocking the scrape behind data traffic)."""
+        await self._poll_worker_metrics(timeout)
+        for slot in self._slots:
+            handle = slot.live_handle()
+            lag = (
+                max(0, self.fleet_version - handle.version)
+                if handle is not None
+                else 0
+            )
+            self._m_worker_lag.labels(str(slot.slot_id)).set(lag)
+        snapshots = [self.registry.snapshot()]
+        for slot in self._slots:
+            if slot.retired_metrics is not None:
+                snapshots.append(slot.retired_metrics)
+            if slot.latest_metrics is not None:
+                snapshots.append(slot.latest_metrics)
+        return snapshots
+
+    async def _poll_worker_metrics(self, timeout: float) -> None:
+        """One concurrent health round over every *idle* worker; each
+        OK response refreshes its slot's snapshot inside
+        :meth:`_call_one`. Checked-out (busy) workers are skipped —
+        a scrape must never queue behind, or time out, data traffic."""
+        handles: list[WorkerHandle] = []
+        while True:
+            handle = self._checkout_nowait()
+            if handle is None:
+                break
+            handles.append(handle)
+        if not handles:
+            return
+        await asyncio.gather(
+            *(
+                self._call_one(handle, {"method": "health"}, timeout)
+                for handle in handles
+            ),
+            return_exceptions=True,
+        )
 
     def stats(self) -> dict:
         return {

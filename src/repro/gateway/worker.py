@@ -54,6 +54,8 @@ import time
 from repro.errors import GatewayError, ReproError, StaleModelError
 from repro.faults.plan import InjectedFault, fault_point
 from repro.gateway.protocol import recv_frame, send_frame
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import TraceContext, event, span
 from repro.serving.service import RecommendationService
 from repro.serving.watch import RegistryWatcher
 
@@ -84,10 +86,36 @@ class WorkerApp:
         self,
         watcher: RegistryWatcher,
         service: RecommendationService,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.watcher = watcher
         self.service = service
         self.n_requests = 0
+        #: the process-global registry by default: one worker process,
+        #: one registry, snapshotted onto every health response so the
+        #: gateway can aggregate the fleet.
+        self.registry = registry if registry is not None else get_registry()
+        self._m_requests = self.registry.counter(
+            "worker_requests_total", "request frames handled, by method",
+            labels=("method",),
+        )
+        self._m_serve_seconds = self.registry.histogram(
+            "worker_request_seconds", "worker-side serve latency (reads)"
+        )
+        self._m_errors = self.registry.counter(
+            "worker_errors_total", "error responses returned, by type",
+            labels=("type",),
+        )
+        self._m_version = self.registry.gauge(
+            "worker_version", "model version this worker currently pins"
+        )
+        self._m_loads = self.registry.counter(
+            "worker_loads_total", "snapshot loads the watcher performed"
+        )
+
+    def _error(self, kind: str, message: str, retryable: bool, **extra: object) -> dict:
+        self._m_errors.labels(kind).inc()
+        return _error_response(kind, message, retryable, **extra)
 
     def handle(self, frame: dict) -> dict | None:
         """The response for one request frame; ``None`` means a clean
@@ -95,10 +123,14 @@ class WorkerApp:
         self.n_requests += 1
         method = frame.get("method")
         params = frame.get("params") or {}
+        self._m_requests.labels(str(method)).inc()
+        wire = frame.get("trace")
+        trace = TraceContext.from_wire(wire).child() if wire is not None else None
         try:
             fault_point(REQUEST_FAULT_POINT)
         except InjectedFault as exc:
-            return _error_response("injected", str(exc), retryable=True)
+            event("worker.injected_fault", trace, error=str(exc))
+            return self._error("injected", str(exc), retryable=True)
         if method == "shutdown":
             return None
         budget_ms = params.get("budget_ms")
@@ -108,7 +140,8 @@ class WorkerApp:
             except (TypeError, ValueError):
                 exhausted = False
             if exhausted:
-                return _error_response(
+                event("worker.deadline_reject", trace, budget_ms=budget_ms)
+                return self._error(
                     "deadline",
                     "deadline budget exhausted before the worker began",
                     retryable=False,
@@ -120,11 +153,15 @@ class WorkerApp:
                 self.watcher.poll()
                 return {"ok": True, "version": self.watcher.version}
             if method == "recommend":
-                return self._recommend(params)
+                with span("worker.serve", trace, self._m_serve_seconds,
+                          method="recommend", pid=os.getpid()):
+                    return self._recommend(params)
             if method == "similar_items":
-                return self._similar_items(params)
+                with span("worker.serve", trace, self._m_serve_seconds,
+                          method="similar_items", pid=os.getpid()):
+                    return self._similar_items(params)
         except StaleModelError as exc:
-            return _error_response(
+            return self._error(
                 "stale",
                 str(exc),
                 retryable=True,
@@ -132,20 +169,27 @@ class WorkerApp:
                 min_version=exc.min_version,
             )
         except ReproError as exc:
-            return _error_response(type(exc).__name__, str(exc), retryable=False)
-        return _error_response(
+            return self._error(type(exc).__name__, str(exc), retryable=False)
+        return self._error(
             "unknown_method",
             f"worker does not understand method {method!r}",
             retryable=False,
         )
 
     def _health(self) -> dict:
+        # Export-on-scrape: the service's own counts bridge into the
+        # registry only when a health frame asks, so the data hot path
+        # pays nothing for them.
+        self.service.export_metrics(self.registry)
+        self._m_version.set(self.watcher.version)
+        self._m_loads.set(self.watcher.n_loads)
         return {
             "ok": True,
             "version": self.watcher.version,
             "pid": os.getpid(),
             "n_requests": self.n_requests,
             "n_loads": self.watcher.n_loads,
+            "metrics": self.registry.snapshot(),
         }
 
     def _fresh(self, min_version: int) -> None:

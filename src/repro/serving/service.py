@@ -421,6 +421,38 @@ class RecommendationService:
             },
         }
 
+    def export_metrics(self, registry) -> None:
+        """Bridge the service's counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (counters adopt the
+        externally-maintained counts monotonically). Called by the
+        gateway worker on every health frame — export-on-scrape, so
+        the request hot path pays nothing for the bridge."""
+        registry.counter(
+            "service_requests_total", "requests the service answered"
+        ).set(self.n_requests)
+        registry.counter(
+            "service_users_served_total", "users scored across all requests"
+        ).set(self.n_users_served)
+        registry.counter(
+            "service_cache_hits_total", "LRU cache hits, by cache",
+            labels=("cache",),
+        ).labels("row").set(self._row_cache.hits)
+        registry.counter(
+            "service_cache_hits_total", "LRU cache hits, by cache",
+            labels=("cache",),
+        ).labels("response").set(self._response_cache.hits)
+        registry.counter(
+            "service_cache_misses_total", "LRU cache misses, by cache",
+            labels=("cache",),
+        ).labels("row").set(self._row_cache.misses)
+        registry.counter(
+            "service_cache_misses_total", "LRU cache misses, by cache",
+            labels=("cache",),
+        ).labels("response").set(self._response_cache.misses)
+        registry.gauge(
+            "service_version", "model version the service currently serves"
+        ).set(self.registry.current_version())
+
     # ------------------------------------------------------------------
     # The vectorized batched pass
     # ------------------------------------------------------------------

@@ -303,7 +303,7 @@ class _FakePool:
         self.error = error
         self.n_calls = 0
 
-    async def call(self, method, params=None, timeout=None):
+    async def call(self, method, params=None, timeout=None, trace=None):
         self.n_calls += 1
         if self.gate is not None:
             await self.gate.wait()

@@ -428,3 +428,120 @@ def test_idle_worker_kill_is_replaced(published_catalog):
             await pool.close()
 
     _run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Observability surface: X-Request-Id, /metrics, health detail
+# ----------------------------------------------------------------------
+
+
+def _http_get_raw(
+    port: int, target: str, headers: dict | None = None
+) -> tuple[int, dict, bytes]:
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", target, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), body
+    finally:
+        conn.close()
+
+
+def _parse_prom(text: str) -> dict[str, float]:
+    """``{"name{labels}": value}`` for every sample line."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+    return samples
+
+
+@pytest.mark.slow
+def test_gateway_request_ids_and_metrics(published_catalog):
+    source, _ = published_catalog
+
+    async def scenario():
+        pool = WorkerPool(source, n_workers=1, call_timeout=30, poll_interval=0.05)
+        await pool.start()
+        server = GatewayServer(pool, max_delay=0.005)
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def get(target, headers=None):
+            return _http_get_raw(server.port, target, headers)
+
+        try:
+            # A fresh request is assigned a trace id and gets it back.
+            status, headers, _ = await loop.run_in_executor(
+                None, get, "/recommend?user=u001&n=4")
+            assert status == 200
+            minted = headers["X-Request-Id"]
+            assert len(minted) == 16
+            assert all(ch in "0123456789abcdef" for ch in minted)
+
+            # A well-formed incoming id is honoured verbatim ...
+            status, headers, _ = await loop.run_in_executor(
+                None, get, "/recommend?user=u002&n=4",
+                {"X-Request-Id": "client-id-42"})
+            assert status == 200
+            assert headers["X-Request-Id"] == "client-id-42"
+
+            # ... a malformed one is replaced, not echoed.
+            status, headers, _ = await loop.run_in_executor(
+                None, get, "/recommend?user=u003&n=4",
+                {"X-Request-Id": "spaces are not ok"})
+            assert status == 200
+            assert headers["X-Request-Id"] != "spaces are not ok"
+
+            # Error responses are correlatable too.
+            status, headers, _ = await loop.run_in_executor(None, get, "/nope")
+            assert status == 404
+            assert headers["X-Request-Id"]
+
+            # Health detail: uptime plus per-worker last-served clocks.
+            status, _, body = await loop.run_in_executor(None, get, "/healthz")
+            health = json.loads(body)
+            assert status == 200
+            assert health["uptime_s"] >= 0.0
+            assert health["fleet"]
+            for worker in health["fleet"]:
+                assert "last_served_monotonic" in worker
+                # the readiness health check already served this worker
+                assert worker["last_served_monotonic"] > 0.0
+
+            # /metrics: Prometheus text merging gateway + pool + workers.
+            status, headers, body = await loop.run_in_executor(None, get, "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            text = body.decode("utf-8")
+            samples = _parse_prom(text)
+
+            # Conservation: every parsed request was answered, except
+            # the /metrics scrape itself (in flight while the snapshot
+            # was taken: counted at ingress, response not yet written).
+            responses = sum(
+                value for key, value in samples.items()
+                if key.startswith("gateway_http_responses_total{"))
+            assert samples["gateway_http_requests_total"] == responses + 1
+            assert samples['gateway_http_responses_total{code="200"}'] >= 4
+            assert samples['gateway_http_responses_total{code="404"}'] == 1
+
+            # The request-latency histogram agrees with the counters.
+            assert samples["gateway_request_seconds_count"] == responses
+
+            # Worker-side metrics crossed the process boundary (health
+            # frames), including the service cache bridged on export.
+            assert samples["worker_requests_total{method=\"recommend\"}"] >= 3
+            assert samples["gateway_fleet_version"] == 1
+            assert samples["worker_version"] == 1
+            assert "service_requests_total" in samples
+        finally:
+            await server.close()
+            await pool.close()
+
+    _run(scenario())

@@ -1,0 +1,90 @@
+"""Percentile and report math in :mod:`repro.gateway.loadgen`.
+
+The nearest-rank :func:`percentile` feeds every latency figure the
+benches and smoke gates assert on, so its edge cases — empty, single
+sample, two samples, heavy duplicates — get pinned here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway.loadgen import percentile, summarize
+
+
+def test_percentile_empty_is_zero():
+    for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+        assert percentile([], q) == 0.0
+
+
+def test_percentile_single_sample_is_that_sample():
+    for q in (0.0, 0.5, 0.99, 0.999):
+        assert percentile([7.25], q) == 7.25
+
+
+def test_percentile_two_samples():
+    ordered = [1.0, 9.0]
+    assert percentile(ordered, 0.50) == 9.0  # rank = int(0.5 * 2) = 1
+    assert percentile(ordered, 0.49) == 1.0
+    assert percentile(ordered, 0.99) == 9.0
+    assert percentile(ordered, 0.999) == 9.0
+
+
+def test_percentile_duplicates():
+    ordered = [5.0] * 100
+    for q in (0.50, 0.90, 0.99, 0.999):
+        assert percentile(ordered, q) == 5.0
+    mixed = sorted([1.0] * 99 + [100.0])
+    assert percentile(mixed, 0.50) == 1.0
+    assert percentile(mixed, 0.99) == 100.0
+    assert percentile(mixed, 0.999) == 100.0
+
+
+def test_percentile_rank_never_out_of_bounds():
+    # q=1.0 must clamp to the last element, not index past the end
+    assert percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_percentile_properties(values, q):
+    ordered = sorted(values)
+    result = percentile(ordered, q)
+    # always an element of the sample, and monotone in q
+    assert result in ordered
+    assert ordered[0] <= result <= ordered[-1]
+    assert percentile(ordered, 0.0) == ordered[0]
+
+
+def test_summarize_empty_run():
+    report = summarize([], 0.0, errors=0, versions=set())
+    assert report["n_requests"] == 0
+    assert report["qps"] == 0.0
+    latency = report["latency_ms"]
+    assert latency["mean"] == latency["p50"] == latency["max"] == 0.0
+
+
+def test_summarize_converts_to_milliseconds():
+    report = summarize(
+        [0.001, 0.002, 0.004],
+        elapsed_s=2.0,
+        errors=1,
+        versions={3},
+        shed=2,
+        stale=1,
+    )
+    assert report["n_requests"] == 3
+    assert report["errors"] == 1
+    assert report["shed"] == 2
+    assert report["stale"] == 1
+    assert report["qps"] == pytest.approx(1.5)
+    assert report["versions"] == [3]
+    latency = report["latency_ms"]
+    assert latency["p50"] == pytest.approx(2.0)
+    assert latency["max"] == pytest.approx(4.0)
+    assert latency["mean"] == pytest.approx(7.0 / 3.0)

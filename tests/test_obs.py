@@ -1,0 +1,371 @@
+"""Unit and property tests for the observability layer
+(:mod:`repro.obs`): metric semantics, snapshot determinism, merge
+algebra, Prometheus rendering, trace contexts, and the
+``REPRO_OBS_LOG`` gate on span/event log lines."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    OBS_LOG_ENV,
+    MetricsRegistry,
+    TraceContext,
+    event,
+    log_enabled,
+    merge_snapshots,
+    render_prometheus,
+    span,
+)
+
+# ----------------------------------------------------------------------
+# Counters, gauges, histograms
+# ----------------------------------------------------------------------
+
+
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry()
+    c = registry.counter("requests_total", "requests")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_counter_set_is_monotone():
+    registry = MetricsRegistry()
+    c = registry.counter("cache_hits_total")
+    c.set(10)
+    assert c.value == 10
+    c.set(7)  # an export bridge never moves a counter backwards
+    assert c.value == 10
+    c.set(12)
+    assert c.value == 12
+
+
+def test_gauge_set_and_add():
+    registry = MetricsRegistry()
+    g = registry.gauge("inflight")
+    g.set(3)
+    g.add(2)
+    g.add(-4)
+    assert g.value == 1
+
+
+def test_histogram_bucket_placement_le_semantics():
+    registry = MetricsRegistry()
+    h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    h.observe(0.5)  # <= 1.0
+    h.observe(1.0)  # boundary: counts in the le=1.0 bucket
+    h.observe(3.0)  # <= 4.0
+    h.observe(9.0)  # overflow
+    cell = h.labels()
+    assert cell.counts == [2, 0, 1, 1]
+    assert cell.count == 4
+    assert cell.sum == pytest.approx(13.5)
+
+
+def test_histogram_rejects_bad_bounds():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("h1", buckets=())
+    with pytest.raises(ValueError):
+        registry.histogram("h2", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        registry.histogram("h3", buckets=(1.0, 1.0, 2.0))
+
+
+def test_labelled_metric_children_and_arity():
+    registry = MetricsRegistry()
+    c = registry.counter("responses_total", labels=("code",))
+    c.labels("200").inc()
+    c.labels("200").inc()
+    c.labels("503").inc()
+    assert c.labels("200").value == 2
+    assert c.value == 3  # family total sums the children
+    with pytest.raises(ValueError):
+        c.inc()  # labelled family has no default cell
+    with pytest.raises(ValueError):
+        c.labels("200", "extra")
+
+
+def test_registration_is_idempotent_and_checks_shape():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "help")
+    b = registry.counter("x_total")
+    assert a is b
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")  # kind conflict
+    with pytest.raises(ValueError):
+        registry.counter("x_total", labels=("code",))  # label conflict
+    registry.histogram("h_seconds", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("h_seconds", buckets=(1.0, 2.0, 3.0))
+
+
+# ----------------------------------------------------------------------
+# Snapshots, merge, rendering
+# ----------------------------------------------------------------------
+
+
+def test_snapshot_is_deterministic_and_json_plain():
+    registry = MetricsRegistry()
+    registry.counter("z_total").inc(2)
+    registry.counter("a_total", labels=("k",)).labels("b").inc()
+    registry.counter("a_total", labels=("k",)).labels("a").inc()
+    registry.gauge("g").set(1.5)
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert list(snap) == sorted(snap)
+    assert list(snap["a_total"]["samples"]) == sorted(snap["a_total"]["samples"])
+    # identical update sequences give identical snapshots
+    assert snap == registry.snapshot()
+    # and the snapshot survives the JSON round trip untouched
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_merge_counters_sum_gauges_max_histograms_add():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    for r, n in ((r1, 3), (r2, 5)):
+        r.counter("c_total").inc(n)
+        r.gauge("version").set(n)
+        h = r.histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(float(n))
+    merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+    assert merged["c_total"]["samples"]["[]"] == 8
+    assert merged["version"]["samples"]["[]"] == 5
+    cell = merged["h"]["samples"]["[]"]
+    assert cell["buckets"] == [2, 0, 2]
+    assert cell["count"] == 4
+    assert cell["sum"] == pytest.approx(9.0)
+
+
+def test_merge_disjoint_names_and_labels_union():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.counter("only_one_total").inc()
+    r2.counter("only_two_total").inc(2)
+    r1.counter("codes_total", labels=("code",)).labels("200").inc()
+    r2.counter("codes_total", labels=("code",)).labels("503").inc()
+    merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+    assert merged["only_one_total"]["samples"]["[]"] == 1
+    assert merged["only_two_total"]["samples"]["[]"] == 2
+    assert len(merged["codes_total"]["samples"]) == 2
+
+
+def test_merge_rejects_conflicting_shapes():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.counter("m")
+    r2.gauge("m")
+    with pytest.raises(ValueError):
+        merge_snapshots(r1.snapshot(), r2.snapshot())
+    r3, r4 = MetricsRegistry(), MetricsRegistry()
+    r3.histogram("h", buckets=(1.0,))
+    r4.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        merge_snapshots(r3.snapshot(), r4.snapshot())
+
+
+def test_render_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("req_total", "requests served").inc(7)
+    registry.gauge("up").set(1)
+    registry.counter("codes_total", labels=("code",)).labels("200").inc(3)
+    h = registry.histogram("lat_seconds", "latency", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    h.observe(1.5)
+    h.observe(9.0)
+    text = render_prometheus(registry.snapshot())
+    lines = text.splitlines()
+    assert "# HELP req_total requests served" in lines
+    assert "# TYPE req_total counter" in lines
+    assert "req_total 7" in lines
+    assert "up 1" in lines
+    assert 'codes_total{code="200"} 3' in lines
+    # histogram buckets are cumulative, ending at +Inf == count
+    assert 'lat_seconds_bucket{le="1.0"} 1' in lines
+    assert 'lat_seconds_bucket{le="2.0"} 2' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+    assert "lat_seconds_sum 11" in lines
+    assert "lat_seconds_count 3" in lines
+    assert text.endswith("\n")
+
+
+def test_render_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("e_total", labels=("msg",)).labels('he said "hi"\n').inc()
+    text = render_prometheus(registry.snapshot())
+    assert 'msg="he said \\"hi\\"\\n"' in text
+
+
+# ----------------------------------------------------------------------
+# Property tests: the merge algebra the fleet aggregation relies on
+# ----------------------------------------------------------------------
+
+_counts = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=4)
+
+
+def _registry_from(counts: list[int]) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for i, n in enumerate(counts):
+        registry.counter(f"m{i}_total").inc(n)
+        registry.gauge(f"g{i}").set(n)
+        registry.histogram(f"h{i}", buckets=(1.0, 4.0)).observe(float(n))
+    return registry
+
+
+@settings(max_examples=30, deadline=None)
+@given(_counts, _counts, _counts)
+def test_merge_is_associative_and_commutative(a, b, c):
+    size = min(len(a), len(b), len(c))
+    a, b, c = a[:size], b[:size], c[:size]
+    sa = _registry_from(a).snapshot()
+    sb = _registry_from(b).snapshot()
+    sc = _registry_from(c).snapshot()
+    left = merge_snapshots(merge_snapshots(sa, sb), sc)
+    right = merge_snapshots(sa, merge_snapshots(sb, sc))
+    assert left == right
+    assert merge_snapshots(sa, sb) == merge_snapshots(sb, sa)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_counts)
+def test_merge_with_empty_is_identity(counts):
+    snap = _registry_from(counts).snapshot()
+    assert merge_snapshots(snap, MetricsRegistry().snapshot()) == snap
+    assert merge_snapshots(snap) == snap
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+def test_histogram_conservation(values):
+    registry = MetricsRegistry()
+    h = registry.histogram("h", buckets=(0.5, 2.0, 10.0))
+    for v in values:
+        h.observe(v)
+    cell = h.labels()
+    assert sum(cell.counts) == cell.count == len(values)
+    assert cell.sum == pytest.approx(sum(values))
+
+
+# ----------------------------------------------------------------------
+# Trace contexts
+# ----------------------------------------------------------------------
+
+
+def test_from_request_id_adopts_well_formed_ids():
+    trace = TraceContext.from_request_id("client-id_1.2")
+    assert trace.trace_id == "client-id_1.2"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [None, "", "x" * 65, "no spaces", "bad/slash", 'quote"', "ünïcode"],
+)
+def test_from_request_id_replaces_malformed_ids(bad):
+    trace = TraceContext.from_request_id(bad)
+    assert trace.trace_id != bad
+    assert len(trace.trace_id) == 16
+    assert all(ch in "0123456789abcdef" for ch in trace.trace_id)
+
+
+def test_child_keeps_trace_id_fresh_span_copied_baggage():
+    parent = TraceContext(baggage={"budget_ms": 50})
+    child = parent.child()
+    assert child.trace_id == parent.trace_id
+    assert child.span_id != parent.span_id
+    assert child.baggage == {"budget_ms": 50}
+    child.baggage["min_version"] = 3
+    assert "min_version" not in parent.baggage
+
+
+def test_wire_round_trip():
+    trace = TraceContext(baggage={"budget_ms": 25})
+    wire = trace.to_wire()
+    assert json.loads(json.dumps(wire)) == wire
+    back = TraceContext.from_wire(wire)
+    assert back.trace_id == trace.trace_id
+    assert back.span_id == trace.span_id
+    assert back.baggage == trace.baggage
+
+
+@pytest.mark.parametrize(
+    "wire", [None, "str", 42, [], {}, {"trace_id": 7}, {"trace_id": ""}]
+)
+def test_from_wire_tolerates_garbage(wire):
+    trace = TraceContext.from_wire(wire)
+    assert trace.trace_id
+    assert trace.span_id
+
+
+def test_trace_ids_are_distinct():
+    ids = {TraceContext().trace_id for _ in range(64)}
+    assert len(ids) == 64
+
+
+# ----------------------------------------------------------------------
+# Spans, events, and the REPRO_OBS_LOG gate
+# ----------------------------------------------------------------------
+
+
+def test_span_records_histogram_even_when_logging_dark(monkeypatch, caplog):
+    monkeypatch.delenv(OBS_LOG_ENV, raising=False)
+    assert not log_enabled()
+    registry = MetricsRegistry()
+    h = registry.histogram("seconds", buckets=(10.0,))
+    with caplog.at_level(logging.INFO, logger="repro.obs"):
+        with span("test.section", TraceContext(), h):
+            pass
+    assert h.labels().count == 1
+    assert not caplog.records
+
+
+def test_span_logs_json_line_when_enabled(monkeypatch, caplog):
+    monkeypatch.setenv(OBS_LOG_ENV, "1")
+    trace = TraceContext()
+    registry = MetricsRegistry()
+    h = registry.histogram("seconds", buckets=(10.0,))
+    with caplog.at_level(logging.INFO, logger="repro.obs"):
+        with span("test.section", trace, h, method="recommend") as s:
+            s.fields["status"] = 200
+    assert len(caplog.records) == 1
+    line = json.loads(caplog.records[0].getMessage())
+    assert line["event"] == "test.section"
+    assert line["trace_id"] == trace.trace_id
+    assert line["span_id"] == trace.span_id
+    assert line["method"] == "recommend"
+    assert line["status"] == 200
+    assert line["duration_ms"] >= 0
+    assert "ts" in line
+
+
+def test_span_stamps_error_and_reraises(monkeypatch, caplog):
+    monkeypatch.setenv(OBS_LOG_ENV, "1")
+    with caplog.at_level(logging.INFO, logger="repro.obs"):
+        with pytest.raises(RuntimeError):
+            with span("test.fail", TraceContext()):
+                raise RuntimeError("boom")
+    line = json.loads(caplog.records[0].getMessage())
+    assert line["error"] == "RuntimeError: boom"
+
+
+def test_event_gated_by_env(monkeypatch, caplog):
+    trace = TraceContext()
+    with caplog.at_level(logging.INFO, logger="repro.obs"):
+        for off in ("", "0", "false"):
+            monkeypatch.setenv(OBS_LOG_ENV, off)
+            event("test.decision", trace, attempt=2)
+        assert not caplog.records
+        monkeypatch.setenv(OBS_LOG_ENV, "1")
+        event("test.decision", trace, attempt=2)
+    line = json.loads(caplog.records[0].getMessage())
+    assert line["event"] == "test.decision"
+    assert line["attempt"] == 2
+    assert line["trace_id"] == trace.trace_id

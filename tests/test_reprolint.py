@@ -274,6 +274,32 @@ _RULE_FIXTURES = [
                 pass
         """,
     ),
+    (
+        "REP701",
+        "src/repro/serving/report.py",
+        """\
+        def report(stats):
+            print("served", stats["n"])
+        """,
+        """\
+        import logging
+
+        logger = logging.getLogger("repro.serving")
+
+
+        def report(stats):
+            logger.info("served %d", stats["n"])
+
+
+        def main():
+            print("cli output is fine here")
+
+
+        if __name__ == "__main__":
+            print("and here")
+            main()
+        """,
+    ),
 ]
 
 

@@ -17,6 +17,7 @@ from reprolint.rules.determinism import (
 from reprolint.rules.durability import UnsyncedRenameRule
 from reprolint.rules.exceptions import BareExceptRule, SilentExceptionRule
 from reprolint.rules.faultpoints import FaultPointDriftRule
+from reprolint.rules.observability import PrintInLibraryRule
 
 ALL_RULES: tuple[Rule, ...] = (
     SaltedHashRule(),
@@ -30,6 +31,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BareExceptRule(),
     SilentExceptionRule(),
     FaultPointDriftRule(),
+    PrintInLibraryRule(),
 )
 
 

@@ -1,0 +1,97 @@
+"""Observability hygiene.
+
+* **REP701 print-in-library** — a bare ``print()`` in ``src/repro/``
+  library code is invisible to the structured-logging pipeline the
+  observability layer (:mod:`repro.obs`) builds: it carries no trace
+  id, no timestamp, no level, cannot be captured per-request, and in
+  a gateway worker it lands on an inherited stdout nobody reads.
+  Library code emits through :mod:`logging` (or the ``repro.obs``
+  span/event helpers); only genuine CLI surfaces print.
+
+  Exempt, because printing *is* their job:
+
+  * ``src/repro/cli.py`` — the command-line interface;
+  * any statement inside an ``if __name__ == "__main__":`` block —
+    a module run as a script is a CLI at that moment;
+  * the body of a top-level function named ``main`` — the
+    argparse-entry convention every runnable module here follows;
+  * ``scripts/`` and everything else outside ``src/repro/`` (the
+    rule's scope is library code, not tooling).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Finding, Rule, SourceFile
+
+_EXEMPT_FILES = ("src/repro/cli.py",)
+
+
+def _is_main_guard(node: ast.stmt) -> bool:
+    """``if __name__ == "__main__":`` (either operand order)."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left] + list(test.comparators)
+    names = {op.id for op in operands if isinstance(op, ast.Name)}
+    constants = {
+        op.value
+        for op in operands
+        if isinstance(op, ast.Constant) and isinstance(op.value, str)
+    }
+    return "__name__" in names and "__main__" in constants
+
+
+def _exempt_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line ranges whose prints are CLI output by convention: main
+    guards and top-level ``main`` functions."""
+    spans: list[tuple[int, int]] = []
+    for node in tree.body:
+        if _is_main_guard(node) or (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "main"
+        ):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+class PrintInLibraryRule(Rule):
+    id = "REP701"
+    name = "print-in-library"
+    description = (
+        "bare `print()` in src/repro/ library code (CLI entry points "
+        "and `__main__` blocks exempt)"
+    )
+    rationale = (
+        "a print carries no trace id, level, or timestamp and bypasses "
+        "the structured repro.obs logging the fleet is debugged with; "
+        "emit via logging / span / event instead"
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        return (source.rel.startswith("src/repro/") and source.rel not in _EXEMPT_FILES)
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        exempt = _exempt_spans(source.tree)
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                continue
+            if any(first <= node.lineno <= last for first, last in exempt):
+                continue
+            yield self.finding(
+                source,
+                node,
+                "print() in library code; emit via the logging module "
+                "or repro.obs span/event so the line carries a trace "
+                "id and can be captured",
+            )
